@@ -1,0 +1,145 @@
+//! The **Section 2 strawman**: maintain a *single* special set of mutually
+//! uncompared wires, dropping one member whenever two of them meet a
+//! comparator. Works against any network, but can halve per level — hence
+//! only the trivial `Ω(lg n)` bound. Experiment E6 plots its decay against
+//! the pattern-based technique's.
+//!
+//! Concretely: the adversary keeps a pattern over `{S_0, M_0, L_0}`. At a
+//! comparator between two `M_0` wires it refines the max-output wire to
+//! `L_0` (making the comparison outcome determined and shrinking the set by
+//! one); every other meeting is already determined or harmless.
+
+use snet_core::element::{ElementKind, WireId};
+use snet_core::network::ComparatorNetwork;
+use snet_pattern::pattern::Pattern;
+use snet_pattern::symbol::Symbol;
+
+/// Result of the naive single-set adversary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaiveOutput {
+    /// Final input pattern over `{S_0, M_0, L_0}`.
+    pub input_pattern: Pattern,
+    /// The surviving special set (input wires).
+    pub special: Vec<WireId>,
+    /// Set size after every level (index 0 = after level 1).
+    pub sizes_per_level: Vec<usize>,
+}
+
+/// Runs the naive adversary over an arbitrary network.
+pub fn naive_adversary(net: &ComparatorNetwork) -> NaiveOutput {
+    let n = net.wires();
+    let mut input_pattern = Pattern::uniform(n, Symbol::M(0));
+    // Frontier: symbol on each wire and, for M_0 tokens, their origin.
+    let mut syms: Vec<Symbol> = vec![Symbol::M(0); n];
+    let mut origin: Vec<Option<WireId>> = (0..n as WireId).map(Some).collect();
+    let mut sizes = Vec::with_capacity(net.depth());
+
+    let mut scratch_syms = syms.clone();
+    let mut scratch_orig = origin.clone();
+    for level in net.levels() {
+        if let Some(p) = &level.route {
+            scratch_syms.copy_from_slice(&syms);
+            scratch_orig.copy_from_slice(&origin);
+            p.route(&scratch_syms, &mut syms);
+            p.route(&scratch_orig, &mut origin);
+        }
+        for e in &level.elements {
+            let (ia, ib) = (e.a as usize, e.b as usize);
+            match e.kind {
+                ElementKind::Pass => {}
+                ElementKind::Swap => {
+                    syms.swap(ia, ib);
+                    origin.swap(ia, ib);
+                }
+                ElementKind::Cmp | ElementKind::CmpRev => {
+                    if syms[ia] == Symbol::M(0) && syms[ib] == Symbol::M(0) {
+                        // Two specials meet: refine the max-output wire's
+                        // value to L_0 (it leaves the set), making the
+                        // outcome determined with no movement.
+                        let max_wire = if e.kind == ElementKind::Cmp { ib } else { ia };
+                        let o = origin[max_wire].expect("special wires carry tokens");
+                        input_pattern.set(o, Symbol::L(0));
+                        syms[max_wire] = Symbol::L(0);
+                        origin[max_wire] = None;
+                    } else {
+                        // Determined or harmless-tied: move min to the min
+                        // output (ties keep position).
+                        let a_min_out = e.kind == ElementKind::Cmp;
+                        let swap_needed = if syms[ia] < syms[ib] {
+                            !a_min_out
+                        } else if syms[ia] > syms[ib] {
+                            a_min_out
+                        } else {
+                            false
+                        };
+                        if swap_needed {
+                            syms.swap(ia, ib);
+                            origin.swap(ia, ib);
+                        }
+                    }
+                }
+            }
+        }
+        sizes.push(origin.iter().flatten().count());
+    }
+
+    let special = input_pattern.symbol_set(Symbol::M(0));
+    NaiveOutput { input_pattern, special, sizes_per_level: sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snet_pattern::collision::is_noncolliding_exact;
+    use snet_topology::ReverseDelta;
+
+    #[test]
+    fn empty_network_keeps_all() {
+        let net = ComparatorNetwork::empty(8);
+        let out = naive_adversary(&net);
+        assert_eq!(out.special.len(), 8);
+        assert!(out.sizes_per_level.is_empty());
+    }
+
+    #[test]
+    fn full_level_halves() {
+        // A level of n/2 comparators on M_0-everything halves the set.
+        let net = ReverseDelta::butterfly(3).to_network();
+        let out = naive_adversary(&net);
+        assert_eq!(out.sizes_per_level[0], 4, "level 1 halves 8 → 4");
+        assert!(out.sizes_per_level[1] >= 2);
+        assert_eq!(*out.sizes_per_level.last().unwrap(), out.special.len());
+    }
+
+    #[test]
+    fn special_set_is_exactly_the_pattern_m0() {
+        let net = ReverseDelta::butterfly(4).to_network();
+        let out = naive_adversary(&net);
+        assert_eq!(out.input_pattern.symbol_set(Symbol::M(0)), out.special);
+    }
+
+    #[test]
+    fn special_set_is_noncolliding_small() {
+        for l in 1..=3usize {
+            let net = ReverseDelta::butterfly(l).to_network();
+            let out = naive_adversary(&net);
+            assert!(
+                is_noncolliding_exact(&net, &out.input_pattern, &out.special),
+                "l={l}: naive special set must be noncolliding"
+            );
+        }
+    }
+
+    #[test]
+    fn decay_is_at_most_halving() {
+        let net = ReverseDelta::butterfly(5).to_network();
+        let out = naive_adversary(&net);
+        let mut prev = 1usize << 5;
+        for &s in &out.sizes_per_level {
+            assert!(s * 2 >= prev, "cannot lose more than half per level");
+            assert!(s <= prev);
+            prev = s;
+        }
+        assert!(!out.special.is_empty());
+    }
+}

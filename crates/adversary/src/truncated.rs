@@ -1,0 +1,311 @@
+//! The **Section 5 extension**: shuffle-based networks that are granted an
+//! arbitrary fixed permutation after every `f(n)` stages (instead of every
+//! `lg n`). Each truncated block decomposes into `2^{lg n − f}` disjoint
+//! `f`-level reverse delta networks; running Lemma 4.1 on that *forest*
+//! (with sets shared across trees by symbol) yields the paper's
+//! `Ω(lg n · f / lg f)`-flavoured bound, against the `O(lg n · f)` upper
+//! bound from emulating an `O(lg n)`-depth sorter.
+//!
+//! The experiment (E5) measures how many blocks the adversary survives as
+//! a function of `f` and the set-count parameter `k`.
+
+use crate::lemma41::{lemma41_forest, Lemma41Audit};
+use crate::theorem41::BlockStats;
+use snet_core::element::{ElementKind, WireId};
+use snet_core::network::ComparatorNetwork;
+use snet_core::perm::Permutation;
+use snet_pattern::pattern::Pattern;
+use snet_pattern::symbol::Symbol;
+use snet_pattern::symbolic::Tracer;
+use snet_topology::{RdNode, ReverseDelta};
+
+/// One truncated block: `f` shuffle stages (in the block-input wire frame)
+/// followed by an arbitrary fixed permutation.
+#[derive(Debug, Clone)]
+pub struct TruncatedBlock {
+    /// `f` stage op-vectors, each of length `n/2`.
+    pub stages: Vec<Vec<ElementKind>>,
+    /// The free permutation applied after the stages.
+    pub route: Permutation,
+}
+
+/// A network built from truncated shuffle blocks with free inter-block
+/// permutations (the class of the Section 5 extension).
+#[derive(Debug, Clone)]
+pub struct TruncatedNetwork {
+    n: usize,
+    f: usize,
+    blocks: Vec<TruncatedBlock>,
+}
+
+impl TruncatedNetwork {
+    /// Builds and validates a truncated network. All blocks must have
+    /// exactly `f` stages on `n/2` pairs each.
+    pub fn new(n: usize, f: usize, blocks: Vec<TruncatedBlock>) -> Self {
+        let l = n.trailing_zeros() as usize;
+        assert!(n.is_power_of_two() && n >= 2);
+        assert!((1..=l).contains(&f), "f must be in 1..=lg n");
+        for (bi, b) in blocks.iter().enumerate() {
+            assert_eq!(b.stages.len(), f, "block {bi} must have f stages");
+            for s in &b.stages {
+                assert_eq!(s.len(), n / 2, "block {bi}: stage width");
+            }
+            assert_eq!(b.route.len(), n, "block {bi}: route width");
+        }
+        TruncatedNetwork { n, f, blocks }
+    }
+
+    /// Number of wires.
+    pub fn wires(&self) -> usize {
+        self.n
+    }
+
+    /// Stages per block.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// The blocks.
+    pub fn blocks(&self) -> &[TruncatedBlock] {
+        &self.blocks
+    }
+
+    /// Comparator depth (`f` per block; routes are free).
+    pub fn comparator_depth(&self) -> usize {
+        self.f * self.blocks.len()
+    }
+
+    /// The per-block reverse-delta forests (block-input frame).
+    pub fn forests(&self) -> Vec<Vec<RdNode>> {
+        self.blocks
+            .iter()
+            .map(|b| {
+                ReverseDelta::shuffle_stage_forest(self.n, &b.stages)
+                    .expect("validated stages form a forest")
+            })
+            .collect()
+    }
+
+    /// Flattens to a single comparator network (block levels followed by a
+    /// routing level, per block).
+    pub fn to_network(&self) -> ComparatorNetwork {
+        let mut net = ComparatorNetwork::empty(self.n);
+        for (block, forest) in self.blocks.iter().zip(self.forests()) {
+            let block_net = ReverseDelta::forest_to_network(self.n, &forest);
+            net = net.then(None, &block_net).then(Some(&block.route), &ComparatorNetwork::empty(self.n));
+        }
+        net
+    }
+
+    /// A random truncated network: full comparator density, random
+    /// directions, random inter-block permutations.
+    pub fn random<R: rand::Rng>(n: usize, f: usize, blocks: usize, rng: &mut R) -> Self {
+        let blocks = (0..blocks)
+            .map(|_| TruncatedBlock {
+                stages: (0..f)
+                    .map(|_| {
+                        (0..n / 2)
+                            .map(|_| {
+                                if rng.gen_bool(0.5) {
+                                    ElementKind::Cmp
+                                } else {
+                                    ElementKind::CmpRev
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect(),
+                route: Permutation::random(n, rng),
+            })
+            .collect();
+        TruncatedNetwork::new(n, f, blocks)
+    }
+}
+
+/// Output of the truncated-variant adversary (mirrors
+/// [`crate::theorem41::Theorem41Output`]).
+#[derive(Debug, Clone)]
+pub struct TruncatedOutput {
+    /// Final network-input pattern over `{S_0, M_0, L_0}`.
+    pub input_pattern: Pattern,
+    /// The surviving noncolliding `[M_0]`-set (network-input wires).
+    pub d_set: Vec<WireId>,
+    /// Per-block statistics.
+    pub blocks: Vec<BlockStats>,
+    /// Per-block Lemma 4.1 audits.
+    pub audits: Vec<Lemma41Audit>,
+}
+
+impl TruncatedOutput {
+    /// Blocks survived with `|D| ≥ 2`; the refuted comparator depth is
+    /// `blocks_survived · f`.
+    pub fn blocks_survived(&self) -> usize {
+        self.blocks.iter().take_while(|b| b.d_size >= 2).count()
+    }
+}
+
+/// Runs the adversary against a truncated network with Lemma 4.1 parameter
+/// `k` (the paper suggests splitting into `2^f · f^c` sets; `k` plays that
+/// role here as `t(f) = k³ + f·k²`).
+pub fn truncated_adversary(tn: &TruncatedNetwork, k: usize) -> TruncatedOutput {
+    let n = tn.wires();
+    let mut input_pattern = Pattern::uniform(n, Symbol::M(0));
+    let mut block_pattern = input_pattern.clone();
+    let mut origin: Vec<Option<WireId>> = (0..n as WireId).map(Some).collect();
+    let mut d_input: Vec<WireId> = (0..n as WireId).collect();
+    let mut blocks = Vec::new();
+    let mut audits = Vec::new();
+
+    for (bi, (block, forest)) in tn.blocks().iter().zip(tn.forests()).enumerate() {
+        let b_prime = block_pattern.symbol_set(Symbol::M(0));
+        let roots: Vec<&RdNode> = forest.iter().collect();
+        let out = lemma41_forest(&roots, &block_pattern, k, tn.f());
+        audits.push(out.audit.clone());
+
+        let Some((i0, d_block)) = out.family.largest() else {
+            blocks.push(BlockStats {
+                block: bi,
+                d_size: 0,
+                paper_bound: 0.0,
+                retained_mass: 0,
+                nonempty_sets: 0,
+                chosen_index: 0,
+            });
+            d_input.clear();
+            break;
+        };
+        let d_block: Vec<WireId> = d_block.to_vec();
+
+        let m_chosen = Symbol::M(i0);
+        for &w in &b_prime {
+            let a = origin[w as usize].expect("B' members are tracked");
+            let s = out.refined.get(w);
+            let collapsed = if s < m_chosen {
+                Symbol::S(0)
+            } else if s > m_chosen {
+                Symbol::L(0)
+            } else {
+                Symbol::M(0)
+            };
+            input_pattern.set(a, collapsed);
+        }
+        d_input = d_block.iter().map(|&w| origin[w as usize].unwrap()).collect();
+        d_input.sort_unstable();
+
+        // Push the collapsed pattern through the block, then the free route.
+        let collapsed_q = out.refined.collapse_around_m(i0);
+        let block_net = ReverseDelta::forest_to_network(n, &forest);
+        let mut tracer = Tracer::new(&collapsed_q, |s| s.is_m());
+        tracer.apply_network_strict(&block_net, |_, _| {
+            panic!("two [M_0] tokens met: noncollision violated in truncated block")
+        });
+        tracer.route(&block.route);
+        block_pattern = tracer.frontier();
+        let mut new_origin: Vec<Option<WireId>> = vec![None; n];
+        for &w in &d_block {
+            let pos = tracer.position_of(w).expect("tracked");
+            new_origin[pos as usize] = origin[w as usize];
+        }
+        origin = new_origin;
+
+        blocks.push(BlockStats {
+            block: bi,
+            d_size: d_block.len(),
+            paper_bound: 0.0,
+            retained_mass: out.family.mass(),
+            nonempty_sets: out.family.nonempty_count(),
+            chosen_index: i0,
+        });
+        if d_block.len() <= 1 {
+            break;
+        }
+    }
+
+    TruncatedOutput { input_pattern, d_set: d_input, blocks, audits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::witness::refute;
+    use rand::SeedableRng;
+    use snet_pattern::collision::is_noncolliding_exact;
+
+    #[test]
+    fn truncated_block_decomposes() {
+        let n = 16;
+        let f = 2;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let tn = TruncatedNetwork::random(n, f, 3, &mut rng);
+        let forests = tn.forests();
+        assert_eq!(forests.len(), 3);
+        for forest in &forests {
+            assert_eq!(forest.len(), 1 << (4 - f), "2^{{lg n - f}} trees");
+            for root in forest {
+                assert_eq!(root.height(), f);
+            }
+        }
+        assert_eq!(tn.comparator_depth(), 6);
+    }
+
+    #[test]
+    fn adversary_survives_many_shallow_blocks() {
+        // With f = 1 every block is a single level: the pattern technique
+        // loses almost nothing per block (it can split around each level's
+        // matching) and should survive far more than lg n blocks.
+        let n = 16;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let tn = TruncatedNetwork::random(n, 1, 12, &mut rng);
+        let out = truncated_adversary(&tn, 3);
+        assert!(
+            out.blocks_survived() >= 4,
+            "f=1 blocks should be easy to survive, got {}",
+            out.blocks_survived()
+        );
+    }
+
+    #[test]
+    fn d_set_noncolliding_small() {
+        let n = 8;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for f in 1..=3usize {
+            let tn = TruncatedNetwork::random(n, f, 2, &mut rng);
+            let out = truncated_adversary(&tn, 2);
+            if out.d_set.len() >= 2 {
+                let net = tn.to_network();
+                assert!(
+                    is_noncolliding_exact(&net, &out.input_pattern, &out.d_set),
+                    "f={f}: D collides"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refutes_flattened_network() {
+        let n = 16;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let tn = TruncatedNetwork::random(n, 2, 2, &mut rng);
+        let out = truncated_adversary(&tn, 3);
+        assert!(out.d_set.len() >= 2);
+        let net = tn.to_network();
+        let r = refute(&net, &out.input_pattern).unwrap();
+        r.verify(&net).expect("truncated refutation verifies");
+    }
+
+    #[test]
+    fn full_f_equals_theorem41_class() {
+        // f = lg n: a truncated block is a full reverse delta network.
+        let n = 8;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let tn = TruncatedNetwork::random(n, 3, 2, &mut rng);
+        let forests = tn.forests();
+        assert_eq!(forests[0].len(), 1);
+        let out = truncated_adversary(&tn, 3);
+        if out.d_set.len() >= 2 {
+            let net = tn.to_network();
+            let r = refute(&net, &out.input_pattern).unwrap();
+            r.verify(&net).unwrap();
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Sequential Monte-Carlo stopping: run trials until a binomial estimate
+//! is tight enough, instead of guessing a trial count up front. Used by
+//! the experiment binaries for fraction-sorted estimates near 0 or 1,
+//! where fixed budgets either waste time or under-resolve.
+
+use crate::metrics::wilson95;
+
+/// Outcome of a sequential estimation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequentialEstimate {
+    /// Successes observed.
+    pub successes: u64,
+    /// Trials performed.
+    pub trials: u64,
+    /// Point estimate.
+    pub p_hat: f64,
+    /// Wilson 95% interval at stop time.
+    pub interval: (f64, f64),
+    /// True iff the run stopped because the interval got tight (rather
+    /// than hitting the trial cap).
+    pub converged: bool,
+}
+
+/// Runs `trial()` (returning success/failure) until the Wilson 95%
+/// interval half-width drops below `half_width`, with a minimum of
+/// `min_trials` and a cap of `max_trials`.
+pub fn estimate_until<F: FnMut() -> bool>(
+    mut trial: F,
+    half_width: f64,
+    min_trials: u64,
+    max_trials: u64,
+) -> SequentialEstimate {
+    assert!(half_width > 0.0 && min_trials >= 1 && max_trials >= min_trials);
+    let mut successes = 0u64;
+    let mut trials = 0u64;
+    let mut interval = (0.0, 1.0);
+    let mut converged = false;
+    while trials < max_trials {
+        if trial() {
+            successes += 1;
+        }
+        trials += 1;
+        // Check the stopping rule periodically (every 32 trials after the
+        // minimum) to keep the loop cheap.
+        if trials >= min_trials && trials.is_multiple_of(32) {
+            interval = wilson95(successes, trials);
+            if (interval.1 - interval.0) / 2.0 <= half_width {
+                converged = true;
+                break;
+            }
+        }
+    }
+    if !converged {
+        interval = wilson95(successes, trials);
+        converged = (interval.1 - interval.0) / 2.0 <= half_width;
+    }
+    SequentialEstimate {
+        successes,
+        trials,
+        p_hat: successes as f64 / trials as f64,
+        interval,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn constant_outcomes_converge_fast() {
+        let est = estimate_until(|| true, 0.02, 32, 1_000_000);
+        assert!(est.converged);
+        assert_eq!(est.p_hat, 1.0);
+        assert!(est.trials < 10_000, "all-success converges quickly: {}", est.trials);
+        let est = estimate_until(|| false, 0.02, 32, 1_000_000);
+        assert!(est.converged);
+        assert_eq!(est.p_hat, 0.0);
+    }
+
+    #[test]
+    fn coin_flip_needs_many_trials() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let est = estimate_until(|| rng.gen_bool(0.5), 0.05, 32, 100_000);
+        assert!(est.converged);
+        assert!((est.p_hat - 0.5).abs() < 0.1);
+        assert!(est.trials > 200, "p=0.5 needs hundreds of trials: {}", est.trials);
+        assert!(est.interval.0 <= 0.5 && 0.5 <= est.interval.1);
+    }
+
+    #[test]
+    fn cap_is_respected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let est = estimate_until(|| rng.gen_bool(0.5), 1e-6, 32, 500);
+        assert!(!est.converged);
+        assert_eq!(est.trials, 500);
+    }
+
+    #[test]
+    fn estimate_is_consistent() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let est = estimate_until(|| rng.gen_bool(0.2), 0.03, 64, 1_000_000);
+        assert!(est.converged);
+        assert!((est.p_hat - 0.2).abs() < 0.06, "p_hat = {}", est.p_hat);
+    }
+}

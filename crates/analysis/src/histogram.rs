@@ -1,0 +1,126 @@
+//! Tiny fixed-bin histograms with ASCII rendering, for settle-depth and
+//! dislocation distributions in the experiment binaries.
+
+/// A histogram over `0..=max` integer values with unit bins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// A histogram covering values `0..=max`.
+    pub fn new(max: usize) -> Self {
+        Histogram { counts: vec![0; max + 1], overflow: 0 }
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, value: usize) {
+        match self.counts.get_mut(value) {
+            Some(c) => *c += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Total observations (including overflow).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.overflow
+    }
+
+    /// Count in bin `value`.
+    pub fn count(&self, value: usize) -> u64 {
+        self.counts.get(value).copied().unwrap_or(0)
+    }
+
+    /// Observations above the covered range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The mean of the recorded (in-range) observations.
+    pub fn mean(&self) -> f64 {
+        let n: u64 = self.counts.iter().sum();
+        if n == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.counts.iter().enumerate().map(|(v, &c)| v as u64 * c).sum();
+        sum as f64 / n as f64
+    }
+
+    /// The `q`-quantile (0.0–1.0) over in-range observations.
+    pub fn quantile(&self, q: f64) -> usize {
+        let n: u64 = self.counts.iter().sum();
+        if n == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * (n as f64 - 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (v, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > target {
+                return v;
+            }
+        }
+        self.counts.len() - 1
+    }
+
+    /// Renders a horizontal-bar ASCII view (non-empty bins only).
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (v, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let bar = "#".repeat(((c as f64 / max as f64) * width as f64).ceil() as usize);
+            out.push_str(&format!("{v:>5} │{bar} {c}\n"));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!("  ovf │ {}\n", self.overflow));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_stats() {
+        let mut h = Histogram::new(5);
+        for v in [0usize, 1, 1, 2, 2, 2, 5] {
+            h.add(v);
+        }
+        h.add(99); // overflow
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.count(2), 3);
+        assert_eq!(h.overflow(), 1);
+        assert!((h.mean() - 13.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = Histogram::new(10);
+        for v in 0..=10usize {
+            h.add(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(1.0), 10);
+        assert_eq!(Histogram::new(3).quantile(0.5), 0, "empty histogram");
+    }
+
+    #[test]
+    fn render_skips_empty_bins() {
+        let mut h = Histogram::new(4);
+        h.add(1);
+        h.add(3);
+        h.add(3);
+        let s = h.render(10);
+        assert!(s.contains("    1 │"));
+        assert!(s.contains("    3 │"));
+        assert!(!s.contains("    0 │"));
+        assert!(!s.contains("    2 │"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # snet-analysis — experiment support
+//!
+//! Shared machinery for the experiment harness: seeded [`workload`]
+//! generators, sortedness [`metrics`] and summary statistics, a
+//! deterministic parallel [`sweep`][mod@sweep] driver, and uniform [`table`]
+//! rendering (text + CSV) for every table/figure in EXPERIMENTS.md.
+
+//!
+//! ## Example
+//!
+//! ```
+//! use snet_analysis::{sweep, Table, Workload};
+//!
+//! let mut w = Workload::new(42);
+//! let inputs = w.permutations(8, 4);
+//! let rows = sweep(inputs, 2, |p| p.iter().copied().max().unwrap());
+//! assert_eq!(rows, vec![7, 7, 7, 7]);
+//!
+//! let mut t = Table::new("demo", &["max"]);
+//! t.row(vec![rows[0].to_string()]);
+//! assert!(t.render().contains("demo"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod convergence;
+pub mod histogram;
+pub mod metrics;
+pub mod plot;
+pub mod sweep;
+pub mod table;
+pub mod workload;
+
+pub use convergence::{estimate_until, SequentialEstimate};
+pub use histogram::Histogram;
+pub use metrics::{inversions, max_dislocation, mean_dislocation, wilson95, Summary};
+pub use plot::{ascii_chart, Series};
+pub use sweep::{default_threads, sweep};
+pub use table::{fmt_f, Table};
+pub use workload::Workload;

@@ -1,0 +1,180 @@
+//! Sortedness metrics and summary statistics.
+
+/// Number of inversions (Kendall-tau distance to the sorted order).
+/// `O(n log n)` merge-count.
+pub fn inversions(v: &[u32]) -> u64 {
+    fn rec(v: &mut Vec<u32>, buf: &mut Vec<u32>, lo: usize, hi: usize) -> u64 {
+        if hi - lo <= 1 {
+            return 0;
+        }
+        let mid = (lo + hi) / 2;
+        let mut inv = rec(v, buf, lo, mid) + rec(v, buf, mid, hi);
+        buf.clear();
+        let (mut i, mut j) = (lo, mid);
+        while i < mid && j < hi {
+            if v[i] <= v[j] {
+                buf.push(v[i]);
+                i += 1;
+            } else {
+                inv += (mid - i) as u64;
+                buf.push(v[j]);
+                j += 1;
+            }
+        }
+        buf.extend_from_slice(&v[i..mid]);
+        buf.extend_from_slice(&v[j..hi]);
+        v[lo..hi].copy_from_slice(buf);
+        inv
+    }
+    let mut work = v.to_vec();
+    let mut buf = Vec::with_capacity(v.len());
+    rec(&mut work, &mut buf, 0, v.len())
+}
+
+/// Maximum dislocation: `max_i |v[i] − i|` for a permutation of `0..n`.
+pub fn max_dislocation(v: &[u32]) -> u32 {
+    v.iter()
+        .enumerate()
+        .map(|(i, &x)| (x as i64 - i as i64).unsigned_abs() as u32)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Mean dislocation.
+pub fn mean_dislocation(v: &[u32]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = v
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (x as i64 - i as i64).unsigned_abs())
+        .sum();
+    total as f64 / v.len() as f64
+}
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected).
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics. Empty samples yield zeros.
+    pub fn of(samples: &[f64]) -> Self {
+        let n = samples.len();
+        if n == 0 {
+            return Summary { n, mean: 0.0, stddev: 0.0, min: 0.0, max: 0.0 };
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Summary {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min: samples.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Half-width of a normal-approximation 95% confidence interval.
+    pub fn ci95(&self) -> f64 {
+        if self.n <= 1 {
+            return 0.0;
+        }
+        1.96 * self.stddev / (self.n as f64).sqrt()
+    }
+}
+
+/// Wilson 95% confidence interval for a binomial proportion — the right
+/// interval for fraction-sorted estimates near 0 or 1.
+pub fn wilson95(successes: u64, trials: u64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let z = 1.96f64;
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt());
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inversions_basics() {
+        assert_eq!(inversions(&[]), 0);
+        assert_eq!(inversions(&[1]), 0);
+        assert_eq!(inversions(&[0, 1, 2, 3]), 0);
+        assert_eq!(inversions(&[3, 2, 1, 0]), 6);
+        assert_eq!(inversions(&[1, 0, 3, 2]), 2);
+    }
+
+    #[test]
+    fn inversions_matches_quadratic_reference() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let n = rng.gen_range(0..40);
+            let v: Vec<u32> = (0..n).map(|_| rng.gen_range(0..50)).collect();
+            let quad = v
+                .iter()
+                .enumerate()
+                .flat_map(|(i, &x)| v[i + 1..].iter().map(move |&y| (x, y)))
+                .filter(|(x, y)| x > y)
+                .count() as u64;
+            assert_eq!(inversions(&v), quad);
+        }
+    }
+
+    #[test]
+    fn dislocation_metrics() {
+        assert_eq!(max_dislocation(&[0, 1, 2]), 0);
+        assert_eq!(max_dislocation(&[2, 1, 0]), 2);
+        assert!((mean_dislocation(&[2, 1, 0]) - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(mean_dislocation(&[]), 0.0);
+    }
+
+    #[test]
+    fn summary_stats() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!(s.ci95() > 0.0);
+        assert_eq!(Summary::of(&[]).n, 0);
+    }
+
+    #[test]
+    fn wilson_interval_sane() {
+        let (lo, hi) = wilson95(0, 100);
+        assert!(lo < 1e-9);
+        assert!(hi < 0.05);
+        let (lo, hi) = wilson95(100, 100);
+        assert!(lo > 0.95);
+        assert!(hi > 1.0 - 1e-9);
+        let (lo, hi) = wilson95(50, 100);
+        assert!(lo < 0.5 && 0.5 < hi);
+        assert_eq!(wilson95(0, 0), (0.0, 1.0));
+    }
+}

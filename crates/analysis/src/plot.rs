@@ -1,0 +1,142 @@
+//! Minimal ASCII charts for the figure-series experiments (no plotting
+//! dependencies; every "figure" in EXPERIMENTS.md renders in the terminal
+//! and diffs cleanly in CI logs).
+
+/// A named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label; its first character is the plot glyph.
+    pub label: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Builds a series from y-values at consecutive integer x.
+    pub fn from_ys(label: impl Into<String>, ys: &[f64]) -> Self {
+        Series {
+            label: label.into(),
+            points: ys.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect(),
+        }
+    }
+}
+
+/// Renders series as an ASCII scatter chart of the given size. `log_y`
+/// plots `log10(max(y, 1e-12))` — the right scale for the adversary's
+/// geometric decays.
+pub fn ascii_chart(title: &str, series: &[Series], width: usize, height: usize, log_y: bool) -> String {
+    assert!(width >= 8 && height >= 3, "chart too small");
+    let transform = |y: f64| if log_y { y.max(1e-12).log10() } else { y };
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, y)| (x, transform(y))))
+        .collect();
+    if all.is_empty() {
+        return format!("{title}\n(empty chart)\n");
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        let glyph = s.label.chars().next().unwrap_or('*');
+        for &(x, y) in &s.points {
+            let ty = transform(y);
+            let col = (((x - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+            let row = (((ty - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+            let r = height - 1 - row.min(height - 1);
+            grid[r][col.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    let y_label = |v: f64| {
+        if log_y {
+            format!("1e{v:.1}")
+        } else {
+            format!("{v:.3}")
+        }
+    };
+    out.push_str(&format!("{:>10} ┤{}\n", y_label(y1), String::new()));
+    for (r, row) in grid.iter().enumerate() {
+        let prefix = if r == height - 1 {
+            format!("{:>10} ┤", y_label(y0))
+        } else {
+            format!("{:>10} │", "")
+        };
+        out.push_str(&prefix);
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>11}└{}\n{:>12}{:<width$.0}{:>.0}\n",
+        "",
+        "─".repeat(width),
+        "",
+        x0,
+        x1,
+        width = width.saturating_sub(2)
+    ));
+    for s in series {
+        out.push_str(&format!(
+            "{:>12}{} = {}\n",
+            "",
+            s.label.chars().next().unwrap_or('*'),
+            s.label
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_basic_chart() {
+        let s = Series::from_ys("decay", &[512.0, 256.0, 128.0, 64.0, 32.0]);
+        let chart = ascii_chart("D per block", &[s], 40, 10, false);
+        assert!(chart.contains("D per block"));
+        assert!(chart.contains('d'), "glyph plotted");
+        assert!(chart.contains("512.000"));
+        assert!(chart.lines().count() >= 12);
+    }
+
+    #[test]
+    fn log_scale_labels() {
+        let s = Series::from_ys("x", &[1.0, 0.001, 1e-9]);
+        let chart = ascii_chart("log", &[s], 20, 5, true);
+        assert!(chart.contains("1e0"), "top label in log form: {chart}");
+        assert!(chart.contains("1e-9"));
+    }
+
+    #[test]
+    fn multiple_series_distinct_glyphs() {
+        let a = Series::from_ys("alpha", &[1.0, 2.0, 3.0]);
+        let b = Series::from_ys("beta", &[3.0, 2.0, 1.0]);
+        let chart = ascii_chart("two", &[a, b], 24, 6, false);
+        assert!(chart.contains('a') && chart.contains('b'));
+        assert!(chart.contains("a = alpha"));
+        assert!(chart.contains("b = beta"));
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let chart = ascii_chart("none", &[], 20, 5, false);
+        assert!(chart.contains("empty"));
+        let s = Series::from_ys("c", &[5.0]);
+        let chart = ascii_chart("one point", &[s], 10, 4, false);
+        assert!(chart.contains('c'));
+    }
+}

@@ -1,0 +1,142 @@
+//! Fixed-width table rendering and CSV output shared by all experiment
+//! binaries, so every "table" and "figure series" in EXPERIMENTS.md prints
+//! in a uniform, diffable format.
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as an aligned text table.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("## {}\n", self.title));
+        }
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for c in 0..cols {
+                if c > 0 {
+                    s.push_str("  ");
+                }
+                s.push_str(&format!("{:>width$}", cells[c], width = widths[c]));
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push_str(&format!("{}\n", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))));
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+        }
+        out
+    }
+
+    /// Renders as CSV (headers first).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt_f(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 || x.abs() < 0.001 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["n", "value"]);
+        t.row(vec!["8".into(), "1.5".into()]);
+        t.row(vec!["1024".into(), "0.25".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("1024"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5, "title + header + rule + 2 rows");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_bad_rows() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row(vec!["x,y".into(), "q\"q".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"q\"\"q\""));
+    }
+
+    #[test]
+    fn fmt_float_ranges() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(1.5), "1.500");
+        assert!(fmt_f(1.0e-9).contains('e'));
+        assert!(fmt_f(123456.0).contains('e'));
+    }
+}

@@ -1,0 +1,104 @@
+//! Seeded workload generators for the experiments.
+
+use rand::{Rng, SeedableRng};
+use snet_core::perm::Permutation;
+
+/// A reproducible workload source. All experiment binaries print the seed
+/// they use so every table is regenerable.
+#[derive(Debug)]
+pub struct Workload {
+    rng: rand::rngs::StdRng,
+}
+
+impl Workload {
+    /// Creates a workload source from a seed.
+    pub fn new(seed: u64) -> Self {
+        Workload { rng: rand::rngs::StdRng::seed_from_u64(seed) }
+    }
+
+    /// A uniformly random permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<u32> {
+        Permutation::random(n, &mut self.rng).images().to_vec()
+    }
+
+    /// `count` random permutations.
+    pub fn permutations(&mut self, n: usize, count: usize) -> Vec<Vec<u32>> {
+        (0..count).map(|_| self.permutation(n)).collect()
+    }
+
+    /// A random 0-1 input with each coordinate Bernoulli(½).
+    pub fn zero_one(&mut self, n: usize) -> Vec<u32> {
+        (0..n).map(|_| u32::from(self.rng.gen_bool(0.5))).collect()
+    }
+
+    /// `count` random 0-1 inputs.
+    pub fn zero_ones(&mut self, n: usize, count: usize) -> Vec<Vec<u32>> {
+        (0..count).map(|_| self.zero_one(n)).collect()
+    }
+
+    /// A "nearly sorted" permutation: the identity with `swaps` random
+    /// adjacent transpositions applied.
+    pub fn nearly_sorted(&mut self, n: usize, swaps: usize) -> Vec<u32> {
+        let mut v: Vec<u32> = (0..n as u32).collect();
+        for _ in 0..swaps {
+            let i = self.rng.gen_range(0..n - 1);
+            v.swap(i, i + 1);
+        }
+        v
+    }
+
+    /// The reversal permutation (a classic worst case).
+    pub fn reversed(&mut self, n: usize) -> Vec<u32> {
+        (0..n as u32).rev().collect()
+    }
+
+    /// Access to the underlying RNG for ad-hoc sampling.
+    pub fn rng(&mut self) -> &mut rand::rngs::StdRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Workload::new(7);
+        let mut b = Workload::new(7);
+        assert_eq!(a.permutation(32), b.permutation(32));
+        assert_eq!(a.zero_one(32), b.zero_one(32));
+    }
+
+    #[test]
+    fn permutations_are_permutations() {
+        let mut w = Workload::new(1);
+        for p in w.permutations(20, 10) {
+            let mut s = p.clone();
+            s.sort_unstable();
+            assert_eq!(s, (0..20).collect::<Vec<u32>>());
+        }
+    }
+
+    #[test]
+    fn nearly_sorted_is_permutation_with_low_disorder() {
+        let mut w = Workload::new(2);
+        let v = w.nearly_sorted(100, 5);
+        let mut s = v.clone();
+        s.sort_unstable();
+        assert_eq!(s, (0..100).collect::<Vec<u32>>());
+        let inversions = v
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &x)| v[i + 1..].iter().map(move |&y| (x, y)))
+            .filter(|(x, y)| x > y)
+            .count();
+        assert!(inversions <= 5, "at most one inversion per swap");
+    }
+
+    #[test]
+    fn zero_one_values_binary() {
+        let mut w = Workload::new(3);
+        assert!(w.zero_one(64).iter().all(|&v| v <= 1));
+    }
+}

@@ -1,0 +1,55 @@
+//! Criterion benches for network evaluation: single-input, batched with a
+//! reused scratch buffer, and the comparison-tracing evaluator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snet_analysis::Workload;
+use snet_core::batch::evaluate_batch;
+use snet_core::trace::ComparisonTrace;
+use snet_sorters::{bitonic_circuit, odd_even_mergesort};
+
+fn bench_single(c: &mut Criterion) {
+    let mut g = c.benchmark_group("evaluate_single");
+    for l in [6usize, 8, 10, 12] {
+        let n = 1usize << l;
+        let net = bitonic_circuit(n);
+        let mut w = Workload::new(1);
+        let input = w.permutation(n);
+        g.throughput(Throughput::Elements(net.size() as u64));
+        g.bench_with_input(BenchmarkId::new("bitonic", n), &n, |b, _| {
+            b.iter(|| net.evaluate(&input));
+        });
+    }
+    g.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("evaluate_batch_256_inputs");
+    for l in [6usize, 8, 10] {
+        let n = 1usize << l;
+        let net = odd_even_mergesort(n);
+        let mut w = Workload::new(2);
+        let inputs = w.permutations(n, 256);
+        g.throughput(Throughput::Elements(256));
+        g.bench_with_input(BenchmarkId::new("odd_even", n), &n, |b, _| {
+            b.iter(|| evaluate_batch(&net, &inputs));
+        });
+    }
+    g.finish();
+}
+
+fn bench_traced(c: &mut Criterion) {
+    let mut g = c.benchmark_group("evaluate_traced");
+    for l in [6usize, 8, 10] {
+        let n = 1usize << l;
+        let net = bitonic_circuit(n);
+        let mut w = Workload::new(3);
+        let input = w.permutation(n);
+        g.bench_with_input(BenchmarkId::new("trace_record", n), &n, |b, _| {
+            b.iter(|| ComparisonTrace::record(&net, &input));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_single, bench_batch, bench_traced);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion benches for the extension modules: single-permutation
+//! comparison closure (E13), strict-ascend prefix scan, halver
+//! construction + quality measurement, and the adaptive game.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use snet_adversary::adaptive::AdaptiveRun;
+use snet_core::element::ElementKind;
+use snet_core::perm::Permutation;
+use snet_sorters::halver::random_halver;
+use snet_topology::ascend::{prefix_sums, reduce_all};
+use snet_topology::mixing::comparison_closure_depth;
+
+fn bench_closure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("comparison_closure");
+    g.sample_size(10);
+    for l in [5usize, 7, 9] {
+        let n = 1usize << l;
+        let rho = Permutation::shuffle(n);
+        g.bench_with_input(BenchmarkId::new("shuffle", n), &n, |b, _| {
+            b.iter(|| comparison_closure_depth(&rho, 4 * n));
+        });
+    }
+    g.finish();
+}
+
+fn bench_ascend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ascend");
+    for l in [8usize, 10, 12] {
+        let n = 1usize << l;
+        let vals: Vec<u64> = (0..n as u64).collect();
+        g.bench_with_input(BenchmarkId::new("prefix_sums", n), &n, |b, _| {
+            b.iter(|| prefix_sums(&vals, |a, b| a + b));
+        });
+        g.bench_with_input(BenchmarkId::new("reduce_all", n), &n, |b, _| {
+            b.iter(|| reduce_all(&vals, |a, b| a + b));
+        });
+    }
+    g.finish();
+}
+
+fn bench_halver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("halver_build");
+    for l in [8usize, 10] {
+        let n = 1usize << l;
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+                random_halver(n, 8, &mut rng)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adaptive_game_one_block");
+    g.sample_size(10);
+    for l in [5usize, 7, 9] {
+        let n = 1usize << l;
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut run = AdaptiveRun::new(n, l);
+                for _ in 0..l {
+                    run.submit_stage(&vec![ElementKind::Cmp; n / 2]);
+                }
+                run.finish()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_closure, bench_ascend, bench_halver, bench_adaptive);
+criterion_main!(benches);

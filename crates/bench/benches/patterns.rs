@@ -1,0 +1,71 @@
+//! Criterion benches for the Section 3 pattern calculus: refinement
+//! checking, refinement to inputs, symbolic evaluation, and the
+//! origin-tracking tracer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snet_pattern::symbolic::{output_pattern, Tracer};
+use snet_pattern::{Pattern, Symbol};
+use snet_sorters::bitonic_circuit;
+
+fn mixed_pattern(n: usize) -> Pattern {
+    let syms = (0..n)
+        .map(|w| match w % 4 {
+            0 => Symbol::S(0),
+            1 => Symbol::M(0),
+            2 => Symbol::L(0),
+            _ => Symbol::X((w % 7) as u32, (w % 3) as u32),
+        })
+        .collect();
+    Pattern::from_symbols(syms)
+}
+
+fn bench_refines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pattern_refines_to");
+    for l in [8usize, 10, 12, 14] {
+        let n = 1usize << l;
+        let p = mixed_pattern(n);
+        let q = p.collapse_around_m(0);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| q.refines_to(&p));
+        });
+    }
+    g.finish();
+}
+
+fn bench_to_input(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pattern_to_input");
+    for l in [8usize, 10, 12, 14] {
+        let n = 1usize << l;
+        let p = mixed_pattern(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| p.to_input());
+        });
+    }
+    g.finish();
+}
+
+fn bench_symbolic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("symbolic_eval_bitonic");
+    for l in [6usize, 8, 10] {
+        let n = 1usize << l;
+        let net = bitonic_circuit(n);
+        // All-distinct M symbols: worst case for the tracer (every wire
+        // tracked, every comparison a tracked meeting).
+        let p = Pattern::from_symbols((0..n as u32).map(Symbol::M).collect());
+        g.bench_with_input(BenchmarkId::new("output_pattern", n), &n, |b, _| {
+            b.iter(|| output_pattern(&net, &p));
+        });
+        g.bench_with_input(BenchmarkId::new("tracer_full_track", n), &n, |b, _| {
+            b.iter(|| {
+                let mut tr = Tracer::new(&p, |s| s.is_m());
+                let mut meets = 0u64;
+                tr.apply_network_strict(&net, |_, _| meets += 1);
+                meets
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_refines, bench_to_input, bench_symbolic);
+criterion_main!(benches);

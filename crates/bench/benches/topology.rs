@@ -1,0 +1,57 @@
+//! Criterion benches for topology construction: reverse-delta trees,
+//! shuffle-block embedding, Beneš routing, and sorter construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use snet_core::perm::Permutation;
+use snet_sorters::{bitonic_shuffle, odd_even_mergesort, pratt_network};
+use snet_topology::benes::route_permutation;
+use snet_topology::ReverseDelta;
+
+fn bench_butterfly(c: &mut Criterion) {
+    let mut g = c.benchmark_group("build_butterfly");
+    for l in [8usize, 10, 12] {
+        g.bench_with_input(BenchmarkId::from_parameter(1usize << l), &l, |b, &l| {
+            b.iter(|| ReverseDelta::butterfly(l));
+        });
+    }
+    g.finish();
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shuffle_to_ird");
+    g.sample_size(20);
+    for l in [6usize, 8, 10] {
+        let n = 1usize << l;
+        let sn = bitonic_shuffle(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| sn.to_iterated_reverse_delta());
+        });
+    }
+    g.finish();
+}
+
+fn bench_benes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("benes_route");
+    for l in [6usize, 8, 10, 12] {
+        let n = 1usize << l;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(l as u64);
+        let p = Permutation::random(n, &mut rng);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| route_permutation(&p));
+        });
+    }
+    g.finish();
+}
+
+fn bench_sorter_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("build_sorters_n1024");
+    let n = 1024usize;
+    g.bench_function("bitonic_shuffle", |b| b.iter(|| bitonic_shuffle(n)));
+    g.bench_function("odd_even", |b| b.iter(|| odd_even_mergesort(n)));
+    g.bench_function("pratt", |b| b.iter(|| pratt_network(n)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_butterfly, bench_embedding, bench_benes, bench_sorter_construction);
+criterion_main!(benches);

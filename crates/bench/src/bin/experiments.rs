@@ -1,0 +1,40 @@
+//! Experiment dispatcher: regenerates every table and figure series in
+//! EXPERIMENTS.md.
+//!
+//! Usage: `experiments <e1|…|e11|all> [--full] [--seed N] [--threads N]`
+
+use snet_bench::{run_experiment, ExpConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ExpConfig::default();
+    let mut id = String::from("all");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => cfg.full = true,
+            "--seed" => {
+                i += 1;
+                cfg.seed = args[i].parse().expect("--seed takes a u64");
+            }
+            "--threads" => {
+                i += 1;
+                cfg.threads = args[i].parse().expect("--threads takes a count");
+            }
+            other if !other.starts_with('-') => id = other.to_string(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    println!(
+        "shufflebound experiments — id={id} seed={} full={} threads={}\n",
+        cfg.seed, cfg.full, cfg.threads
+    );
+    if !run_experiment(&id, &cfg) {
+        eprintln!("unknown experiment id {id}; use e1..e17 or all");
+        std::process::exit(2);
+    }
+}

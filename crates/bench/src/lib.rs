@@ -1,0 +1,66 @@
+//! # snet-bench — experiment harness
+//!
+//! One module per experiment in EXPERIMENTS.md (E1–E11), each regenerating
+//! its table/figure series; run them via the `experiments` binary:
+//!
+//! ```text
+//! cargo run --release -p snet-bench --bin experiments -- all
+//! cargo run --release -p snet-bench --bin experiments -- e3 --full
+//! ```
+//!
+//! Criterion micro-benchmarks live under `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod e1_lemma;
+pub mod e2_theorem;
+pub mod e3_witness;
+pub mod e4_upper;
+pub mod e5_truncated;
+pub mod e6_naive;
+pub mod e7_average;
+pub mod e8_routing;
+pub mod e9_models;
+pub mod e10_adjacent;
+pub mod e11_adaptive;
+pub mod e12_ablation;
+pub mod e13_single_perm;
+pub mod e14_halver;
+pub mod e15_hypercube;
+pub mod e16_verification;
+pub mod e17_redundancy;
+mod registry_tests;
+
+pub use common::ExpConfig;
+
+/// Runs one experiment by id ("e1" … "e17") or "all".
+pub fn run_experiment(id: &str, cfg: &ExpConfig) -> bool {
+    match id {
+        "e1" => e1_lemma::run(cfg),
+        "e2" => e2_theorem::run(cfg),
+        "e3" => e3_witness::run(cfg),
+        "e4" => e4_upper::run(cfg),
+        "e5" => e5_truncated::run(cfg),
+        "e6" => e6_naive::run(cfg),
+        "e7" => e7_average::run(cfg),
+        "e8" => e8_routing::run(cfg),
+        "e9" => e9_models::run(cfg),
+        "e10" => e10_adjacent::run(cfg),
+        "e11" => e11_adaptive::run(cfg),
+        "e12" => e12_ablation::run(cfg),
+        "e13" => e13_single_perm::run(cfg),
+        "e14" => e14_halver::run(cfg),
+        "e15" => e15_hypercube::run(cfg),
+        "e16" => e16_verification::run(cfg),
+        "e17" => e17_redundancy::run(cfg),
+        "all" => {
+            for e in ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17"] {
+                println!("=== {} ===", e.to_uppercase());
+                run_experiment(e, cfg);
+            }
+        }
+        _ => return false,
+    }
+    true
+}

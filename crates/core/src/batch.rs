@@ -1,0 +1,165 @@
+//! Batched and parallel evaluation of a network over many inputs.
+//!
+//! The experiment harness evaluates the same network over thousands of
+//! inputs (Monte-Carlo fraction-sorted, witness sweeps). The scalar path
+//! reuses one scratch buffer per batch; the parallel path splits the batch
+//! across crossbeam scoped threads, each with private buffers, so the hot
+//! loop stays allocation- and synchronization-free.
+
+use crate::network::ComparatorNetwork;
+
+/// Evaluates `net` on every row of `inputs` (each of length `net.wires()`),
+/// sequentially, reusing a single scratch buffer.
+pub fn evaluate_batch<T: Ord + Copy>(net: &ComparatorNetwork, inputs: &[Vec<T>]) -> Vec<Vec<T>> {
+    let mut scratch: Vec<T> = Vec::with_capacity(net.wires());
+    inputs
+        .iter()
+        .map(|input| {
+            let mut v = input.clone();
+            net.evaluate_in_place(&mut v, &mut scratch);
+            v
+        })
+        .collect()
+}
+
+/// Applies `f` to the output of `net` on every input, folding per-thread
+/// partial results with `merge`. Deterministic: chunk boundaries are fixed
+/// by `threads`, and `merge` is applied in chunk order.
+///
+/// `f` maps an (input index, output slice) to a partial value; per-thread
+/// partials start from `A::default()` and are folded with `fold`.
+pub fn map_reduce_outputs<T, A, F, M>(
+    net: &ComparatorNetwork,
+    inputs: &[Vec<T>],
+    threads: usize,
+    f: F,
+    fold: M,
+) -> Vec<A>
+where
+    T: Ord + Copy + Send + Sync,
+    A: Default + Send,
+    F: Fn(usize, &[T]) -> A + Sync,
+    M: Fn(A, A) -> A + Sync,
+{
+    assert!(threads >= 1);
+    let threads = threads.min(inputs.len().max(1));
+    let chunk = inputs.len().div_ceil(threads.max(1)).max(1);
+    let mut results: Vec<A> = Vec::with_capacity(threads);
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (ci, slice) in inputs.chunks(chunk).enumerate() {
+            let f = &f;
+            let fold = &fold;
+            handles.push(s.spawn(move |_| {
+                let mut scratch: Vec<T> = Vec::with_capacity(net.wires());
+                let mut acc = A::default();
+                let mut buf: Vec<T> = Vec::new();
+                for (i, input) in slice.iter().enumerate() {
+                    buf.clear();
+                    buf.extend_from_slice(input);
+                    net.evaluate_in_place(&mut buf, &mut scratch);
+                    acc = fold(acc, f(ci * chunk + i, &buf));
+                }
+                acc
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("batch worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    results
+}
+
+/// Counts, in parallel, how many of the inputs the network sorts.
+pub fn count_sorted_parallel(net: &ComparatorNetwork, inputs: &[Vec<u32>], threads: usize) -> u64 {
+    map_reduce_outputs(
+        net,
+        inputs,
+        threads,
+        |_, out| u64::from(crate::sortcheck::is_sorted(out)),
+        |a, b| a + b,
+    )
+    .into_iter()
+    .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Element;
+    use crate::perm::Permutation;
+    use rand::SeedableRng;
+
+    fn brick_wall(n: usize) -> ComparatorNetwork {
+        let mut net = ComparatorNetwork::empty(n);
+        for round in 0..n {
+            let start = round % 2;
+            let elements = (start..n - 1)
+                .step_by(2)
+                .map(|i| Element::cmp(i as u32, i as u32 + 1))
+                .collect();
+            net.push_elements(elements).unwrap();
+        }
+        net
+    }
+
+    fn random_inputs(n: usize, count: usize, seed: u64) -> Vec<Vec<u32>> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..count).map(|_| Permutation::random(n, &mut rng).images().to_vec()).collect()
+    }
+
+    #[test]
+    fn batch_matches_scalar() {
+        let net = brick_wall(8);
+        let inputs = random_inputs(8, 40, 1);
+        let outs = evaluate_batch(&net, &inputs);
+        for (input, out) in inputs.iter().zip(&outs) {
+            assert_eq!(*out, net.evaluate(input));
+        }
+    }
+
+    #[test]
+    fn parallel_count_matches_sequential() {
+        let net = brick_wall(8);
+        let inputs = random_inputs(8, 257, 2);
+        let seq = inputs.iter().filter(|i| crate::sortcheck::is_sorted(&net.evaluate(i))).count();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(count_sorted_parallel(&net, &inputs, threads), seq as u64);
+        }
+    }
+
+    #[test]
+    fn parallel_on_non_sorting_network() {
+        let net = ComparatorNetwork::empty(6);
+        let inputs = random_inputs(6, 500, 3);
+        let c = count_sorted_parallel(&net, &inputs, 4);
+        assert!(c < 20, "identity rarely sorts, got {c}");
+    }
+
+    #[test]
+    fn map_reduce_chunk_order_is_deterministic() {
+        let net = brick_wall(4);
+        let inputs = random_inputs(4, 10, 4);
+        // Collect max input index seen per chunk; ensures indices are global.
+        let partials = map_reduce_outputs(
+            &net,
+            &inputs,
+            3,
+            |i, _| vec![i],
+            |mut a, b| {
+                a.extend(b);
+                a
+            },
+        );
+        let all: Vec<usize> = partials.into_iter().flatten().collect();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let net = brick_wall(4);
+        assert_eq!(count_sorted_parallel(&net, &[], 4), 0);
+        assert!(evaluate_batch::<u32>(&net, &[]).is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! Circuit elements: the `{+, -, 0, 1}` operations of the paper's register
+//! model, generalized to act on an arbitrary pair of wires.
+//!
+//! * `+` ([`ElementKind::Cmp`]) — compare; smaller value to the first wire.
+//! * `-` ([`ElementKind::CmpRev`]) — compare; larger value to the first wire.
+//! * `0` ([`ElementKind::Pass`]) — do nothing.
+//! * `1` ([`ElementKind::Swap`]) — unconditionally exchange.
+//!
+//! Only `Cmp`/`CmpRev` are *comparators*: per Definition 3.6, values meeting
+//! in a `Pass`/`Swap` element do **not** collide.
+
+use serde::{Deserialize, Serialize};
+
+/// Wire index within a network. Kept at 32 bits: networks in this workspace
+/// never exceed 2³² wires, and halving the index size matters for the
+/// adversary's per-level token buffers.
+pub type WireId = u32;
+
+/// The operation performed by a two-wire circuit element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ElementKind {
+    /// `+`: min value to wire `a`, max value to wire `b`.
+    Cmp,
+    /// `-`: max value to wire `a`, min value to wire `b`.
+    CmpRev,
+    /// `0`: values pass through unchanged.
+    Pass,
+    /// `1`: values are exchanged unconditionally.
+    Swap,
+}
+
+impl ElementKind {
+    /// True for the two comparator kinds (`+` and `-`).
+    #[inline]
+    pub fn is_comparator(self) -> bool {
+        matches!(self, ElementKind::Cmp | ElementKind::CmpRev)
+    }
+
+    /// The register-model symbol for this kind.
+    pub fn symbol(self) -> char {
+        match self {
+            ElementKind::Cmp => '+',
+            ElementKind::CmpRev => '-',
+            ElementKind::Pass => '0',
+            ElementKind::Swap => '1',
+        }
+    }
+
+    /// Parses a register-model symbol.
+    pub fn from_symbol(c: char) -> Option<Self> {
+        Some(match c {
+            '+' => ElementKind::Cmp,
+            '-' => ElementKind::CmpRev,
+            '0' => ElementKind::Pass,
+            '1' => ElementKind::Swap,
+            _ => return None,
+        })
+    }
+}
+
+/// A two-wire circuit element within one level.
+///
+/// Invariant (enforced by [`crate::network::Level`]): `a != b`, and no two
+/// elements of the same level share a wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Element {
+    /// First wire (min-output for `Cmp`, max-output for `CmpRev`).
+    pub a: WireId,
+    /// Second wire.
+    pub b: WireId,
+    /// Operation.
+    pub kind: ElementKind,
+}
+
+impl Element {
+    /// A `+` comparator: min to `a`, max to `b`.
+    pub fn cmp(a: WireId, b: WireId) -> Self {
+        Element { a, b, kind: ElementKind::Cmp }
+    }
+
+    /// A `-` comparator: max to `a`, min to `b`.
+    pub fn cmp_rev(a: WireId, b: WireId) -> Self {
+        Element { a, b, kind: ElementKind::CmpRev }
+    }
+
+    /// A `0` pass-through element.
+    pub fn pass(a: WireId, b: WireId) -> Self {
+        Element { a, b, kind: ElementKind::Pass }
+    }
+
+    /// A `1` exchange element.
+    pub fn swap(a: WireId, b: WireId) -> Self {
+        Element { a, b, kind: ElementKind::Swap }
+    }
+
+    /// True if this element compares its inputs.
+    #[inline]
+    pub fn is_comparator(&self) -> bool {
+        self.kind.is_comparator()
+    }
+
+    /// Applies the element in place to the values on its two wires.
+    #[inline]
+    pub fn apply<T: Ord + Copy>(&self, values: &mut [T]) {
+        let (ia, ib) = (self.a as usize, self.b as usize);
+        let (x, y) = (values[ia], values[ib]);
+        match self.kind {
+            ElementKind::Cmp => {
+                if x > y {
+                    values[ia] = y;
+                    values[ib] = x;
+                }
+            }
+            ElementKind::CmpRev => {
+                if x < y {
+                    values[ia] = y;
+                    values[ib] = x;
+                }
+            }
+            ElementKind::Pass => {}
+            ElementKind::Swap => {
+                values[ia] = y;
+                values[ib] = x;
+            }
+        }
+    }
+
+    /// The element with `a` and `b` exchanged, performing the same mapping.
+    pub fn flipped(&self) -> Self {
+        let kind = match self.kind {
+            ElementKind::Cmp => ElementKind::CmpRev,
+            ElementKind::CmpRev => ElementKind::Cmp,
+            other => other,
+        };
+        Element { a: self.b, b: self.a, kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_sorts_pair_ascending() {
+        let mut v = [5, 3];
+        Element::cmp(0, 1).apply(&mut v);
+        assert_eq!(v, [3, 5]);
+        Element::cmp(0, 1).apply(&mut v);
+        assert_eq!(v, [3, 5], "idempotent on sorted pair");
+    }
+
+    #[test]
+    fn cmp_rev_sorts_pair_descending() {
+        let mut v = [3, 5];
+        Element::cmp_rev(0, 1).apply(&mut v);
+        assert_eq!(v, [5, 3]);
+    }
+
+    #[test]
+    fn pass_is_identity() {
+        let mut v = [9, 1];
+        Element::pass(0, 1).apply(&mut v);
+        assert_eq!(v, [9, 1]);
+    }
+
+    #[test]
+    fn swap_exchanges_unconditionally() {
+        let mut v = [1, 9];
+        Element::swap(0, 1).apply(&mut v);
+        assert_eq!(v, [9, 1]);
+        Element::swap(0, 1).apply(&mut v);
+        assert_eq!(v, [1, 9]);
+    }
+
+    #[test]
+    fn flipped_preserves_mapping() {
+        for kind in [ElementKind::Cmp, ElementKind::CmpRev, ElementKind::Pass, ElementKind::Swap] {
+            let e = Element { a: 0, b: 1, kind };
+            for (x, y) in [(1, 2), (2, 1), (3, 3)] {
+                let mut v1 = [x, y];
+                let mut v2 = [x, y];
+                e.apply(&mut v1);
+                e.flipped().apply(&mut v2);
+                assert_eq!(v1, v2, "kind={kind:?} x={x} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn symbols_roundtrip() {
+        for kind in [ElementKind::Cmp, ElementKind::CmpRev, ElementKind::Pass, ElementKind::Swap] {
+            assert_eq!(ElementKind::from_symbol(kind.symbol()), Some(kind));
+        }
+        assert_eq!(ElementKind::from_symbol('x'), None);
+    }
+
+    #[test]
+    fn nonadjacent_wires() {
+        let mut v = [7, 0, 3, 0];
+        Element::cmp(2, 0).apply(&mut v);
+        assert_eq!(v, [7, 0, 3, 0], "3 < 7 already ordered under (a=2, b=0)? min to wire 2");
+        let mut v = [3, 0, 7, 0];
+        Element::cmp(2, 0).apply(&mut v);
+        assert_eq!(v, [7, 0, 3, 0]);
+    }
+}

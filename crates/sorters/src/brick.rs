@@ -1,0 +1,85 @@
+//! Brick-wall (odd-even transposition) and insertion-style networks:
+//! `Θ(n)`-depth ground-truth sorters for tiny instances and baselines for
+//! the depth tables.
+
+use snet_core::element::Element;
+use snet_core::network::ComparatorNetwork;
+
+/// The odd-even transposition ("brick wall") network: `n` alternating
+/// levels of adjacent comparators. Always sorts.
+pub fn brick_wall(n: usize) -> ComparatorNetwork {
+    let mut net = ComparatorNetwork::empty(n);
+    for round in 0..n {
+        let start = round % 2;
+        let elements: Vec<Element> = (start..n.saturating_sub(1))
+            .step_by(2)
+            .map(|i| Element::cmp(i as u32, i as u32 + 1))
+            .collect();
+        if !elements.is_empty() {
+            net.push_elements(elements).expect("brick levels are disjoint");
+        }
+    }
+    net
+}
+
+/// The triangular insertion-sort network (equivalently bubble sort as a
+/// network — Knuth 5.3.4 notes they are the same network): depth `2n − 3`,
+/// size `n(n−1)/2`.
+pub fn insertion_network(n: usize) -> ComparatorNetwork {
+    let mut net = ComparatorNetwork::empty(n);
+    if n < 2 {
+        return net;
+    }
+    // Diagonal schedule: level d contains comparators (i, i+1) with
+    // i + 1 ≤ d, i ≡ d (mod 2) … the standard parallel insertion triangle.
+    for d in 0..(2 * n - 3) {
+        let mut elements = Vec::new();
+        for i in 0..n - 1 {
+            // Comparator (i, i+1) fires at levels d = i, i+2, i+4, …,
+            // within the triangle bound d < 2n - 3 - i … use the classic
+            // "brick triangle": include when d >= i and (d - i) even and
+            // d < 2 * (n - 1) - i.
+            if d >= i && (d - i) % 2 == 0 && d < 2 * (n - 1) - i {
+                elements.push(Element::cmp(i as u32, i as u32 + 1));
+            }
+        }
+        if !elements.is_empty() {
+            net.push_elements(elements).expect("triangle levels are disjoint");
+        }
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snet_core::sortcheck::check_zero_one_exhaustive;
+
+    #[test]
+    fn brick_wall_sorts() {
+        for n in 1..=10usize {
+            assert!(check_zero_one_exhaustive(&brick_wall(n)).is_sorting(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn brick_wall_depth_and_size() {
+        let net = brick_wall(8);
+        assert_eq!(net.depth(), 8);
+        assert_eq!(net.size(), 8 / 2 * 4 + 3 * 4, "4+3 alternating over 8 rounds");
+    }
+
+    #[test]
+    fn insertion_sorts() {
+        for n in 1..=10usize {
+            assert!(check_zero_one_exhaustive(&insertion_network(n)).is_sorting(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn insertion_size_is_triangular() {
+        for n in 2..=10usize {
+            assert_eq!(insertion_network(n).size(), n * (n - 1) / 2, "n={n}");
+        }
+    }
+}

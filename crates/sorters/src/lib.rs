@@ -1,0 +1,44 @@
+//! # snet-sorters — upper-bound baselines
+//!
+//! The sorting networks the paper positions its bound against:
+//!
+//! * [`bitonic`] — Batcher's bitonic sorter, in circuit form and as a
+//!   genuine shuffle-based network (the `Θ(lg²n)` upper bound);
+//! * [`odd_even`] — Batcher's odd-even mergesort;
+//! * [`pratt`] — the Pratt-increment Shellsort network (`Θ(lg²n)`;
+//!   Cypher-bound class context);
+//! * [`periodic`] — the Dowd–Perl–Rudolph–Saks periodic balanced sorter;
+//! * [`brick`] — odd-even transposition and insertion triangles (tiny-n
+//!   ground truth);
+//! * [`randomized`] — truncated sorters and randomizing elements for the
+//!   Section 5 average-case discussion.
+
+//!
+//! ## Example
+//!
+//! ```
+//! use snet_core::sortcheck::check_zero_one_exhaustive;
+//! use snet_sorters::bitonic_shuffle;
+//!
+//! let sorter = bitonic_shuffle(16); // Π_i = σ at every stage
+//! assert_eq!(sorter.to_network().comparator_depth(), 10); // lg n(lg n+1)/2
+//! assert!(check_zero_one_exhaustive(&sorter.to_network()).is_sorting());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bitonic;
+pub mod halver;
+pub mod brick;
+pub mod merge;
+pub mod odd_even;
+pub mod periodic;
+pub mod pratt;
+pub mod randomized;
+
+pub use bitonic::{bitonic_circuit, bitonic_shuffle};
+pub use brick::{brick_wall, insertion_network};
+pub use merge::{bitonic_merger, odd_even_merger};
+pub use odd_even::odd_even_mergesort;
+pub use periodic::periodic_balanced;
+pub use pratt::pratt_network;

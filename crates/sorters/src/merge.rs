@@ -1,0 +1,139 @@
+//! Merging networks — the building blocks behind both Batcher sorters.
+//!
+//! * [`bitonic_merger`] — the all-`+` butterfly: sorts any *bitonic*
+//!   sequence (and hence merges two sorted runs presented head-to-tail) in
+//!   `lg n` levels. Structurally it is exactly the canonical reverse delta
+//!   network (the identity the paper's Section 2 builds on).
+//! * [`odd_even_merger`] — Batcher's odd-even merge of two sorted halves,
+//!   also `lg n` levels but `Θ(n)` fewer comparators.
+
+use snet_core::element::Element;
+use snet_core::network::ComparatorNetwork;
+use snet_topology::ReverseDelta;
+
+/// The `lg n`-level bitonic merger (all-ascending butterfly) on `n = 2^l`
+/// wires: sorts every bitonic input.
+pub fn bitonic_merger(n: usize) -> ComparatorNetwork {
+    assert!(n.is_power_of_two() && n >= 1);
+    ReverseDelta::butterfly(n.trailing_zeros() as usize).to_network()
+}
+
+/// Batcher's odd-even merger on `n = 2^l` wires: merges two sorted halves
+/// `[0, n/2)` and `[n/2, n)` into a sorted whole in `lg n` levels.
+pub fn odd_even_merger(n: usize) -> ComparatorNetwork {
+    assert!(n.is_power_of_two() && n >= 1);
+    let mut net = ComparatorNetwork::empty(n);
+    if n < 2 {
+        return net;
+    }
+    // Iterative formulation: first compare (i, i + n/2); then for
+    // p = n/4, n/8, …, 1 compare (i, i+p) for i in blocks where
+    // ⌊i/p⌋ is odd … the classic odd-even merge schedule.
+    let half = n / 2;
+    net.push_elements(
+        (0..half).map(|i| Element::cmp(i as u32, (i + half) as u32)).collect(),
+    )
+    .expect("first merge level is disjoint");
+    let mut p = half / 2;
+    while p >= 1 {
+        let elements: Vec<Element> = (0..n - p)
+            .filter(|i| (i / p) % 2 == 1)
+            .map(|i| Element::cmp(i as u32, (i + p) as u32))
+            .collect();
+        if !elements.is_empty() {
+            net.push_elements(elements).expect("merge levels are disjoint");
+        }
+        p /= 2;
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snet_core::sortcheck::is_sorted;
+
+    /// All 0-1 bitonic sequences of length n (cyclic rotations of a block
+    /// of ones), plus ascending/descending value sequences.
+    fn bitonic_01_inputs(n: usize) -> Vec<Vec<u32>> {
+        let mut out = Vec::new();
+        for ones in 0..=n {
+            for rot in 0..n {
+                let mut v = vec![0u32; n];
+                for k in 0..ones {
+                    v[(rot + k) % n] = 1;
+                }
+                // A cyclic rotation of 1^a 0^b is bitonic exactly when the
+                // ones form at most one wrap-around block — always true
+                // here.
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn bitonic_merger_sorts_all_01_bitonic_inputs() {
+        for l in 1..=5usize {
+            let n = 1 << l;
+            let net = bitonic_merger(n);
+            assert_eq!(net.depth(), l);
+            for input in bitonic_01_inputs(n) {
+                let out = net.evaluate(&input);
+                assert!(is_sorted(&out), "n={n}, input {input:?} → {out:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitonic_merger_sorts_updown_values() {
+        // ascending run then descending run = bitonic.
+        let net = bitonic_merger(8);
+        let input = vec![1u32, 4, 6, 7, 8, 5, 3, 0];
+        assert!(is_sorted(&net.evaluate(&input)));
+    }
+
+    #[test]
+    fn odd_even_merger_merges_sorted_halves() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for l in 1..=6usize {
+            let n = 1 << l;
+            let net = odd_even_merger(n);
+            assert_eq!(net.depth(), l, "lg n merge levels");
+            for _ in 0..50 {
+                let mut a: Vec<u32> = (0..n as u32 / 2).map(|_| rng.gen_range(0..100)).collect();
+                let mut b: Vec<u32> = (0..n as u32 / 2).map(|_| rng.gen_range(0..100)).collect();
+                a.sort_unstable();
+                b.sort_unstable();
+                let input: Vec<u32> = a.iter().chain(b.iter()).copied().collect();
+                let out = net.evaluate(&input);
+                assert!(is_sorted(&out), "n={n}: {input:?} → {out:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_even_merger_is_smaller_than_bitonic_merger() {
+        for l in 2..=8usize {
+            let n = 1 << l;
+            assert!(odd_even_merger(n).size() < bitonic_merger(n).size(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn mergers_do_not_sort_arbitrary_inputs() {
+        // Neither merger is a sorting network on its own.
+        let n = 8;
+        for net in [bitonic_merger(n), odd_even_merger(n)] {
+            assert!(!snet_core::sortcheck::check_zero_one_exhaustive(&net).is_sorting());
+        }
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        assert_eq!(bitonic_merger(1).depth(), 0);
+        assert_eq!(odd_even_merger(1).depth(), 0);
+        assert_eq!(odd_even_merger(2).size(), 1);
+    }
+}

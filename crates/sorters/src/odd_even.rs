@@ -1,0 +1,72 @@
+//! Batcher's odd-even mergesort network — the other classic `Θ(lg²n)`
+//! sorter from [Batcher 68], used as a cross-check baseline (it is *not*
+//! shuffle-based, which makes it a useful contrast in the experiments).
+
+use snet_core::element::Element;
+use snet_core::network::ComparatorNetwork;
+
+/// Builds Batcher's odd-even merge-sort network on `n = 2^l` wires
+/// (depth `l(l+1)/2`, size `(l² − l + 4)·2^{l-2} − 1` for `l ≥ 1`).
+pub fn odd_even_mergesort(n: usize) -> ComparatorNetwork {
+    assert!(n.is_power_of_two() && n >= 1);
+    // Iterative formulation: one level per (p, k) pair.
+    let mut net = ComparatorNetwork::empty(n);
+    let mut p = 1usize;
+    while p < n {
+        let mut k = p;
+        while k >= 1 {
+            let mut elements = Vec::new();
+            let mut j = k % p;
+            while k < n && j + k < n {
+                let upper = (k - 1).min(n - j - k - 1);
+                for i in 0..=upper {
+                    // Only compare within the same 2p-sized merge region.
+                    if (j + i) / (2 * p) == (j + i + k) / (2 * p) {
+                        elements.push(Element::cmp((j + i) as u32, (j + i + k) as u32));
+                    }
+                }
+                j += 2 * k;
+            }
+            if !elements.is_empty() {
+                net.push_elements(elements).expect("odd-even levels are disjoint");
+            }
+            k /= 2;
+        }
+        p *= 2;
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snet_core::sortcheck::check_zero_one_exhaustive;
+
+    #[test]
+    fn sorts_exhaustively() {
+        for l in 0..=4usize {
+            let n = 1 << l;
+            let net = odd_even_mergesort(n);
+            assert!(check_zero_one_exhaustive(&net).is_sorting(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn depth_is_batcher() {
+        for l in 1..=6usize {
+            let n = 1 << l;
+            let net = odd_even_mergesort(n);
+            assert_eq!(net.depth(), l * (l + 1) / 2, "n={n}");
+        }
+    }
+
+    #[test]
+    fn smaller_than_bitonic() {
+        for l in 2..=7usize {
+            let n = 1 << l;
+            let oe = odd_even_mergesort(n);
+            let bt = crate::bitonic::bitonic_circuit(n);
+            assert!(oe.size() < bt.size(), "odd-even beats bitonic in size at n={n}");
+        }
+    }
+}

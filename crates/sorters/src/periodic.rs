@@ -1,0 +1,84 @@
+//! The periodic balanced sorting network of Dowd, Perl, Rudolph and Saks:
+//! `lg n` *identical* blocks of `lg n` levels each. Level `t` of a block
+//! compares each wire `x` with its reflection within its current chunk —
+//! i.e. with `x XOR (2^{lg n − t + 1} − 1)`.
+//!
+//! Included as a second `Θ(lg²n)` baseline with yet another topology
+//! (XOR-mask pairing, so *not* a reverse delta network): the experiments
+//! contrast which baselines the Section 4 adversary formally covers.
+
+use snet_core::element::Element;
+use snet_core::network::ComparatorNetwork;
+
+/// One balanced block on `n = 2^l` wires (`l` levels).
+pub fn balanced_block(n: usize) -> ComparatorNetwork {
+    assert!(n.is_power_of_two() && n >= 2);
+    let l = n.trailing_zeros() as usize;
+    let mut net = ComparatorNetwork::empty(n);
+    for t in 1..=l {
+        let mask = (1u32 << (l - t + 1)) - 1;
+        let elements: Vec<Element> = (0..n as u32)
+            .filter(|&x| (x ^ mask) > x)
+            .map(|x| Element::cmp(x, x ^ mask))
+            .collect();
+        net.push_elements(elements).expect("reflection pairs are disjoint");
+    }
+    net
+}
+
+/// The full periodic balanced sorting network: `lg n` identical blocks,
+/// total depth `lg²n`.
+pub fn periodic_balanced(n: usize) -> ComparatorNetwork {
+    let l = n.trailing_zeros() as usize;
+    let block = balanced_block(n);
+    let mut net = ComparatorNetwork::empty(n);
+    for _ in 0..l {
+        net = net.then(None, &block);
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snet_core::sortcheck::{check_zero_one_exhaustive, fraction_sorted};
+
+    #[test]
+    fn sorts_exhaustively() {
+        for l in 1..=4usize {
+            let n = 1 << l;
+            let net = periodic_balanced(n);
+            assert!(check_zero_one_exhaustive(&net).is_sorting(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn depth_is_lg_squared() {
+        for l in 1..=6usize {
+            let n = 1 << l;
+            assert_eq!(periodic_balanced(n).depth(), l * l);
+        }
+    }
+
+    #[test]
+    fn fewer_blocks_do_not_sort() {
+        // The periodicity is tight: lg n − 1 blocks are not enough.
+        let n = 16;
+        let block = balanced_block(n);
+        let mut net = ComparatorNetwork::empty(n);
+        for _ in 0..3 {
+            net = net.then(None, &block);
+        }
+        assert!(!check_zero_one_exhaustive(&net).is_sorting());
+    }
+
+    #[test]
+    fn single_block_improves_sortedness() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let n = 16;
+        let one = balanced_block(n);
+        let f1 = fraction_sorted(&one, 2000, &mut rng);
+        assert!(f1 < 0.5, "one block can't sort much: {f1}");
+    }
+}

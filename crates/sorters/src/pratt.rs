@@ -1,0 +1,94 @@
+//! A Shellsort network with Pratt's `{2^a · 3^b}` increments — the
+//! `Θ(lg²n)`-depth member of the Shellsort-network class for which
+//! Cypher's lower bound (cited in Section 1 of the paper) shows
+//! `Ω(lg²n / lg lg n)`: context for how tight that class's story is.
+//!
+//! Pratt's theorem: if the data is already `2h`-sorted and `3h`-sorted,
+//! then one compare-exchange sweep of `(i, i+h)` makes it `h`-sorted.
+//! Processing the increments in decreasing order therefore needs only two
+//! comparator levels per increment (pairs `(i, i+h)` split by the parity of
+//! `⌊i/h⌋` for wire-disjointness), for `Θ(lg²n)` total depth.
+
+use snet_core::element::Element;
+use snet_core::network::ComparatorNetwork;
+
+/// Pratt's increment sequence: all `2^a · 3^b < n`, sorted decreasing.
+pub fn pratt_increments(n: usize) -> Vec<usize> {
+    let mut incs = Vec::new();
+    let mut pow2 = 1usize;
+    while pow2 < n {
+        let mut h = pow2;
+        while h < n {
+            incs.push(h);
+            h = h.saturating_mul(3);
+        }
+        pow2 = pow2.saturating_mul(2);
+    }
+    incs.sort_unstable_by(|a, b| b.cmp(a));
+    incs
+}
+
+/// The Pratt Shellsort network on `n` wires (any `n ≥ 1`).
+pub fn pratt_network(n: usize) -> ComparatorNetwork {
+    let mut net = ComparatorNetwork::empty(n);
+    for h in pratt_increments(n) {
+        // One sweep of (i, i+h), split into two wire-disjoint levels by the
+        // parity of ⌊i/h⌋.
+        for parity in 0..2usize {
+            let elements: Vec<Element> = (0..n.saturating_sub(h))
+                .filter(|i| (i / h) % 2 == parity)
+                .map(|i| Element::cmp(i as u32, (i + h) as u32))
+                .collect();
+            if !elements.is_empty() {
+                net.push_elements(elements).expect("parity split is wire-disjoint");
+            }
+        }
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snet_core::sortcheck::check_zero_one_exhaustive;
+
+    #[test]
+    fn increments_are_3_smooth_and_decreasing() {
+        let incs = pratt_increments(100);
+        assert!(incs.contains(&1) && incs.contains(&2) && incs.contains(&3));
+        assert!(incs.contains(&96) && !incs.contains(&100));
+        for w in incs.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+        for &h in &incs {
+            let mut x = h;
+            while x % 2 == 0 {
+                x /= 2;
+            }
+            while x % 3 == 0 {
+                x /= 3;
+            }
+            assert_eq!(x, 1, "{h} is not 3-smooth");
+        }
+    }
+
+    #[test]
+    fn sorts_exhaustively() {
+        for n in [1usize, 2, 3, 4, 6, 8, 12, 16] {
+            let net = pratt_network(n);
+            assert!(check_zero_one_exhaustive(&net).is_sorting(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn depth_is_theta_lg_squared() {
+        // #increments ≈ lg²n / (2 lg 3); two levels each.
+        for l in [4usize, 6, 8] {
+            let n = 1 << l;
+            let net = pratt_network(n);
+            let lg2 = (l * l) as f64;
+            let d = net.depth() as f64;
+            assert!(d <= 1.5 * lg2 && d >= lg2 / 4.0, "depth {d} vs lg² {lg2}");
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Average-case and randomized-circuit material for the Section 5
+//! discussion (Experiment E7).
+//!
+//! The paper observes that its worst-case bound cannot extend to average
+//! case or randomized complexity, citing the Leighton–Plaxton circuit \[8\]
+//! (an `O(lg n lg lg n)`-depth shuffle-based circuit sorting all but a
+//! small fraction of inputs). Reconstructing \[8\] is out of scope (see
+//! DESIGN.md); instead this module provides the measurable ingredients the
+//! Section 5 argument rests on:
+//!
+//! * **truncated sorters** ([`bitonic_prefix`]) — prefixes of a
+//!   `Θ(lg²n)` sorter, whose *fraction of random inputs sorted* climbs to 1
+//!   well before full depth, demonstrating the average/worst-case gap the
+//!   paper exploits;
+//! * **randomizing elements** ([`randomizing_block`]) — the `1`-with-
+//!   probability-½ exchange elements of \[8\], sampled at construction, which
+//!   turn a fixed input distribution into a near-uniform one (measured in
+//!   E7 via output dislocation).
+
+use rand::Rng;
+use snet_core::element::ElementKind;
+use snet_core::network::ComparatorNetwork;
+use snet_topology::ShuffleNetwork;
+
+/// The first `stages` stages of the shuffle-based bitonic sorter.
+pub fn bitonic_prefix(n: usize, stages: usize) -> ShuffleNetwork {
+    let full = crate::bitonic::bitonic_shuffle(n);
+    let kept = full.stages().iter().take(stages).cloned().collect();
+    ShuffleNetwork::new(n, kept)
+}
+
+/// A block of `depth` shuffle stages whose elements are sampled as
+/// `Swap`/`Pass` with probability ½ each — the "randomizing circuit
+/// element" of Section 5 materialized as an ordinary (sampled) network.
+/// Applying `lg n` of these approximates a uniform relabeling.
+pub fn randomizing_block<R: Rng>(n: usize, depth: usize, rng: &mut R) -> ShuffleNetwork {
+    let stages = (0..depth)
+        .map(|_| {
+            (0..n / 2)
+                .map(|_| if rng.gen_bool(0.5) { ElementKind::Swap } else { ElementKind::Pass })
+                .collect()
+        })
+        .collect();
+    ShuffleNetwork::new(n, stages)
+}
+
+/// A randomized sorter candidate: a randomizing prefix followed by a
+/// truncated bitonic suffix. Fraction-sorted is measured in E7 as a
+/// function of the suffix depth.
+pub fn randomized_then_bitonic<R: Rng>(
+    n: usize,
+    random_depth: usize,
+    bitonic_stages: usize,
+    rng: &mut R,
+) -> ComparatorNetwork {
+    let head = randomizing_block(n, random_depth, rng).to_network();
+    let tail = bitonic_prefix(n, bitonic_stages).to_network();
+    head.then(None, &tail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use snet_core::sortcheck::{check_zero_one_exhaustive, fraction_sorted};
+
+    #[test]
+    fn full_prefix_is_the_full_sorter() {
+        let n = 16;
+        let l = 4;
+        let full = bitonic_prefix(n, l * l);
+        assert!(check_zero_one_exhaustive(&full.to_network()).is_sorting());
+    }
+
+    #[test]
+    fn fraction_sorted_monotone_in_prefix_depth() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(60);
+        let n = 16;
+        let l = 4;
+        let mut last = 0.0f64;
+        for stages in [0usize, l * l / 2, 3 * l * l / 4, l * l] {
+            let net = bitonic_prefix(n, stages).to_network();
+            let f = fraction_sorted(&net, 3000, &mut rng);
+            assert!(
+                f + 0.05 >= last,
+                "fraction sorted should not regress: {f} after {last} at {stages}"
+            );
+            last = f;
+        }
+        assert_eq!(last, 1.0);
+    }
+
+    #[test]
+    fn randomizing_block_is_a_permutation_network() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(61);
+        let net = randomizing_block(16, 4, &mut rng).to_network();
+        assert_eq!(net.size(), 0, "swap/pass only — zero comparators");
+        let input: Vec<u32> = (0..16).collect();
+        let mut out = net.evaluate(&input);
+        out.sort_unstable();
+        assert_eq!(out, input, "output is a permutation of the input");
+    }
+
+    #[test]
+    fn randomizing_blocks_decorrelate_fixed_inputs() {
+        // Different seeds send a fixed input to many different outputs.
+        let n = 16;
+        let input: Vec<u32> = (0..n as u32).rev().collect();
+        let mut outputs = std::collections::BTreeSet::new();
+        for seed in 0..40u64 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let net = randomizing_block(n, 8, &mut rng).to_network();
+            outputs.insert(net.evaluate(&input));
+        }
+        assert!(outputs.len() > 30, "got only {} distinct outputs", outputs.len());
+    }
+
+    #[test]
+    fn randomized_then_bitonic_composes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(62);
+        let net = randomized_then_bitonic(16, 4, 16, &mut rng);
+        let out = net.evaluate(&(0..16u32).rev().collect::<Vec<_>>());
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16u32).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,267 @@
+//! Strict-ascend algorithms on the shuffle machine.
+//!
+//! The paper's closing argument for caring about shuffle-only ("strict
+//! ascend") machines is that they "admit elegant and efficient strict
+//! ascend algorithms for a wide variety of basic operations (e.g., parallel
+//! prefix, FFT)". This module provides that positive side as a small
+//! substrate: an [`AscendMachine`] executes one pass of `lg n` shuffle
+//! stages, applying an arbitrary user-supplied two-register operation at
+//! each stage — the ascend paradigm — and classic instances are built on
+//! top:
+//!
+//! * [`prefix_sums`] — parallel prefix (scan) in exactly `lg n` ascend
+//!   passes of combining + redistribution, here realized with the standard
+//!   bit-by-bit hypercube scan emulated on the shuffle;
+//! * [`reduce_all`] — an all-reduce in one ascend pass;
+//! * [`fft_butterfly_schedule`] — the data-flow schedule of a radix-2 FFT
+//!   (which pairs the same registers as the comparators of a reverse delta
+//!   network — the structural reason the lower bound's class is natural).
+//!
+//! Comparator networks are the special case where every operation is a
+//! compare-exchange; [`AscendMachine`] generalizes the *routing*, not the
+//! lower bound.
+
+use snet_core::perm::Permutation;
+
+/// A machine executing strict-ascend passes on `n = 2^l` registers: each
+/// stage shuffles the registers and then applies a caller-supplied binary
+/// operation to every register pair `(2k, 2k+1)`.
+#[derive(Debug, Clone)]
+pub struct AscendMachine<T> {
+    regs: Vec<T>,
+    sigma: Permutation,
+    stage: usize,
+}
+
+impl<T: Copy> AscendMachine<T> {
+    /// Loads the machine with initial register contents (`n = 2^l ≥ 2`).
+    pub fn new(regs: Vec<T>) -> Self {
+        let n = regs.len();
+        assert!(n.is_power_of_two() && n >= 2, "ascend machines need 2^l ≥ 2 registers");
+        AscendMachine { regs, sigma: Permutation::shuffle(n), stage: 0 }
+    }
+
+    /// Number of registers.
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// True iff the machine has no registers (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    /// Stages executed so far.
+    pub fn stage(&self) -> usize {
+        self.stage
+    }
+
+    /// Current register contents.
+    pub fn registers(&self) -> &[T] {
+        &self.regs
+    }
+
+    /// Executes one ascend stage: shuffle, then `op(k, lo, hi)` for every
+    /// pair, returning the new `(lo, hi)` contents.
+    pub fn step<F: FnMut(usize, T, T) -> (T, T)>(&mut self, mut op: F) {
+        let n = self.regs.len();
+        let mut routed = self.regs.clone();
+        self.sigma.route(&self.regs, &mut routed);
+        for k in 0..n / 2 {
+            let (lo, hi) = (routed[2 * k], routed[2 * k + 1]);
+            let (lo2, hi2) = op(k, lo, hi);
+            routed[2 * k] = lo2;
+            routed[2 * k + 1] = hi2;
+        }
+        self.regs = routed;
+        self.stage += 1;
+    }
+
+    /// Executes a full ascend pass (`lg n` stages) with a per-stage op.
+    pub fn pass<F: FnMut(usize, usize, T, T) -> (T, T)>(&mut self, mut op: F) {
+        let l = self.regs.len().trailing_zeros() as usize;
+        for s in 0..l {
+            self.step(|k, lo, hi| op(s, k, lo, hi));
+        }
+    }
+}
+
+/// All-reduce in a single ascend pass: after `lg n` stages every register
+/// holds `fold` of all initial values. One stage combines each pair and
+/// writes the result to both members, so information doubles its span per
+/// stage — the canonical ascend argument.
+pub fn reduce_all<T: Copy, F: Fn(T, T) -> T>(values: &[T], fold: F) -> Vec<T> {
+    let mut m = AscendMachine::new(values.to_vec());
+    m.pass(|_, _, lo, hi| {
+        let combined = fold(lo, hi);
+        (combined, combined)
+    });
+    m.registers().to_vec()
+}
+
+/// Parallel prefix (inclusive scan) under an associative `fold`, on the
+/// strict-ascend (shuffle-only) machine.
+///
+/// The hypercube scan must process dimensions **LSB-first** (each merged
+/// bit must be the most significant processed so far, or the "low half
+/// precedes high half" invariant breaks). A pass of shuffle stages presents
+/// dimensions **MSB-first** (`l−1, l−2, …, 0` — the reverse-delta order),
+/// so one dimension per pass is usable in the right order and the scan
+/// costs `lg n` passes = `lg²n` stages here. On an ascend-*descend*
+/// machine (shuffle *and* unshuffle) the same scan runs in one `lg n`
+/// descend pass — a miniature of the separation the paper's lower bound
+/// establishes for sorting.
+///
+/// Returns the inclusive prefix in original index order.
+pub fn prefix_sums<T, F>(values: &[T], fold: F) -> Vec<T>
+where
+    T: Copy,
+    F: Fn(T, T) -> T + Copy,
+{
+    let n = values.len();
+    assert!(n.is_power_of_two() && n >= 2);
+    // State: (original index, inclusive prefix within processed block,
+    // total of processed block). After processing dimensions 0..=b the
+    // blocks are the contiguous runs of 2^{b+1} indices.
+    let init: Vec<(u32, T, T)> =
+        values.iter().enumerate().map(|(i, &v)| (i as u32, v, v)).collect();
+    let mut m = AscendMachine::new(init);
+    let l = n.trailing_zeros() as usize;
+    for b in 0..l {
+        let bit = 1u32 << b;
+        // Within this pass, stage s+1 pairs original-index bit l-1-s; the
+        // wanted dimension b appears at stage l-b. All other stages idle.
+        m.pass(|s, _, a, bb| {
+            if l - 1 - s != b {
+                return (a, bb);
+            }
+            let (lo, hi) = if a.0 & bit == 0 { (a, bb) } else { (bb, a) };
+            let total = fold(lo.2, hi.2);
+            // bit b is the most significant processed bit, so every index
+            // of the low block precedes every index of the high block.
+            let hi_prefix = fold(lo.2, hi.1);
+            let lo_new = (lo.0, lo.1, total);
+            let hi_new = (hi.0, hi_prefix, total);
+            if a.0 & bit == 0 {
+                (lo_new, hi_new)
+            } else {
+                (hi_new, lo_new)
+            }
+        });
+    }
+    // Each full pass is σ^{lg n} = id, so register i holds index i again.
+    let out = m.registers();
+    let mut result: Vec<T> = Vec::with_capacity(n);
+    for (i, &(idx, prefix, _)) in out.iter().enumerate() {
+        debug_assert_eq!(idx as usize, i, "full passes restore home positions");
+        result.push(prefix);
+    }
+    result
+}
+
+/// The pairing schedule of a radix-2 decimation-in-time FFT on `n = 2^l`
+/// points, as executed by `lg n` ascend stages: stage `s` (0-based) pairs
+/// original indices differing in bit `l-1-s`. Returns, per stage, the list
+/// of index pairs — which coincides with the levels of the canonical
+/// reverse delta network (checked in tests), grounding the paper's remark
+/// that the FFT is a strict-ascend algorithm.
+pub fn fft_butterfly_schedule(n: usize) -> Vec<Vec<(u32, u32)>> {
+    assert!(n.is_power_of_two() && n >= 2);
+    let l = n.trailing_zeros() as usize;
+    (0..l)
+        .map(|s| {
+            let bit = 1u32 << (l - 1 - s);
+            (0..n as u32).filter(|&i| i & bit == 0).map(|i| (i, i | bit)).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReverseDelta;
+
+    #[test]
+    fn reduce_all_computes_fold_everywhere() {
+        let vals: Vec<u64> = (1..=16).collect();
+        let out = reduce_all(&vals, |a, b| a + b);
+        assert!(out.iter().all(|&x| x == 136), "sum 1..=16 on every register: {out:?}");
+        let out = reduce_all(&vals, |a, b| a.max(b));
+        assert!(out.iter().all(|&x| x == 16));
+    }
+
+    #[test]
+    fn prefix_sums_matches_sequential_scan() {
+        for l in 1..=8usize {
+            let n = 1 << l;
+            let vals: Vec<u64> = (0..n as u64).map(|i| i * i + 1).collect();
+            let got = prefix_sums(&vals, |a, b| a + b);
+            let mut expect = Vec::with_capacity(n);
+            let mut acc = 0u64;
+            for &v in &vals {
+                acc += v;
+                expect.push(acc);
+            }
+            assert_eq!(got, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn prefix_sums_with_noncommutative_fold() {
+        // String concatenation order must be preserved: scan is about
+        // associativity, not commutativity. Use a small monoid encoded in
+        // u64: (len, digits) via positional packing of 1..=8.
+        let n = 8usize;
+        let vals: Vec<u64> = (1..=n as u64).collect();
+        // fold = decimal concatenation: a * 10^{digits(b)} + b.
+        let fold = |a: u64, b: u64| {
+            let mut shift = 1u64;
+            let mut x = b;
+            while x > 0 {
+                shift *= 10;
+                x /= 10;
+            }
+            a * shift + b
+        };
+        let got = prefix_sums(&vals, fold);
+        assert_eq!(got, vec![1, 12, 123, 1234, 12345, 123456, 1234567, 12345678]);
+    }
+
+    #[test]
+    fn fft_schedule_matches_reverse_delta_levels() {
+        // The FFT's pairing per stage equals the butterfly's (= the
+        // canonical reverse delta network's) comparator pairing per level.
+        for l in 1..=5usize {
+            let n = 1 << l;
+            let schedule = fft_butterfly_schedule(n);
+            let net = ReverseDelta::butterfly(l).to_network();
+            assert_eq!(schedule.len(), net.depth());
+            for (stage, level) in schedule.iter().zip(net.levels()) {
+                let mut from_net: Vec<(u32, u32)> =
+                    level.elements.iter().map(|e| (e.a.min(e.b), e.a.max(e.b))).collect();
+                from_net.sort_unstable();
+                let mut from_fft = stage.clone();
+                from_fft.sort_unstable();
+                assert_eq!(from_fft, from_net, "l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn machine_stage_counter() {
+        let mut m = AscendMachine::new(vec![0u32; 8]);
+        assert_eq!(m.stage(), 0);
+        m.pass(|_, _, a, b| (a, b));
+        assert_eq!(m.stage(), 3);
+        assert_eq!(m.registers(), &[0u32; 8]);
+    }
+
+    #[test]
+    fn full_pass_restores_positions() {
+        // With identity ops, lg n shuffles compose to the identity.
+        let vals: Vec<u32> = (0..32).collect();
+        let mut m = AscendMachine::new(vals.clone());
+        m.pass(|_, _, a, b| (a, b));
+        assert_eq!(m.registers(), vals.as_slice());
+    }
+}

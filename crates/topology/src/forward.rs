@@ -1,0 +1,243 @@
+//! *Forward* delta networks — the mirror class of [`crate::delta`].
+//!
+//! A reverse delta network is obtained from a delta network by "flipping"
+//! it (Section 1). Recursively, a `2^l`-input **delta network** starts with
+//! a level `Γ` of at most `2^{l-1}` elements whose outputs feed two
+//! parallel `2^{l-1}`-input delta networks — the split happens *first*
+//! rather than last. The omega network (`lg n` shuffle stages read in the
+//! opposite direction) is the canonical member.
+//!
+//! Kruskal–Snir (cited in Section 2): the butterfly is the unique topology
+//! that is both a delta and a reverse delta network; the tests check that
+//! our butterfly satisfies both recursive definitions level-for-level.
+
+use crate::delta::DeltaError;
+use snet_core::element::{Element, ElementKind, WireId};
+use snet_core::network::{ComparatorNetwork, Level};
+
+/// A node of the (forward) delta recursion tree: the crossing level comes
+/// first, then the two parallel subnetworks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FdNode {
+    /// A single wire.
+    Leaf(WireId),
+    /// A crossing level followed by two parallel subnetworks.
+    Split {
+        /// The leading crossing level; every element takes one wire that
+        /// continues into each subnetwork.
+        gamma: Vec<Element>,
+        /// First subnetwork.
+        zero: Box<FdNode>,
+        /// Second subnetwork.
+        one: Box<FdNode>,
+        /// Cached sorted wire set.
+        wires: Vec<WireId>,
+        /// Levels in this subtree.
+        height: usize,
+    },
+}
+
+impl FdNode {
+    /// Builds and validates a split node.
+    pub fn split(gamma: Vec<Element>, zero: FdNode, one: FdNode) -> Result<FdNode, DeltaError> {
+        let (wz, wo) = (zero.wires_vec(), one.wires_vec());
+        if wz.len() != wo.len() || !wz.len().is_power_of_two() {
+            return Err(DeltaError::BadSplit { zero: wz.len(), one: wo.len() });
+        }
+        if gamma.len() > wz.len() {
+            return Err(DeltaError::GammaTooLarge { len: gamma.len(), max: wz.len() });
+        }
+        let mut wires: Vec<WireId> = wz.iter().chain(wo.iter()).copied().collect();
+        wires.sort_unstable();
+        for w in wires.windows(2) {
+            if w[0] == w[1] {
+                return Err(DeltaError::OverlappingWires { wire: w[0] });
+            }
+        }
+        let in_zero = |w: WireId| wz.binary_search(&w).is_ok();
+        let in_one = |w: WireId| wo.binary_search(&w).is_ok();
+        let mut used: Vec<WireId> = Vec::new();
+        for e in &gamma {
+            let crossing = (in_zero(e.a) && in_one(e.b)) || (in_one(e.a) && in_zero(e.b));
+            if !crossing {
+                return Err(DeltaError::GammaNotCrossing { a: e.a, b: e.b });
+            }
+            used.push(e.a);
+            used.push(e.b);
+        }
+        used.sort_unstable();
+        for w in used.windows(2) {
+            if w[0] == w[1] {
+                return Err(DeltaError::GammaWireReuse { wire: w[0] });
+            }
+        }
+        let height = zero.height() + 1;
+        Ok(FdNode::Split { gamma, zero: Box::new(zero), one: Box::new(one), wires, height })
+    }
+
+    /// Sorted wire set of this subtree.
+    pub fn wires_vec(&self) -> Vec<WireId> {
+        match self {
+            FdNode::Leaf(w) => vec![*w],
+            FdNode::Split { wires, .. } => wires.clone(),
+        }
+    }
+
+    /// Levels in this subtree.
+    pub fn height(&self) -> usize {
+        match self {
+            FdNode::Leaf(_) => 0,
+            FdNode::Split { height, .. } => *height,
+        }
+    }
+
+    fn collect_levels(&self, base: usize, levels: &mut [Vec<Element>]) {
+        if let FdNode::Split { gamma, zero, one, .. } = self {
+            // Forward orientation: this node's Γ is level `base`.
+            levels[base].extend(gamma.iter().copied());
+            zero.collect_levels(base + 1, levels);
+            one.collect_levels(base + 1, levels);
+        }
+    }
+}
+
+/// An `l`-level (forward) delta network on wires `0..2^l`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaNetwork {
+    root: FdNode,
+}
+
+impl DeltaNetwork {
+    /// Wraps a validated root whose wire set is `0..2^height`.
+    pub fn new(root: FdNode) -> Result<Self, DeltaError> {
+        let wires = root.wires_vec();
+        let expect: Vec<WireId> = (0..wires.len() as WireId).collect();
+        if wires != expect {
+            return Err(DeltaError::BadSplit { zero: wires.len(), one: 0 });
+        }
+        Ok(DeltaNetwork { root })
+    }
+
+    /// The recursion tree root.
+    pub fn root(&self) -> &FdNode {
+        &self.root
+    }
+
+    /// Number of levels.
+    pub fn levels(&self) -> usize {
+        self.root.height()
+    }
+
+    /// Number of wires.
+    pub fn wires(&self) -> usize {
+        1usize << self.root.height()
+    }
+
+    /// Flattens to a leveled network (level 1 is the root's `Γ`).
+    pub fn to_network(&self) -> ComparatorNetwork {
+        let l = self.levels();
+        let mut levels: Vec<Vec<Element>> = vec![Vec::new(); l];
+        self.root.collect_levels(0, &mut levels);
+        let levels = levels.into_iter().map(Level::of_elements).collect();
+        ComparatorNetwork::new(self.wires(), levels).expect("validated tree flattens cleanly")
+    }
+
+    /// The butterfly as a *forward* delta network: level `i` (1-based)
+    /// pairs wires differing in bit `l − i`, with the root split on bit
+    /// `l − 1` (the bit of its own first level).
+    pub fn butterfly(l: usize) -> Self {
+        fn build(l: usize, m: usize, fixed_mask: u32, fixed_bits: u32) -> FdNode {
+            if m == 0 {
+                return FdNode::Leaf(fixed_bits);
+            }
+            // This node's Γ is global level l-m+1, pairing bit m-1.
+            let split_bit = 1u32 << (m - 1);
+            let zero = build(l, m - 1, fixed_mask | split_bit, fixed_bits);
+            let one = build(l, m - 1, fixed_mask | split_bit, fixed_bits | split_bit);
+            let _ = (l, fixed_mask);
+            let width = 1u32 << m;
+            let mut gamma = Vec::with_capacity(width as usize / 2);
+            // The node's wires are fixed_bits | x for the free low m bits x
+            // (fixed_mask covers bits m..l-1 exactly).
+            for x in 0..width {
+                let w = fixed_bits | x;
+                if w & split_bit == 0 {
+                    gamma.push(Element { a: w, b: w | split_bit, kind: ElementKind::Cmp });
+                }
+            }
+            FdNode::split(gamma, zero, one).expect("butterfly split is valid")
+        }
+        if l == 0 {
+            return DeltaNetwork { root: FdNode::Leaf(0) };
+        }
+        DeltaNetwork::new(build(l, l, 0, 0)).expect("canonical frame")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReverseDelta;
+
+    #[test]
+    fn forward_butterfly_matches_reverse_butterfly() {
+        // Kruskal–Snir: the butterfly is both a delta and a reverse delta
+        // network. Our two constructions must flatten to the identical
+        // leveled network.
+        for l in 1..=5usize {
+            let fwd = DeltaNetwork::butterfly(l).to_network();
+            let rev = ReverseDelta::butterfly(l).to_network();
+            assert_eq!(fwd.depth(), rev.depth(), "l={l}");
+            for (i, (a, b)) in fwd.levels().iter().zip(rev.levels()).enumerate() {
+                let mut ea = a.elements.clone();
+                let mut eb = b.elements.clone();
+                ea.sort_by_key(|e| (e.a, e.b));
+                eb.sort_by_key(|e| (e.a, e.b));
+                assert_eq!(ea, eb, "l={l} level {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_root_gamma_is_first_level() {
+        let d = DeltaNetwork::butterfly(3);
+        let net = d.to_network();
+        // Level 1 pairs bit 2 (the root split of the forward recursion).
+        for e in &net.levels()[0].elements {
+            assert_eq!(e.a ^ e.b, 4);
+        }
+        // Level 3 pairs bit 0.
+        for e in &net.levels()[2].elements {
+            assert_eq!(e.a ^ e.b, 1);
+        }
+    }
+
+    #[test]
+    fn validation_mirrors_reverse_delta() {
+        let z = FdNode::Leaf(0);
+        let o = FdNode::Leaf(0);
+        assert!(matches!(
+            FdNode::split(vec![], z, o),
+            Err(DeltaError::OverlappingWires { wire: 0 })
+        ));
+        let z = FdNode::split(vec![], FdNode::Leaf(0), FdNode::Leaf(1)).unwrap();
+        let o = FdNode::split(vec![], FdNode::Leaf(2), FdNode::Leaf(3)).unwrap();
+        assert!(matches!(
+            FdNode::split(vec![Element::cmp(0, 1)], z, o),
+            Err(DeltaError::GammaNotCrossing { .. })
+        ));
+    }
+
+    #[test]
+    fn non_canonical_frame_rejected() {
+        let pair = FdNode::split(vec![], FdNode::Leaf(2), FdNode::Leaf(5)).unwrap();
+        assert!(DeltaNetwork::new(pair).is_err());
+    }
+
+    #[test]
+    fn zero_level_delta() {
+        let d = DeltaNetwork::butterfly(0);
+        assert_eq!(d.wires(), 1);
+        assert_eq!(d.levels(), 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # snet-topology — structured network families
+//!
+//! The network classes from the paper:
+//!
+//! * [`shuffle_net::ShuffleNetwork`] — networks based on the shuffle
+//!   permutation (`Π_i = σ` for all stages), the class of the paper's title;
+//! * [`delta::ReverseDelta`] — reverse delta networks with their recursion
+//!   tree (Definition 3.4), which the Section 4 adversary walks;
+//! * [`delta::IteratedReverseDelta`] — `(k, l)`-iterated reverse delta
+//!   networks, the slightly larger class the bound actually covers;
+//! * [`benes`] — Beneš `Pass`/`Swap` routing of arbitrary permutations,
+//!   substantiating the "inter-block permutations are free" argument of
+//!   Section 3.2;
+//! * [`random`] — seeded random family members for stress experiments;
+//! * [`forward`] — forward delta networks (butterfly = unique member of
+//!   both classes, Kruskal–Snir);
+//! * [`mixing`] — single-permutation comparison-closure analysis (§6);
+//! * [`ascend`] — strict-ascend algorithms (prefix scan, FFT schedule)
+//!   that motivate shuffle-only machines.
+//!
+//! ## Example
+//!
+//! ```
+//! use snet_topology::{ReverseDelta, ShuffleNetwork};
+//!
+//! // lg n all-`+` shuffle stages form the canonical butterfly.
+//! let sn = ShuffleNetwork::all_plus(8, 3);
+//! let ird = sn.to_iterated_reverse_delta();
+//! assert_eq!(ird.block_count(), 1);
+//! assert_eq!(ird.blocks()[0].rdn.to_network().size(),
+//!            ReverseDelta::butterfly(3).to_network().size());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ascend;
+pub mod benes;
+pub mod delta;
+pub mod forward;
+pub mod hypercube;
+pub mod mixing;
+pub mod random;
+pub mod recognize;
+pub mod shuffle_net;
+
+pub use delta::{Block, DeltaError, IteratedReverseDelta, RdNode, ReverseDelta};
+pub use forward::{DeltaNetwork, FdNode};
+pub use shuffle_net::ShuffleNetwork;

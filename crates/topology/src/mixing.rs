@@ -1,0 +1,251 @@
+//! Mixing analysis for networks based on a *single* permutation — a probe
+//! of the Section 6 open question ("does any small-depth sorting network
+//! based on a single permutation exist?").
+//!
+//! In the register model with `Π_i = ρ` for all `i`, the value initially
+//! at register `w` can, after `t` stages, occupy exactly the registers in
+//! a reachability set `R_t(w)`: each stage routes by `ρ` and then may or
+//! may not exchange within the pairs `(2k, 2k+1)`.
+//!
+//! **Necessary condition for sorting** (the §2 observation, wire-ified):
+//! for every wire pair `(w, w')` there must be *some* stage at which the
+//! two values can sit in the same register pair — otherwise the input
+//! placing adjacent values `m, m+1` on `w, w'` admits an undetectable
+//! swap, so no `d`-stage network based on `ρ` sorts. Hence
+//! [`comparison_closure_depth`] is a *lower bound on the depth of every
+//! sorting network based on `ρ`*, and `None` (closure never completes)
+//! means **no** sorting network based on `ρ` exists at any depth.
+
+use snet_core::perm::Permutation;
+
+/// Reachability sets after `t` stages: `sets[w]` is a bitmask-backed set of
+/// registers the value starting at `w` can occupy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reachability {
+    n: usize,
+    words: usize,
+    /// `bits[w * words ..][..]`: bitset over registers for origin `w`.
+    bits: Vec<u64>,
+}
+
+impl Reachability {
+    /// Initial state: every value sits at its own register.
+    pub fn identity(n: usize) -> Self {
+        let words = n.div_ceil(64);
+        let mut bits = vec![0u64; n * words];
+        for w in 0..n {
+            bits[w * words + w / 64] |= 1 << (w % 64);
+        }
+        Reachability { n, words, bits }
+    }
+
+    /// True iff origin `w`'s value can be at register `r`.
+    pub fn can_be_at(&self, w: usize, r: usize) -> bool {
+        self.bits[w * self.words + r / 64] >> (r % 64) & 1 == 1
+    }
+
+    /// Number of registers reachable from origin `w`.
+    pub fn spread(&self, w: usize) -> usize {
+        self.bits[w * self.words..(w + 1) * self.words]
+            .iter()
+            .map(|x| x.count_ones() as usize)
+            .sum()
+    }
+
+    /// Advances one stage: route by `rho`, then close under the optional
+    /// exchange within pairs `(2k, 2k+1)`.
+    pub fn step(&mut self, rho: &Permutation) {
+        assert_eq!(rho.len(), self.n);
+        let words = self.words;
+        let mut next = vec![0u64; self.bits.len()];
+        for w in 0..self.n {
+            let src = &self.bits[w * words..(w + 1) * words];
+            let dst = &mut next[w * words..(w + 1) * words];
+            for r in 0..self.n {
+                if src[r / 64] >> (r % 64) & 1 == 1 {
+                    let routed = rho.apply(r);
+                    let partner = routed ^ 1;
+                    dst[routed / 64] |= 1 << (routed % 64);
+                    if partner < self.n {
+                        dst[partner / 64] |= 1 << (partner % 64);
+                    }
+                }
+            }
+        }
+        self.bits = next;
+    }
+
+}
+
+/// Accumulates, across stages, which origin pairs have become comparable.
+#[derive(Debug, Clone)]
+pub struct PairHistory {
+    n: usize,
+    /// Upper-triangle booleans, row-major.
+    seen: Vec<bool>,
+}
+
+impl PairHistory {
+    /// No pairs seen yet.
+    pub fn new(n: usize) -> Self {
+        PairHistory { n, seen: vec![false; n * n] }
+    }
+
+    fn idx(&self, a: usize, b: usize) -> usize {
+        let (a, b) = (a.min(b), a.max(b));
+        a * self.n + b
+    }
+
+    /// Marks every origin pair that can co-locate in a register pair at the
+    /// *current* reachability state (post-route, pre-exchange of the next
+    /// stage — i.e. the moment a comparator could fire).
+    pub fn absorb(&mut self, reach: &Reachability) {
+        // For each register pair (2k, 2k+1), the origins that can reach 2k
+        // and those that can reach 2k+1 are mutually comparable.
+        let n = self.n;
+        for k in 0..n / 2 {
+            let (lo, hi) = (2 * k, 2 * k + 1);
+            let reach_lo: Vec<usize> = (0..n).filter(|&w| reach.can_be_at(w, lo)).collect();
+            let reach_hi: Vec<usize> = (0..n).filter(|&w| reach.can_be_at(w, hi)).collect();
+            for &a in &reach_lo {
+                for &b in &reach_hi {
+                    if a != b {
+                        let i = self.idx(a, b);
+                        self.seen[i] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// True iff every distinct pair has been comparable at some stage.
+    pub fn complete(&self) -> bool {
+        for a in 0..self.n {
+            for b in a + 1..self.n {
+                if !self.seen[a * self.n + b] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of distinct pairs still never comparable.
+    pub fn missing(&self) -> usize {
+        let mut miss = 0;
+        for a in 0..self.n {
+            for b in a + 1..self.n {
+                if !self.seen[a * self.n + b] {
+                    miss += 1;
+                }
+            }
+        }
+        miss
+    }
+}
+
+/// The smallest number of stages `t` such that every wire pair has been
+/// comparable at some stage `≤ t` in networks based on `ρ` — a **lower
+/// bound on the depth of any sorting network based on `ρ`**. Returns
+/// `None` if the closure stops growing before completing (then no sorting
+/// network based on `ρ` exists at any depth).
+///
+/// `max_t` caps the search (reachability stabilizes within `O(n)` stages;
+/// `2n` is always enough as a cap for detection via fixpoint).
+pub fn comparison_closure_depth(rho: &Permutation, max_t: usize) -> Option<usize> {
+    let n = rho.len();
+    if n < 2 {
+        return Some(0);
+    }
+    let mut reach = Reachability::identity(n);
+    let mut history = PairHistory::new(n);
+    let mut last_missing = usize::MAX;
+    let mut stagnant = 0usize;
+    for t in 1..=max_t {
+        reach.step(rho);
+        history.absorb(&reach);
+        if history.complete() {
+            return Some(t);
+        }
+        let miss = history.missing();
+        if miss == last_missing {
+            stagnant += 1;
+            // The pair (reachability, history) evolves monotonically in a
+            // finite lattice; once nothing changes for n consecutive steps
+            // and every spread is saturated, no future progress is possible.
+            if stagnant > n && (0..n).all(|w| spread_stable(&reach, rho, w)) {
+                return None;
+            }
+        } else {
+            stagnant = 0;
+            last_missing = miss;
+        }
+    }
+    None
+}
+
+fn spread_stable(reach: &Reachability, rho: &Permutation, w: usize) -> bool {
+    let mut next = reach.clone();
+    next.step(rho);
+    next.spread(w) == reach.spread(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuffle_closure_is_about_lg_n() {
+        for l in 2..=6usize {
+            let n = 1 << l;
+            let t = comparison_closure_depth(&Permutation::shuffle(n), 4 * n)
+                .expect("shuffle mixes completely");
+            assert!(
+                t >= l && t <= 2 * l,
+                "n={n}: closure depth {t} should be within [lg n, 2 lg n]"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_never_closes() {
+        // Π = id: values can only oscillate within their own pair.
+        let n = 8;
+        assert_eq!(comparison_closure_depth(&Permutation::identity(n), 200), None);
+    }
+
+    #[test]
+    fn bit_reversal_never_closes() {
+        // Order-2 permutation: orbits are tiny; most pairs never meet.
+        let n = 16;
+        assert_eq!(comparison_closure_depth(&Permutation::bit_reversal(n), 400), None);
+    }
+
+    #[test]
+    fn n_two_is_trivial() {
+        assert_eq!(comparison_closure_depth(&Permutation::identity(2), 10), Some(1));
+    }
+
+    #[test]
+    fn reachability_spreads_monotonically_under_shuffle() {
+        let n = 16;
+        let rho = Permutation::shuffle(n);
+        let mut reach = Reachability::identity(n);
+        let mut prev = 1;
+        for _ in 0..6 {
+            reach.step(&rho);
+            let s = reach.spread(0);
+            assert!(s >= prev, "spread never shrinks");
+            prev = s;
+        }
+        assert_eq!(prev, n, "shuffle spreads a value everywhere in lg n + O(1) stages");
+    }
+
+    #[test]
+    fn closure_depth_lower_bounds_real_sorters() {
+        // The bitonic shuffle sorter has depth lg² n ≥ closure depth of σ.
+        let n = 16;
+        let t = comparison_closure_depth(&Permutation::shuffle(n), 100).unwrap();
+        assert!(t <= 16, "lg²n = 16 must dominate the closure bound, got {t}");
+    }
+}

@@ -1,0 +1,235 @@
+//! Seeded random members of the network families, used to stress the
+//! adversary: the lower bound must defeat *every* iterated reverse delta
+//! network, so the experiments sample widely from the class.
+
+use crate::delta::{Block, IteratedReverseDelta, RdNode, ReverseDelta};
+use crate::shuffle_net::ShuffleNetwork;
+use rand::Rng;
+use snet_core::element::{Element, ElementKind, WireId};
+use snet_core::perm::Permutation;
+
+/// How the wire set is partitioned at each recursion level of a random
+/// reverse delta network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitStyle {
+    /// Split on address bits (bit 0 at the root, like shuffle blocks).
+    BitSplit,
+    /// Uniformly random balanced partitions (the full generality of
+    /// Definition 3.4, which allows arbitrary disjoint subnetworks).
+    FreeSplit,
+}
+
+/// Parameters for random reverse delta generation.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomDeltaConfig {
+    /// Partitioning style per split.
+    pub split: SplitStyle,
+    /// Probability that a potential `Γ` slot holds a comparator.
+    pub comparator_density: f64,
+    /// Probability that a comparator is `-` rather than `+`.
+    pub reverse_bias: f64,
+    /// Probability that a non-comparator slot is `Swap` rather than absent.
+    pub swap_density: f64,
+}
+
+impl Default for RandomDeltaConfig {
+    fn default() -> Self {
+        RandomDeltaConfig {
+            split: SplitStyle::BitSplit,
+            comparator_density: 1.0,
+            reverse_bias: 0.5,
+            swap_density: 0.0,
+        }
+    }
+}
+
+/// Generates a random `l`-level reverse delta network on wires `0..2^l`.
+pub fn random_reverse_delta<R: Rng>(
+    l: usize,
+    cfg: &RandomDeltaConfig,
+    rng: &mut R,
+) -> ReverseDelta {
+    let wires: Vec<WireId> = (0..(1u32 << l)).collect();
+    let root = gen_node(&wires, cfg, rng);
+    ReverseDelta::new(root).expect("generated tree is canonical")
+}
+
+fn gen_node<R: Rng>(wires: &[WireId], cfg: &RandomDeltaConfig, rng: &mut R) -> RdNode {
+    if wires.len() == 1 {
+        return RdNode::Leaf(wires[0]);
+    }
+    let half = wires.len() / 2;
+    let (zero_wires, one_wires): (Vec<WireId>, Vec<WireId>) = match cfg.split {
+        SplitStyle::BitSplit => {
+            // Split by the lowest bit that distinguishes elements of this
+            // set under the canonical construction: even positions in the
+            // sorted order go left. For the root of a full network this is
+            // bit 0; recursively it matches the shuffle-block structure.
+            let zero = wires.iter().step_by(2).copied().collect();
+            let one = wires.iter().skip(1).step_by(2).copied().collect();
+            (zero, one)
+        }
+        SplitStyle::FreeSplit => {
+            let mut shuffled = wires.to_vec();
+            for i in (1..shuffled.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                shuffled.swap(i, j);
+            }
+            let mut zero = shuffled[..half].to_vec();
+            let mut one = shuffled[half..].to_vec();
+            zero.sort_unstable();
+            one.sort_unstable();
+            (zero, one)
+        }
+    };
+    let zero = gen_node(&zero_wires, cfg, rng);
+    let one = gen_node(&one_wires, cfg, rng);
+    // Γ: a random partial matching between the two sides.
+    let mut left = zero_wires.clone();
+    let mut right = one_wires.clone();
+    for i in (1..left.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        left.swap(i, j);
+    }
+    for i in (1..right.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        right.swap(i, j);
+    }
+    let mut gamma = Vec::with_capacity(half);
+    for (&a, &b) in left.iter().zip(right.iter()) {
+        if rng.gen_bool(cfg.comparator_density) {
+            let kind =
+                if rng.gen_bool(cfg.reverse_bias) { ElementKind::CmpRev } else { ElementKind::Cmp };
+            gamma.push(Element { a, b, kind });
+        } else if rng.gen_bool(cfg.swap_density) {
+            gamma.push(Element { a, b, kind: ElementKind::Swap });
+        }
+    }
+    RdNode::split(zero, one, gamma).expect("generated split is valid")
+}
+
+/// Generates a random `(k, l)`-iterated reverse delta network with random
+/// inter-block permutations.
+pub fn random_iterated<R: Rng>(
+    k: usize,
+    l: usize,
+    cfg: &RandomDeltaConfig,
+    with_routes: bool,
+    rng: &mut R,
+) -> IteratedReverseDelta {
+    let n = 1usize << l;
+    let blocks = (0..k)
+        .map(|i| Block {
+            pre_route: if with_routes && i > 0 {
+                Some(Permutation::random(n, rng))
+            } else {
+                None
+            },
+            rdn: random_reverse_delta(l, cfg, rng),
+        })
+        .collect();
+    IteratedReverseDelta::new(blocks, None)
+}
+
+/// Generates a random shuffle-based network of `d` stages.
+pub fn random_shuffle_network<R: Rng>(
+    n: usize,
+    d: usize,
+    comparator_density: f64,
+    rng: &mut R,
+) -> ShuffleNetwork {
+    let stages = (0..d)
+        .map(|_| {
+            (0..n / 2)
+                .map(|_| {
+                    if rng.gen_bool(comparator_density) {
+                        if rng.gen_bool(0.5) {
+                            ElementKind::Cmp
+                        } else {
+                            ElementKind::CmpRev
+                        }
+                    } else if rng.gen_bool(0.5) {
+                        ElementKind::Swap
+                    } else {
+                        ElementKind::Pass
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    ShuffleNetwork::new(n, stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bit_split_random_delta_is_valid() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        for l in 1..=6 {
+            let rdn = random_reverse_delta(l, &RandomDeltaConfig::default(), &mut rng);
+            assert_eq!(rdn.levels(), l);
+            assert_eq!(rdn.wires(), 1 << l);
+            // Full density: every level fully populated.
+            assert_eq!(rdn.size(), l << (l - 1));
+            let net = rdn.to_network();
+            assert_eq!(net.depth(), l);
+        }
+    }
+
+    #[test]
+    fn free_split_random_delta_is_valid() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let cfg = RandomDeltaConfig {
+            split: SplitStyle::FreeSplit,
+            comparator_density: 0.7,
+            reverse_bias: 0.3,
+            swap_density: 0.5,
+        };
+        for l in 1..=6 {
+            let rdn = random_reverse_delta(l, &cfg, &mut rng);
+            assert_eq!(rdn.levels(), l);
+            // Evaluation works (structure validated on construction).
+            let input: Vec<u32> = (0..(1u32 << l)).rev().collect();
+            let out = rdn.to_network().evaluate(&input);
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            let expect: Vec<u32> = (0..(1u32 << l)).collect();
+            assert_eq!(sorted, expect, "network permutes its input");
+        }
+    }
+
+    #[test]
+    fn random_iterated_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let ird = random_iterated(3, 4, &RandomDeltaConfig::default(), true, &mut rng);
+        assert_eq!(ird.block_count(), 3);
+        assert_eq!(ird.comparator_depth(), 12);
+        assert!(ird.blocks()[0].pre_route.is_none());
+        assert!(ird.blocks()[1].pre_route.is_some());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = RandomDeltaConfig::default();
+        let a = {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+            random_reverse_delta(5, &cfg, &mut rng)
+        };
+        let b = {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+            random_reverse_delta(5, &cfg, &mut rng)
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_shuffle_network_embeds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let sn = random_shuffle_network(16, 9, 0.8, &mut rng);
+        let ird = sn.to_iterated_reverse_delta();
+        assert_eq!(ird.block_count(), 3);
+    }
+}

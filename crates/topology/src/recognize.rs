@@ -1,0 +1,446 @@
+//! Recognition: deciding whether a flat leveled circuit *is* an (iterated)
+//! reverse delta network, and reconstructing the recursion tree if so.
+//!
+//! The adversary needs the `Δ = (Δ₀ ⊕ Δ₁) ⊗ Γ` split structure, which a
+//! flat [`ComparatorNetwork`] does not carry. [`recognize_reverse_delta`]
+//! rebuilds it: the last level's elements must cross the two subnetworks
+//! and all earlier levels must stay inside one — a system of same-side /
+//! opposite-side constraints solved by 2-coloring the constraint graph's
+//! components and then assembling components into two exactly-equal halves
+//! with a subset-sum DP (any consistent assembly yields a valid tree, and
+//! any valid tree suffices for the lower bound).
+//!
+//! [`recognize_iterated`] chops a depth-`k·lg n` circuit into `lg n`-level
+//! blocks and recognizes each, yielding an [`IteratedReverseDelta`] ready
+//! for `snet_adversary::theorem41`.
+//!
+//! The recognizer is **sound but not complete**: a returned tree is always
+//! a valid Definition 3.4 structure flattening back to the input circuit,
+//! but the greedy top-level split is not backtracked, so a recognizable
+//! circuit could in principle be rejected when only a different balanced
+//! split recurses successfully. All tested members of the class recognize.
+//!
+//! Notable find: the Dowd–Perl–Rudolph–Saks *balanced block* (reflection
+//! pairing) recognizes as a reverse delta network — so the periodic
+//! balanced sorter is an iterated reverse delta network and the paper's
+//! lower bound covers it (cross-checked end-to-end in the integration
+//! tests: the adversary drives its |D| to exactly 1, as it must for a
+//! verified sorter).
+
+use crate::delta::{Block, IteratedReverseDelta, RdNode, ReverseDelta};
+use snet_core::element::{Element, WireId};
+use snet_core::network::ComparatorNetwork;
+
+/// Why recognition failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecognizeError {
+    /// The network has routing levels (only route-free circuits are
+    /// considered; fold routes into the free inter-block permutations
+    /// instead).
+    HasRoutes,
+    /// Depth is not (a multiple of) `lg n`.
+    BadDepth {
+        /// Actual depth.
+        depth: usize,
+        /// Required block depth `lg n`.
+        block: usize,
+    },
+    /// The same-side/cross-side constraints are contradictory.
+    Contradiction,
+    /// The constraint components cannot be assembled into two equal halves.
+    Unbalanced,
+    /// Wire count is not a power of two.
+    BadWidth,
+}
+
+impl std::fmt::Display for RecognizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecognizeError::HasRoutes => write!(f, "network has routing levels"),
+            RecognizeError::BadDepth { depth, block } => {
+                write!(f, "depth {depth} is not a multiple of lg n = {block}")
+            }
+            RecognizeError::Contradiction => write!(f, "side constraints are contradictory"),
+            RecognizeError::Unbalanced => write!(f, "components cannot form equal halves"),
+            RecognizeError::BadWidth => write!(f, "wire count is not a power of two"),
+        }
+    }
+}
+
+impl std::error::Error for RecognizeError {}
+
+/// Recursively reconstructs a reverse-delta tree over `wires` using the
+/// element levels `levels[..height]` (level `height-1` is this node's `Γ`).
+fn build_tree(
+    wires: &[WireId],
+    levels: &[Vec<Element>],
+    height: usize,
+) -> Result<RdNode, RecognizeError> {
+    if height == 0 {
+        debug_assert_eq!(wires.len(), 1);
+        return Ok(RdNode::Leaf(wires[0]));
+    }
+    let n = wires.len();
+    let idx_of = |w: WireId| wires.binary_search(&w).expect("element wires inside range");
+
+    // Constraint graph: same[u][v] via levels 0..height-1, cross via the
+    // last level. 2-color with a DFS (color = side).
+    let mut adj: Vec<Vec<(usize, bool)>> = vec![Vec::new(); n]; // (other, is_cross)
+    for level in &levels[..height - 1] {
+        for e in level {
+            let (a, b) = (idx_of(e.a), idx_of(e.b));
+            adj[a].push((b, false));
+            adj[b].push((a, false));
+        }
+    }
+    for e in &levels[height - 1] {
+        let (a, b) = (idx_of(e.a), idx_of(e.b));
+        adj[a].push((b, true));
+        adj[b].push((a, true));
+    }
+    let mut color: Vec<Option<bool>> = vec![None; n];
+    // Components as (wires on color=false, wires on color=true).
+    let mut components: Vec<(Vec<usize>, Vec<usize>)> = Vec::new();
+    for start in 0..n {
+        if color[start].is_some() {
+            continue;
+        }
+        let mut comp = (Vec::new(), Vec::new());
+        let mut stack = vec![start];
+        color[start] = Some(false);
+        while let Some(u) = stack.pop() {
+            let cu = color[u].unwrap();
+            if cu {
+                comp.1.push(u);
+            } else {
+                comp.0.push(u);
+            }
+            for &(v, is_cross) in &adj[u] {
+                let want = cu ^ is_cross;
+                match color[v] {
+                    None => {
+                        color[v] = Some(want);
+                        stack.push(v);
+                    }
+                    Some(cv) if cv != want => return Err(RecognizeError::Contradiction),
+                    _ => {}
+                }
+            }
+        }
+        components.push(comp);
+    }
+
+    // Assemble components into halves of exactly n/2: subset-sum DP over
+    // "wires contributed to side 0 if the component is taken as-is vs
+    // flipped". Taking component i as-is contributes |comp.0| to side 0;
+    // flipped contributes |comp.1|.
+    let half = n / 2;
+    // dp[s] = Some(choices) reaching side-0 size s.
+    let mut dp: Vec<Option<Vec<bool>>> = vec![None; half + 1];
+    dp[0] = Some(Vec::new());
+    for comp in &components {
+        let (a, b) = (comp.0.len(), comp.1.len());
+        let mut next: Vec<Option<Vec<bool>>> = vec![None; half + 1];
+        for (s, choices) in dp.iter().enumerate() {
+            let Some(choices) = choices else { continue };
+            for (flip, add) in [(false, a), (true, b)] {
+                let s2 = s + add;
+                if s2 <= half && next[s2].is_none() {
+                    let mut c = choices.clone();
+                    c.push(flip);
+                    next[s2] = Some(c);
+                }
+            }
+        }
+        dp = next;
+    }
+    let choices = dp[half].take().ok_or(RecognizeError::Unbalanced)?;
+
+    let mut side0: Vec<WireId> = Vec::with_capacity(half);
+    let mut side1: Vec<WireId> = Vec::with_capacity(half);
+    for (comp, flip) in components.iter().zip(&choices) {
+        let (zero_part, one_part) = if *flip { (&comp.1, &comp.0) } else { (&comp.0, &comp.1) };
+        side0.extend(zero_part.iter().map(|&i| wires[i]));
+        side1.extend(one_part.iter().map(|&i| wires[i]));
+    }
+    side0.sort_unstable();
+    side1.sort_unstable();
+
+    // Partition earlier levels by side and recurse.
+    let in_side0 = |w: WireId| side0.binary_search(&w).is_ok();
+    let mut levels0: Vec<Vec<Element>> = vec![Vec::new(); height - 1];
+    let mut levels1: Vec<Vec<Element>> = vec![Vec::new(); height - 1];
+    for (li, level) in levels[..height - 1].iter().enumerate() {
+        for e in level {
+            if in_side0(e.a) {
+                levels0[li].push(*e);
+            } else {
+                levels1[li].push(*e);
+            }
+        }
+    }
+    let zero = build_tree(&side0, &levels0, height - 1)?;
+    let one = build_tree(&side1, &levels1, height - 1)?;
+    RdNode::split(zero, one, levels[height - 1].clone())
+        .map_err(|_| RecognizeError::Contradiction)
+}
+
+/// Attempts to reconstruct a reverse-delta tree from a route-free
+/// `lg n`-level circuit.
+pub fn recognize_reverse_delta(net: &ComparatorNetwork) -> Result<ReverseDelta, RecognizeError> {
+    let n = net.wires();
+    if !n.is_power_of_two() || n < 2 {
+        return Err(RecognizeError::BadWidth);
+    }
+    let l = n.trailing_zeros() as usize;
+    if net.levels().iter().any(|lv| lv.route.is_some()) {
+        return Err(RecognizeError::HasRoutes);
+    }
+    if net.depth() != l {
+        return Err(RecognizeError::BadDepth { depth: net.depth(), block: l });
+    }
+    let wires: Vec<WireId> = (0..n as WireId).collect();
+    let levels: Vec<Vec<Element>> =
+        net.levels().iter().map(|lv| lv.elements.clone()).collect();
+    let root = build_tree(&wires, &levels, l)?;
+    ReverseDelta::new(root).map_err(|_| RecognizeError::Contradiction)
+}
+
+/// Attempts to reconstruct an iterated reverse delta network from a
+/// route-free circuit of depth `k · lg n`.
+pub fn recognize_iterated(
+    net: &ComparatorNetwork,
+) -> Result<IteratedReverseDelta, RecognizeError> {
+    let n = net.wires();
+    if !n.is_power_of_two() || n < 2 {
+        return Err(RecognizeError::BadWidth);
+    }
+    let l = n.trailing_zeros() as usize;
+    if net.levels().iter().any(|lv| lv.route.is_some()) {
+        return Err(RecognizeError::HasRoutes);
+    }
+    if !net.depth().is_multiple_of(l) || net.depth() == 0 {
+        return Err(RecognizeError::BadDepth { depth: net.depth(), block: l });
+    }
+    let mut blocks = Vec::new();
+    for chunk in net.levels().chunks(l) {
+        let block_net = ComparatorNetwork::new(n, chunk.to_vec()).expect("valid sub-levels");
+        blocks.push(Block { pre_route: None, rdn: recognize_reverse_delta(&block_net)? });
+    }
+    Ok(IteratedReverseDelta::new(blocks, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{random_reverse_delta, RandomDeltaConfig, SplitStyle};
+    use rand::SeedableRng;
+
+    fn same_behaviour(a: &ComparatorNetwork, b: &ComparatorNetwork, seed: u64) -> bool {
+        use snet_core::perm::Permutation;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..30).all(|_| {
+            let input: Vec<u32> =
+                Permutation::random(a.wires(), &mut rng).images().to_vec();
+            a.evaluate(&input) == b.evaluate(&input)
+        })
+    }
+
+    #[test]
+    fn recognizes_butterflies() {
+        for l in 1..=6usize {
+            let bf = ReverseDelta::butterfly(l);
+            let flat = bf.to_network();
+            let rec = recognize_reverse_delta(&flat).unwrap();
+            assert!(same_behaviour(&rec.to_network(), &flat, l as u64));
+            assert_eq!(rec.levels(), l);
+        }
+    }
+
+    #[test]
+    fn recognizes_random_free_split_trees() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let cfg = RandomDeltaConfig {
+            split: SplitStyle::FreeSplit,
+            comparator_density: 0.8,
+            reverse_bias: 0.4,
+            swap_density: 0.3,
+        };
+        for l in 2..=6usize {
+            for t in 0..5 {
+                let rdn = random_reverse_delta(l, &cfg, &mut rng);
+                let flat = rdn.to_network();
+                let rec = recognize_reverse_delta(&flat)
+                    .unwrap_or_else(|e| panic!("l={l} t={t}: {e}"));
+                // The recovered tree may differ from the original, but its
+                // flattening must be the same circuit (same levels).
+                assert!(same_behaviour(&rec.to_network(), &flat, (l * 10 + t) as u64));
+                let (a, b) = (rec.to_network(), flat);
+                for (la, lb) in a.levels().iter().zip(b.levels()) {
+                    let mut ea = la.elements.clone();
+                    let mut eb = lb.elements.clone();
+                    ea.sort_by_key(|e| (e.a.min(e.b), e.a.max(e.b)));
+                    eb.sort_by_key(|e| (e.a.min(e.b), e.a.max(e.b)));
+                    assert_eq!(ea, eb);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recognizes_the_periodic_balanced_block() {
+        // Discovery made by this very function: the Dowd–Perl–Rudolph–Saks
+        // balanced block (reflection pairing x ↔ x XOR (2^{l-t+1}-1)) *is*
+        // a reverse delta network, so the paper's bound covers the whole
+        // periodic balanced sorter as well.
+        let net = snet_periodic(8);
+        let rec = recognize_reverse_delta(&net).unwrap();
+        assert_eq!(rec.levels(), 3);
+        // Flattening reproduces the block.
+        for (la, lb) in rec.to_network().levels().iter().zip(net.levels()) {
+            let mut ea = la.elements.clone();
+            let mut eb = lb.elements.clone();
+            ea.sort_by_key(|e| (e.a.min(e.b), e.a.max(e.b)));
+            eb.sort_by_key(|e| (e.a.min(e.b), e.a.max(e.b)));
+            assert_eq!(ea, eb);
+        }
+    }
+
+    // Local copy to avoid a cyclic dev-dependency on snet-sorters.
+    fn snet_periodic(n: usize) -> ComparatorNetwork {
+        let l = n.trailing_zeros() as usize;
+        let mut net = ComparatorNetwork::empty(n);
+        for t in 1..=l {
+            let mask = (1u32 << (l - t + 1)) - 1;
+            let elements: Vec<Element> = (0..n as u32)
+                .filter(|&x| (x ^ mask) > x)
+                .map(|x| Element::cmp(x, x ^ mask))
+                .collect();
+            net.push_elements(elements).unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn rejects_contradictory_circuits() {
+        // (0,1) same-side at level 1 but cross-side at the last level.
+        let net = ComparatorNetwork::new(
+            8,
+            vec![
+                snet_core::network::Level::of_elements(vec![Element::cmp(0, 1)]),
+                snet_core::network::Level::of_elements(vec![]),
+                snet_core::network::Level::of_elements(vec![Element::cmp(0, 1)]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(recognize_reverse_delta(&net), Err(RecognizeError::Contradiction));
+    }
+
+    #[test]
+    fn rejects_unbalanced_circuits() {
+        // {0,1,2} forced same-side, 3 forced opposite: 3 vs 1 cannot halve.
+        let net = ComparatorNetwork::new(
+            4,
+            vec![
+                snet_core::network::Level::of_elements(vec![
+                    Element::cmp(0, 1),
+                    Element::cmp(2, 3),
+                ]),
+                snet_core::network::Level::of_elements(vec![]),
+            ],
+        )
+        .unwrap();
+        // Constraints: 0~1 same, 2~3 same, last level empty: balanced split
+        // exists ({0,1} vs {2,3}) — recognize must succeed here...
+        assert!(recognize_reverse_delta(&net).is_ok());
+        // ...but forcing {0,1,2} together against {3} cannot balance.
+        let net = ComparatorNetwork::new(
+            4,
+            vec![
+                snet_core::network::Level::of_elements(vec![Element::cmp(0, 1)]),
+                snet_core::network::Level::of_elements(vec![Element::cmp(1, 2)]),
+            ],
+        )
+        .unwrap();
+        // Here level 2 is the Γ: 1≠2 cross; level 1: 0~1 same. Components:
+        // {0,1} and {2}: sides sizes could be 2 vs 1 with wire 3 free —
+        // 3 joins the {2} side: 2+2? {0,1} vs {2,3}: balanced and valid!
+        assert!(recognize_reverse_delta(&net).is_ok());
+        // A genuinely unbalanceable instance: chain 0~1~2 same-side.
+        let net = ComparatorNetwork::new(
+            4,
+            vec![
+                snet_core::network::Level::of_elements(vec![Element::cmp(0, 1)]),
+                snet_core::network::Level::of_elements(vec![Element::cmp(1, 2)]),
+                snet_core::network::Level::of_elements(vec![]),
+            ],
+        )
+        .unwrap();
+        // Depth 3 ≠ lg 4 = 2: rejected on shape before balance even runs.
+        assert!(matches!(
+            recognize_reverse_delta(&net),
+            Err(RecognizeError::BadDepth { .. })
+        ));
+        let net = ComparatorNetwork::new(
+            4,
+            vec![
+                snet_core::network::Level::of_elements(vec![
+                    Element::cmp(0, 1),
+                    Element::cmp(2, 3),
+                ]),
+                snet_core::network::Level::of_elements(vec![Element::cmp(1, 2)]),
+            ],
+        )
+        .unwrap();
+        // 0~1 same, 2~3 same, 1≠2 cross: sides {0,1} vs {2,3} — valid.
+        assert!(recognize_reverse_delta(&net).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let net = ComparatorNetwork::empty(8); // depth 0 ≠ 3
+        assert!(matches!(
+            recognize_reverse_delta(&net),
+            Err(RecognizeError::BadDepth { .. })
+        ));
+        let net = ComparatorNetwork::empty(6);
+        assert_eq!(recognize_reverse_delta(&net), Err(RecognizeError::BadWidth));
+    }
+
+    #[test]
+    fn recognize_iterated_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let cfg = RandomDeltaConfig {
+            split: SplitStyle::BitSplit,
+            comparator_density: 1.0,
+            reverse_bias: 0.5,
+            swap_density: 0.0,
+        };
+        let l = 4usize;
+        let blocks: Vec<Block> = (0..3)
+            .map(|_| Block { pre_route: None, rdn: random_reverse_delta(l, &cfg, &mut rng) })
+            .collect();
+        let ird = IteratedReverseDelta::new(blocks, None);
+        let flat = ird.to_network();
+        let rec = recognize_iterated(&flat).unwrap();
+        assert_eq!(rec.block_count(), 3);
+        assert!(same_behaviour(&rec.to_network(), &flat, 77));
+    }
+
+    #[test]
+    fn underconstrained_levels_still_recognize() {
+        // A network with empty early levels: the DP is free to pick any
+        // balanced split, and must succeed.
+        let net = ComparatorNetwork::new(
+            8,
+            vec![
+                snet_core::network::Level::of_elements(vec![]),
+                snet_core::network::Level::of_elements(vec![]),
+                snet_core::network::Level::of_elements(vec![Element::cmp(0, 1)]),
+            ],
+        )
+        .unwrap();
+        let rec = recognize_reverse_delta(&net).unwrap();
+        assert_eq!(rec.levels(), 3);
+    }
+}

@@ -1,0 +1,120 @@
+//! Integration coverage for the Section 5 extensions: adaptive games at
+//! depth, truncated-block networks end to end, and the witness
+//! indistinguishability classes under fuzzing.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use snet_adversary::adaptive::AdaptiveRun;
+use snet_adversary::truncated::{truncated_adversary, TruncatedNetwork};
+use snet_adversary::witness::IndistinguishableClass;
+use snet_adversary::{refute, theorem41};
+use snet_core::element::ElementKind;
+use snet_sorters::bitonic_shuffle;
+
+#[test]
+fn adaptive_builder_playing_bitonic_wins_exactly_at_full_depth() {
+    // A builder playing the true bitonic stage schedule must drive |D| to 1
+    // — but only once all lg n blocks have been played.
+    let l = 4usize;
+    let n = 1usize << l;
+    let stages = bitonic_shuffle(n);
+    let mut run = AdaptiveRun::new(n, l);
+    for ops in stages.stages() {
+        run.submit_stage(ops);
+    }
+    let out = run.finish();
+    assert_eq!(out.d_set.len(), 1, "the adaptive analysis agrees bitonic sorts");
+    assert!(out.refutation.is_none());
+
+    // One stage short: refuted.
+    let mut run = AdaptiveRun::new(n, l);
+    for ops in &stages.stages()[..l * l - 1] {
+        run.submit_stage(ops);
+    }
+    let out = run.finish();
+    assert!(out.d_set.len() >= 2);
+    out.refutation.expect("prefix refuted").verify(&out.fixed_network).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+
+    #[test]
+    fn adaptive_deep_games_stay_consistent(seed in 0u64..100_000, extra in 0usize..9) {
+        // Deep adaptive games (up to 4 blocks + partial) against a builder
+        // that keys every stage off the full outcome history hash; finish()
+        // panics on any revealed-outcome inconsistency.
+        let l = 4usize;
+        let n = 1usize << l;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut run = AdaptiveRun::new(n, 2);
+        let mut hash = seed;
+        for _ in 0..(3 * l + extra) {
+            let ops: Vec<ElementKind> = (0..n / 2)
+                .map(|k| match (hash.wrapping_add(k as u64)) % 5 {
+                    0 | 1 => ElementKind::Cmp,
+                    2 => ElementKind::CmpRev,
+                    3 => ElementKind::Swap,
+                    _ => ElementKind::Pass,
+                })
+                .collect();
+            let outcomes = run.submit_stage(&ops);
+            for o in outcomes {
+                hash = hash
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(o.pair as u64 + u64::from(o.first_smaller));
+            }
+            if rng.gen_bool(0.1) {
+                hash ^= rng.gen::<u64>();
+            }
+        }
+        let out = run.finish(); // internal replay is the assertion
+        prop_assert!(out.d_set.len() <= n);
+    }
+
+    #[test]
+    fn truncated_networks_full_pipeline(seed in 0u64..100_000, f in 1usize..5) {
+        let n = 16usize;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let blocks = rng.gen_range(1..5);
+        let tn = TruncatedNetwork::random(n, f, blocks, &mut rng);
+        let out = truncated_adversary(&tn, 3);
+        prop_assume!(out.d_set.len() >= 2);
+        let net = tn.to_network();
+        let r = refute(&net, &out.input_pattern).unwrap();
+        prop_assert!(r.verify(&net).is_ok());
+    }
+
+    #[test]
+    fn indistinguishability_class_sample_members(seed in 0u64..100_000) {
+        // On random IRDs, sample assignments of the |D|! class and verify
+        // the network cannot tell them apart.
+        use snet_topology::random::{random_iterated, RandomDeltaConfig, SplitStyle};
+        let cfg = RandomDeltaConfig {
+            split: SplitStyle::BitSplit,
+            comparator_density: 1.0,
+            reverse_bias: 0.5,
+            swap_density: 0.0,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ird = random_iterated(2, 4, &cfg, true, &mut rng);
+        let out = theorem41(&ird, 4);
+        prop_assume!(out.d_set.len() >= 2);
+        let net = ird.to_network();
+        let class = IndistinguishableClass::from_pattern(&out.input_pattern);
+        let d = class.d_wires.len();
+        // Sample up to 12 random assignments.
+        let mut assignments = Vec::new();
+        for _ in 0..12 {
+            let mut a: Vec<usize> = (0..d).collect();
+            for i in (1..d).rev() {
+                let j = rng.gen_range(0..=i);
+                a.swap(i, j);
+            }
+            assignments.push(a);
+        }
+        let unsorted = class.verify_members(&net, &assignments)
+            .expect("class members are indistinguishable");
+        prop_assert!(unsorted >= assignments.len() as u64 - 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for Beneš routing and serde round-trips of every
+//! serializable network form.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use snet_core::network::ComparatorNetwork;
+use snet_core::perm::Permutation;
+use snet_core::register::RegisterNetwork;
+use snet_topology::benes::{realizes, route_permutation};
+use snet_topology::random::random_shuffle_network;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 60, ..ProptestConfig::default() })]
+
+    #[test]
+    fn benes_routes_everything(seed in 0u64..1_000_000, l in 1usize..8) {
+        let n = 1usize << l;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = Permutation::random(n, &mut rng);
+        let net = route_permutation(&p);
+        prop_assert!(realizes(&net, &p));
+        prop_assert_eq!(net.size(), 0, "switches only");
+        if l >= 2 {
+            prop_assert_eq!(net.depth(), 2 * l - 1);
+        }
+    }
+
+    #[test]
+    fn benes_composition_routes_composition(seed in 0u64..1_000_000, l in 1usize..6) {
+        // Routing p then q equals routing q ∘ p.
+        let n = 1usize << l;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = Permutation::random(n, &mut rng);
+        let q = Permutation::random(n, &mut rng);
+        let chained = route_permutation(&p).then(None, &route_permutation(&q));
+        prop_assert!(realizes(&chained, &q.compose(&p)));
+    }
+
+    #[test]
+    fn network_serde_roundtrip(seed in 0u64..1_000_000, l in 1usize..5, d in 0usize..8) {
+        let n = 1usize << l;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sn = random_shuffle_network(n, d, 0.6, &mut rng);
+        let net = sn.to_network();
+        let json = serde_json::to_string(&net).expect("serialize");
+        let back: ComparatorNetwork = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(&back, &net);
+        // And the deserialized network still computes the same function.
+        let input: Vec<u32> = Permutation::random(n, &mut rng).images().to_vec();
+        prop_assert_eq!(back.evaluate(&input), net.evaluate(&input));
+    }
+
+    #[test]
+    fn register_serde_roundtrip(seed in 0u64..1_000_000, l in 1usize..5) {
+        let n = 1usize << l;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let reg = random_shuffle_network(n, 3, 0.8, &mut rng).to_register();
+        let json = serde_json::to_string(&reg).expect("serialize");
+        let back: RegisterNetwork = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(back, reg);
+    }
+
+    #[test]
+    fn permutation_serde_roundtrip(l in 1usize..6) {
+        let n = 1usize << l;
+        let p = Permutation::shuffle(n);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Permutation = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, p);
+    }
+}
+
+#[test]
+fn serde_rejects_invalid_payloads() {
+    // Deserialization funnels through the validating constructors, so
+    // hand-corrupted data cannot construct invariant-breaking values.
+    assert!(serde_json::from_str::<Permutation>("[0,0]").is_err(), "duplicate image");
+    assert!(serde_json::from_str::<Permutation>("[3,1]").is_err(), "out-of-range image");
+    assert!(serde_json::from_str::<Permutation>("[1,0]").is_ok());
+
+    // A network whose one level reuses wire 0 in two elements.
+    let bad_net = serde_json::json!({
+        "n": 3,
+        "levels": [{
+            "route": null,
+            "elements": [
+                {"a": 0, "b": 1, "kind": "Cmp"},
+                {"a": 0, "b": 2, "kind": "Cmp"}
+            ]
+        }]
+    });
+    assert!(serde_json::from_value::<ComparatorNetwork>(bad_net).is_err());
+
+    // A register network with a wrong-width op vector.
+    let bad_reg = serde_json::json!({
+        "n": 4,
+        "stages": [{"perm": [0,1,2,3], "ops": ["Pass"]}]
+    });
+    assert!(serde_json::from_value::<RegisterNetwork>(bad_reg).is_err());
+}

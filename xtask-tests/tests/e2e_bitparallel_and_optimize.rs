@@ -1,0 +1,100 @@
+//! Differential tests for the bit-parallel 0-1 evaluator and the
+//! redundancy analysis, across random networks and the real sorter zoo.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use snet_core::bitparallel::{check_zero_one_bitparallel, evaluate_01x64};
+use snet_core::element::{Element, ElementKind};
+use snet_core::network::{ComparatorNetwork, Level};
+use snet_core::optimize::{redundant_comparators, with_comparators_passed};
+use snet_core::perm::Permutation;
+use snet_core::sortcheck::check_zero_one_exhaustive;
+use snet_sorters::{bitonic_circuit, odd_even_mergesort, periodic_balanced};
+
+fn random_net(n: usize, depth: usize, seed: u64) -> ComparatorNetwork {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut net = ComparatorNetwork::empty(n);
+    for _ in 0..depth {
+        let route = if rng.gen_bool(0.3) { Some(Permutation::random(n, &mut rng)) } else { None };
+        let mut wires: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            wires.swap(i, j);
+        }
+        let pairs = rng.gen_range(0..=n / 2);
+        let elements = (0..pairs)
+            .map(|k| Element {
+                a: wires[2 * k],
+                b: wires[2 * k + 1],
+                kind: match rng.gen_range(0..4) {
+                    0 => ElementKind::Cmp,
+                    1 => ElementKind::CmpRev,
+                    2 => ElementKind::Pass,
+                    _ => ElementKind::Swap,
+                },
+            })
+            .collect();
+        net.push_level(Level { route, elements }).unwrap();
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    #[test]
+    fn bitparallel_matches_scalar_on_random_networks(seed in 0u64..100_000, d in 0usize..6) {
+        let n = 9;
+        let net = random_net(n, d, seed);
+        // All 2^9 inputs, both ways.
+        let bp = check_zero_one_bitparallel(&net);
+        let scalar = check_zero_one_exhaustive(&net);
+        prop_assert_eq!(bp.is_none(), scalar.is_sorting());
+        // Lane-level agreement on a packed batch.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xB17);
+        let mut lanes = vec![0u64; n];
+        let mut inputs = Vec::new();
+        for i in 0..64 {
+            let input: Vec<u32> = (0..n).map(|_| u32::from(rng.gen_bool(0.5))).collect();
+            for (w, &v) in input.iter().enumerate() {
+                if v == 1 {
+                    lanes[w] |= 1 << i;
+                }
+            }
+            inputs.push(input);
+        }
+        let out = evaluate_01x64(&net, &lanes);
+        for (i, input) in inputs.iter().enumerate() {
+            let scalar_out = net.evaluate(input);
+            for (w, &v) in scalar_out.iter().enumerate() {
+                prop_assert_eq!((out[w] >> i) & 1, v as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn stripping_redundancy_preserves_behaviour(seed in 0u64..100_000, d in 1usize..7) {
+        let n = 8;
+        let net = random_net(n, d, seed ^ 0x0717);
+        let dead = redundant_comparators(&net);
+        let slim = with_comparators_passed(&net, &dead);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x0718);
+        for _ in 0..15 {
+            let input: Vec<u32> = Permutation::random(n, &mut rng).images().to_vec();
+            prop_assert_eq!(net.evaluate(&input), slim.evaluate(&input));
+        }
+    }
+}
+
+#[test]
+fn sorter_zoo_redundancy_is_stable() {
+    // Regression: the exact redundancy counts of the baselines at n = 8.
+    assert_eq!(redundant_comparators(&bitonic_circuit(8)).len(), 0);
+    assert_eq!(redundant_comparators(&odd_even_mergesort(8)).len(), 0);
+    assert_eq!(redundant_comparators(&periodic_balanced(8)).len(), 15);
+    // And stripping the periodic sorter's inert 40% keeps it sorting.
+    let p = periodic_balanced(8);
+    let slim = with_comparators_passed(&p, &redundant_comparators(&p));
+    assert!(check_zero_one_exhaustive(&slim).is_sorting());
+    assert_eq!(slim.size(), p.size() - 15);
+}

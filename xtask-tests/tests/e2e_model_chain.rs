@@ -1,0 +1,87 @@
+//! Property-based round trips across all network representations:
+//! shuffle-based ⇄ register ⇄ circuit ⇄ iterated reverse delta. Every form
+//! must compute the same function (up to the documented fixed relabeling,
+//! which the embedding compensates via its `post_route`).
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use snet_core::perm::Permutation;
+use snet_core::register::RegisterNetwork;
+use snet_topology::random::random_shuffle_network;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 50, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_representations_agree(
+        seed in 0u64..100_000,
+        l in 2usize..5,
+        d in 1usize..10,
+        density in 0.0f64..1.0,
+    ) {
+        let n = 1usize << l;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sn = random_shuffle_network(n, d, density, &mut rng);
+
+        let register = sn.to_register();
+        let circuit = register.to_network();
+        let re_raised = RegisterNetwork::from_network(&circuit);
+        let embedded = sn.to_iterated_reverse_delta().to_network();
+
+        prop_assert_eq!(register.size(), circuit.size());
+        prop_assert_eq!(re_raised.size(), circuit.size());
+
+        for trial in 0..10u64 {
+            let input: Vec<u32> =
+                Permutation::random(n, &mut rng).images().to_vec();
+            let a = register.evaluate(&input);
+            let b = circuit.evaluate(&input);
+            let c = re_raised.evaluate(&input);
+            let e = embedded.evaluate(&input);
+            prop_assert_eq!(&a, &b, "register vs circuit, trial {}", trial);
+            prop_assert_eq!(&b, &c, "circuit vs re-raised, trial {}", trial);
+            prop_assert_eq!(&b, &e, "circuit vs embedded IRD, trial {}", trial);
+        }
+    }
+
+    #[test]
+    fn evaluation_is_a_permutation_action(
+        seed in 0u64..100_000,
+        l in 2usize..5,
+        d in 1usize..8,
+    ) {
+        // Comparator networks permute their input multiset.
+        let n = 1usize << l;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sn = random_shuffle_network(n, d, 0.7, &mut rng);
+        let net = sn.to_network();
+        let input: Vec<u32> = Permutation::random(n, &mut rng).images().to_vec();
+        let mut out = net.evaluate(&input);
+        out.sort_unstable();
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn monotone_relabeling_commutes(
+        seed in 0u64..100_000,
+        l in 2usize..4,
+        d in 1usize..6,
+        scale in 1u32..5,
+        offset in 0u32..100,
+    ) {
+        // The 0-1 principle's engine: comparator networks commute with
+        // monotone functions. f(x) = scale·x + offset is strictly monotone.
+        let n = 1usize << l;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sn = random_shuffle_network(n, d, 0.8, &mut rng);
+        let net = sn.to_network();
+        let input: Vec<u32> = Permutation::random(n, &mut rng).images().to_vec();
+        let mapped: Vec<u32> = input.iter().map(|&x| scale * x + offset).collect();
+        let out_then_map: Vec<u32> =
+            net.evaluate(&input).iter().map(|&x| scale * x + offset).collect();
+        let map_then_out = net.evaluate(&mapped);
+        prop_assert_eq!(out_then_map, map_then_out);
+    }
+}

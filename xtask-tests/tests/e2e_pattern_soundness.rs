@@ -1,0 +1,109 @@
+//! Cross-validation of the symbolic machinery against the exponential
+//! reference semantics (Definition 3.7 by enumeration) — the soundness
+//! backbone of the whole adversary.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use snet_adversary::lemma41::lemma41;
+use snet_adversary::naive::naive_adversary;
+use snet_adversary::truncated::{truncated_adversary, TruncatedNetwork};
+use snet_pattern::collision::{is_noncolliding_exact, refining_inputs};
+use snet_pattern::symbolic::output_pattern;
+use snet_pattern::{Pattern, Symbol};
+use snet_topology::random::{random_reverse_delta, RandomDeltaConfig, SplitStyle};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 30, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lemma41_sets_noncolliding_by_enumeration(
+        seed in 0u64..100_000,
+        free in any::<bool>(),
+        density in 0.4f64..1.0,
+        k in 2usize..4,
+    ) {
+        let cfg = RandomDeltaConfig {
+            split: if free { SplitStyle::FreeSplit } else { SplitStyle::BitSplit },
+            comparator_density: density,
+            reverse_bias: 0.5,
+            swap_density: 0.4,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let l = 3usize;
+        let n = 1usize << l;
+        let delta = random_reverse_delta(l, &cfg, &mut rng);
+        let net = delta.to_network();
+        let p = Pattern::uniform(n, Symbol::M(0));
+        let out = lemma41(&delta, &p, k);
+        // Property (1): family sets are the [M_i]-sets.
+        for (i, wires) in out.family.iter() {
+            prop_assert_eq!(out.refined.symbol_set(Symbol::M(i)), wires.to_vec());
+        }
+        // Property (2): sets are noncolliding — checked over *all* inputs
+        // the refined pattern admits.
+        for (i, wires) in out.family.iter() {
+            prop_assert!(
+                is_noncolliding_exact(&net, &out.refined, wires),
+                "set M_{} = {:?} collides", i, wires
+            );
+        }
+        // The refinement relation p ⊐ q holds.
+        prop_assert!(p.refines_to(&out.refined));
+    }
+
+    #[test]
+    fn naive_adversary_sound_by_enumeration(seed in 0u64..100_000, density in 0.4f64..1.0) {
+        let cfg = RandomDeltaConfig {
+            split: SplitStyle::BitSplit,
+            comparator_density: density,
+            reverse_bias: 0.5,
+            swap_density: 0.3,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let delta = random_reverse_delta(3, &cfg, &mut rng);
+        let net = delta.to_network();
+        let out = naive_adversary(&net);
+        prop_assert!(is_noncolliding_exact(&net, &out.input_pattern, &out.special));
+    }
+
+    #[test]
+    fn truncated_adversary_sound_by_enumeration(seed in 0u64..100_000, f in 1usize..4) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let tn = TruncatedNetwork::random(8, f, 2, &mut rng);
+        let out = truncated_adversary(&tn, 2);
+        prop_assume!(out.d_set.len() >= 2);
+        let net = tn.to_network();
+        prop_assert!(is_noncolliding_exact(&net, &out.input_pattern, &out.d_set));
+    }
+
+    #[test]
+    fn output_pattern_is_exactly_image_of_refinements(
+        seed in 0u64..100_000,
+        density in 0.3f64..1.0,
+    ) {
+        // Definition 3.5: Λ(p)[V] = Λ(p[V]). Enumerate every input refining
+        // p, push it through the network, and check it refines Λ(p).
+        let cfg = RandomDeltaConfig {
+            split: SplitStyle::BitSplit,
+            comparator_density: density,
+            reverse_bias: 0.5,
+            swap_density: 0.4,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let l = 2usize;
+        let _n = 1usize << l;
+        let delta = random_reverse_delta(l, &cfg, &mut rng);
+        let net = delta.to_network();
+        let p = Pattern::from_symbols(vec![
+            Symbol::M(0),
+            Symbol::S(0),
+            Symbol::M(0),
+            Symbol::L(0),
+        ]);
+        let q = output_pattern(&net, &p);
+        for input in refining_inputs(&p) {
+            let out = net.evaluate(&input);
+            prop_assert!(q.refines_to_input(&out), "output {:?} violates Λ(p)", out);
+        }
+    }
+}

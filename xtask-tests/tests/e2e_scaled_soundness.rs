@@ -1,0 +1,116 @@
+//! Scalable soundness checks: the exhaustive Definition 3.7 validation
+//! caps out around n = 8, so here the noncolliding claims are tested at
+//! realistic sizes (n up to 256) by *sampling* refinements — hundreds of
+//! random inputs consistent with the constructed pattern, each traced
+//! through the real network, asserting that no two same-set wires ever
+//! have their values compared.
+
+use rand::{Rng, SeedableRng};
+use snet_adversary::{lemma41, theorem41};
+use snet_core::trace::ComparisonTrace;
+use snet_pattern::{Pattern, Symbol};
+use snet_sorters::bitonic_shuffle;
+use snet_topology::random::{random_iterated, random_reverse_delta, RandomDeltaConfig, SplitStyle};
+use snet_topology::ReverseDelta;
+
+/// Samples a random refinement of `pattern` (random tie-break within every
+/// symbol class) and asserts that, under it, no two wires of any family
+/// set get their values compared in `net`.
+fn assert_sets_uncompared_under_samples(
+    net: &snet_core::network::ComparatorNetwork,
+    pattern: &Pattern,
+    sets: &[(u32, Vec<u32>)],
+    samples: usize,
+    seed: u64,
+) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let n = pattern.len();
+    for s in 0..samples {
+        let tie: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
+        let input = pattern.to_input_with(|w| tie[w as usize]);
+        debug_assert!(pattern.refines_to_input(&input));
+        let trace = ComparisonTrace::record(net, &input);
+        for (idx, wires) in sets {
+            for (i, &a) in wires.iter().enumerate() {
+                for &b in &wires[i + 1..] {
+                    assert!(
+                        !trace.compared(input[a as usize], input[b as usize]),
+                        "sample {s}: set M_{idx} wires {a},{b} compared"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lemma41_sets_uncompared_at_n256() {
+    let l = 8usize;
+    let n = 1usize << l;
+    for (name, delta) in [
+        ("butterfly", ReverseDelta::butterfly(l)),
+        ("random-free", {
+            let cfg = RandomDeltaConfig {
+                split: SplitStyle::FreeSplit,
+                comparator_density: 1.0,
+                reverse_bias: 0.5,
+                swap_density: 0.0,
+            };
+            let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+            random_reverse_delta(l, &cfg, &mut rng)
+        }),
+    ] {
+        let p = Pattern::uniform(n, Symbol::M(0));
+        let out = lemma41(&delta, &p, l);
+        let sets: Vec<(u32, Vec<u32>)> =
+            out.family.iter().map(|(i, ws)| (i, ws.to_vec())).collect();
+        assert!(!sets.is_empty(), "{name}");
+        assert_sets_uncompared_under_samples(
+            &delta.to_network(),
+            &out.refined,
+            &sets,
+            100,
+            0xABC ^ l as u64,
+        );
+    }
+}
+
+#[test]
+fn theorem41_d_set_uncompared_at_n256_bitonic_prefix() {
+    let l = 8usize;
+    let n = 1usize << l;
+    let full = bitonic_shuffle(n).to_iterated_reverse_delta();
+    // All blocks but the last: deepest refutable prefix of the sorter.
+    let prefix = snet_topology::IteratedReverseDelta::new(
+        full.blocks()[..full.block_count() - 1].to_vec(),
+        None,
+    );
+    let out = theorem41(&prefix, l);
+    assert!(out.d_set.len() >= 2);
+    let sets = vec![(0u32, out.d_set.clone())];
+    assert_sets_uncompared_under_samples(
+        &prefix.to_network(),
+        &out.input_pattern,
+        &sets,
+        150,
+        0xDEF,
+    );
+}
+
+#[test]
+fn theorem41_d_set_uncompared_at_n128_random_deep() {
+    let l = 7usize;
+    let cfg = RandomDeltaConfig {
+        split: SplitStyle::BitSplit,
+        comparator_density: 1.0,
+        reverse_bias: 0.5,
+        swap_density: 0.0,
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+    // Full lg²n depth with random inter-block routes.
+    let ird = random_iterated(l, l, &cfg, true, &mut rng);
+    let out = theorem41(&ird, l);
+    assert!(out.d_set.len() >= 2, "random IRDs at lg²n depth stay refutable");
+    let sets = vec![(0u32, out.d_set.clone())];
+    assert_sets_uncompared_under_samples(&ird.to_network(), &out.input_pattern, &sets, 150, 0x711);
+}

@@ -1,0 +1,89 @@
+//! End-to-end: the adversary against the real upper-bound sorters.
+//!
+//! The tightest consistency check in the workspace: bitonic *is* a sorting
+//! network, so the adversary's surviving set must reach exactly 1 by the
+//! last block (|D| ≥ 2 at the end would disprove the 0-1-verified sorter);
+//! and every strict prefix must be refuted with an independently verified
+//! witness.
+
+use snet_adversary::{refute, theorem41};
+use snet_core::sortcheck::{check_zero_one_exhaustive, is_sorted};
+use snet_sorters::bitonic_shuffle;
+use snet_sorters::randomized::bitonic_prefix;
+use snet_topology::IteratedReverseDelta;
+
+#[test]
+fn bitonic_sorts_and_adversary_agrees() {
+    for l in [3usize, 4] {
+        let n = 1usize << l;
+        let sorter = bitonic_shuffle(n);
+        assert!(check_zero_one_exhaustive(&sorter.to_network()).is_sorting());
+
+        let ird = sorter.to_iterated_reverse_delta();
+        let out = theorem41(&ird, l);
+        assert_eq!(
+            out.d_set.len(),
+            1,
+            "n={n}: a sorting network must drive |D| to exactly 1 \
+             (0 would be a bookkeeping bug, ≥2 would contradict sorting)"
+        );
+    }
+}
+
+#[test]
+fn every_strict_block_prefix_of_bitonic_is_refuted() {
+    let l = 4usize;
+    let n = 1usize << l;
+    let ird = bitonic_shuffle(n).to_iterated_reverse_delta();
+    for keep in 1..ird.block_count() {
+        let prefix = IteratedReverseDelta::new(ird.blocks()[..keep].to_vec(), None);
+        let out = theorem41(&prefix, l);
+        assert!(out.d_set.len() >= 2, "prefix of {keep} blocks must leave |D| ≥ 2");
+        let net = prefix.to_network();
+        let r = refute(&net, &out.input_pattern).expect("witness");
+        r.verify(&net).unwrap_or_else(|e| panic!("prefix {keep}: {e}"));
+        assert!(!is_sorted(&net.evaluate(r.unsorted_witness())));
+        // Independent confirmation via the 0-1 principle: the prefix is
+        // indeed not a sorting network.
+        assert!(!check_zero_one_exhaustive(&net).is_sorting());
+    }
+}
+
+#[test]
+fn single_missing_stage_is_caught() {
+    // Remove one comparator stage from the middle of the final merge.
+    let l = 4usize;
+    let n = 1usize << l;
+    let full = l * l;
+    for missing in [full - 1, full - 2] {
+        let prefix = bitonic_prefix(n, missing);
+        let ird = prefix.to_iterated_reverse_delta();
+        let out = theorem41(&ird, l);
+        assert!(out.d_set.len() >= 2, "stages={missing}");
+        let net = ird.to_network();
+        let r = refute(&net, &out.input_pattern).unwrap();
+        r.verify(&net).unwrap();
+    }
+}
+
+#[test]
+fn adversary_depth_scales_superlogarithmically_on_nonsorters() {
+    // Iterated plain butterflies never sort; the adversary survives every
+    // block we throw at it (pattern mass plateaus — the E6b phenomenon).
+    use snet_topology::{Block, ReverseDelta};
+    let l = 4usize;
+    let blocks = 3 * l;
+    let ird = IteratedReverseDelta::new(
+        (0..blocks).map(|_| Block { pre_route: None, rdn: ReverseDelta::butterfly(l) }).collect(),
+        None,
+    );
+    let out = theorem41(&ird, l);
+    assert!(
+        out.blocks_survived() == blocks,
+        "identical butterflies should never exhaust the adversary, died at {}",
+        out.blocks_survived()
+    );
+    let net = ird.to_network();
+    let r = refute(&net, &out.input_pattern).unwrap();
+    r.verify(&net).unwrap();
+}
