@@ -430,7 +430,7 @@ mod tests {
             let mut bias = 0u32;
             for _ in 0..stages {
                 let ops: Vec<ElementKind> = (0..n / 2)
-                    .map(|_| match (rng.gen_range(0..6) + bias) % 6 {
+                    .map(|_| match (rng.gen_range(0..6u32) + bias) % 6 {
                         0 | 1 => ElementKind::Cmp,
                         2 | 3 => ElementKind::CmpRev,
                         4 => ElementKind::Swap,

@@ -9,6 +9,7 @@
 //! adversary's bookkeeping cannot vouch for itself.
 
 use snet_core::element::WireId;
+use snet_core::engine::CompiledNetwork;
 use snet_core::network::ComparatorNetwork;
 use snet_core::sortcheck::is_sorted;
 use snet_core::trace::ComparisonTrace;
@@ -93,11 +94,14 @@ impl SortingRefutation {
                 return Err(format!("input_b differs from the transposition at wire {w}"));
             }
         }
-        // 2. Outputs reproduce.
-        if net.evaluate(&self.input_a) != self.output_a {
+        // 2. Outputs reproduce. The compiled engine is a genuinely
+        // independent evaluator: a different code path from the
+        // interpreter the adversary used to record the outputs.
+        let compiled = CompiledNetwork::compile(net);
+        if compiled.evaluate(&self.input_a) != self.output_a {
             return Err("stored output_a does not match re-evaluation".into());
         }
-        if net.evaluate(&self.input_b) != self.output_b {
+        if compiled.evaluate(&self.input_b) != self.output_b {
             return Err("stored output_b does not match re-evaluation".into());
         }
         // 3. Same permutation performed.
@@ -265,8 +269,11 @@ impl IndistinguishableClass {
         net: &ComparatorNetwork,
         assignments: &[Vec<usize>],
     ) -> Result<u64, String> {
+        // Compile once; the per-assignment loop replays the flat program.
+        let compiled = CompiledNetwork::compile(net);
+        let mut scratch = Vec::new();
         // Output wire of each D-slot under the base input.
-        let base_out = net.evaluate(&self.base_input);
+        let base_out = compiled.evaluate(&self.base_input);
         let mut slot_exit = vec![0usize; self.d_wires.len()];
         for (i, &w) in self.d_wires.iter().enumerate() {
             let v = self.base_input[w as usize];
@@ -275,8 +282,9 @@ impl IndistinguishableClass {
         }
         let mut unsorted = 0u64;
         for assignment in assignments {
-            let input = self.member(assignment);
-            let out = net.evaluate(&input);
+            let mut out = self.member(assignment);
+            let input = out.clone();
+            compiled.run_scalar_in_place(&mut out, &mut scratch);
             for (i, _) in self.d_wires.iter().enumerate() {
                 let v = input[self.d_wires[i] as usize];
                 if out[slot_exit[i]] != v {

@@ -1,0 +1,83 @@
+//! Criterion benches for the compiled verification engine: compilation
+//! cost, compiled-vs-interpreted scalar evaluation, and exhaustive 0-1
+//! checking (seed scalar scan vs compiled 64-lane sharded checker).
+//!
+//! `snet-bench/src/bin/engine_baseline.rs` runs the same scenarios once
+//! and records them to `results/engine_baseline.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snet_analysis::Workload;
+use snet_core::engine::{check_zero_one_sharded, CompiledNetwork};
+use snet_core::sortcheck::check_zero_one_exhaustive;
+use snet_sorters::{bitonic_shuffle, brick_wall};
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_compile");
+    for l in [6usize, 8, 10] {
+        let n = 1usize << l;
+        let net = bitonic_shuffle(n).to_network();
+        g.throughput(Throughput::Elements(net.size() as u64));
+        g.bench_with_input(BenchmarkId::new("bitonic_shuffle", n), &n, |b, _| {
+            b.iter(|| CompiledNetwork::compile(&net));
+        });
+    }
+    g.finish();
+}
+
+fn bench_scalar(c: &mut Criterion) {
+    // The shuffle form routes every level, so this isolates what
+    // compile-time route absorption buys a single evaluation.
+    let mut g = c.benchmark_group("scalar_evaluate");
+    for l in [8usize, 10] {
+        let n = 1usize << l;
+        let net = bitonic_shuffle(n).to_network();
+        let compiled = CompiledNetwork::compile(&net);
+        let mut w = Workload::new(11);
+        let input = w.permutation(n);
+        g.throughput(Throughput::Elements(net.size() as u64));
+        g.bench_with_input(BenchmarkId::new("interpreter", n), &n, |b, _| {
+            b.iter(|| net.evaluate(&input));
+        });
+        g.bench_with_input(BenchmarkId::new("compiled", n), &n, |b, _| {
+            let mut values = input.clone();
+            let mut scratch = Vec::new();
+            b.iter(|| {
+                values.copy_from_slice(&input);
+                compiled.run_scalar_in_place(&mut values, &mut scratch);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_exhaustive(c: &mut Criterion) {
+    // The headline scenario: full 2ⁿ 0-1 verification, seed scalar scan
+    // vs the compiled sharded checker. Bitonic is power-of-two-only, so
+    // the 2²⁰-input row uses the 20-wire brick wall.
+    let mut g = c.benchmark_group("exhaustive_01_check");
+    g.sample_size(10);
+    let nets = [
+        ("bitonic_shuffle", bitonic_shuffle(16).to_network()),
+        ("brick_wall", brick_wall(20)),
+    ];
+    for (name, net) in &nets {
+        let n = net.wires();
+        g.throughput(Throughput::Elements(1u64 << n));
+        g.bench_with_input(BenchmarkId::new(format!("{name}_seed_scalar"), n), &n, |b, _| {
+            b.iter(|| check_zero_one_exhaustive(net));
+        });
+        for threads in [1usize, 2, 4, 8] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{name}_sharded_t{threads}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| check_zero_one_sharded(net, threads));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_scalar, bench_exhaustive);
+criterion_main!(benches);

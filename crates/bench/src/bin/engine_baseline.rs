@@ -1,0 +1,159 @@
+//! Records the verification-engine perf baseline to
+//! `results/engine_baseline.json`.
+//!
+//! Measures, with plain wall-clock timing (median of `--reps` runs):
+//!
+//! * the seed scalar exhaustive 0-1 scan
+//!   ([`snet_core::sortcheck::check_zero_one_exhaustive`]),
+//! * the compiled sharded checker
+//!   ([`snet_core::engine::check_zero_one_sharded`]) at 1/2/4/8 threads,
+//! * interpreted vs compiled single scalar evaluation,
+//!
+//! on `bitonic_shuffle(16)` (routes every level — the case compilation
+//! targets) and `brick_wall(20)` (the 2²⁰-input space; bitonic itself is
+//! power-of-two-only so the 20-wire row uses the brick wall).
+//!
+//! Usage: `cargo run --release -p snet-bench --bin engine_baseline
+//! [-- --reps R -o results/engine_baseline.json]`
+
+use serde_json::Value;
+use snet_core::engine::{check_zero_one_sharded, CompiledNetwork};
+use snet_core::network::ComparatorNetwork;
+use snet_core::sortcheck::check_zero_one_exhaustive;
+use snet_sorters::{bitonic_shuffle, brick_wall};
+use std::time::Instant;
+
+fn vu(v: u64) -> Value {
+    Value::Number(serde_json::Number::U(v))
+}
+
+fn vf(v: f64) -> Value {
+    Value::Number(serde_json::Number::F(v))
+}
+
+fn vs(v: &str) -> Value {
+    Value::String(v.to_string())
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn check_scenarios(name: &str, net: &ComparatorNetwork, reps: usize) -> Value {
+    let n = net.wires();
+    eprintln!("[{name}] n={n}, {} comparators, depth {}", net.size(), net.depth());
+    let seed_ms = median_ms(reps, || {
+        assert!(check_zero_one_exhaustive(net).is_sorting());
+    });
+    eprintln!("  seed scalar exhaustive: {seed_ms:.2} ms");
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let ms = median_ms(reps, || {
+            assert!(check_zero_one_sharded(net, threads).is_sorting());
+        });
+        eprintln!("  sharded t={threads}: {ms:.2} ms ({:.1}x vs seed)", seed_ms / ms);
+        rows.push(obj(vec![
+            ("threads", vu(threads as u64)),
+            ("millis", vf(ms)),
+            ("speedup_vs_seed", vf(seed_ms / ms)),
+        ]));
+    }
+    obj(vec![
+        ("network", vs(name)),
+        ("wires", vu(n as u64)),
+        ("comparators", vu(net.size() as u64)),
+        ("inputs", vu(1u64 << n)),
+        ("seed_scalar_millis", vf(seed_ms)),
+        ("sharded", Value::Array(rows)),
+    ])
+}
+
+fn scalar_scenario(reps: usize) -> Value {
+    let n = 1024usize;
+    let net = bitonic_shuffle(n).to_network();
+    let compiled = CompiledNetwork::compile(&net);
+    let input: Vec<u32> = (0..n as u32).rev().collect();
+    let interp_ms = median_ms(reps, || {
+        std::hint::black_box(net.evaluate(&input));
+    });
+    let mut values = input.clone();
+    let mut scratch = Vec::new();
+    let compiled_ms = median_ms(reps, || {
+        values.copy_from_slice(&input);
+        compiled.run_scalar_in_place(&mut values, &mut scratch);
+        std::hint::black_box(&values);
+    });
+    eprintln!(
+        "[scalar n={n}] interpreter {interp_ms:.4} ms, compiled {compiled_ms:.4} ms \
+         ({:.1}x)",
+        interp_ms / compiled_ms
+    );
+    obj(vec![
+        ("network", vs("bitonic_shuffle")),
+        ("wires", vu(n as u64)),
+        ("interpreter_millis", vf(interp_ms)),
+        ("compiled_millis", vf(compiled_ms)),
+        ("speedup", vf(interp_ms / compiled_ms)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut reps = 5usize;
+    let mut out = String::from("results/engine_baseline.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--reps" => {
+                i += 1;
+                reps = args[i].parse().expect("--reps takes a count");
+            }
+            "-o" => {
+                i += 1;
+                out = args[i].clone();
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let doc = obj(vec![
+        ("schema", vs("snet-engine-baseline/1")),
+        ("units", vs("milliseconds, median")),
+        (
+            "hardware",
+            obj(vec![
+                ("logical_cores", vu(cores as u64)),
+                ("os", vs(std::env::consts::OS)),
+                ("arch", vs(std::env::consts::ARCH)),
+            ]),
+        ),
+        ("reps", vu(reps as u64)),
+        ("scalar_single_eval", scalar_scenario(reps.max(5) * 40)),
+        (
+            "exhaustive_01",
+            Value::Array(vec![
+                check_scenarios("bitonic_shuffle", &bitonic_shuffle(16).to_network(), reps),
+                check_scenarios("brick_wall", &brick_wall(20), reps),
+            ]),
+        ),
+    ]);
+    let text = serde_json::to_string_pretty(&doc).expect("serialize baseline");
+    std::fs::write(&out, text).expect("write baseline");
+    eprintln!("wrote {out}");
+}

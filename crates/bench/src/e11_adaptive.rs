@@ -70,7 +70,7 @@ pub fn run(cfg: &ExpConfig) {
                 play(n, l, stages, move |_, last| {
                     let bias = last.iter().filter(|o| o.first_smaller).count();
                     (0..n / 2)
-                        .map(|_| match (rng.gen_range(0..4) + bias) % 4 {
+                        .map(|_| match (rng.gen_range(0..4usize) + bias) % 4 {
                             0 => ElementKind::Cmp,
                             1 => ElementKind::CmpRev,
                             2 => ElementKind::Swap,

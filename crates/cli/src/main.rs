@@ -18,7 +18,8 @@ use file::{NetworkFile, WitnessFile};
 use rand::SeedableRng;
 use snet_adversary::{refute, theorem41};
 use snet_core::perm::Permutation;
-use snet_core::sortcheck::{check_random_permutations, check_zero_one_exhaustive, is_sorted};
+use snet_core::engine::{check_zero_one_sharded, default_engine_threads};
+use snet_core::sortcheck::{check_random_permutations, is_sorted};
 use snet_sorters::{bitonic_shuffle, brick_wall, odd_even_mergesort, periodic_balanced, pratt_network};
 use snet_topology::benes::{realizes, route_permutation};
 use snet_topology::random::{random_iterated, random_shuffle_network, RandomDeltaConfig, SplitStyle};
@@ -58,7 +59,7 @@ fn print_usage() {
          \x20 gen     --kind <bitonic|odd-even|pratt|periodic|brick|random-shuffle> \
          --n N [--depth D] [--seed S] -o FILE\n\
          \x20 info    FILE                     print wires/depth/size\n\
-         \x20 check   FILE [--exhaustive] [--trials T] [--seed S]\n\
+         \x20 check   FILE [--exhaustive [--threads W]] [--trials T] [--seed S]\n\
          \x20 refute  FILE [-o WITNESS] [--k K] [--explain]   (shuffle networks only)\n\
          \x20 verify  FILE WITNESS\n\
          \x20 route   --n N [--seed S | --perm a,b,c,…]\n\
@@ -142,10 +143,14 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     let doc = NetworkFile::load(path)?;
     let net = doc.to_network();
     let result = if has_flag(args, "--exhaustive") {
-        if net.wires() > 24 {
+        if net.wires() > 28 {
             return Err(format!("exhaustive 0-1 check infeasible for n = {}", net.wires()));
         }
-        check_zero_one_exhaustive(&net)
+        let threads: usize = match flag(args, "--threads") {
+            Some(t) => parse(t, "--threads")?,
+            None => default_engine_threads(),
+        };
+        check_zero_one_sharded(&net, threads)
     } else {
         let trials: u64 = parse(flag(args, "--trials").unwrap_or("10000"), "--trials")?;
         let seed: u64 = parse(flag(args, "--seed").unwrap_or("0"), "--seed")?;

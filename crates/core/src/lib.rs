@@ -42,6 +42,7 @@
 pub mod batch;
 pub mod bitparallel;
 pub mod element;
+pub mod engine;
 pub mod network;
 pub mod optimize;
 pub mod perm;
@@ -54,6 +55,7 @@ pub mod viz;
 pub mod prelude {
     pub use crate::batch::{count_sorted_parallel, evaluate_batch};
     pub use crate::element::{Element, ElementKind, WireId};
+    pub use crate::engine::{check_zero_one_sharded, default_engine_threads, CompiledNetwork};
     pub use crate::network::{CmpEvent, ComparatorNetwork, Level, NetworkError};
     pub use crate::perm::Permutation;
     pub use crate::register::{RegisterNetwork, RegisterStage};

@@ -13,79 +13,40 @@
 //! comparators all fire, yet a different 5-comparator sorter exists.)
 
 use crate::element::ElementKind;
+use crate::engine::CompiledNetwork;
 use crate::network::{ComparatorNetwork, Level};
 
 /// Identifies every comparator that never swaps on any 0-1 input.
 /// Returns `(level index, element index within level)` pairs.
 ///
-/// Exhaustive over `2ⁿ` inputs (64 at a time); panics for `n > 26`.
+/// Exhaustive over `2ⁿ` inputs, 64 at a time through the compiled engine's
+/// fired-lane tracking ([`CompiledNetwork::run_01x64_fired`]); a compiled
+/// op fires exactly when the source comparator exchanges (`Cmp` on `a=1,
+/// b=0`; `CmpRev` on `a=0, b=1` — the compile-time operand swap makes both
+/// the same slot test). Panics for `n > 26`.
 pub fn redundant_comparators(net: &ComparatorNetwork) -> Vec<(usize, usize)> {
     let n = net.wires();
     assert!(n <= 26, "redundancy analysis is exhaustive over 2^n inputs");
-    // swapped[level][elem] accumulates whether any input made it exchange.
-    let mut swapped: Vec<Vec<bool>> =
-        net.levels().iter().map(|l| vec![false; l.elements.len()]).collect();
+    let compiled = CompiledNetwork::compile(net);
     let total: u64 = 1u64 << n;
-    let mut lanes = vec![0u64; n];
-    let mut scratch: Vec<u64> = Vec::with_capacity(n);
+    let mut slots = vec![0u64; n];
+    let mut fired = vec![0u64; compiled.op_count()];
     let mut base = 0u64;
     while base < total {
-        for (w, lane) in lanes.iter_mut().enumerate() {
-            let mut bits = 0u64;
-            for i in 0..64u64 {
-                let input = base + i;
-                if input < total && (input >> w) & 1 == 1 {
-                    bits |= 1 << i;
-                }
-            }
-            *lane = bits;
-        }
         let valid: u64 = if total - base >= 64 { u64::MAX } else { (1u64 << (total - base)) - 1 };
-        // Manual pass recording swap events per comparator.
-        for (li, level) in net.levels().iter().enumerate() {
-            if let Some(route) = &level.route {
-                scratch.clear();
-                scratch.extend_from_slice(&lanes);
-                route.route(&scratch, &mut lanes);
-            }
-            for (ei, e) in level.elements.iter().enumerate() {
-                let (ia, ib) = (e.a as usize, e.b as usize);
-                let (x, y) = (lanes[ia], lanes[ib]);
-                match e.kind {
-                    ElementKind::Cmp => {
-                        // Swaps exactly when a > b, i.e. a=1, b=0.
-                        if (x & !y) & valid != 0 {
-                            swapped[li][ei] = true;
-                        }
-                        lanes[ia] = x & y;
-                        lanes[ib] = x | y;
-                    }
-                    ElementKind::CmpRev => {
-                        if (!x & y) & valid != 0 {
-                            swapped[li][ei] = true;
-                        }
-                        lanes[ia] = x | y;
-                        lanes[ib] = x & y;
-                    }
-                    ElementKind::Pass => {}
-                    ElementKind::Swap => {
-                        lanes[ia] = y;
-                        lanes[ib] = x;
-                    }
-                }
-            }
-        }
+        compiled.pack_block(base, &mut slots);
+        compiled.run_01x64_fired(&mut slots, valid, &mut fired);
         base += 64;
     }
-    let mut out = Vec::new();
-    for (li, level) in net.levels().iter().enumerate() {
-        for (ei, e) in level.elements.iter().enumerate() {
-            if e.is_comparator() && !swapped[li][ei] {
-                out.push((li, ei));
-            }
-        }
-    }
-    out
+    // Map never-fired ops back to source coordinates. Ops are emitted in
+    // (level, element) order, so the result stays lexicographically sorted.
+    compiled
+        .origins()
+        .iter()
+        .zip(&fired)
+        .filter(|(_, &f)| f == 0)
+        .map(|(&(li, ei), _)| (li as usize, ei as usize))
+        .collect()
 }
 
 /// Returns the network with the given comparators replaced by `Pass`

@@ -124,31 +124,22 @@ pub fn check_random_permutations<R: rand::Rng>(
     SortCheck::AllSorted { tested: trials }
 }
 
-/// Counts the 0-1 inputs the network fails to sort, exhaustively (uses the
-/// bit-parallel evaluator; definitive by the 0-1 principle). The failure
-/// *density* is this over `2ⁿ`.
+/// Counts the 0-1 inputs the network fails to sort, exhaustively (compiled
+/// engine, 64 inputs per pass; definitive by the 0-1 principle). The
+/// failure *density* is this over `2ⁿ`.
 pub fn count_unsorted_01(net: &ComparatorNetwork) -> u64 {
     let n = net.wires();
     assert!(n <= 26, "exhaustive over 2^n inputs");
+    let compiled = crate::engine::CompiledNetwork::compile(net);
     let total: u64 = 1u64 << n;
-    let mut lanes = vec![0u64; n];
-    let mut scratch = Vec::with_capacity(n);
+    let mut slots = vec![0u64; n];
     let mut count = 0u64;
     let mut base = 0u64;
     while base < total {
-        for (w, lane) in lanes.iter_mut().enumerate() {
-            let mut bits = 0u64;
-            for i in 0..64u64 {
-                let input = base + i;
-                if input < total && (input >> w) & 1 == 1 {
-                    bits |= 1 << i;
-                }
-            }
-            *lane = bits;
-        }
+        compiled.pack_block(base, &mut slots);
+        compiled.run_block_01x64(&mut slots);
         let valid: u64 = if total - base >= 64 { u64::MAX } else { (1u64 << (total - base)) - 1 };
-        crate::bitparallel::evaluate_01x64_in_place(net, &mut lanes, &mut scratch);
-        count += (crate::bitparallel::unsorted_lanes(&lanes) & valid).count_ones() as u64;
+        count += (compiled.unsorted_lanes_in_slots(&slots) & valid).count_ones() as u64;
         base += 64;
     }
     count

@@ -1,0 +1,298 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the benchmark-declaration surface this workspace uses
+//! (`criterion_group!`/`criterion_main!`, groups, `bench_with_input`,
+//! `Bencher::iter`, `Throughput`, `BenchmarkId`) over a simple wall-clock
+//! timer: warm up briefly, then run until a time budget is spent and
+//! report mean ns/iter. No statistics, plots, or saved baselines.
+//!
+//! `--test` on the command line (as passed by `cargo bench -- --test`)
+//! switches to smoke mode: every benchmark body runs exactly once and
+//! nothing is timed, so CI can validate benches cheaply.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state, threaded through every benchmark function.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { test_mode: false, filter: None }
+    }
+}
+
+impl Criterion {
+    /// Builds a harness from the process arguments.
+    ///
+    /// Recognized: `--test` (smoke mode). Harness flags the real crate
+    /// accepts (`--bench`, `--noplot`, …) are ignored; the first free
+    /// argument is treated as a substring filter on benchmark names.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                s if s.starts_with("--") => {}
+                s => {
+                    if c.filter.is_none() {
+                        c.filter = Some(s.to_string());
+                    }
+                }
+            }
+        }
+        c
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            _sample_size: 100,
+        }
+    }
+
+    /// Registers a standalone benchmark (a group of one).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let test_mode = self.test_mode;
+        if !self.matches_filter(name) {
+            return;
+        }
+        let mut b = Bencher::new(test_mode);
+        f(&mut b);
+        b.report(name, None);
+    }
+
+    fn matches_filter(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Prints the run-complete footer (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        if self.test_mode {
+            println!("criterion (vendored): all benchmarks executed once in test mode");
+        }
+    }
+}
+
+/// How many logical items one iteration processes; reported as a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// A named collection of benchmarks sharing throughput/sizing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    _sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count. Accepted for API compatibility;
+    /// the vendored timer is budget-based, so this only nudges nothing.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self._sample_size = n;
+        self
+    }
+
+    /// Declares iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs `f` with a [`Bencher`] and the given input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if !self.criterion.matches_filter(&full) {
+            return;
+        }
+        let mut b = Bencher::new(self.criterion.test_mode);
+        f(&mut b, input);
+        b.report(&full, self.throughput);
+    }
+
+    /// Runs `f` with a [`Bencher`].
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let full = format!("{}/{}", self.name, name);
+        if !self.criterion.matches_filter(&full) {
+            return;
+        }
+        let mut b = Bencher::new(self.criterion.test_mode);
+        f(&mut b);
+        b.report(&full, self.throughput);
+    }
+
+    /// Ends the group. (The real crate emits summary plots here.)
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    measured: Option<(Duration, u64)>,
+}
+
+const WARMUP: Duration = Duration::from_millis(60);
+const BUDGET: Duration = Duration::from_millis(400);
+
+impl Bencher {
+    fn new(test_mode: bool) -> Self {
+        Bencher { test_mode, measured: None }
+    }
+
+    /// Times repeated calls of `routine` (or runs it once in `--test` mode).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.measured = Some((Duration::ZERO, 1));
+            return;
+        }
+        // Warm up and estimate a batch size that keeps clock overhead small.
+        let mut batch: u64 = 1;
+        let warm_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let once = t.elapsed();
+            if warm_start.elapsed() >= WARMUP {
+                break;
+            }
+            if once < Duration::from_millis(2) && batch < (1 << 20) {
+                batch *= 2;
+            }
+        }
+        // Measure in batches until the budget is spent.
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < BUDGET {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += t.elapsed();
+            iters += batch;
+        }
+        self.measured = Some((total, iters));
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        let Some((total, iters)) = self.measured else {
+            println!("{name:<50} (no measurement: closure never called iter)");
+            return;
+        };
+        if self.test_mode {
+            println!("{name:<50} ok (test mode, 1 iteration)");
+            return;
+        }
+        let ns_per_iter = total.as_nanos() as f64 / iters as f64;
+        let rate = match throughput {
+            Some(Throughput::Elements(e)) => {
+                let per_sec = e as f64 * 1e9 / ns_per_iter;
+                format!("  thrpt: {per_sec:.3e} elem/s")
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 * 1e9 / ns_per_iter;
+                format!("  thrpt: {per_sec:.3e} B/s")
+            }
+            None => String::new(),
+        };
+        println!("{name:<50} time: {} /iter ({iters} iters){rate}", fmt_ns(ns_per_iter));
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.4} ms", ns / 1e6)
+    } else {
+        format!("{:.4} s", ns / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a single runner the `criterion_main!`
+/// macro can invoke.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut calls = 0u32;
+        let mut b = Bencher::new(true);
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("bitonic", 64).id, "bitonic/64");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+
+    #[test]
+    fn filter_matching() {
+        let c = Criterion { test_mode: false, filter: Some("bitonic".into()) };
+        assert!(c.matches_filter("evaluate/bitonic/64"));
+        assert!(!c.matches_filter("evaluate/odd_even/64"));
+        let all = Criterion::default();
+        assert!(all.matches_filter("anything"));
+    }
+}

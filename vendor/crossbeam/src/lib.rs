@@ -1,0 +1,88 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is used by this workspace; since Rust
+//! 1.63 the standard library ships scoped threads, so this shim adapts the
+//! crossbeam API surface (`scope(|s| …)` returning a `Result`, spawn
+//! closures receiving the scope handle) onto `std::thread::scope`.
+
+pub mod thread {
+    //! Scoped threads with the crossbeam calling convention.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A handle to the scope, passed to `scope`'s closure and to every
+    /// spawned closure (crossbeam lets spawned threads spawn siblings).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle,
+        /// mirroring crossbeam's signature (callers here ignore it).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned; all
+    /// spawned threads are joined before this returns. Returns `Err` with
+    /// the panic payload if the closure (or an unjoined thread) panicked.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|c| s.spawn(move |_| c.iter().sum::<u64>())).collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).sum()
+        })
+        .expect("scope ok");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn panics_are_reported_per_handle() {
+        let r = crate::thread::scope(|s| {
+            let h = s.spawn(|_| -> u32 { panic!("worker boom") });
+            h.join().is_err()
+        });
+        assert_eq!(r.expect("scope itself survives joined panic"), true);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let v = crate::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21u32).join().unwrap() * 2).join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+}

@@ -1,0 +1,474 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace's build environment cannot reach crates.io, so this crate
+//! reimplements the slice of serde the workspace uses. Instead of serde's
+//! visitor-based zero-copy data model, (de)serialization goes through an
+//! owned JSON-like [`Value`] tree:
+//!
+//! * [`Serialize`] renders a type to a [`Value`];
+//! * [`Deserialize`] rebuilds a type from a [`&Value`](Value), with the
+//!   same validation funnels (`try_from`/`into` container attributes) the
+//!   real derive provides;
+//! * the derive macros in `serde_derive` cover named-field structs and
+//!   unit/tuple/struct-variant enums, plus the container attributes used
+//!   here: `try_from`, `into`, `untagged`, `tag`, `rename_all`.
+//!
+//! `serde_json` (also vendored) layers JSON text parsing/printing on top of
+//! the same [`Value`].
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON number: unsigned, signed, or floating.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A non-negative integer.
+    U(u64),
+    /// A negative integer.
+    I(i64),
+    /// A float.
+    F(f64),
+}
+
+impl Number {
+    /// Numeric value as `f64` (lossy for huge integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U(u) => u as f64,
+            Number::I(i) => i as f64,
+            Number::F(f) => f,
+        }
+    }
+
+    /// As `u64` if representable exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U(u) => Some(u),
+            Number::I(i) if i >= 0 => Some(i as u64),
+            Number::F(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                Some(f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// As `i64` if representable exactly.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U(u) => i64::try_from(u).ok(),
+            Number::I(i) => Some(i),
+            Number::F(f)
+                if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 =>
+            {
+                Some(f as i64)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_i64(), other.as_i64()) {
+            (Some(a), Some(b)) => a == b,
+            _ => match (self.as_u64(), other.as_u64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => self.as_f64() == other.as_f64(),
+            },
+        }
+    }
+}
+
+/// An owned JSON-like value tree: the data model every type serializes
+/// into and deserializes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The fields of an object, if this is one.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array, if this is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// String contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer contents, if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Signed integer contents, if exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Float contents (any number coerces).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Boolean contents, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True iff this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Looks up a field of an object by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// A short human-readable name of the value's kind (for errors).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// (De)serialization error: a message, as in `serde::de::Error::custom`.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Builds an error from any displayable message.
+    pub fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types renderable to a [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types rebuildable from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree, validating as it goes.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ---- primitive impls -------------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let u = v.as_u64().ok_or_else(|| {
+                    Error::custom(format!(
+                        "expected unsigned integer, found {}", v.kind()
+                    ))
+                })?;
+                <$t>::try_from(u).map_err(|_| {
+                    Error::custom(format!("integer {u} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 {
+                    Value::Number(Number::U(i as u64))
+                } else {
+                    Value::Number(Number::I(i))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let i = v.as_i64().ok_or_else(|| {
+                    Error::custom(format!("expected integer, found {}", v.kind()))
+                })?;
+                <$t>::try_from(i).map_err(|_| {
+                    Error::custom(format!("integer {i} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Number(Number::F(*self))
+    }
+}
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::custom(format!("expected number, found {}", v.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Number(Number::F(*self as f64))
+    }
+}
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        f64::deserialize(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::custom(format!("expected bool, found {}", v.kind())))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_owned).ok_or_else(|| {
+            Error::custom(format!("expected string, found {}", v.kind()))
+        })
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, found {}", v.kind())))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize(v).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let a = v.as_array().ok_or_else(|| {
+                    Error::custom(format!("expected array (tuple), found {}", v.kind()))
+                })?;
+                let expect = [$( $n, )+].len();
+                if a.len() != expect {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {expect}, found array of {}", a.len()
+                    )));
+                }
+                Ok(($($t::deserialize(&a[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Support items the derive macros expand to. Not public API.
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// Deserializes field `key` of an object; a missing key is treated as
+    /// `null` (so `Option` fields default to `None`, as with real serde).
+    pub fn get_field<T: Deserialize>(
+        obj: &[(String, Value)],
+        key: &str,
+    ) -> Result<T, Error> {
+        match obj.iter().find(|(k, _)| k == key) {
+            Some((_, v)) => T::deserialize(v)
+                .map_err(|e| Error::custom(format!("field `{key}`: {e}"))),
+            None => T::deserialize(&Value::Null)
+                .map_err(|_| Error::custom(format!("missing field `{key}`"))),
+        }
+    }
+
+    /// Deserializes element `idx` of an array (tuple variant content).
+    pub fn get_elem<T: Deserialize>(arr: &[Value], idx: usize) -> Result<T, Error> {
+        let v = arr
+            .get(idx)
+            .ok_or_else(|| Error::custom(format!("missing tuple element {idx}")))?;
+        T::deserialize(v).map_err(|e| Error::custom(format!("element {idx}: {e}")))
+    }
+
+    /// Deserializes a whole value (newtype variant content).
+    pub fn get_value<T: Deserialize>(v: &Value) -> Result<T, Error> {
+        T::deserialize(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(u32::deserialize(&7u32.serialize()).unwrap(), 7);
+        assert_eq!(i64::deserialize(&(-3i64).serialize()).unwrap(), -3);
+        assert_eq!(bool::deserialize(&true.serialize()).unwrap(), true);
+        assert_eq!(String::deserialize(&"hi".serialize()).unwrap(), "hi");
+        let v: Vec<u32> = vec![1, 2, 3];
+        assert_eq!(Vec::<u32>::deserialize(&v.serialize()).unwrap(), v);
+        let t = (1u32, 2u64);
+        assert_eq!(<(u32, u64)>::deserialize(&t.serialize()).unwrap(), t);
+        let o: Option<u8> = None;
+        assert!(o.serialize().is_null());
+        assert_eq!(Option::<u8>::deserialize(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn range_checks() {
+        assert!(u8::deserialize(&300u32.serialize()).is_err());
+        assert!(u32::deserialize(&Value::String("x".into())).is_err());
+        assert!(u32::deserialize(&(-1i32).serialize()).is_err());
+    }
+
+    #[test]
+    fn number_equality_is_numeric() {
+        assert_eq!(Value::Number(Number::U(3)), Value::Number(Number::F(3.0)));
+        assert_ne!(Value::Number(Number::U(3)), Value::Number(Number::F(3.5)));
+    }
+}

@@ -1,0 +1,670 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits impls of the vendored `serde::{Serialize, Deserialize}` traits
+//! (which go through an owned `serde::Value` tree rather than visitors).
+//! The item is parsed directly from the `proc_macro::TokenStream` — no
+//! `syn`/`quote`, since the build environment has no registry access.
+//!
+//! Supported shapes (exactly what this workspace uses):
+//! * named-field structs;
+//! * enums with unit, tuple/newtype, and struct variants;
+//! * container attributes `try_from = "T"`, `into = "T"`, `untagged`,
+//!   `tag = "k"`, `rename_all = "kebab-case"`.
+//!
+//! Generics, tuple structs, and field-level serde attributes are not
+//! supported and produce a compile error naming the limitation.
+
+extern crate proc_macro;
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Container-level `#[serde(...)]` attributes.
+#[derive(Default)]
+struct SerdeAttrs {
+    try_from: Option<String>,
+    into: Option<String>,
+    untagged: bool,
+    tag: Option<String>,
+    rename_all: Option<String>,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple or newtype variant with this arity.
+    Tuple(usize),
+    /// Struct variant with these field names.
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    attrs: SerdeAttrs,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated Deserialize impl parses")
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    let attrs = parse_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+
+    let body_group = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            panic!("serde_derive (vendored): tuple struct `{name}` is not supported")
+        }
+        other => panic!("serde_derive: expected item body for `{name}`, found {other:?}"),
+    };
+
+    let body = match keyword.as_str() {
+        "struct" => Body::Struct(parse_named_fields(body_group)),
+        "enum" => Body::Enum(parse_variants(body_group)),
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+
+    Item { name, attrs, body }
+}
+
+/// Consumes leading `#[...]` attributes, returning merged serde attrs.
+fn parse_attrs(tokens: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        let group = match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g.stream(),
+            other => panic!("serde_derive: malformed attribute, found {other:?}"),
+        };
+        *i += 1;
+        let inner: Vec<TokenTree> = group.into_iter().collect();
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue; // doc comments, other derives' helpers, etc.
+        }
+        let args = match inner.get(1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+            other => panic!("serde_derive: malformed #[serde(...)], found {other:?}"),
+        };
+        parse_serde_args(args, &mut attrs);
+    }
+    attrs
+}
+
+/// Parses `key`, `key = "value"` pairs inside `#[serde(...)]`.
+fn parse_serde_args(args: TokenStream, attrs: &mut SerdeAttrs) {
+    let toks: Vec<TokenTree> = args.into_iter().collect();
+    let mut j = 0usize;
+    while j < toks.len() {
+        let key = match &toks[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                j += 1;
+                continue;
+            }
+            other => panic!("serde_derive: unexpected token in #[serde(...)]: {other:?}"),
+        };
+        j += 1;
+        let mut value = None;
+        if matches!(toks.get(j), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            j += 1;
+            match toks.get(j) {
+                Some(TokenTree::Literal(lit)) => {
+                    value = Some(unquote(&lit.to_string()));
+                    j += 1;
+                }
+                other => panic!("serde_derive: expected string after `{key} =`, found {other:?}"),
+            }
+        }
+        match (key.as_str(), value) {
+            ("try_from", Some(v)) => attrs.try_from = Some(v),
+            ("into", Some(v)) => attrs.into = Some(v),
+            ("tag", Some(v)) => attrs.tag = Some(v),
+            ("rename_all", Some(v)) => attrs.rename_all = Some(v),
+            ("untagged", None) => attrs.untagged = true,
+            (k, _) => panic!("serde_derive (vendored): unsupported serde attribute `{k}`"),
+        }
+    }
+}
+
+/// Strips the surrounding quotes from a string-literal token. The
+/// attribute values used here ("NetworkRepr", "kebab-case", …) contain no
+/// escapes, so no unescaping is needed.
+fn unquote(lit: &str) -> String {
+    let s = lit.trim();
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        s[1..s.len() - 1].to_string()
+    } else {
+        panic!("serde_derive: expected string literal, found `{lit}`");
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        // pub(crate) / pub(super) / pub(in ...)
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Field names of a named-field body (`{ a: T, b: U }`). Types are skipped
+/// entirely — the generated constructors let inference recover them.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0usize;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        parse_attrs(&tokens, &mut i); // doc comments / field attrs
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+/// Advances past one type, stopping after the comma that ends it (or at end
+/// of stream). Commas inside `<...>` belong to the type; commas inside
+/// parens/brackets are already swallowed by their `Group` token.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0usize;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        parse_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Number of comma-separated type segments at angle-depth 0.
+fn tuple_arity(content: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut segment_has_tokens = false;
+    let mut angle_depth = 0i32;
+    for tok in content {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if segment_has_tokens {
+                    arity += 1;
+                }
+                segment_has_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        segment_has_tokens = true;
+    }
+    if segment_has_tokens {
+        arity += 1;
+    }
+    arity
+}
+
+/// Applies `rename_all = "kebab-case"` (the only style used here) to a
+/// CamelCase variant name.
+fn rename_variant(name: &str, rename_all: Option<&str>) -> String {
+    match rename_all {
+        None => name.to_string(),
+        Some("kebab-case") => {
+            let mut out = String::new();
+            for (k, c) in name.chars().enumerate() {
+                if c.is_ascii_uppercase() && k > 0 {
+                    out.push('-');
+                }
+                out.push(c.to_ascii_lowercase());
+            }
+            out
+        }
+        Some(other) => panic!("serde_derive (vendored): unsupported rename_all = \"{other}\""),
+    }
+}
+
+// ---- codegen: Serialize ----------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(into_ty) = &item.attrs.into {
+        // #[serde(into = "T")]: convert (requires Clone + Into<T>) and
+        // serialize the proxy.
+        format!(
+            "let __proxy: {into_ty} = \
+             ::std::convert::Into::into(::std::clone::Clone::clone(self));\
+             ::serde::Serialize::serialize(&__proxy)"
+        )
+    } else {
+        match &item.body {
+            Body::Struct(fields) => ser_named_fields(name, fields),
+            Body::Enum(variants) => ser_enum(item, variants),
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+           fn serialize(&self) -> ::serde::Value {{ {body} }}\
+         }}"
+    )
+}
+
+/// `Value::Object` literal for a plain named-field struct read from `self`.
+fn ser_named_fields(_name: &str, fields: &[String]) -> String {
+    let mut entries = String::new();
+    for f in fields {
+        entries.push_str(&format!(
+            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize(&self.{f})),"
+        ));
+    }
+    format!("::serde::Value::Object(::std::vec![{entries}])")
+}
+
+fn ser_enum(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let tag_name = rename_variant(vname, item.attrs.rename_all.as_deref());
+        let arm = match &v.kind {
+            VariantKind::Unit => {
+                let pat = format!("{name}::{vname}");
+                let expr = if item.attrs.untagged {
+                    "::serde::Value::Null".to_string()
+                } else if let Some(tag_key) = &item.attrs.tag {
+                    format!(
+                        "::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from(\"{tag_key}\"),\
+                         ::serde::Value::String(::std::string::String::from(\"{tag_name}\")))])"
+                    )
+                } else {
+                    format!("::serde::Value::String(::std::string::String::from(\"{tag_name}\"))")
+                };
+                format!("{pat} => {expr},")
+            }
+            VariantKind::Tuple(arity) => {
+                let binders: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                let pat = format!("{name}::{vname}({})", binders.join(","));
+                // Newtype variants serialize their content directly; wider
+                // tuples serialize as an array (serde's convention).
+                let content = if *arity == 1 {
+                    "::serde::Serialize::serialize(__f0)".to_string()
+                } else {
+                    let elems: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::serialize({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", elems.join(","))
+                };
+                let expr = if item.attrs.untagged {
+                    content
+                } else if item.attrs.tag.is_some() {
+                    panic!(
+                        "serde_derive (vendored): tuple variant `{vname}` cannot be \
+                         internally tagged"
+                    );
+                } else {
+                    format!(
+                        "::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from(\"{tag_name}\"), {content})])"
+                    )
+                };
+                format!("{pat} => {expr},")
+            }
+            VariantKind::Struct(fields) => {
+                let pat = format!("{name}::{vname} {{ {} }}", fields.join(","));
+                let mut entries = String::new();
+                if let Some(tag_key) = &item.attrs.tag {
+                    entries.push_str(&format!(
+                        "(::std::string::String::from(\"{tag_key}\"),\
+                         ::serde::Value::String(::std::string::String::from(\"{tag_name}\"))),"
+                    ));
+                }
+                for f in fields {
+                    entries.push_str(&format!(
+                        "(::std::string::String::from(\"{f}\"),\
+                         ::serde::Serialize::serialize({f})),"
+                    ));
+                }
+                let fields_obj = format!("::serde::Value::Object(::std::vec![{entries}])");
+                let expr = if item.attrs.untagged || item.attrs.tag.is_some() {
+                    fields_obj
+                } else {
+                    format!(
+                        "::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from(\"{tag_name}\"), {fields_obj})])"
+                    )
+                };
+                format!("{pat} => {expr},")
+            }
+        };
+        arms.push_str(&arm);
+    }
+    format!("match self {{ {arms} }}")
+}
+
+// ---- codegen: Deserialize --------------------------------------------------
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(try_from_ty) = &item.attrs.try_from {
+        // #[serde(try_from = "T")]: deserialize the proxy, then funnel
+        // through the validating TryFrom.
+        format!(
+            "let __repr: {try_from_ty} = ::serde::Deserialize::deserialize(__v)?;\
+             ::std::convert::TryFrom::try_from(__repr).map_err(::serde::Error::custom)"
+        )
+    } else {
+        match &item.body {
+            Body::Struct(fields) => de_named_struct(name, fields),
+            Body::Enum(variants) => {
+                if item.attrs.untagged {
+                    de_untagged_enum(name, variants)
+                } else if let Some(tag_key) = &item.attrs.tag {
+                    de_internally_tagged_enum(item, variants, tag_key)
+                } else {
+                    de_external_enum(item, variants)
+                }
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\
+           fn deserialize(__v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\
+         }}"
+    )
+}
+
+/// `Name { f: get_field(obj, "f")?, ... }` — inference recovers field types
+/// from the constructor, so the parser never needed them.
+fn ctor_from_fields(path: &str, fields: &[String], obj_expr: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        inits.push_str(&format!("{f}: ::serde::__private::get_field({obj_expr}, \"{f}\")?,"));
+    }
+    format!("{path} {{ {inits} }}")
+}
+
+fn de_named_struct(name: &str, fields: &[String]) -> String {
+    let ctor = ctor_from_fields(name, fields, "__obj");
+    format!(
+        "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::custom(\
+           ::std::format!(\"{name}: expected object, found {{}}\", __v.kind())))?;\
+         ::std::result::Result::Ok({ctor})"
+    )
+}
+
+fn de_external_enum(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let has_unit = variants.iter().any(|v| matches!(v.kind, VariantKind::Unit));
+    let has_payload = variants.iter().any(|v| !matches!(v.kind, VariantKind::Unit));
+    let mut out = String::new();
+
+    if has_unit {
+        let mut arms = String::new();
+        for v in variants {
+            if matches!(v.kind, VariantKind::Unit) {
+                let tag = rename_variant(&v.name, item.attrs.rename_all.as_deref());
+                arms.push_str(&format!(
+                    "\"{tag}\" => ::std::result::Result::Ok({name}::{vn}),",
+                    vn = v.name
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "if let ::std::option::Option::Some(__s) = __v.as_str() {{\
+               return match __s {{ {arms} __other => ::std::result::Result::Err(\
+                 ::serde::Error::custom(::std::format!(\
+                   \"unknown variant `{{}}` of {name}\", __other))) }};\
+             }}"
+        ));
+    }
+
+    if has_payload {
+        let mut arms = String::new();
+        for v in variants {
+            let vn = &v.name;
+            let tag = rename_variant(vn, item.attrs.rename_all.as_deref());
+            let arm_body = match &v.kind {
+                VariantKind::Unit => continue,
+                VariantKind::Tuple(arity) => de_tuple_content(name, vn, *arity, "__content"),
+                VariantKind::Struct(fields) => {
+                    let ctor = ctor_from_fields(&format!("{name}::{vn}"), fields, "__vfields");
+                    format!(
+                        "{{ let __vfields = __content.as_object().ok_or_else(|| \
+                           ::serde::Error::custom(\"{name}::{vn}: expected object content\"))?;\
+                           ::std::result::Result::Ok({ctor}) }}"
+                    )
+                }
+            };
+            arms.push_str(&format!("\"{tag}\" => {arm_body},"));
+        }
+        out.push_str(&format!(
+            "if let ::std::option::Option::Some(__obj) = __v.as_object() {{\
+               if __obj.len() == 1 {{\
+                 let (__key, __content) = &__obj[0];\
+                 return match __key.as_str() {{ {arms} __other => \
+                   ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                     \"unknown variant `{{}}` of {name}\", __other))) }};\
+               }}\
+             }}"
+        ));
+    }
+
+    out.push_str(&format!(
+        "::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+           \"{name}: unexpected {{}} value\", __v.kind())))"
+    ));
+    out
+}
+
+/// `Ok(Name::Var(get_value(content)?))` for newtypes, array unpacking for
+/// wider tuples.
+fn de_tuple_content(name: &str, vname: &str, arity: usize, content_expr: &str) -> String {
+    if arity == 1 {
+        format!(
+            "::std::result::Result::Ok({name}::{vname}(\
+             ::serde::__private::get_value({content_expr})?))"
+        )
+    } else {
+        let elems: Vec<String> =
+            (0..arity).map(|k| format!("::serde::__private::get_elem(__arr, {k})?")).collect();
+        format!(
+            "{{ let __arr = {content_expr}.as_array().ok_or_else(|| \
+               ::serde::Error::custom(\"{name}::{vname}: expected array content\"))?;\
+               if __arr.len() != {arity} {{\
+                 return ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                   \"{name}::{vname}: expected {arity} elements, found {{}}\", __arr.len())));\
+               }}\
+               ::std::result::Result::Ok({name}::{vname}({elems})) }}",
+            elems = elems.join(",")
+        )
+    }
+}
+
+fn de_untagged_enum(name: &str, variants: &[Variant]) -> String {
+    // Try each variant in declaration order; first success wins — the same
+    // rule real serde applies to untagged enums.
+    let mut out = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                out.push_str(&format!(
+                    "if __v.is_null() {{ return ::std::result::Result::Ok({name}::{vn}); }}"
+                ));
+            }
+            VariantKind::Tuple(arity) if *arity == 1 => {
+                out.push_str(&format!(
+                    "if let ::std::result::Result::Ok(__f0) = \
+                       ::serde::__private::get_value(__v) {{\
+                       return ::std::result::Result::Ok({name}::{vn}(__f0));\
+                     }}"
+                ));
+            }
+            VariantKind::Tuple(arity) => {
+                let binders: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                let gets: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::__private::get_elem(__arr, {k})"))
+                    .collect();
+                out.push_str(&format!(
+                    "if let ::std::option::Option::Some(__arr) = __v.as_array() {{\
+                       if __arr.len() == {arity} {{\
+                         if let ({oks}) = ({gets}) {{\
+                           return ::std::result::Result::Ok({name}::{vn}({binders}));\
+                         }}\
+                       }}\
+                     }}",
+                    oks = binders
+                        .iter()
+                        .map(|b| format!("::std::result::Result::Ok({b})"))
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    gets = gets.join(","),
+                    binders = binders.join(","),
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                // All named fields must deserialize; probe into a closure so
+                // a failed field falls through to the next variant.
+                let ctor = ctor_from_fields(&format!("{name}::{vn}"), fields, "__vfields");
+                out.push_str(&format!(
+                    "if let ::std::option::Option::Some(__vfields) = __v.as_object() {{\
+                       let __try = || -> ::std::result::Result<{name}, ::serde::Error> {{\
+                         ::std::result::Result::Ok({ctor}) }};\
+                       if let ::std::result::Result::Ok(__ok) = __try() {{\
+                         return ::std::result::Result::Ok(__ok);\
+                       }}\
+                     }}"
+                ));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "::std::result::Result::Err(::serde::Error::custom(\
+           \"data did not match any variant of untagged enum {name}\"))"
+    ));
+    out
+}
+
+fn de_internally_tagged_enum(item: &Item, variants: &[Variant], tag_key: &str) -> String {
+    let name = &item.name;
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        let tag = rename_variant(vn, item.attrs.rename_all.as_deref());
+        let arm_body = match &v.kind {
+            VariantKind::Unit => format!("::std::result::Result::Ok({name}::{vn})"),
+            VariantKind::Struct(fields) => {
+                let ctor = ctor_from_fields(&format!("{name}::{vn}"), fields, "__obj");
+                format!("::std::result::Result::Ok({ctor})")
+            }
+            VariantKind::Tuple(_) => panic!(
+                "serde_derive (vendored): tuple variant `{vn}` cannot be internally tagged"
+            ),
+        };
+        arms.push_str(&format!("\"{tag}\" => {arm_body},"));
+    }
+    format!(
+        "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::custom(\
+           ::std::format!(\"{name}: expected object, found {{}}\", __v.kind())))?;\
+         let __tag = __v.get(\"{tag_key}\").and_then(|__t| __t.as_str())\
+           .ok_or_else(|| ::serde::Error::custom(\
+             \"{name}: missing or non-string tag `{tag_key}`\"))?;\
+         match __tag {{ {arms} __other => ::std::result::Result::Err(\
+           ::serde::Error::custom(::std::format!(\
+             \"unknown variant `{{}}` of {name}\", __other))) }}"
+    )
+}

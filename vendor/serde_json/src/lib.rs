@@ -1,0 +1,483 @@
+//! Offline stand-in for `serde_json`: JSON text parsing/printing layered
+//! over the vendored `serde::Value` tree.
+//!
+//! Provides the workspace's used surface: [`from_str`], [`to_string`],
+//! [`to_string_pretty`], [`from_value`], [`to_value`], [`json!`], and the
+//! re-exported [`Value`]/[`Number`] types.
+
+pub use serde::{Number, Value};
+
+/// A JSON (de)serialization error with a short message.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Parses a JSON document and deserializes it into `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value_complete(s)?;
+    Ok(T::deserialize(&value)?)
+}
+
+/// Deserializes an already-parsed [`Value`] into `T`.
+pub fn from_value<T: serde::Deserialize>(v: Value) -> Result<T, Error> {
+    Ok(T::deserialize(&v)?)
+}
+
+/// Serializes `value` into its [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.serialize())
+}
+
+/// Serializes `value` as compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&value.serialize(), &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as 2-space-indented JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.serialize(), &mut out, 0);
+    Ok(out)
+}
+
+/// Builds a [`Value`] from an inline JSON literal.
+///
+/// The tokens are stringified and parsed at runtime, so the literal must be
+/// self-contained JSON — expression interpolation (supported by the real
+/// crate) is not available in this vendored stand-in.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => {
+        $crate::__parse_json_literal(stringify!($($tt)+))
+    };
+}
+
+/// Support function for [`json!`]. Not public API.
+#[doc(hidden)]
+pub fn __parse_json_literal(text: &str) -> Value {
+    parse_value_complete(text).expect("json! literal is valid JSON")
+}
+
+// ---- parser ----------------------------------------------------------------
+
+fn parse_value_complete(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error::new("unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+        Some(b'-') | Some(b'0'..=b'9') => parse_number(bytes, pos),
+        Some(&c) => Err(Error::new(format!(
+            "unexpected character `{}` at byte {}",
+            c as char, *pos
+        ))),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: Value,
+) -> Result<Value, Error> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(Error::new(format!("invalid literal at byte {}", *pos)))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    *pos += 1; // '{'
+    let mut fields: Vec<(String, Value)> = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(Error::new(format!("expected object key at byte {}", *pos)));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(Error::new(format!("expected `:` at byte {}", *pos)));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", *pos))),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    *pos += 1; // '['
+    let mut elems = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(elems));
+    }
+    loop {
+        elems.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(elems));
+            }
+            _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", *pos))),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error::new("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        *pos += 1;
+                        let hi = parse_hex4(bytes, pos)?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: expect \uDC00..\uDFFF next.
+                            if bytes.get(*pos) == Some(&b'\\')
+                                && bytes.get(*pos + 1) == Some(&b'u')
+                            {
+                                *pos += 2;
+                                let lo = parse_hex4(bytes, pos)?;
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                return Err(Error::new("lone high surrogate"));
+                            }
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::new("invalid \\u escape"))?,
+                        );
+                        continue; // pos already advanced past the hex digits
+                    }
+                    _ => return Err(Error::new("invalid escape sequence")),
+                }
+                *pos += 1;
+            }
+            Some(&c) if c < 0x20 => {
+                return Err(Error::new("unescaped control character in string"))
+            }
+            Some(_) => {
+                // Copy one UTF-8 scalar (1-4 bytes).
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && (bytes[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                let s = std::str::from_utf8(&bytes[start..*pos])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                out.push_str(s);
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, Error> {
+    let end = *pos + 4;
+    if end > bytes.len() {
+        return Err(Error::new("truncated \\u escape"));
+    }
+    let s = std::str::from_utf8(&bytes[*pos..end])
+        .map_err(|_| Error::new("invalid \\u escape"))?;
+    let v = u32::from_str_radix(s, 16).map_err(|_| Error::new("invalid \\u escape"))?;
+    *pos = end;
+    Ok(v)
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    let negative = bytes.get(*pos) == Some(&b'-');
+    if negative {
+        *pos += 1;
+        // `json!` goes through stringify!, which inserts a space between the
+        // minus sign and the digits; tolerate it.
+        skip_ws(bytes, pos);
+    }
+    let digits_start = *pos;
+    let mut is_float = false;
+    while let Some(&c) = bytes.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    if *pos == digits_start {
+        return Err(Error::new(format!("invalid number at byte {start}")));
+    }
+    let text: String = {
+        let sign = if negative { "-" } else { "" };
+        let body = std::str::from_utf8(&bytes[digits_start..*pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        format!("{sign}{body}")
+    };
+    if !is_float {
+        if negative {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I(i)));
+            }
+        } else if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::Number(Number::U(u)));
+        }
+    }
+    text.parse::<f64>()
+        .map(|f| Value::Number(Number::F(f)))
+        .map_err(|_| Error::new(format!("invalid number `{text}`")))
+}
+
+// ---- printer ---------------------------------------------------------------
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(n: &Number, out: &mut String) {
+    match *n {
+        Number::U(u) => out.push_str(&u.to_string()),
+        Number::I(i) => out.push_str(&i.to_string()),
+        Number::F(f) if !f.is_finite() => out.push_str("null"),
+        Number::F(f) => {
+            // Keep integral floats visibly floats so they reparse as such.
+            if f.fract() == 0.0 && f.abs() < 1e15 {
+                out.push_str(&format!("{f:.1}"));
+            } else {
+                out.push_str(&format!("{f}"));
+            }
+        }
+    }
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(n, out),
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(elems) => {
+            out.push('[');
+            for (i, e) in elems.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(e, out);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Value, out: &mut String, indent: usize) {
+    match v {
+        Value::Array(elems) if !elems.is_empty() => {
+            out.push_str("[\n");
+            for (i, e) in elems.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_pretty(e, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(val, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip_compact() {
+        let text = r#"{"n":3,"xs":[1,-2,3.5],"s":"a\"b","t":true,"z":null}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("xs").unwrap().as_array().unwrap()[1].as_i64(), Some(-2));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("a\"b"));
+        let printed = to_string(&v).unwrap();
+        let v2: Value = from_str(&printed).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn pretty_reparses() {
+        let v: Value = from_str(r#"{"a":[1,2],"b":{"c":[]}}"#).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let v2: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("\"abc").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+        assert!(from_str::<Value>("{'a':1}").is_err());
+    }
+
+    #[test]
+    fn json_macro_matches_parser() {
+        let v = json!({"n": 3, "levels": [{"route": null, "kind": "Cmp"}]});
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(3));
+        let lvl = &v.get("levels").unwrap().as_array().unwrap()[0];
+        assert!(lvl.get("route").unwrap().is_null());
+        assert_eq!(lvl.get("kind").unwrap().as_str(), Some("Cmp"));
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v: Value = from_str(r#""A😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("A😀"));
+    }
+
+    #[test]
+    fn typed_roundtrip_through_derive() {
+        // Smoke-check that text layer + derive layer compose.
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct P {
+            x: u32,
+            tags: Vec<String>,
+            opt: Option<u8>,
+        }
+        let p = P { x: 7, tags: vec!["a".into(), "b".into()], opt: None };
+        let text = to_string(&p).unwrap();
+        let back: P = from_str(&text).unwrap();
+        assert_eq!(back, p);
+        // Missing optional field deserializes as None.
+        let with_missing: P = from_str(r#"{"x":1,"tags":[]}"#).unwrap();
+        assert_eq!(with_missing.opt, None);
+    }
+}

@@ -1,0 +1,194 @@
+//! Differential equivalence suite for the compiled verification engine:
+//! the compiled scalar backend must be input-for-input identical to the
+//! interpreter, the compiled 64-lane backend identical to the bit-parallel
+//! interpreter, and the sharded checker value-identical (verdict,
+//! counterexample, and `tested` accounting) to the sequential scan —
+//! plus cross-validation over the real sorter zoo and a thread-count
+//! determinism regression.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use snet_core::bitparallel::evaluate_01x64;
+use snet_core::element::{Element, ElementKind};
+use snet_core::engine::{check_zero_one_sharded, CompiledNetwork};
+use snet_core::network::{ComparatorNetwork, Level};
+use snet_core::perm::Permutation;
+use snet_core::sortcheck::{
+    check_permutations_exhaustive, check_zero_one_exhaustive, count_unsorted_01, is_sorted,
+    SortCheck,
+};
+use snet_sorters::{
+    bitonic_circuit, brick_wall, odd_even_mergesort, periodic_balanced, pratt_network,
+};
+
+/// Random leveled network over every construct the compiler must absorb:
+/// routes, `Cmp`, `CmpRev`, `Pass`, `Swap`.
+fn random_net(n: usize, depth: usize, seed: u64) -> ComparatorNetwork {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut net = ComparatorNetwork::empty(n);
+    for _ in 0..depth {
+        let route = if rng.gen_bool(0.4) { Some(Permutation::random(n, &mut rng)) } else { None };
+        let mut wires: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            wires.swap(i, j);
+        }
+        let pairs = rng.gen_range(0..=n / 2);
+        let elements = (0..pairs)
+            .map(|k| Element {
+                a: wires[2 * k],
+                b: wires[2 * k + 1],
+                kind: match rng.gen_range(0..4) {
+                    0 => ElementKind::Cmp,
+                    1 => ElementKind::CmpRev,
+                    2 => ElementKind::Pass,
+                    _ => ElementKind::Swap,
+                },
+            })
+            .collect();
+        net.push_level(Level { route, elements }).unwrap();
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    #[test]
+    fn compiled_scalar_equals_interpreter(seed in 0u64..100_000, d in 0usize..7) {
+        let n = 10;
+        let net = random_net(n, d, seed);
+        let compiled = CompiledNetwork::compile(&net);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5CA1A);
+        let mut scratch_i: Vec<u32> = Vec::new();
+        let mut scratch_c: Vec<u32> = Vec::new();
+        for _ in 0..20 {
+            // Arbitrary values (with repeats), not just permutations.
+            let input: Vec<u32> = (0..n).map(|_| rng.gen_range(0..6u32)).collect();
+            let mut via_interp = input.clone();
+            net.evaluate_in_place(&mut via_interp, &mut scratch_i);
+            let mut via_compiled = input.clone();
+            compiled.run_scalar_in_place(&mut via_compiled, &mut scratch_c);
+            prop_assert_eq!(&via_compiled, &via_interp);
+        }
+    }
+
+    #[test]
+    fn compiled_lanes_equal_bitparallel_interpreter(seed in 0u64..100_000, d in 0usize..7) {
+        let n = 10;
+        let net = random_net(n, d, seed);
+        let compiled = CompiledNetwork::compile(&net);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xB17);
+        let lanes: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        let mut via_compiled = lanes.clone();
+        compiled.run_01x64_in_place(&mut via_compiled, &mut Vec::new());
+        let via_interp = evaluate_01x64(&net, &lanes);
+        prop_assert_eq!(via_compiled, via_interp);
+    }
+
+    #[test]
+    fn sharded_checker_equals_sequential(seed in 0u64..100_000, d in 0usize..8) {
+        let n = 9;
+        let net = random_net(n, d, seed);
+        let sequential = check_zero_one_exhaustive(&net);
+        for threads in [1usize, 3, 8] {
+            // Full value equality: verdict, exact counterexample input and
+            // output, and `tested` accounting.
+            prop_assert_eq!(&check_zero_one_sharded(&net, threads), &sequential);
+        }
+    }
+}
+
+#[test]
+fn sorter_zoo_cross_validation() {
+    // Every generator at every n <= 8 it supports: the three exhaustive
+    // verdicts (sequential 0-1, permutation, sharded) agree, and the
+    // engine-backed failure count is zero exactly for sorters.
+    let mut zoo: Vec<(String, ComparatorNetwork)> = Vec::new();
+    for n in 1..=8usize {
+        zoo.push((format!("brick_wall({n})"), brick_wall(n)));
+        if n.is_power_of_two() {
+            zoo.push((format!("bitonic_circuit({n})"), bitonic_circuit(n)));
+            zoo.push((format!("odd_even_mergesort({n})"), odd_even_mergesort(n)));
+            if n >= 2 {
+                zoo.push((format!("periodic_balanced({n})"), periodic_balanced(n)));
+            }
+        }
+        zoo.push((format!("pratt_network({n})"), pratt_network(n)));
+    }
+    for (name, net) in &zoo {
+        let seq = check_zero_one_exhaustive(net);
+        assert!(seq.is_sorting(), "{name} must sort");
+        assert_eq!(
+            check_permutations_exhaustive(net).is_sorting(),
+            seq.is_sorting(),
+            "{name}: 0-1 and permutation checks disagree"
+        );
+        for threads in [1usize, 2, 8] {
+            assert_eq!(&check_zero_one_sharded(net, threads), &seq, "{name} t={threads}");
+        }
+        assert_eq!(count_unsorted_01(net), 0, "{name}: sorter has zero 0-1 failures");
+    }
+}
+
+#[test]
+fn truncated_sorters_fail_identically_everywhere() {
+    // Chop sorters so they no longer sort; every checker must report the
+    // same counterexample and the failure counts must agree with a scalar
+    // recount through the engine's compiled evaluator.
+    for n in [6usize, 8] {
+        let full = brick_wall(n);
+        let truncated = ComparatorNetwork::new(n, full.levels()[..n / 2].to_vec()).unwrap();
+        let seq = check_zero_one_exhaustive(&truncated);
+        let SortCheck::Counterexample { input, output } = &seq else {
+            panic!("truncated brick wall must fail");
+        };
+        assert!(!is_sorted(output));
+        assert_eq!(&truncated.evaluate(input), output);
+        for threads in [1usize, 2, 8] {
+            assert_eq!(&check_zero_one_sharded(&truncated, threads), &seq, "t={threads}");
+        }
+        // count_unsorted_01 (engine path) vs brute-force scalar recount.
+        let compiled = CompiledNetwork::compile(&truncated);
+        let mut expect = 0u64;
+        for mask in 0..(1u64 << n) {
+            let input: Vec<u32> = (0..n).map(|w| ((mask >> w) & 1) as u32).collect();
+            if !is_sorted(&compiled.evaluate(&input)) {
+                expect += 1;
+            }
+        }
+        assert!(expect > 0);
+        assert_eq!(count_unsorted_01(&truncated), expect, "n={n}");
+    }
+}
+
+#[test]
+fn determinism_regression_across_thread_counts() {
+    // A deep truncated bitonic at n = 16: large enough that the sharded
+    // path genuinely fans out over the worker pool, with the lowest
+    // counterexample planted beyond the first shards. All thread counts
+    // must report the identical (lowest-index) counterexample and
+    // identical `tested` accounting.
+    let n = 16;
+    let full = bitonic_circuit(n);
+    let depth = full.depth();
+    let truncated = ComparatorNetwork::new(n, full.levels()[..depth - 1].to_vec()).unwrap();
+    let reference = check_zero_one_exhaustive(&truncated);
+    assert!(!reference.is_sorting(), "dropping the final level must break bitonic");
+    let runs: Vec<SortCheck> =
+        [1usize, 2, 8].iter().map(|&t| check_zero_one_sharded(&truncated, t)).collect();
+    for (i, run) in runs.iter().enumerate() {
+        assert_eq!(run, &reference, "thread count #{i} diverged");
+    }
+    assert_eq!(runs[0], runs[1]);
+    assert_eq!(runs[1], runs[2]);
+
+    // And on the intact sorter, every thread count accounts for all 2^16.
+    for threads in [1usize, 2, 8] {
+        assert_eq!(
+            check_zero_one_sharded(&full, threads),
+            SortCheck::AllSorted { tested: 1u64 << n },
+            "t={threads}"
+        );
+    }
+}
