@@ -308,9 +308,12 @@ impl AdaptiveRun {
             "candidate order must refine the final pattern"
         );
 
-        // Replay: every logged outcome must hold on input_a.
+        // Replay: every logged outcome must hold on input_a. The compiled
+        // IR's canonical pipeline preserves the source comparator order, so
+        // the traced event stream is identical to the interpreter's.
+        let exec = snet_core::ir::Executor::compile(&fixed_network);
         let mut cursor = 0usize;
-        fixed_network.evaluate_traced(&input_a, |ev| {
+        exec.evaluate_traced(&input_a, |ev| {
             let (stage, elem, first_smaller) = self.log[cursor];
             assert_eq!(ev.level, stage, "replay out of sync");
             assert_eq!(ev.element, elem, "replay element mismatch");
@@ -334,8 +337,8 @@ impl AdaptiveRun {
             debug_assert_eq!(input_a[w1 as usize], m + 1);
             let mut input_b = input_a.clone();
             input_b.swap(w0 as usize, w1 as usize);
-            let output_a = fixed_network.evaluate(&input_a);
-            let output_b = fixed_network.evaluate(&input_b);
+            let output_a = exec.evaluate(&input_a);
+            let output_b = exec.evaluate(&input_b);
             let r = SortingRefutation {
                 input_a: input_a.clone(),
                 input_b,
@@ -350,12 +353,7 @@ impl AdaptiveRun {
             None
         };
 
-        AdaptiveOutput {
-            input_pattern: self.input_pattern,
-            d_set,
-            fixed_network,
-            refutation,
-        }
+        AdaptiveOutput { input_pattern: self.input_pattern, d_set, fixed_network, refutation }
     }
 }
 

@@ -98,13 +98,14 @@ impl LowerBoundCertificate {
     }
 
     fn refutation(&self) -> SortingRefutation {
+        let exec = snet_core::ir::Executor::compile(&self.network);
         SortingRefutation {
             input_a: self.witness.input_a.clone(),
             input_b: self.witness.input_b.clone(),
             m: self.witness.m,
             wire_pair: self.witness.wire_pair,
-            output_a: self.network.evaluate(&self.witness.input_a),
-            output_b: self.network.evaluate(&self.witness.input_b),
+            output_a: exec.evaluate(&self.witness.input_a),
+            output_b: exec.evaluate(&self.witness.input_b),
         }
     }
 

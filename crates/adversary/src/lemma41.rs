@@ -293,11 +293,8 @@ impl Engine {
         self.next_xj += 1;
         let mut fam_new = SetFamily::new();
         for (i, wires) in fam0.iter() {
-            let evicted: &[WireId] = if i >= i0 {
-                c.get(&(i, i - i0)).map(Vec::as_slice).unwrap_or(&[])
-            } else {
-                &[]
-            };
+            let evicted: &[WireId] =
+                if i >= i0 { c.get(&(i, i - i0)).map(Vec::as_slice).unwrap_or(&[]) } else { &[] };
             if evicted.is_empty() {
                 fam_new.put(i, wires.to_vec());
                 continue;
@@ -339,10 +336,7 @@ impl Engine {
         // --- Apply Γ to the frontier; all meetings must now be determined.
         for e in gamma {
             let out = self.tracer.apply_element(e, |_| {});
-            assert!(
-                out.is_determined(),
-                "noncolliding invariant violated at a Γ level: {out:?}"
-            );
+            assert!(out.is_determined(), "noncolliding invariant violated at a Γ level: {out:?}");
         }
 
         // --- Bound check: indices stay below t(height) (Lemma 4.1

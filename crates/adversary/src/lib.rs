@@ -50,8 +50,10 @@ pub mod theorem41;
 pub mod truncated;
 pub mod witness;
 
-pub use lemma41::{lemma41, lemma41_forest, lemma41_with, AdversaryConfig, Lemma41Output, OffsetPolicy, SetChoice};
+pub use certificate::LowerBoundCertificate;
+pub use lemma41::{
+    lemma41, lemma41_forest, lemma41_with, AdversaryConfig, Lemma41Output, OffsetPolicy, SetChoice,
+};
 pub use theorem41::theorem41_with;
 pub use theorem41::{theorem41, Theorem41Output};
-pub use certificate::LowerBoundCertificate;
 pub use witness::{refute, refute_all_pairs, RefuteError, SortingRefutation};

@@ -231,11 +231,8 @@ pub fn theorem41_with(ird: &IteratedReverseDelta, cfg: &AdversaryConfig) -> Theo
 /// Degenerate fallback when every set died: make the input pattern still
 /// well-formed (no `M_0` at all).
 fn relabel_all_non_m(p: &Pattern) -> Pattern {
-    let syms = p
-        .symbols()
-        .iter()
-        .map(|&s| if s == Symbol::M(0) { Symbol::S(0) } else { s })
-        .collect();
+    let syms =
+        p.symbols().iter().map(|&s| if s == Symbol::M(0) { Symbol::S(0) } else { s }).collect();
     Pattern::from_symbols(syms)
 }
 
@@ -249,9 +246,8 @@ mod tests {
     use snet_topology::{Block, ReverseDelta};
 
     fn butterfly_ird(d: usize, l: usize) -> IteratedReverseDelta {
-        let blocks = (0..d)
-            .map(|_| Block { pre_route: None, rdn: ReverseDelta::butterfly(l) })
-            .collect();
+        let blocks =
+            (0..d).map(|_| Block { pre_route: None, rdn: ReverseDelta::butterfly(l) }).collect();
         IteratedReverseDelta::new(blocks, None)
     }
 
@@ -284,10 +280,7 @@ mod tests {
         for l in [4usize, 5, 6] {
             let out = theorem41(&butterfly_ird(3, l), l);
             for b in &out.blocks {
-                assert!(
-                    b.d_size as f64 >= b.paper_bound.min(b.d_size as f64),
-                    "bound sanity"
-                );
+                assert!(b.d_size as f64 >= b.paper_bound.min(b.d_size as f64), "bound sanity");
                 if b.paper_bound >= 1.0 {
                     assert!(
                         b.d_size as f64 >= b.paper_bound,

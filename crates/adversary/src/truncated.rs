@@ -92,7 +92,9 @@ impl TruncatedNetwork {
         let mut net = ComparatorNetwork::empty(self.n);
         for (block, forest) in self.blocks.iter().zip(self.forests()) {
             let block_net = ReverseDelta::forest_to_network(self.n, &forest);
-            net = net.then(None, &block_net).then(Some(&block.route), &ComparatorNetwork::empty(self.n));
+            net = net
+                .then(None, &block_net)
+                .then(Some(&block.route), &ComparatorNetwork::empty(self.n));
         }
         net
     }

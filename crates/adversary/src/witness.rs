@@ -9,7 +9,7 @@
 //! adversary's bookkeeping cannot vouch for itself.
 
 use snet_core::element::WireId;
-use snet_core::engine::CompiledNetwork;
+use snet_core::ir::Executor;
 use snet_core::network::ComparatorNetwork;
 use snet_core::sortcheck::is_sorted;
 use snet_core::trace::ComparisonTrace;
@@ -94,10 +94,10 @@ impl SortingRefutation {
                 return Err(format!("input_b differs from the transposition at wire {w}"));
             }
         }
-        // 2. Outputs reproduce. The compiled engine is a genuinely
+        // 2. Outputs reproduce. The compiled IR is a genuinely
         // independent evaluator: a different code path from the
         // interpreter the adversary used to record the outputs.
-        let compiled = CompiledNetwork::compile(net);
+        let compiled = Executor::compile(net);
         if compiled.evaluate(&self.input_a) != self.output_a {
             return Err("stored output_a does not match re-evaluation".into());
         }
@@ -150,7 +150,10 @@ impl SortingRefutation {
 /// The pattern is refined to a concrete input placing the `[M_0]`-set's
 /// first two wires on adjacent values `m, m+1`; the swapped twin is derived
 /// and both are evaluated.
-pub fn refute(net: &ComparatorNetwork, pattern: &Pattern) -> Result<SortingRefutation, RefuteError> {
+pub fn refute(
+    net: &ComparatorNetwork,
+    pattern: &Pattern,
+) -> Result<SortingRefutation, RefuteError> {
     let d = pattern.symbol_set(Symbol::M(0));
     if d.len() < 2 {
         return Err(RefuteError::SetTooSmall { size: d.len() });
@@ -171,8 +174,9 @@ pub fn refute(net: &ComparatorNetwork, pattern: &Pattern) -> Result<SortingRefut
     debug_assert_eq!(input_a[w1 as usize], m + 1, "w0, w1 are class-adjacent");
     let mut input_b = input_a.clone();
     input_b.swap(w0 as usize, w1 as usize);
-    let output_a = net.evaluate(&input_a);
-    let output_b = net.evaluate(&input_b);
+    let exec = Executor::compile(net);
+    let output_a = exec.evaluate(&input_a);
+    let output_b = exec.evaluate(&input_b);
     Ok(SortingRefutation { input_a, input_b, m, wire_pair: (w0, w1), output_a, output_b })
 }
 
@@ -189,17 +193,19 @@ pub fn refute_all_pairs(
         return Err(RefuteError::SetTooSmall { size: d.len() });
     }
     // One base input ranks the D wires in index order; pair i then swaps
-    // the adjacent values m+i, m+i+1 sitting on d[i], d[i+1].
+    // the adjacent values m+i, m+i+1 sitting on d[i], d[i+1]. Compile once:
+    // the |D| − 1 evaluations replay the same program.
+    let exec = Executor::compile(net);
     let input_base = pattern.to_input();
     let mut out = Vec::with_capacity(d.len() - 1);
-    let output_base = net.evaluate(&input_base);
+    let output_base = exec.evaluate(&input_base);
     for i in 0..d.len() - 1 {
         let (w0, w1) = (d[i], d[i + 1]);
         let m = input_base[w0 as usize];
         debug_assert_eq!(input_base[w1 as usize], m + 1);
         let mut input_b = input_base.clone();
         input_b.swap(w0 as usize, w1 as usize);
-        let output_b = net.evaluate(&input_b);
+        let output_b = exec.evaluate(&input_b);
         out.push(SortingRefutation {
             input_a: input_base.clone(),
             input_b,
@@ -232,8 +238,7 @@ impl IndistinguishableClass {
     pub fn from_pattern(pattern: &Pattern) -> Self {
         let d_wires = pattern.symbol_set(Symbol::M(0));
         let base_input = pattern.to_input();
-        let mut d_values: Vec<u32> =
-            d_wires.iter().map(|&w| base_input[w as usize]).collect();
+        let mut d_values: Vec<u32> = d_wires.iter().map(|&w| base_input[w as usize]).collect();
         d_values.sort_unstable();
         IndistinguishableClass { base_input, d_wires, d_values }
     }
@@ -270,15 +275,14 @@ impl IndistinguishableClass {
         assignments: &[Vec<usize>],
     ) -> Result<u64, String> {
         // Compile once; the per-assignment loop replays the flat program.
-        let compiled = CompiledNetwork::compile(net);
+        let compiled = Executor::compile(net);
         let mut scratch = Vec::new();
         // Output wire of each D-slot under the base input.
         let base_out = compiled.evaluate(&self.base_input);
         let mut slot_exit = vec![0usize; self.d_wires.len()];
         for (i, &w) in self.d_wires.iter().enumerate() {
             let v = self.base_input[w as usize];
-            slot_exit[i] =
-                base_out.iter().position(|&x| x == v).expect("value present");
+            slot_exit[i] = base_out.iter().position(|&x| x == v).expect("value present");
         }
         let mut unsorted = 0u64;
         for assignment in assignments {
@@ -311,9 +315,8 @@ mod tests {
     use snet_topology::{Block, IteratedReverseDelta, ReverseDelta};
 
     fn butterfly_ird(d: usize, l: usize) -> IteratedReverseDelta {
-        let blocks = (0..d)
-            .map(|_| Block { pre_route: None, rdn: ReverseDelta::butterfly(l) })
-            .collect();
+        let blocks =
+            (0..d).map(|_| Block { pre_route: None, rdn: ReverseDelta::butterfly(l) }).collect();
         IteratedReverseDelta::new(blocks, None)
     }
 
@@ -325,9 +328,10 @@ mod tests {
             let net = ird.to_network();
             let refutation = refute(&net, &out.input_pattern).expect("|D| >= 2");
             refutation.verify(&net).expect("refutation must verify");
-            assert!(!snet_core::sortcheck::is_sorted(
-                &net.evaluate(refutation.unsorted_witness())
-            ));
+            assert!(!snet_core::sortcheck::is_sorted(&snet_core::ir::evaluate(
+                &net,
+                refutation.unsorted_witness()
+            )));
         }
     }
 
@@ -354,12 +358,7 @@ mod tests {
     #[test]
     fn too_small_set_reports_error() {
         let net = ComparatorNetwork::empty(4);
-        let p = Pattern::from_symbols(vec![
-            Symbol::S(0),
-            Symbol::M(0),
-            Symbol::L(0),
-            Symbol::L(0),
-        ]);
+        let p = Pattern::from_symbols(vec![Symbol::S(0), Symbol::M(0), Symbol::L(0), Symbol::L(0)]);
         let err = refute(&net, &p).unwrap_err();
         assert_eq!(err, RefuteError::SetTooSmall { size: 1 });
     }
@@ -467,9 +466,9 @@ mod tests {
         // "refutation" over it must fail verification.
         let net = ComparatorNetwork::new(
             2,
-            vec![snet_core::network::Level::of_elements(vec![
-                snet_core::element::Element::cmp(0, 1),
-            ])],
+            vec![snet_core::network::Level::of_elements(vec![snet_core::element::Element::cmp(
+                0, 1,
+            )])],
         )
         .unwrap();
         let fake = SortingRefutation {

@@ -45,11 +45,7 @@ pub fn mean_dislocation(v: &[u32]) -> f64 {
     if v.is_empty() {
         return 0.0;
     }
-    let total: u64 = v
-        .iter()
-        .enumerate()
-        .map(|(i, &x)| (x as i64 - i as i64).unsigned_abs())
-        .sum();
+    let total: u64 = v.iter().enumerate().map(|(i, &x)| (x as i64 - i as i64).unsigned_abs()).sum();
     total as f64 / v.len() as f64
 }
 

@@ -24,13 +24,17 @@ impl Series {
 /// Renders series as an ASCII scatter chart of the given size. `log_y`
 /// plots `log10(max(y, 1e-12))` — the right scale for the adversary's
 /// geometric decays.
-pub fn ascii_chart(title: &str, series: &[Series], width: usize, height: usize, log_y: bool) -> String {
+pub fn ascii_chart(
+    title: &str,
+    series: &[Series],
+    width: usize,
+    height: usize,
+    log_y: bool,
+) -> String {
     assert!(width >= 8 && height >= 3, "chart too small");
     let transform = |y: f64| if log_y { y.max(1e-12).log10() } else { y };
-    let all: Vec<(f64, f64)> = series
-        .iter()
-        .flat_map(|s| s.points.iter().map(|&(x, y)| (x, transform(y))))
-        .collect();
+    let all: Vec<(f64, f64)> =
+        series.iter().flat_map(|s| s.points.iter().map(|&(x, y)| (x, transform(y)))).collect();
     if all.is_empty() {
         return format!("{title}\n(empty chart)\n");
     }

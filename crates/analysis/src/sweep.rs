@@ -39,10 +39,7 @@ where
         }
     })
     .expect("sweep workers must not panic");
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("every slot filled"))
-        .collect()
+    slots.into_iter().map(|slot| slot.into_inner().expect("every slot filled")).collect()
 }
 
 /// Number of worker threads to use by default: the available parallelism,

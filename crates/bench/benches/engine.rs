@@ -1,15 +1,24 @@
 //! Criterion benches for the compiled verification engine: compilation
-//! cost, compiled-vs-interpreted scalar evaluation, and exhaustive 0-1
+//! cost, per-pass pipeline cost over the sorter zoo,
+//! compiled-vs-interpreted scalar evaluation (the interpreter rows are the
+//! deliberate baseline the IR is measured against), and exhaustive 0-1
 //! checking (seed scalar scan vs compiled 64-lane sharded checker).
 //!
-//! `snet-bench/src/bin/engine_baseline.rs` runs the same scenarios once
-//! and records them to `results/engine_baseline.json`.
+//! `snet-bench/src/bin/engine_baseline.rs` runs the check scenarios once
+//! and records them to `results/engine_baseline.json`;
+//! `snet-bench/src/bin/ir_passes.rs` records the per-pass table to
+//! `results/ir_passes.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use snet_analysis::Workload;
-use snet_core::engine::{check_zero_one_sharded, CompiledNetwork};
+use snet_core::ir::{
+    check_zero_one_sharded, Executor, Pass, PassManager, Program, RedundantElim, Relayer,
+};
+use snet_core::network::ComparatorNetwork;
 use snet_core::sortcheck::check_zero_one_exhaustive;
-use snet_sorters::{bitonic_shuffle, brick_wall};
+use snet_sorters::{
+    bitonic_shuffle, brick_wall, odd_even_mergesort, periodic_balanced, pratt_network,
+};
 
 fn bench_compile(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine_compile");
@@ -18,7 +27,68 @@ fn bench_compile(c: &mut Criterion) {
         let net = bitonic_shuffle(n).to_network();
         g.throughput(Throughput::Elements(net.size() as u64));
         g.bench_with_input(BenchmarkId::new("bitonic_shuffle", n), &n, |b, _| {
-            b.iter(|| CompiledNetwork::compile(&net));
+            b.iter(|| Executor::compile(&net));
+        });
+    }
+    g.finish();
+}
+
+/// The sorter zoo the pass pipeline is exercised over.
+fn zoo(n: usize) -> Vec<(&'static str, ComparatorNetwork)> {
+    vec![
+        ("bitonic_shuffle", bitonic_shuffle(n).to_network()),
+        ("odd_even", odd_even_mergesort(n)),
+        ("pratt", pratt_network(n)),
+        ("periodic", periodic_balanced(n)),
+        ("brick_wall", brick_wall(n)),
+    ]
+}
+
+fn bench_passes(c: &mut Criterion) {
+    // Pipeline cost per pass: the canonical pipeline on the raw program,
+    // then each optimizing pass on a canonically-normalized base. Depth
+    // and size before/after are reported once per network on stderr (the
+    // JSON artifact comes from the ir_passes binary).
+    let mut g = c.benchmark_group("ir_passes");
+    let n = 64usize;
+    for (name, net) in zoo(n) {
+        let raw = Program::from_network(&net);
+        g.bench_with_input(BenchmarkId::new("canonical", name), &name, |b, _| {
+            b.iter(|| {
+                let mut p = raw.clone();
+                PassManager::canonical().run(&mut p);
+                p
+            });
+        });
+        let mut base = raw.clone();
+        let records = PassManager::optimizing().run(&mut base);
+        for r in &records {
+            eprintln!(
+                "[{name}] {}: ops {}→{}, size {}→{}, depth {}→{}",
+                r.name,
+                r.ops_before,
+                r.ops_after,
+                r.size_before,
+                r.size_after,
+                r.depth_before,
+                r.depth_after
+            );
+        }
+        let mut canon = raw.clone();
+        PassManager::canonical().run(&mut canon);
+        g.bench_with_input(BenchmarkId::new("redundant_elim", name), &name, |b, _| {
+            b.iter(|| {
+                let mut p = canon.clone();
+                RedundantElim::default().run(&mut p);
+                p
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("relayer", name), &name, |b, _| {
+            b.iter(|| {
+                let mut p = canon.clone();
+                Relayer.run(&mut p);
+                p
+            });
         });
     }
     g.finish();
@@ -31,7 +101,7 @@ fn bench_scalar(c: &mut Criterion) {
     for l in [8usize, 10] {
         let n = 1usize << l;
         let net = bitonic_shuffle(n).to_network();
-        let compiled = CompiledNetwork::compile(&net);
+        let compiled = Executor::compile(&net);
         let mut w = Workload::new(11);
         let input = w.permutation(n);
         g.throughput(Throughput::Elements(net.size() as u64));
@@ -56,10 +126,8 @@ fn bench_exhaustive(c: &mut Criterion) {
     // the 2²⁰-input row uses the 20-wire brick wall.
     let mut g = c.benchmark_group("exhaustive_01_check");
     g.sample_size(10);
-    let nets = [
-        ("bitonic_shuffle", bitonic_shuffle(16).to_network()),
-        ("brick_wall", brick_wall(20)),
-    ];
+    let nets =
+        [("bitonic_shuffle", bitonic_shuffle(16).to_network()), ("brick_wall", brick_wall(20))];
     for (name, net) in &nets {
         let n = net.wires();
         g.throughput(Throughput::Elements(1u64 << n));
@@ -79,5 +147,5 @@ fn bench_exhaustive(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_compile, bench_scalar, bench_exhaustive);
+criterion_group!(benches, bench_compile, bench_passes, bench_scalar, bench_exhaustive);
 criterion_main!(benches);

@@ -1,9 +1,11 @@
-//! Criterion benches for network evaluation: single-input, batched with a
-//! reused scratch buffer, and the comparison-tracing evaluator.
+//! Criterion benches for network evaluation: single-input (interpreter
+//! baseline vs the compiled IR, asserted identical up front), batched with
+//! a reused scratch buffer, and the comparison-tracing evaluator.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use snet_analysis::Workload;
 use snet_core::batch::evaluate_batch;
+use snet_core::ir::Executor;
 use snet_core::trace::ComparisonTrace;
 use snet_sorters::{bitonic_circuit, odd_even_mergesort};
 
@@ -12,11 +14,21 @@ fn bench_single(c: &mut Criterion) {
     for l in [6usize, 8, 10, 12] {
         let n = 1usize << l;
         let net = bitonic_circuit(n);
+        let exec = Executor::compile(&net);
         let mut w = Workload::new(1);
         let input = w.permutation(n);
+        assert_eq!(net.evaluate(&input), exec.evaluate(&input), "IR must match interpreter");
         g.throughput(Throughput::Elements(net.size() as u64));
-        g.bench_with_input(BenchmarkId::new("bitonic", n), &n, |b, _| {
+        g.bench_with_input(BenchmarkId::new("interpreter", n), &n, |b, _| {
             b.iter(|| net.evaluate(&input));
+        });
+        g.bench_with_input(BenchmarkId::new("compiled_ir", n), &n, |b, _| {
+            let mut values = input.clone();
+            let mut scratch = Vec::new();
+            b.iter(|| {
+                values.copy_from_slice(&input);
+                exec.run_scalar_in_place(&mut values, &mut scratch);
+            });
         });
     }
     g.finish();

@@ -6,7 +6,7 @@
 //! * the seed scalar exhaustive 0-1 scan
 //!   ([`snet_core::sortcheck::check_zero_one_exhaustive`]),
 //! * the compiled sharded checker
-//!   ([`snet_core::engine::check_zero_one_sharded`]) at 1/2/4/8 threads,
+//!   ([`snet_core::ir::check_zero_one_sharded`]) at 1/2/4/8 threads,
 //! * interpreted vs compiled single scalar evaluation,
 //!
 //! on `bitonic_shuffle(16)` (routes every level — the case compilation
@@ -17,7 +17,7 @@
 //! [-- --reps R -o results/engine_baseline.json]`
 
 use serde_json::Value;
-use snet_core::engine::{check_zero_one_sharded, CompiledNetwork};
+use snet_core::ir::{check_zero_one_sharded, Executor};
 use snet_core::network::ComparatorNetwork;
 use snet_core::sortcheck::check_zero_one_exhaustive;
 use snet_sorters::{bitonic_shuffle, brick_wall};
@@ -83,7 +83,7 @@ fn check_scenarios(name: &str, net: &ComparatorNetwork, reps: usize) -> Value {
 fn scalar_scenario(reps: usize) -> Value {
     let n = 1024usize;
     let net = bitonic_shuffle(n).to_network();
-    let compiled = CompiledNetwork::compile(&net);
+    let compiled = Executor::compile(&net);
     let input: Vec<u32> = (0..n as u32).rev().collect();
     let interp_ms = median_ms(reps, || {
         std::hint::black_box(net.evaluate(&input));

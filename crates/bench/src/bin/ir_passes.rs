@@ -1,0 +1,120 @@
+//! Records the IR pass-pipeline effect table to `results/ir_passes.json`.
+//!
+//! For every sorter in the zoo (bitonic shuffle, odd-even mergesort,
+//! Pratt, periodic balanced, brick wall — each at two sizes), runs the
+//! optimizing pipeline and records, per pass: compile cost in
+//! microseconds and the ops/size/depth before and after. The canonical
+//! prefix shows what route absorption and Pass/Swap elimination cost on
+//! the shuffle-based forms; the `redundant-elim`/`relayer` rows show what
+//! the optimizing tail buys on each construction (E17's finding — the
+//! periodic balanced sorter's inert comparators — shows up here as a
+//! size drop).
+//!
+//! Usage: `cargo run --release -p snet-bench --bin ir_passes
+//! [-- -o results/ir_passes.json]`
+
+use serde_json::Value;
+use snet_core::ir::{PassManager, Program};
+use snet_core::network::ComparatorNetwork;
+use snet_sorters::{
+    bitonic_shuffle, brick_wall, odd_even_mergesort, periodic_balanced, pratt_network,
+};
+
+fn vu(v: u64) -> Value {
+    Value::Number(serde_json::Number::U(v))
+}
+
+fn vs(v: &str) -> Value {
+    Value::String(v.to_string())
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn zoo() -> Vec<(String, ComparatorNetwork)> {
+    let mut out = Vec::new();
+    for n in [16usize, 64] {
+        out.push((format!("bitonic_shuffle_{n}"), bitonic_shuffle(n).to_network()));
+        out.push((format!("odd_even_{n}"), odd_even_mergesort(n)));
+        out.push((format!("pratt_{n}"), pratt_network(n)));
+        out.push((format!("periodic_{n}"), periodic_balanced(n)));
+        out.push((format!("brick_wall_{n}"), brick_wall(n)));
+    }
+    out
+}
+
+fn network_entry(name: &str, net: &ComparatorNetwork) -> Value {
+    let mut prog = Program::from_network(net);
+    let raw_ops = prog.op_count() as u64;
+    let records = PassManager::optimizing().run(&mut prog);
+    let passes: Vec<Value> = records
+        .iter()
+        .map(|r| {
+            obj(vec![
+                ("pass", vs(r.name)),
+                ("ops_before", vu(r.ops_before as u64)),
+                ("ops_after", vu(r.ops_after as u64)),
+                ("size_before", vu(r.size_before as u64)),
+                ("size_after", vu(r.size_after as u64)),
+                ("depth_before", vu(r.depth_before as u64)),
+                ("depth_after", vu(r.depth_after as u64)),
+                ("ops_eliminated", vu(r.ops_eliminated() as u64)),
+                ("micros", vu(r.micros as u64)),
+            ])
+        })
+        .collect();
+    eprintln!(
+        "[{name}] {} raw ops → {} ops ({} comparators), depth {} → {}",
+        raw_ops,
+        prog.op_count(),
+        prog.size(),
+        net.depth(),
+        prog.depth()
+    );
+    obj(vec![
+        ("network", vs(name)),
+        ("wires", vu(net.wires() as u64)),
+        ("source_levels", vu(net.depth() as u64)),
+        ("source_comparators", vu(net.size() as u64)),
+        ("raw_ops", vu(raw_ops)),
+        ("final_ops", vu(prog.op_count() as u64)),
+        ("final_size", vu(prog.size() as u64)),
+        ("final_depth", vu(prog.depth() as u64)),
+        ("passes", Value::Array(passes)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::from("results/ir_passes.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" => {
+                i += 1;
+                out = args[i].clone();
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let entries: Vec<Value> = zoo().iter().map(|(name, net)| network_entry(name, net)).collect();
+    let doc = obj(vec![
+        ("schema", vs("snet-ir-passes/1")),
+        (
+            "pipeline",
+            vs("absorb-routes, normalize-cmprev, strip-pass-swap, redundant-elim, relayer"),
+        ),
+        ("networks", Value::Array(entries)),
+    ]);
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let text = serde_json::to_string_pretty(&doc).expect("serialize pass table");
+    std::fs::write(&out, text).expect("write pass table");
+    eprintln!("wrote {out}");
+}

@@ -1,5 +1,7 @@
 //! Shared configuration for the experiment binaries.
 
+use snet_core::ir::Executor;
+use snet_core::network::ComparatorNetwork;
 use snet_topology::random::{RandomDeltaConfig, SplitStyle};
 
 /// Global experiment configuration (sizes scale with `full`).
@@ -44,6 +46,14 @@ impl ExpConfig {
 /// balanced directions.
 pub fn dense_cfg(split: SplitStyle) -> RandomDeltaConfig {
     RandomDeltaConfig { split, comparator_density: 1.0, reverse_bias: 0.5, swap_density: 0.0 }
+}
+
+/// Compiles a network once through the IR's canonical pipeline. The
+/// experiment binaries funnel evaluation through this helper so the whole
+/// E1–E17 suite runs on the same compiled backend as the library — none
+/// of them walk the interpreter directly.
+pub fn compiled(net: &ComparatorNetwork) -> Executor {
+    Executor::compile(net)
 }
 
 /// Writes a table to stdout and appends its CSV form under `results/`.

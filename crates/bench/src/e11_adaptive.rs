@@ -43,9 +43,7 @@ pub fn run(cfg: &ExpConfig) {
     let rows = sweep(points, cfg.threads, |&(strategy, blocks)| {
         let stages = blocks * l;
         let (d, refuted) = match strategy {
-            "oblivious-plus" => {
-                play(n, l, stages, |_, _| vec![ElementKind::Cmp; n / 2])
-            }
+            "oblivious-plus" => play(n, l, stages, |_, _| vec![ElementKind::Cmp; n / 2]),
             "alternating" => play(n, l, stages, |s, _| {
                 vec![if s % 2 == 0 { ElementKind::Cmp } else { ElementKind::CmpRev }; n / 2]
             }),

@@ -14,7 +14,9 @@ use crate::common::{emit, ExpConfig};
 use snet_analysis::{fmt_f, sweep, Table, Workload};
 use snet_core::batch::count_sorted_parallel;
 use snet_core::sortcheck::check_random_permutations;
-use snet_sorters::halver::{halver_sorter, halver_tree_parallel_depth, measure_epsilon, random_halver};
+use snet_sorters::halver::{
+    halver_sorter, halver_tree_parallel_depth, measure_epsilon, random_halver,
+};
 
 /// Runs E14 and prints/saves its tables.
 pub fn run(cfg: &ExpConfig) {

@@ -38,9 +38,10 @@ fn flipped_bitonic(n: usize, stage: usize, pair: usize) -> ShuffleNetwork {
 
 fn fuzz_trials_to_failure(net: &ComparatorNetwork, cap: u64, w: &mut Workload) -> Option<u64> {
     let n = net.wires();
+    let exec = crate::common::compiled(net);
     for t in 1..=cap {
         let input = w.permutation(n);
-        if !is_sorted(&net.evaluate(&input)) {
+        if !is_sorted(&exec.evaluate(&input)) {
             return Some(t);
         }
     }
@@ -80,26 +81,11 @@ pub fn run(cfg: &ExpConfig) {
             let out = theorem41(&ird, l);
             (ird.to_network(), out.d_set.len())
         };
-        // Ground truth: count unsorted 0-1 inputs exhaustively.
+        // Ground truth: count unsorted 0-1 inputs exhaustively (64 lanes
+        // per pass through the compiled IR).
         let unsorted_01 = match check_zero_one_exhaustive(&net) {
             SortCheck::AllSorted { .. } => 0u64,
-            SortCheck::Counterexample { .. } => {
-                // Count them all for the failure-density column.
-                let mut count = 0u64;
-                let mut values = vec![0u32; n];
-                let mut scratch = Vec::with_capacity(n);
-                for mask in 0..(1u64 << n) {
-                    for (w, v) in values.iter_mut().enumerate() {
-                        *v = ((mask >> w) & 1) as u32;
-                    }
-                    let mut out = values.clone();
-                    net.evaluate_in_place(&mut out, &mut scratch);
-                    if !is_sorted(&out) {
-                        count += 1;
-                    }
-                }
-                count
-            }
+            SortCheck::Counterexample { .. } => crate::common::compiled(&net).count_unsorted_01(),
         };
         let mut w = Workload::new(seed ^ name.len() as u64);
         let fuzz = fuzz_trials_to_failure(&net, 200_000, &mut w);

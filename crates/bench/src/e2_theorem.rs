@@ -55,13 +55,9 @@ pub fn run(cfg: &ExpConfig) {
     for rows in rows_per_point {
         if let Some(first) = rows.first() {
             let label = format!("{}@n={}", &first[1], &first[0]);
-            let glyph_label = if first[1] == "bitonic" {
-                format!("b {label}")
-            } else {
-                format!("r {label}")
-            };
-            let ys: Vec<f64> =
-                rows.iter().map(|r| r[3].parse::<f64>().unwrap_or(0.0)).collect();
+            let glyph_label =
+                if first[1] == "bitonic" { format!("b {label}") } else { format!("r {label}") };
+            let ys: Vec<f64> = rows.iter().map(|r| r[3].parse::<f64>().unwrap_or(0.0)).collect();
             series.push(Series::from_ys(glyph_label, &ys));
         }
         for r in rows {
@@ -70,7 +66,6 @@ pub fn run(cfg: &ExpConfig) {
     }
     emit(&table, "e2_theorem.csv");
     // Figure: |D| decay per block, log scale (largest n only, both nets).
-    let last_two: Vec<Series> =
-        series.iter().rev().take(2).rev().cloned().collect();
+    let last_two: Vec<Series> = series.iter().rev().take(2).rev().cloned().collect();
     println!("{}", ascii_chart("Figure E2 — |D| per block (log scale)", &last_two, 50, 12, true));
 }

@@ -42,6 +42,7 @@ pub fn run(cfg: &ExpConfig) {
     let rows = sweep(cuts, cfg.threads, |&stages| {
         let prefix = bitonic_prefix(n, stages);
         let net = prefix.to_network();
+        let exec = crate::common::compiled(&net);
         let mut w = Workload::new(seed ^ stages as u64);
         let mut sorted = 0u64;
         let mut inv_sum = 0.0f64;
@@ -52,7 +53,7 @@ pub fn run(cfg: &ExpConfig) {
         let max_inv = (n * (n - 1) / 2) as f64;
         for t in 0..trials {
             let input = w.permutation(n);
-            let out = net.evaluate(&input);
+            let out = exec.evaluate(&input);
             if is_sorted(&out) {
                 sorted += 1;
             }
@@ -71,10 +72,11 @@ pub fn run(cfg: &ExpConfig) {
         // Randomized-head variant (Section 5 randomizing elements).
         let rand_net =
             randomizing_block(n, l, w.rng()).to_network().then(None, &prefix.to_network());
+        let rand_exec = crate::common::compiled(&rand_net);
         let mut sorted_r = 0u64;
         for _ in 0..trials.min(500) {
             let input = w.permutation(n);
-            if is_sorted(&rand_net.evaluate(&input)) {
+            if is_sorted(&rand_exec.evaluate(&input)) {
                 sorted_r += 1;
             }
         }

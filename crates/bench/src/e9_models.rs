@@ -60,10 +60,11 @@ pub fn run(cfg: &ExpConfig) {
             if reg.size() == circuit.size() {
                 size_preserved += 1;
             }
+            let circuit_exec = crate::common::compiled(&circuit);
             let mut all_match = true;
             for _ in 0..inputs_per {
                 let input = w.permutation(n);
-                if circuit.evaluate(&input) != reg.evaluate(&input) {
+                if circuit_exec.evaluate(&input) != reg.evaluate(&input) {
                     all_match = false;
                 }
             }
@@ -74,10 +75,11 @@ pub fn run(cfg: &ExpConfig) {
             let sn = random_shuffle_network(n, l, 0.7, w.rng());
             let reg2 = sn.to_register();
             let circ2 = reg2.to_network();
+            let circ2_exec = crate::common::compiled(&circ2);
             let mut all_match2 = true;
             for _ in 0..inputs_per {
                 let input = w.permutation(n);
-                if circ2.evaluate(&input) != reg2.evaluate(&input) {
+                if circ2_exec.evaluate(&input) != reg2.evaluate(&input) {
                     all_match2 = false;
                 }
             }

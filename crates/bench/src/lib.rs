@@ -13,6 +13,14 @@
 #![warn(missing_docs)]
 
 pub mod common;
+pub mod e10_adjacent;
+pub mod e11_adaptive;
+pub mod e12_ablation;
+pub mod e13_single_perm;
+pub mod e14_halver;
+pub mod e15_hypercube;
+pub mod e16_verification;
+pub mod e17_redundancy;
 pub mod e1_lemma;
 pub mod e2_theorem;
 pub mod e3_witness;
@@ -22,14 +30,6 @@ pub mod e6_naive;
 pub mod e7_average;
 pub mod e8_routing;
 pub mod e9_models;
-pub mod e10_adjacent;
-pub mod e11_adaptive;
-pub mod e12_ablation;
-pub mod e13_single_perm;
-pub mod e14_halver;
-pub mod e15_hypercube;
-pub mod e16_verification;
-pub mod e17_redundancy;
 mod registry_tests;
 
 pub use common::ExpConfig;
@@ -55,7 +55,10 @@ pub fn run_experiment(id: &str, cfg: &ExpConfig) -> bool {
         "e16" => e16_verification::run(cfg),
         "e17" => e17_redundancy::run(cfg),
         "all" => {
-            for e in ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17"] {
+            for e in [
+                "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+                "e14", "e15", "e16", "e17",
+            ] {
                 println!("=== {} ===", e.to_uppercase());
                 run_experiment(e, cfg);
             }

@@ -20,9 +20,10 @@ mod tests {
         // Every id named in EXPERIMENTS.md must dispatch. We don't run them
         // here (expensive); dispatch is checked by running the cheapest one
         // and by the match-arm coverage below.
-        let ids =
-            ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-             "e14", "e15", "e16", "e17"];
+        let ids = [
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+            "e14", "e15", "e16", "e17",
+        ];
         // Compile-time-ish guarantee: the `all` list inside run_experiment
         // must cover the same ids; spot-run the cheapest experiment to
         // prove dispatch works end to end.

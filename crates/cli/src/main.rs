@@ -17,12 +17,16 @@ mod file;
 use file::{NetworkFile, WitnessFile};
 use rand::SeedableRng;
 use snet_adversary::{refute, theorem41};
+use snet_core::ir::{default_engine_threads, Executor, PassManager};
 use snet_core::perm::Permutation;
-use snet_core::engine::{check_zero_one_sharded, default_engine_threads};
 use snet_core::sortcheck::{check_random_permutations, is_sorted};
-use snet_sorters::{bitonic_shuffle, brick_wall, odd_even_mergesort, periodic_balanced, pratt_network};
+use snet_sorters::{
+    bitonic_shuffle, brick_wall, odd_even_mergesort, periodic_balanced, pratt_network,
+};
 use snet_topology::benes::{realizes, route_permutation};
-use snet_topology::random::{random_iterated, random_shuffle_network, RandomDeltaConfig, SplitStyle};
+use snet_topology::random::{
+    random_iterated, random_shuffle_network, RandomDeltaConfig, SplitStyle,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +39,7 @@ fn main() {
         Some("route") => cmd_route(&args[1..]),
         Some("render") => cmd_render(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("passes") => cmd_passes(&args[1..]),
         Some("certify") => cmd_certify(&args[1..]),
         Some("audit") => cmd_audit(&args[1..]),
         Some("closure") => cmd_closure(&args[1..]),
@@ -59,12 +64,13 @@ fn print_usage() {
          \x20 gen     --kind <bitonic|odd-even|pratt|periodic|brick|random-shuffle> \
          --n N [--depth D] [--seed S] -o FILE\n\
          \x20 info    FILE                     print wires/depth/size\n\
-         \x20 check   FILE [--exhaustive [--threads W]] [--trials T] [--seed S]\n\
+         \x20 check   FILE [--exhaustive [--threads W]] [--trials T] [--seed S] [--no-passes]\n\
          \x20 refute  FILE [-o WITNESS] [--k K] [--explain]   (shuffle networks only)\n\
          \x20 verify  FILE WITNESS\n\
          \x20 route   --n N [--seed S | --perm a,b,c,…]\n\
          \x20 render  FILE [--svg | --dot]     diagram (ASCII default)\n\
          \x20 stats   FILE [--trials T] [--seed S]   sortedness statistics\n\
+         \x20 passes  FILE                     run the optimizing IR pipeline, show per-pass effect\n\
          \x20 certify FILE -o CERT [--k K]    export a checkable proof bundle\n\
          \x20 audit   CERT [--samples N]      independently check a proof bundle\n\
          \x20 closure --n N (--rho shuffle|identity|bit-reversal|random) [--seed S]\n\
@@ -116,7 +122,12 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     };
     doc.save(out)?;
     let net = doc.to_network();
-    println!("wrote {out}: {} wires, depth {}, {} comparators", net.wires(), net.depth(), net.size());
+    println!(
+        "wrote {out}: {} wires, depth {}, {} comparators",
+        net.wires(),
+        net.depth(),
+        net.size()
+    );
     Ok(())
 }
 
@@ -142,6 +153,17 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("check requires FILE")?;
     let doc = NetworkFile::load(path)?;
     let net = doc.to_network();
+    // `--no-passes` runs the IR without the canonical pipeline: the raw
+    // program still carries routes and Pass/Swap ops, exercising the
+    // generic (routed) backend instead of the flat fast path.
+    let no_passes = has_flag(args, "--no-passes");
+    let compile = |net: &snet_core::network::ComparatorNetwork| {
+        if no_passes {
+            Executor::compile_raw(net)
+        } else {
+            Executor::compile(net)
+        }
+    };
     let result = if has_flag(args, "--exhaustive") {
         if net.wires() > 28 {
             return Err(format!("exhaustive 0-1 check infeasible for n = {}", net.wires()));
@@ -150,12 +172,26 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
             Some(t) => parse(t, "--threads")?,
             None => default_engine_threads(),
         };
-        check_zero_one_sharded(&net, threads)
+        compile(&net).check_zero_one(threads)
     } else {
         let trials: u64 = parse(flag(args, "--trials").unwrap_or("10000"), "--trials")?;
         let seed: u64 = parse(flag(args, "--seed").unwrap_or("0"), "--seed")?;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        check_random_permutations(&net, trials, &mut rng)
+        if no_passes {
+            let exec = compile(&net);
+            let mut found = None;
+            for _ in 0..trials {
+                let input: Vec<u32> = Permutation::random(net.wires(), &mut rng).images().to_vec();
+                let output = exec.evaluate(&input);
+                if !is_sorted(&output) {
+                    found = Some(snet_core::sortcheck::SortCheck::Counterexample { input, output });
+                    break;
+                }
+            }
+            found.unwrap_or(snet_core::sortcheck::SortCheck::AllSorted { tested: trials })
+        } else {
+            check_random_permutations(&net, trials, &mut rng)
+        }
     };
     match result {
         snet_core::sortcheck::SortCheck::AllSorted { tested } => {
@@ -201,11 +237,8 @@ fn cmd_refute(args: &[String]) -> Result<(), String> {
     println!("unsorted on input: {:?}", r.unsorted_witness());
     if let Some(out_path) = flag(args, "-o") {
         let wf = WitnessFile::from(&r);
-        std::fs::write(
-            out_path,
-            serde_json::to_string_pretty(&wf).map_err(|e| e.to_string())?,
-        )
-        .map_err(|e| e.to_string())?;
+        std::fs::write(out_path, serde_json::to_string_pretty(&wf).map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?;
         println!("witness written to {out_path}");
     }
     Ok(())
@@ -226,14 +259,9 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
     let r = wf.to_refutation();
     r.verify(&net).map_err(|e| format!("witness REJECTED: {e}"))?;
     println!("witness verified: the network maps both inputs to the same permutation");
-    println!(
-        "output on π  sorted: {}",
-        is_sorted(&net.evaluate(&r.input_a))
-    );
-    println!(
-        "output on π′ sorted: {}",
-        is_sorted(&net.evaluate(&r.input_b))
-    );
+    let exec = Executor::compile(&net);
+    println!("output on π  sorted: {}", is_sorted(&exec.evaluate(&r.input_a)));
+    println!("output on π′ sorted: {}", is_sorted(&exec.evaluate(&r.input_b)));
     Ok(())
 }
 
@@ -285,13 +313,14 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     let seed: u64 = parse(flag(args, "--seed").unwrap_or("0"), "--seed")?;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let n = net.wires();
+    let exec = Executor::compile(&net);
     let mut sorted = 0u64;
     let mut disl_sum = 0.0f64;
     let mut settle_sum = 0usize;
     let mut settle_max = 0usize;
     for _ in 0..trials {
         let input: Vec<u32> = Permutation::random(n, &mut rng).images().to_vec();
-        let out = net.evaluate(&input);
+        let out = exec.evaluate(&input);
         if is_sorted(&out) {
             sorted += 1;
         }
@@ -308,8 +337,57 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     println!("inputs            : {trials} random permutations (seed {seed})");
     println!("fraction sorted   : {:.4}", sorted as f64 / trials as f64);
     println!("mean dislocation  : {:.3}", disl_sum / trials as f64);
-    println!("settle depth      : mean {:.1}, max {settle_max} (of {} levels)",
-        settle_sum as f64 / trials as f64, net.depth());
+    println!(
+        "settle depth      : mean {:.1}, max {settle_max} (of {} levels)",
+        settle_sum as f64 / trials as f64,
+        net.depth()
+    );
+    Ok(())
+}
+
+fn cmd_passes(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("passes requires FILE")?;
+    let doc = NetworkFile::load(path)?;
+    let net = doc.to_network();
+    // RedundantElim is exhaustive over 2^n inputs below its limit; above
+    // it the pass silently degrades to structural dedup, which is fine.
+    let exec = Executor::compile_with(&net, &PassManager::optimizing());
+    let raw = snet_core::ir::Program::from_network(&net);
+    println!(
+        "source: {} wires, {} levels, {} comparators, {} raw ops",
+        net.wires(),
+        net.depth(),
+        net.size(),
+        raw.op_count()
+    );
+    println!();
+    println!(
+        "{:<18} {:>12} {:>12} {:>10} {:>8} {:>9}",
+        "pass", "ops", "size", "depth", "elim", "µs"
+    );
+    for r in exec.pass_records() {
+        println!(
+            "{:<18} {:>5} → {:<4} {:>5} → {:<4} {:>4} → {:<3} {:>8} {:>9}",
+            r.name,
+            r.ops_before,
+            r.ops_after,
+            r.size_before,
+            r.size_after,
+            r.depth_before,
+            r.depth_after,
+            r.ops_eliminated(),
+            r.micros
+        );
+    }
+    let prog = exec.program();
+    println!();
+    println!(
+        "result: {} ops ({} comparators), depth {} — {} ops eliminated in total",
+        prog.op_count(),
+        prog.size(),
+        prog.depth(),
+        raw.op_count() - prog.op_count()
+    );
     Ok(())
 }
 
@@ -370,10 +448,8 @@ fn cmd_duel(args: &[String]) -> Result<(), String> {
             .map(|c| ElementKind::from_symbol(c).ok_or(format!("bad op '{c}'")))
             .collect();
         let outcomes = run.submit_stage(&ops?);
-        let summary: String = outcomes
-            .iter()
-            .map(|o| if o.first_smaller { '<' } else { '>' })
-            .collect();
+        let summary: String =
+            outcomes.iter().map(|o| if o.first_smaller { '<' } else { '>' }).collect();
         println!("outcomes: {summary}");
     }
     let out = run.finish();
@@ -407,11 +483,8 @@ fn cmd_certify(args: &[String]) -> Result<(), String> {
     }
     let net = ird.to_network();
     let cert = LowerBoundCertificate::from_run(&net, &run)?;
-    std::fs::write(
-        out_path,
-        serde_json::to_string_pretty(&cert).map_err(|e| e.to_string())?,
-    )
-    .map_err(|e| e.to_string())?;
+    std::fs::write(out_path, serde_json::to_string_pretty(&cert).map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
     println!(
         "certificate written to {out_path}: |D| = {} uncompared wires, witness values {} and {}",
         cert.d_set.len(),

@@ -4,10 +4,7 @@
 use std::process::{Command, Output};
 
 fn snetctl(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_snetctl"))
-        .args(args)
-        .output()
-        .expect("snetctl should launch")
+    Command::new(env!("CARGO_BIN_EXE_snetctl")).args(args).output().expect("snetctl should launch")
 }
 
 fn tmpfile(name: &str) -> String {
@@ -52,7 +49,17 @@ fn check_finds_counterexample_on_brick_prefix() {
     // A non-sorting circuit: the empty check via random trials must exit 3.
     let f = tmpfile("shallow.json");
     let out = snetctl(&[
-        "gen", "--kind", "random-shuffle", "--n", "16", "--depth", "3", "--seed", "5", "-o", &f,
+        "gen",
+        "--kind",
+        "random-shuffle",
+        "--n",
+        "16",
+        "--depth",
+        "3",
+        "--seed",
+        "5",
+        "-o",
+        &f,
     ]);
     assert!(out.status.success());
     let out = snetctl(&["check", &f, "--trials", "500", "--seed", "1"]);
@@ -65,7 +72,17 @@ fn refute_and_verify_witness() {
     let f = tmpfile("unit.json");
     let w = tmpfile("witness.json");
     let out = snetctl(&[
-        "gen", "--kind", "random-shuffle", "--n", "32", "--depth", "10", "--seed", "9", "-o", &f,
+        "gen",
+        "--kind",
+        "random-shuffle",
+        "--n",
+        "32",
+        "--depth",
+        "10",
+        "--seed",
+        "9",
+        "-o",
+        &f,
     ]);
     assert!(out.status.success());
     let out = snetctl(&["refute", &f, "-o", &w]);
@@ -139,7 +156,17 @@ fn corrupt_file_is_rejected_cleanly() {
 fn refute_explain_prints_proof_log() {
     let f = tmpfile("unit2.json");
     snetctl(&[
-        "gen", "--kind", "random-shuffle", "--n", "16", "--depth", "8", "--seed", "3", "-o", &f,
+        "gen",
+        "--kind",
+        "random-shuffle",
+        "--n",
+        "16",
+        "--depth",
+        "8",
+        "--seed",
+        "3",
+        "-o",
+        &f,
     ]);
     let out = snetctl(&["refute", &f, "--explain"]);
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
@@ -152,7 +179,19 @@ fn refute_explain_prints_proof_log() {
 fn ird_files_roundtrip_and_refute() {
     let f = tmpfile("ird.json");
     let w = tmpfile("ird_witness.json");
-    let out = snetctl(&["gen", "--kind", "random-ird", "--n", "32", "--blocks", "2", "--seed", "11", "-o", &f]);
+    let out = snetctl(&[
+        "gen",
+        "--kind",
+        "random-ird",
+        "--n",
+        "32",
+        "--blocks",
+        "2",
+        "--seed",
+        "11",
+        "-o",
+        &f,
+    ]);
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let out = snetctl(&["info", &f]);
     assert!(String::from_utf8_lossy(&out.stdout).contains("iterated reverse delta"));
@@ -166,8 +205,12 @@ fn ird_files_roundtrip_and_refute() {
 fn corrupt_ird_rejected() {
     // A gamma element that does not cross the two subnetworks.
     let f = tmpfile("bad_ird.json");
-    std::fs::write(&f, r#"{"type":"ird","network":{"blocks":[{"pre_route":null,
-      "rdn":[[0,1,[]],[2,3,[]],[{"a":0,"b":1,"kind":"Cmp"}]]}],"post_route":null}}"#).unwrap();
+    std::fs::write(
+        &f,
+        r#"{"type":"ird","network":{"blocks":[{"pre_route":null,
+      "rdn":[[0,1,[]],[2,3,[]],[{"a":0,"b":1,"kind":"Cmp"}]]}],"post_route":null}}"#,
+    )
+    .unwrap();
     let out = snetctl(&["info", &f]);
     assert!(!out.status.success(), "non-crossing gamma must be rejected on load");
 }
@@ -249,7 +292,19 @@ fn duel_rejects_malformed_stage() {
 fn certify_and_audit_roundtrip() {
     let f = tmpfile("cert_net.json");
     let c = tmpfile("cert.json");
-    snetctl(&["gen", "--kind", "random-shuffle", "--n", "32", "--depth", "10", "--seed", "21", "-o", &f]);
+    snetctl(&[
+        "gen",
+        "--kind",
+        "random-shuffle",
+        "--n",
+        "32",
+        "--depth",
+        "10",
+        "--seed",
+        "21",
+        "-o",
+        &f,
+    ]);
     let out = snetctl(&["certify", &f, "-o", &c]);
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let out = snetctl(&["audit", &c, "--samples", "100"]);
@@ -273,7 +328,6 @@ fn certify_full_sorter_exits_gracefully() {
     let out = snetctl(&["certify", &f, "-o", &c]);
     assert_eq!(out.status.code(), Some(4));
 }
-
 
 #[test]
 fn refute_recognizes_circuit_files_in_the_class() {

@@ -1,30 +1,28 @@
 //! Batched and parallel evaluation of a network over many inputs.
 //!
 //! The experiment harness evaluates the same network over thousands of
-//! inputs (Monte-Carlo fraction-sorted, witness sweeps). The scalar path
-//! reuses one scratch buffer per batch; the parallel path splits the batch
-//! across crossbeam scoped threads, each with private buffers, so the hot
-//! loop stays allocation- and synchronization-free.
+//! inputs (Monte-Carlo fraction-sorted, witness sweeps). These functions
+//! compile the network **once** through [`crate::ir::Executor`] and fan
+//! the batch out over its scalar backend — sequentially with one reused
+//! scratch buffer, or across crossbeam scoped threads with private
+//! buffers, so the hot loop stays allocation- and synchronization-free.
+//! Callers that already hold an `Executor` should use its
+//! [`evaluate_batch`](crate::ir::Executor::evaluate_batch) /
+//! [`map_reduce_outputs`](crate::ir::Executor::map_reduce_outputs)
+//! methods directly and skip the per-call compile.
 
+use crate::ir::Executor;
 use crate::network::ComparatorNetwork;
 
 /// Evaluates `net` on every row of `inputs` (each of length `net.wires()`),
 /// sequentially, reusing a single scratch buffer.
 pub fn evaluate_batch<T: Ord + Copy>(net: &ComparatorNetwork, inputs: &[Vec<T>]) -> Vec<Vec<T>> {
-    let mut scratch: Vec<T> = Vec::with_capacity(net.wires());
-    inputs
-        .iter()
-        .map(|input| {
-            let mut v = input.clone();
-            net.evaluate_in_place(&mut v, &mut scratch);
-            v
-        })
-        .collect()
+    Executor::compile(net).evaluate_batch(inputs)
 }
 
 /// Applies `f` to the output of `net` on every input, folding per-thread
-/// partial results with `merge`. Deterministic: chunk boundaries are fixed
-/// by `threads`, and `merge` is applied in chunk order.
+/// partial results with `fold`. Deterministic: chunk boundaries are fixed
+/// by `threads`, and `fold` is applied in chunk order.
 ///
 /// `f` maps an (input index, output slice) to a partial value; per-thread
 /// partials start from `A::default()` and are folded with `fold`.
@@ -41,47 +39,12 @@ where
     F: Fn(usize, &[T]) -> A + Sync,
     M: Fn(A, A) -> A + Sync,
 {
-    assert!(threads >= 1);
-    let threads = threads.min(inputs.len().max(1));
-    let chunk = inputs.len().div_ceil(threads.max(1)).max(1);
-    let mut results: Vec<A> = Vec::with_capacity(threads);
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (ci, slice) in inputs.chunks(chunk).enumerate() {
-            let f = &f;
-            let fold = &fold;
-            handles.push(s.spawn(move |_| {
-                let mut scratch: Vec<T> = Vec::with_capacity(net.wires());
-                let mut acc = A::default();
-                let mut buf: Vec<T> = Vec::new();
-                for (i, input) in slice.iter().enumerate() {
-                    buf.clear();
-                    buf.extend_from_slice(input);
-                    net.evaluate_in_place(&mut buf, &mut scratch);
-                    acc = fold(acc, f(ci * chunk + i, &buf));
-                }
-                acc
-            }));
-        }
-        for h in handles {
-            results.push(h.join().expect("batch worker panicked"));
-        }
-    })
-    .expect("crossbeam scope");
-    results
+    Executor::compile(net).map_reduce_outputs(inputs, threads, f, fold)
 }
 
 /// Counts, in parallel, how many of the inputs the network sorts.
 pub fn count_sorted_parallel(net: &ComparatorNetwork, inputs: &[Vec<u32>], threads: usize) -> u64 {
-    map_reduce_outputs(
-        net,
-        inputs,
-        threads,
-        |_, out| u64::from(crate::sortcheck::is_sorted(out)),
-        |a, b| a + b,
-    )
-    .into_iter()
-    .sum()
+    Executor::compile(net).count_sorted(inputs, threads)
 }
 
 #[cfg(test)]
@@ -95,10 +58,8 @@ mod tests {
         let mut net = ComparatorNetwork::empty(n);
         for round in 0..n {
             let start = round % 2;
-            let elements = (start..n - 1)
-                .step_by(2)
-                .map(|i| Element::cmp(i as u32, i as u32 + 1))
-                .collect();
+            let elements =
+                (start..n - 1).step_by(2).map(|i| Element::cmp(i as u32, i as u32 + 1)).collect();
             net.push_elements(elements).unwrap();
         }
         net

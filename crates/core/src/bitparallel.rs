@@ -1,51 +1,29 @@
-//! Bit-parallel evaluation over 0-1 inputs: 64 inputs per machine word.
+//! Bit-parallel 0-1 evaluation — deprecated shims over [`crate::ir`].
 //!
-//! On `{0,1}` values a comparator degenerates to Boolean logic —
-//! `min = a AND b`, `max = a OR b` — so a single pass over the network with
-//! one `u64` per wire evaluates 64 zero-one inputs at once. Combined with
-//! the 0-1 principle this accelerates exhaustive sorting checks by ~64×
-//! and powers the redundancy analysis in [`crate::optimize`].
+//! The original module carried its own network walker (64 inputs per
+//! `u64`, `min = AND`, `max = OR`). That evaluator body was a duplicate of
+//! what the compiled IR's 64-lane backend does; it has been deleted, and
+//! the public functions below are thin shims that compile through
+//! [`crate::ir::Executor`]. They recompile on every call — callers that
+//! evaluate a network more than once should hold an `Executor` instead,
+//! which is why the whole surface is deprecated.
 
-use crate::element::ElementKind;
+use crate::ir::Executor;
 use crate::network::ComparatorNetwork;
 
 /// Evaluates 64 zero-one inputs simultaneously. `lanes[w]` holds bit `i` =
 /// the value of input `i` on wire `w`. Returns the output lanes.
+#[deprecated(note = "compile once via snet_core::ir::Executor and use run_01x64_in_place")]
 pub fn evaluate_01x64(net: &ComparatorNetwork, lanes: &[u64]) -> Vec<u64> {
     let mut v = lanes.to_vec();
-    evaluate_01x64_in_place(net, &mut v, &mut Vec::new());
+    Executor::compile(net).run_01x64_in_place(&mut v, &mut Vec::new());
     v
 }
 
 /// In-place variant with a reusable scratch buffer.
+#[deprecated(note = "compile once via snet_core::ir::Executor and use run_01x64_in_place")]
 pub fn evaluate_01x64_in_place(net: &ComparatorNetwork, lanes: &mut [u64], scratch: &mut Vec<u64>) {
-    assert_eq!(lanes.len(), net.wires());
-    for level in net.levels() {
-        if let Some(route) = &level.route {
-            scratch.clear();
-            scratch.extend_from_slice(lanes);
-            route.route(scratch, lanes);
-        }
-        for e in &level.elements {
-            let (ia, ib) = (e.a as usize, e.b as usize);
-            let (x, y) = (lanes[ia], lanes[ib]);
-            match e.kind {
-                ElementKind::Cmp => {
-                    lanes[ia] = x & y;
-                    lanes[ib] = x | y;
-                }
-                ElementKind::CmpRev => {
-                    lanes[ia] = x | y;
-                    lanes[ib] = x & y;
-                }
-                ElementKind::Pass => {}
-                ElementKind::Swap => {
-                    lanes[ia] = y;
-                    lanes[ib] = x;
-                }
-            }
-        }
-    }
+    Executor::compile(net).run_01x64_in_place(lanes, scratch);
 }
 
 /// A bitmask of the lanes whose output is **unsorted** (some `1` above a
@@ -59,40 +37,16 @@ pub fn unsorted_lanes(out: &[u64]) -> u64 {
 }
 
 /// Exhaustive 0-1 sorting check, 64 inputs per pass. Definitive by the 0-1
-/// principle; returns the first failing input mask if any. Practical to
-/// `n ≈ 26` on one core (vs ≈ 20 for the scalar checker).
+/// principle; returns the first failing input mask if any.
+#[deprecated(note = "use snet_core::ir::Executor::first_unsorted_01 or check_zero_one")]
 pub fn check_zero_one_bitparallel(net: &ComparatorNetwork) -> Option<u64> {
-    let n = net.wires();
-    assert!(n <= 32, "exhaustive check caps at n = 32");
-    let total: u64 = 1u64 << n;
-    let mut lanes = vec![0u64; n];
-    let mut scratch = Vec::with_capacity(n);
-    let mut base = 0u64;
-    while base < total {
-        // Pack inputs base .. base+64 (lane i ↔ input base + i).
-        for (w, lane) in lanes.iter_mut().enumerate() {
-            let mut bits = 0u64;
-            for i in 0..64u64 {
-                let input = base + i;
-                if input < total && (input >> w) & 1 == 1 {
-                    bits |= 1 << i;
-                }
-            }
-            *lane = bits;
-        }
-        let valid: u64 = if total - base >= 64 { u64::MAX } else { (1u64 << (total - base)) - 1 };
-        evaluate_01x64_in_place(net, &mut lanes, &mut scratch);
-        let bad = unsorted_lanes(&lanes) & valid;
-        if bad != 0 {
-            return Some(base + bad.trailing_zeros() as u64);
-        }
-        base += 64;
-    }
-    None
+    Executor::compile(net).first_unsorted_01()
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shims are exactly what is under test
+
     use super::*;
     use crate::element::Element;
     use crate::sortcheck::{check_zero_one_exhaustive, SortCheck};
@@ -117,9 +71,8 @@ mod tests {
         let n = 10;
         let net = brick_wall(n);
         // 64 random 0-1 inputs, evaluated both ways.
-        let inputs: Vec<Vec<u32>> = (0..64)
-            .map(|_| (0..n).map(|_| u32::from(rng.gen_bool(0.5))).collect())
-            .collect();
+        let inputs: Vec<Vec<u32>> =
+            (0..64).map(|_| (0..n).map(|_| u32::from(rng.gen_bool(0.5))).collect()).collect();
         let mut lanes = vec![0u64; n];
         for (i, input) in inputs.iter().enumerate() {
             for (w, &v) in input.iter().enumerate() {
@@ -143,8 +96,7 @@ mod tests {
             let full = brick_wall(n);
             assert_eq!(check_zero_one_bitparallel(&full), None, "n={n} sorter");
             if n >= 3 {
-                let truncated =
-                    ComparatorNetwork::new(n, full.levels()[..n / 2].to_vec()).unwrap();
+                let truncated = ComparatorNetwork::new(n, full.levels()[..n / 2].to_vec()).unwrap();
                 let bp = check_zero_one_bitparallel(&truncated);
                 let scalar = check_zero_one_exhaustive(&truncated);
                 match (bp, scalar) {
@@ -169,19 +121,9 @@ mod tests {
 
     #[test]
     fn unsorted_lane_mask() {
-        // Wire order: [1, 0] is unsorted, [0, 1] is sorted; lane 0 unsorted,
-        // lane 1 sorted, lane 2 constant-0.
+        // Wire order: [1, 0] is unsorted, [0, 1] is sorted; lane 0
+        // unsorted, lane 1 sorted, lane 2 constant-0.
         let out = vec![0b001u64, 0b010u64];
         assert_eq!(unsorted_lanes(&out), 0b001);
-    }
-
-    #[test]
-    fn larger_instance_matches_at_n16() {
-        let net = crate::network::ComparatorNetwork::new(
-            16,
-            brick_wall(16).levels().to_vec(),
-        )
-        .unwrap();
-        assert_eq!(check_zero_one_bitparallel(&net), None);
     }
 }

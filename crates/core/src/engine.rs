@@ -1,545 +1,17 @@
-//! Compiled, sharded 0-1 verification engine.
+//! Compiled verification engine — compatibility facade over [`crate::ir`].
 //!
-//! The interpreting evaluators in [`crate::network`] and
-//! [`crate::bitparallel`] walk the [`ComparatorNetwork`] structure on every
-//! input: each level re-dispatches on `Option<Permutation>` routes, matches
-//! on [`ElementKind`] per element, and physically moves every wire's value
-//! through a scratch buffer whenever a route is present. For exhaustive 0-1
-//! verification — `2ⁿ` inputs through the same fixed circuit — all of that
-//! is loop-invariant overhead.
+//! PR 1 introduced `engine::CompiledNetwork`, a one-shot compile of a
+//! [`ComparatorNetwork`](crate::network::ComparatorNetwork) into a flat
+//! compare-exchange program with scalar and 64-lane 0-1 backends plus a
+//! deterministic sharded exhaustive checker. That compile step has since
+//! been promoted into the first-class IR in [`crate::ir`]: the route/`Swap`
+//! absorption and `CmpRev` normalization it performed inline are now the
+//! individually-testable [`crate::ir::AbsorbRoutes`],
+//! [`crate::ir::NormalizeCmpRev`], and [`crate::ir::StripPassSwap`] passes
+//! of the canonical pipeline, and the backends live on
+//! [`crate::ir::Executor`].
 //!
-//! [`CompiledNetwork::compile`] lowers a network once into a flat program
-//! that a tight loop can replay:
-//!
-//! * **Routes and `Swap`s are absorbed at compile time** by wire
-//!   relabeling. The compiler tracks, per logical wire, which *physical
-//!   slot* currently holds its value; a route (or unconditional swap) only
-//!   permutes that mapping, moving no data at run time. One final
-//!   `output_map` gather realizes the entire accumulated permutation.
-//! * **`CmpRev` is normalized to `Cmp`** with its operands exchanged
-//!   (`max → a, min → b` is `min → b, max → a`), and `Pass` elements are
-//!   dropped, so the runtime is a single homogeneous list of
-//!   `(min_slot, max_slot)` pairs — no per-element dispatch.
-//!
-//! Two backends replay the program: a scalar one generic over `T: Ord`
-//! ([`CompiledNetwork::run_scalar_in_place`]) and a 64-lane 0-1 backend
-//! (`min = AND`, `max = OR`) processing 64 inputs per pass
-//! ([`CompiledNetwork::run_01x64_in_place`]).
-//!
-//! On top of the 64-lane backend, [`check_zero_one_sharded`] splits the
-//! `2ⁿ` input space into lane-aligned shards scanned by worker threads.
-//! Threads claim shards in increasing order off an atomic cursor and push
-//! counterexamples through an atomic minimum, so the reported failure is
-//! **always the lowest failing input index** — bit-identical to the
-//! sequential [`crate::sortcheck::check_zero_one_exhaustive`] scan — no
-//! matter how threads interleave.
+//! This module re-exports the engine names so PR-1 call sites keep
+//! working; new code should import from [`crate::ir`] directly.
 
-use crate::element::ElementKind;
-use crate::network::ComparatorNetwork;
-use crate::sortcheck::SortCheck;
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Lane masks for packing 64 consecutive inputs `base..base+64` (with
-/// `base` 64-aligned): for wire `w < 6`, bit `i` of the lane word is bit
-/// `w` of `i`, a constant pattern independent of `base`.
-const PERIODIC: [u64; 6] = [
-    0xAAAA_AAAA_AAAA_AAAA,
-    0xCCCC_CCCC_CCCC_CCCC,
-    0xF0F0_F0F0_F0F0_F0F0,
-    0xFF00_FF00_FF00_FF00,
-    0xFFFF_0000_FFFF_0000,
-    0xFFFF_FFFF_0000_0000,
-];
-
-/// A comparator network lowered to a flat, cache-friendly program: a list
-/// of `(min_slot, max_slot)` compare-exchange pairs over physical slots,
-/// plus one final output gather. See the [module docs](self) for the
-/// compilation scheme.
-#[derive(Debug, Clone)]
-pub struct CompiledNetwork {
-    n: usize,
-    /// Compare-exchanges in execution order: min lands in `.0`, max in
-    /// `.1`. Both index *physical slots*, not logical wires.
-    ops: Vec<(u32, u32)>,
-    /// Provenance of each op: `(level index, element index)` in the source
-    /// network. Parallel to `ops`; powers redundancy analysis.
-    origins: Vec<(u32, u32)>,
-    /// Final gather: logical output wire `w` reads physical slot
-    /// `output_map[w]`.
-    output_map: Vec<u32>,
-}
-
-impl CompiledNetwork {
-    /// Lowers `net` into a flat program. Cost is one pass over the
-    /// network; the result is immutable and shareable across threads.
-    pub fn compile(net: &ComparatorNetwork) -> Self {
-        let n = net.wires();
-        // phys[w] = physical slot currently holding logical wire w's value.
-        let mut phys: Vec<u32> = (0..n as u32).collect();
-        let mut scratch: Vec<u32> = vec![0; n];
-        let mut ops = Vec::with_capacity(net.size());
-        let mut origins = Vec::with_capacity(net.size());
-        for (li, level) in net.levels().iter().enumerate() {
-            if let Some(route) = &level.route {
-                // Routing by p moves wire w's value to wire p(w); relabel
-                // instead of moving: new_phys[p(w)] = phys[w].
-                scratch.copy_from_slice(&phys);
-                route.route(&scratch, &mut phys);
-            }
-            for (ei, e) in level.elements.iter().enumerate() {
-                let (pa, pb) = (phys[e.a as usize], phys[e.b as usize]);
-                match e.kind {
-                    ElementKind::Cmp => {
-                        ops.push((pa, pb));
-                        origins.push((li as u32, ei as u32));
-                    }
-                    ElementKind::CmpRev => {
-                        // max → a, min → b ≡ Cmp with operands exchanged.
-                        ops.push((pb, pa));
-                        origins.push((li as u32, ei as u32));
-                    }
-                    ElementKind::Pass => {}
-                    ElementKind::Swap => {
-                        phys.swap(e.a as usize, e.b as usize);
-                    }
-                }
-            }
-        }
-        CompiledNetwork { n, ops, origins, output_map: phys }
-    }
-
-    /// Number of wires.
-    pub fn wires(&self) -> usize {
-        self.n
-    }
-
-    /// Number of compare-exchange ops (comparators surviving compilation;
-    /// `Pass` and `Swap` contribute none).
-    pub fn op_count(&self) -> usize {
-        self.ops.len()
-    }
-
-    /// Source-network provenance `(level, element)` of each op, in
-    /// execution order.
-    pub fn origins(&self) -> &[(u32, u32)] {
-        &self.origins
-    }
-
-    /// Evaluates in place: `values` is the input on entry and the output on
-    /// exit, exactly like [`ComparatorNetwork::evaluate_in_place`].
-    /// `scratch` is reused across calls to avoid allocation.
-    pub fn run_scalar_in_place<T: Ord + Copy>(&self, values: &mut [T], scratch: &mut Vec<T>) {
-        assert_eq!(values.len(), self.n, "input length mismatch");
-        scratch.clear();
-        scratch.extend_from_slice(values);
-        let slots = scratch.as_mut_slice();
-        for &(a, b) in &self.ops {
-            let (x, y) = (slots[a as usize], slots[b as usize]);
-            if y < x {
-                slots[a as usize] = y;
-                slots[b as usize] = x;
-            }
-        }
-        for (w, v) in values.iter_mut().enumerate() {
-            *v = slots[self.output_map[w] as usize];
-        }
-    }
-
-    /// Allocating convenience wrapper over
-    /// [`run_scalar_in_place`](Self::run_scalar_in_place).
-    pub fn evaluate<T: Ord + Copy>(&self, input: &[T]) -> Vec<T> {
-        let mut values = input.to_vec();
-        self.run_scalar_in_place(&mut values, &mut Vec::new());
-        values
-    }
-
-    /// 64-lane 0-1 evaluation in place: `lanes[w]` carries bit `i` = the
-    /// value of input `i` on wire `w`, exactly like
-    /// [`crate::bitparallel::evaluate_01x64_in_place`].
-    pub fn run_01x64_in_place(&self, lanes: &mut [u64], scratch: &mut Vec<u64>) {
-        assert_eq!(lanes.len(), self.n, "lane count mismatch");
-        scratch.clear();
-        scratch.extend_from_slice(lanes);
-        let slots = scratch.as_mut_slice();
-        self.run_block_01x64(slots);
-        for (w, lane) in lanes.iter_mut().enumerate() {
-            *lane = slots[self.output_map[w] as usize];
-        }
-    }
-
-    /// Replays the op list over 64-lane slot words, without the output
-    /// gather (callers that only need sortedness read slots through
-    /// [`unsorted_lanes_in_slots`](Self::unsorted_lanes_in_slots), which
-    /// applies the gather implicitly).
-    #[inline]
-    pub fn run_block_01x64(&self, slots: &mut [u64]) {
-        for &(a, b) in &self.ops {
-            let (x, y) = (slots[a as usize], slots[b as usize]);
-            slots[a as usize] = x & y;
-            slots[b as usize] = x | y;
-        }
-    }
-
-    /// Like [`run_block_01x64`](Self::run_block_01x64), but also accumulates,
-    /// per op, a bitmask of the lanes on which the op *fired* (actually
-    /// exchanged its inputs, i.e. min-slot held 1 and max-slot held 0).
-    /// `valid` masks out lanes that do not correspond to real inputs.
-    /// Powers [`crate::optimize::redundant_comparators`].
-    pub fn run_01x64_fired(&self, slots: &mut [u64], valid: u64, fired: &mut [u64]) {
-        assert_eq!(slots.len(), self.n, "lane count mismatch");
-        assert_eq!(fired.len(), self.ops.len(), "fired accumulator mismatch");
-        for (k, &(a, b)) in self.ops.iter().enumerate() {
-            let (x, y) = (slots[a as usize], slots[b as usize]);
-            fired[k] |= (x & !y) & valid;
-            slots[a as usize] = x & y;
-            slots[b as usize] = x | y;
-        }
-    }
-
-    /// Packs the 64 consecutive inputs `base..base+64` (`base` must be
-    /// 64-aligned) into slot words: slot `w` gets bit `w` of each input
-    /// index. Wires below 6 use constant periodic masks; higher wires are
-    /// constant across the block.
-    pub fn pack_block(&self, base: u64, slots: &mut [u64]) {
-        debug_assert_eq!(base % 64, 0, "blocks are lane-aligned");
-        for (w, slot) in slots.iter_mut().enumerate() {
-            *slot = if w < 6 {
-                PERIODIC[w]
-            } else if (base >> w) & 1 == 1 {
-                u64::MAX
-            } else {
-                0
-            };
-        }
-    }
-
-    /// Bitmask of lanes whose *output* (slots read through the output
-    /// gather) is unsorted — some 1 above a 0 in output wire order.
-    pub fn unsorted_lanes_in_slots(&self, slots: &[u64]) -> u64 {
-        let mut bad = 0u64;
-        for w in 0..self.n.saturating_sub(1) {
-            let hi = slots[self.output_map[w] as usize];
-            let lo = slots[self.output_map[w + 1] as usize];
-            bad |= hi & !lo;
-        }
-        bad
-    }
-
-    /// Scans inputs `[from, to)` (both 64-aligned except `to == total`) for
-    /// the lowest unsorted input, using `slots` as reusable lane storage.
-    /// Skips blocks that cannot beat `ceiling` (an already-known failing
-    /// index). Returns the lowest failing index found, if any.
-    fn scan_range(
-        &self,
-        from: u64,
-        to: u64,
-        total: u64,
-        ceiling: &AtomicU64,
-        slots: &mut [u64],
-    ) -> Option<u64> {
-        let mut base = from;
-        while base < to {
-            if base >= ceiling.load(Ordering::Acquire) {
-                // Any failure here has index >= base >= the known failing
-                // index, so it cannot lower the minimum.
-                return None;
-            }
-            self.pack_block(base, slots);
-            self.run_block_01x64(slots);
-            let valid: u64 =
-                if total - base >= 64 { u64::MAX } else { (1u64 << (total - base)) - 1 };
-            let bad = self.unsorted_lanes_in_slots(slots) & valid;
-            if bad != 0 {
-                // Lowest lane in this block is the lowest in the whole
-                // remaining range, since blocks are scanned in order.
-                return Some(base + bad.trailing_zeros() as u64);
-            }
-            base += 64;
-        }
-        None
-    }
-}
-
-/// Worker count for [`check_zero_one_sharded`] when the caller does not
-/// specify one: the `SNET_THREADS` environment variable if set to a
-/// positive integer, else [`std::thread::available_parallelism`].
-pub fn default_engine_threads() -> usize {
-    if let Ok(v) = std::env::var("SNET_THREADS") {
-        if let Ok(t) = v.trim().parse::<usize>() {
-            if t >= 1 {
-                return t;
-            }
-        }
-    }
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
-}
-
-/// Exhaustive 0-1 sorting check over all `2ⁿ` inputs: compiled, 64 inputs
-/// per pass, sharded across `threads` workers. Definitive by the 0-1
-/// principle.
-///
-/// The verdict is **deterministic**: the reported counterexample is always
-/// the lowest failing input index (ties in thread timing cannot change
-/// it), and the returned [`SortCheck`] is value-identical to
-/// [`crate::sortcheck::check_zero_one_exhaustive`] on the same network.
-/// `tested` accounting on success is the full `2ⁿ` regardless of thread
-/// count. Panics if `n > 30`, matching the sequential checker's cap.
-pub fn check_zero_one_sharded(net: &ComparatorNetwork, threads: usize) -> SortCheck {
-    let n = net.wires();
-    assert!(n <= 30, "exhaustive 0-1 check limited to n <= 30 (got {n})");
-    let compiled = CompiledNetwork::compile(net);
-    let total: u64 = 1u64 << n;
-    let threads = threads.max(1);
-    let best = AtomicU64::new(u64::MAX);
-
-    // Small spaces (or explicit single-thread): scan inline. The threshold
-    // keeps thread spawn/join overhead away from sub-millisecond checks.
-    if threads == 1 || total <= (1 << 16) {
-        let mut slots = vec![0u64; n];
-        if let Some(idx) = compiled.scan_range(0, total, total, &best, &mut slots) {
-            return counterexample_at(net, idx);
-        }
-        return SortCheck::AllSorted { tested: total };
-    }
-
-    // Lane-aligned shards, sized for ~8 claims per worker so stragglers
-    // rebalance; claimed in increasing order so "lowest index wins" needs
-    // no post-hoc reconciliation.
-    let shard = (total / (threads as u64 * 8)).next_multiple_of(64).max(64);
-    let shard_count = total.div_ceil(shard);
-    let cursor = AtomicU64::new(0);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| {
-                let mut slots = vec![0u64; n];
-                loop {
-                    let k = cursor.fetch_add(1, Ordering::Relaxed);
-                    if k >= shard_count {
-                        break;
-                    }
-                    let from = k * shard;
-                    if from >= best.load(Ordering::Acquire) {
-                        // Every unclaimed shard starts even later; nothing
-                        // below the known minimum is left to scan.
-                        break;
-                    }
-                    let to = (from + shard).min(total);
-                    if let Some(idx) = compiled.scan_range(from, to, total, &best, &mut slots)
-                    {
-                        best.fetch_min(idx, Ordering::AcqRel);
-                    }
-                }
-            });
-        }
-    })
-    .expect("verification workers do not panic");
-
-    match best.into_inner() {
-        u64::MAX => SortCheck::AllSorted { tested: total },
-        idx => counterexample_at(net, idx),
-    }
-}
-
-/// Rebuilds the [`SortCheck::Counterexample`] for input index `idx`,
-/// re-evaluating through the original interpreter so the result is
-/// bit-identical to the sequential checker's.
-fn counterexample_at(net: &ComparatorNetwork, idx: u64) -> SortCheck {
-    let n = net.wires();
-    let input: Vec<u32> = (0..n).map(|w| ((idx >> w) & 1) as u32).collect();
-    let output = net.evaluate(&input);
-    SortCheck::Counterexample { input, output }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::element::Element;
-    use crate::network::Level;
-    use crate::perm::Permutation;
-    use crate::sortcheck::check_zero_one_exhaustive;
-
-    fn brick_wall(n: usize) -> ComparatorNetwork {
-        let mut net = ComparatorNetwork::empty(n);
-        for round in 0..n {
-            let start = round % 2;
-            let elements = (start..n.saturating_sub(1))
-                .step_by(2)
-                .map(|i| Element::cmp(i as u32, i as u32 + 1))
-                .collect();
-            net.push_elements(elements).unwrap();
-        }
-        net
-    }
-
-    /// A network exercising every construct the compiler absorbs: routes,
-    /// Swap, CmpRev, Pass.
-    fn gnarly(n: usize, seed: u64) -> ComparatorNetwork {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut levels = Vec::new();
-        for _ in 0..6 {
-            let route =
-                if rng.gen_bool(0.6) { Some(Permutation::random(n, &mut rng)) } else { None };
-            let mut wires: Vec<u32> = (0..n as u32).collect();
-            for i in (1..n).rev() {
-                wires.swap(i, rng.gen_range(0..=i));
-            }
-            let mut elements = Vec::new();
-            for pair in wires.chunks(2) {
-                if pair.len() < 2 || rng.gen_bool(0.25) {
-                    continue;
-                }
-                let kind = match rng.gen_range(0..4u32) {
-                    0 => crate::element::ElementKind::Cmp,
-                    1 => crate::element::ElementKind::CmpRev,
-                    2 => crate::element::ElementKind::Swap,
-                    _ => crate::element::ElementKind::Pass,
-                };
-                elements.push(Element { a: pair[0], b: pair[1], kind });
-            }
-            levels.push(Level { route, elements });
-        }
-        ComparatorNetwork::new(n, levels).unwrap()
-    }
-
-    #[test]
-    fn compiled_scalar_matches_interpreter() {
-        use rand::SeedableRng;
-        for seed in 0..20u64 {
-            let n = 9;
-            let net = gnarly(n, seed);
-            let compiled = CompiledNetwork::compile(&net);
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xbeef);
-            for _ in 0..50 {
-                let input = Permutation::random(n, &mut rng).images().to_vec();
-                assert_eq!(compiled.evaluate(&input), net.evaluate(&input), "seed {seed}");
-            }
-        }
-    }
-
-    #[test]
-    fn compiled_lanes_match_interpreter_lanes() {
-        use rand::{Rng, SeedableRng};
-        for seed in 0..20u64 {
-            let n = 9;
-            let net = gnarly(n, seed);
-            let compiled = CompiledNetwork::compile(&net);
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xfeed);
-            let lanes: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
-            let mut a = lanes.clone();
-            compiled.run_01x64_in_place(&mut a, &mut Vec::new());
-            let b = crate::bitparallel::evaluate_01x64(&net, &lanes);
-            assert_eq!(a, b, "seed {seed}");
-        }
-    }
-
-    #[test]
-    fn sharded_matches_sequential_verdict_and_counterexample() {
-        for n in 2..=10usize {
-            let full = brick_wall(n);
-            for threads in [1, 2, 8] {
-                assert_eq!(
-                    check_zero_one_sharded(&full, threads),
-                    check_zero_one_exhaustive(&full),
-                    "sorter n={n} threads={threads}"
-                );
-            }
-            let truncated =
-                ComparatorNetwork::new(n, full.levels()[..n / 2].to_vec()).unwrap();
-            for threads in [1, 2, 8] {
-                assert_eq!(
-                    check_zero_one_sharded(&truncated, threads),
-                    check_zero_one_exhaustive(&truncated),
-                    "truncated n={n} threads={threads}"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn sharded_path_exercises_real_threads() {
-        // n = 17 > the single-thread cutoff, so shards genuinely go through
-        // the worker pool; truncating late levels plants the first
-        // counterexample deep in the space.
-        let n = 17;
-        let full = brick_wall(n);
-        let depth = full.depth();
-        let truncated =
-            ComparatorNetwork::new(n, full.levels()[..depth - 2].to_vec()).unwrap();
-        let seq = check_zero_one_exhaustive(&truncated);
-        for threads in [2, 8] {
-            assert_eq!(check_zero_one_sharded(&truncated, threads), seq, "threads={threads}");
-        }
-        assert_eq!(
-            check_zero_one_sharded(&full, 4),
-            SortCheck::AllSorted { tested: 1u64 << n }
-        );
-    }
-
-    #[test]
-    fn pack_block_matches_naive_packing() {
-        let net = brick_wall(8);
-        let compiled = CompiledNetwork::compile(&net);
-        let mut slots = vec![0u64; 8];
-        for base in [0u64, 64, 128, 192] {
-            compiled.pack_block(base, &mut slots);
-            for (w, &slot) in slots.iter().enumerate() {
-                for i in 0..64u64 {
-                    let expect = ((base + i) >> w) & 1;
-                    assert_eq!((slot >> i) & 1, expect, "base {base} wire {w} lane {i}");
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn fired_tracking_matches_firing_semantics() {
-        // Cmp fires iff a > b; on the duplicated comparator the second
-        // never fires.
-        let mut net = ComparatorNetwork::empty(2);
-        net.push_elements(vec![Element::cmp(0, 1)]).unwrap();
-        net.push_elements(vec![Element::cmp(0, 1)]).unwrap();
-        let compiled = CompiledNetwork::compile(&net);
-        let mut fired = vec![0u64; compiled.op_count()];
-        let mut slots = vec![0u64; 2];
-        let total = 4u64;
-        compiled.pack_block(0, &mut slots);
-        compiled.run_01x64_fired(&mut slots, (1 << total) - 1, &mut fired);
-        assert_ne!(fired[0], 0, "first comparator fires on input 01");
-        assert_eq!(fired[1], 0, "second comparator can never fire");
-    }
-
-    #[test]
-    fn empty_and_tiny_networks() {
-        let empty = ComparatorNetwork::empty(0);
-        assert_eq!(
-            check_zero_one_sharded(&empty, 4),
-            SortCheck::AllSorted { tested: 1 }
-        );
-        let one = ComparatorNetwork::empty(1);
-        assert_eq!(
-            check_zero_one_sharded(&one, 4),
-            SortCheck::AllSorted { tested: 2 }
-        );
-    }
-
-    #[test]
-    fn swap_and_route_absorption_produces_pure_cmp_program() {
-        let net = gnarly(8, 3);
-        let compiled = CompiledNetwork::compile(&net);
-        // Every op indexes valid slots; op count equals comparator count.
-        let comparators = net
-            .levels()
-            .iter()
-            .flat_map(|l| &l.elements)
-            .filter(|e| e.kind.is_comparator())
-            .count();
-        assert_eq!(compiled.op_count(), comparators);
-        for &(a, b) in &compiled.ops {
-            assert!(a != b && (a as usize) < 8 && (b as usize) < 8);
-        }
-        let mut seen = compiled.output_map.clone();
-        seen.sort_unstable();
-        assert_eq!(seen, (0..8u32).collect::<Vec<_>>(), "gather is a permutation");
-    }
-}
+pub use crate::ir::{check_zero_one_sharded, default_engine_threads, Executor as CompiledNetwork};

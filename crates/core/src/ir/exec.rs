@@ -1,0 +1,399 @@
+//! The [`Executor`]: one compiled entry point over every evaluation
+//! backend — scalar, traced, 64-lane 0-1, sharded exhaustive verification,
+//! and batched/parallel map-reduce.
+//!
+//! An `Executor` owns a [`Program`] that has been run through a
+//! [`PassManager`] (the canonical pipeline by default) plus the per-pass
+//! [`PassRecord`]s from compilation. It is immutable and `Sync`, so one
+//! compile is shared across worker threads.
+
+use super::passes::{PassManager, PassRecord};
+use super::program::Program;
+use crate::network::{CmpEvent, ComparatorNetwork};
+use crate::register::RegisterNetwork;
+use crate::sortcheck::SortCheck;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Worker count for the sharded checker and batched runners when the
+/// caller does not specify one: the `SNET_THREADS` environment variable if
+/// set to a positive integer, else [`std::thread::available_parallelism`].
+pub fn default_engine_threads() -> usize {
+    if let Ok(v) = std::env::var("SNET_THREADS") {
+        if let Ok(t) = v.trim().parse::<usize>() {
+            if t >= 1 {
+                return t;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+/// A network compiled through the IR pass pipeline, exposing every
+/// evaluation backend behind one type. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Executor {
+    program: Program,
+    records: Vec<PassRecord>,
+}
+
+impl Executor {
+    /// Compiles a circuit-model network through the canonical pipeline
+    /// (route absorption, `CmpRev` normalization, `Pass`/`Swap`
+    /// elimination). The result replays the network exactly, including
+    /// traced event order.
+    pub fn compile(net: &ComparatorNetwork) -> Self {
+        Self::compile_with(net, &PassManager::canonical())
+    }
+
+    /// Compiles without running any passes: the faithful lowering is
+    /// executed as-is (routes and all). This is the `--no-passes`
+    /// debugging path; roughly interpreter-speed.
+    pub fn compile_raw(net: &ComparatorNetwork) -> Self {
+        Self::compile_with(net, &PassManager::empty())
+    }
+
+    /// Compiles through an explicit pipeline.
+    pub fn compile_with(net: &ComparatorNetwork, pm: &PassManager) -> Self {
+        Self::from_program(Program::from_network(net), pm)
+    }
+
+    /// Compiles a register-model network through the canonical pipeline —
+    /// both Section 1 models execute through the same IR.
+    pub fn compile_register(reg: &RegisterNetwork) -> Self {
+        Self::from_program(Program::from_register(reg), &PassManager::canonical())
+    }
+
+    /// Runs `pm` over an already-lowered program.
+    pub fn from_program(mut program: Program, pm: &PassManager) -> Self {
+        let records = pm.run(&mut program);
+        Executor { program, records }
+    }
+
+    /// The compiled program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Per-pass compilation metrics, in pipeline order.
+    pub fn pass_records(&self) -> &[PassRecord] {
+        &self.records
+    }
+
+    /// Number of wires.
+    #[inline]
+    pub fn wires(&self) -> usize {
+        self.program.wires()
+    }
+
+    /// Number of ops surviving compilation.
+    #[inline]
+    pub fn op_count(&self) -> usize {
+        self.program.op_count()
+    }
+
+    // ------------------------------------------------------------------
+    // Scalar backend.
+    // ------------------------------------------------------------------
+
+    /// Evaluates in place: `values` is the input on entry and the output
+    /// on exit, exactly like [`ComparatorNetwork::evaluate_in_place`].
+    /// `scratch` is reused across calls to avoid allocation.
+    pub fn run_scalar_in_place<T: Ord + Copy>(&self, values: &mut [T], scratch: &mut Vec<T>) {
+        self.program.run_scalar_in_place(values, scratch);
+    }
+
+    /// Evaluates the network on an input slice, returning the output.
+    pub fn evaluate<T: Ord + Copy>(&self, input: &[T]) -> Vec<T> {
+        self.program.evaluate(input)
+    }
+
+    /// Evaluates while reporting every comparator event in source-network
+    /// coordinates, like [`ComparatorNetwork::evaluate_traced`]. Event
+    /// order matches the interpreter's exactly under the canonical
+    /// pipeline (optimizing pipelines reorder and drop comparators).
+    pub fn evaluate_traced<T: Ord + Copy, F: FnMut(CmpEvent<T>)>(
+        &self,
+        input: &[T],
+        on_cmp: F,
+    ) -> Vec<T> {
+        self.program.run_traced(input, on_cmp)
+    }
+
+    // ------------------------------------------------------------------
+    // 64-lane 0-1 backend.
+    // ------------------------------------------------------------------
+
+    /// 64-lane 0-1 evaluation in place: `lanes[w]` carries bit `i` = the
+    /// value of input `i` on wire `w`.
+    pub fn run_01x64_in_place(&self, lanes: &mut [u64], scratch: &mut Vec<u64>) {
+        self.program.run_01x64_in_place(lanes, scratch);
+    }
+
+    /// Replays the op list over 64-lane slot words without the output
+    /// gather (read results through
+    /// [`unsorted_lanes_in_slots`](Self::unsorted_lanes_in_slots), which
+    /// applies the gather implicitly).
+    #[inline]
+    pub fn run_block_01x64(&self, slots: &mut [u64]) {
+        let mut route_scratch = Vec::new();
+        self.program.run_block_01x64(slots, &mut route_scratch);
+    }
+
+    /// Like [`run_block_01x64`](Self::run_block_01x64), but also
+    /// accumulates, per op, a bitmask of the lanes on which the op fired.
+    /// `valid` masks out lanes not corresponding to real inputs.
+    pub fn run_01x64_fired(&self, slots: &mut [u64], valid: u64, fired: &mut [u64]) {
+        let mut route_scratch = Vec::new();
+        self.program.run_block_01x64_fired(slots, valid, fired, &mut route_scratch);
+    }
+
+    /// Packs the 64 consecutive inputs `base..base+64` into slot words;
+    /// see [`Program::pack_block`].
+    pub fn pack_block(&self, base: u64, slots: &mut [u64]) {
+        self.program.pack_block(base, slots);
+    }
+
+    /// Bitmask of lanes whose output is unsorted; see
+    /// [`Program::unsorted_lanes_in_slots`].
+    pub fn unsorted_lanes_in_slots(&self, slots: &[u64]) -> u64 {
+        self.program.unsorted_lanes_in_slots(slots)
+    }
+
+    /// Scans inputs `[from, to)` (both 64-aligned except `to == total`)
+    /// for the lowest unsorted input, using `slots` as reusable lane
+    /// storage. Skips blocks that cannot beat `ceiling` (an already-known
+    /// failing index).
+    fn scan_range(
+        &self,
+        from: u64,
+        to: u64,
+        total: u64,
+        ceiling: &AtomicU64,
+        slots: &mut [u64],
+        route_scratch: &mut Vec<u64>,
+    ) -> Option<u64> {
+        let mut base = from;
+        while base < to {
+            if base >= ceiling.load(Ordering::Acquire) {
+                // Any failure here has index >= base >= the known failing
+                // index, so it cannot lower the minimum.
+                return None;
+            }
+            self.program.pack_block(base, slots);
+            self.program.run_block_01x64(slots, route_scratch);
+            let valid: u64 =
+                if total - base >= 64 { u64::MAX } else { (1u64 << (total - base)) - 1 };
+            let bad = self.program.unsorted_lanes_in_slots(slots) & valid;
+            if bad != 0 {
+                // Lowest lane in this block is the lowest in the whole
+                // remaining range, since blocks are scanned in order.
+                return Some(base + bad.trailing_zeros() as u64);
+            }
+            base += 64;
+        }
+        None
+    }
+
+    /// The lowest 0-1 input index the network fails to sort, scanning
+    /// sequentially over all `2ⁿ` inputs (64 per pass). `None` means the
+    /// network sorts (definitive by the 0-1 principle).
+    pub fn first_unsorted_01(&self) -> Option<u64> {
+        let n = self.wires();
+        assert!(n <= 32, "exhaustive check caps at n = 32");
+        let total: u64 = 1u64 << n;
+        let mut slots = vec![0u64; n];
+        let mut route_scratch = Vec::new();
+        self.scan_range(0, total, total, &AtomicU64::new(u64::MAX), &mut slots, &mut route_scratch)
+    }
+
+    /// Counts the 0-1 inputs the network fails to sort, exhaustively.
+    pub fn count_unsorted_01(&self) -> u64 {
+        let n = self.wires();
+        assert!(n <= 26, "exhaustive over 2^n inputs");
+        let total: u64 = 1u64 << n;
+        let mut slots = vec![0u64; n];
+        let mut route_scratch = Vec::new();
+        let mut count = 0u64;
+        let mut base = 0u64;
+        while base < total {
+            self.program.pack_block(base, &mut slots);
+            self.program.run_block_01x64(&mut slots, &mut route_scratch);
+            let valid: u64 =
+                if total - base >= 64 { u64::MAX } else { (1u64 << (total - base)) - 1 };
+            count += (self.program.unsorted_lanes_in_slots(&slots) & valid).count_ones() as u64;
+            base += 64;
+        }
+        count
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded exhaustive verification.
+    // ------------------------------------------------------------------
+
+    /// Exhaustive 0-1 sorting check over all `2ⁿ` inputs, sharded across
+    /// `threads` workers. Deterministic: the reported counterexample is
+    /// always the **lowest** failing input index regardless of thread
+    /// interleaving, value-identical to
+    /// [`crate::sortcheck::check_zero_one_exhaustive`]. Panics if
+    /// `n > 30`.
+    pub fn check_zero_one(&self, threads: usize) -> SortCheck {
+        let n = self.wires();
+        assert!(n <= 30, "exhaustive 0-1 check limited to n <= 30 (got {n})");
+        let total: u64 = 1u64 << n;
+        let threads = threads.max(1);
+        let best = AtomicU64::new(u64::MAX);
+
+        // Small spaces (or explicit single-thread): scan inline. The
+        // threshold keeps thread spawn/join overhead away from
+        // sub-millisecond checks.
+        if threads == 1 || total <= (1 << 16) {
+            let mut slots = vec![0u64; n];
+            let mut route_scratch = Vec::new();
+            if let Some(idx) =
+                self.scan_range(0, total, total, &best, &mut slots, &mut route_scratch)
+            {
+                return self.counterexample_at(idx);
+            }
+            return SortCheck::AllSorted { tested: total };
+        }
+
+        // Lane-aligned shards, sized for ~8 claims per worker so
+        // stragglers rebalance; claimed in increasing order so "lowest
+        // index wins" needs no post-hoc reconciliation.
+        let shard = (total / (threads as u64 * 8)).next_multiple_of(64).max(64);
+        let shard_count = total.div_ceil(shard);
+        let cursor = AtomicU64::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| {
+                    let mut slots = vec![0u64; n];
+                    let mut route_scratch = Vec::new();
+                    loop {
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        if k >= shard_count {
+                            break;
+                        }
+                        let from = k * shard;
+                        if from >= best.load(Ordering::Acquire) {
+                            // Every unclaimed shard starts even later;
+                            // nothing below the known minimum is left.
+                            break;
+                        }
+                        let to = (from + shard).min(total);
+                        if let Some(idx) =
+                            self.scan_range(from, to, total, &best, &mut slots, &mut route_scratch)
+                        {
+                            best.fetch_min(idx, Ordering::AcqRel);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("verification workers do not panic");
+
+        match best.into_inner() {
+            u64::MAX => SortCheck::AllSorted { tested: total },
+            idx => self.counterexample_at(idx),
+        }
+    }
+
+    /// Rebuilds the [`SortCheck::Counterexample`] for input index `idx` by
+    /// re-evaluating (passes are semantics-preserving, so the output is
+    /// bit-identical to the interpreter's).
+    fn counterexample_at(&self, idx: u64) -> SortCheck {
+        let n = self.wires();
+        let input: Vec<u32> = (0..n).map(|w| ((idx >> w) & 1) as u32).collect();
+        let output = self.evaluate(&input);
+        SortCheck::Counterexample { input, output }
+    }
+
+    // ------------------------------------------------------------------
+    // Batched / parallel evaluation.
+    // ------------------------------------------------------------------
+
+    /// Evaluates every row of `inputs` sequentially, reusing one scratch
+    /// buffer.
+    pub fn evaluate_batch<T: Ord + Copy>(&self, inputs: &[Vec<T>]) -> Vec<Vec<T>> {
+        let mut scratch: Vec<T> = Vec::with_capacity(self.wires());
+        inputs
+            .iter()
+            .map(|input| {
+                let mut v = input.clone();
+                self.run_scalar_in_place(&mut v, &mut scratch);
+                v
+            })
+            .collect()
+    }
+
+    /// Applies `f` to the output on every input, folding per-thread
+    /// partial results with `fold`. Deterministic: chunk boundaries are
+    /// fixed by `threads`, and partials are returned in chunk order.
+    pub fn map_reduce_outputs<T, A, F, M>(
+        &self,
+        inputs: &[Vec<T>],
+        threads: usize,
+        f: F,
+        fold: M,
+    ) -> Vec<A>
+    where
+        T: Ord + Copy + Send + Sync,
+        A: Default + Send,
+        F: Fn(usize, &[T]) -> A + Sync,
+        M: Fn(A, A) -> A + Sync,
+    {
+        assert!(threads >= 1);
+        let threads = threads.min(inputs.len().max(1));
+        let chunk = inputs.len().div_ceil(threads.max(1)).max(1);
+        let mut results: Vec<A> = Vec::with_capacity(threads);
+        crossbeam::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (ci, slice) in inputs.chunks(chunk).enumerate() {
+                let f = &f;
+                let fold = &fold;
+                let exec = &self;
+                handles.push(s.spawn(move |_| {
+                    let mut scratch: Vec<T> = Vec::with_capacity(exec.wires());
+                    let mut acc = A::default();
+                    let mut buf: Vec<T> = Vec::new();
+                    for (i, input) in slice.iter().enumerate() {
+                        buf.clear();
+                        buf.extend_from_slice(input);
+                        exec.run_scalar_in_place(&mut buf, &mut scratch);
+                        acc = fold(acc, f(ci * chunk + i, &buf));
+                    }
+                    acc
+                }));
+            }
+            for h in handles {
+                results.push(h.join().expect("batch worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        results
+    }
+
+    /// Counts, in parallel, how many of the inputs the network sorts.
+    pub fn count_sorted(&self, inputs: &[Vec<u32>], threads: usize) -> u64 {
+        self.map_reduce_outputs(
+            inputs,
+            threads,
+            |_, out| u64::from(crate::sortcheck::is_sorted(out)),
+            |a, b| a + b,
+        )
+        .into_iter()
+        .sum()
+    }
+}
+
+/// Compiles and evaluates in one call. Convenience for one-shot call
+/// sites (tests, examples); compile repeatedly-evaluated networks once
+/// via [`Executor::compile`] instead.
+pub fn evaluate<T: Ord + Copy>(net: &ComparatorNetwork, input: &[T]) -> Vec<T> {
+    Executor::compile(net).evaluate(input)
+}
+
+/// Exhaustive sharded 0-1 check of a network: compile +
+/// [`Executor::check_zero_one`].
+pub fn check_zero_one_sharded(net: &ComparatorNetwork, threads: usize) -> SortCheck {
+    Executor::compile(net).check_zero_one(threads)
+}

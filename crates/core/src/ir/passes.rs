@@ -1,0 +1,441 @@
+//! The pass pipeline: composable, individually-testable rewrites of a
+//! [`Program`].
+//!
+//! Every pass preserves the program's input→output mapping exactly (the
+//! differential suite in `xtask-tests` checks this for *any* pass order
+//! against the interpreter). Two standard pipelines exist:
+//!
+//! * [`PassManager::canonical`] — [`AbsorbRoutes`], [`NormalizeCmpRev`],
+//!   [`StripPassSwap`]. These also preserve the comparator *sequence*
+//!   (count and execution order), so traced replay through
+//!   [`Program::run_traced`] reports the interpreter's exact event stream.
+//!   This is what [`crate::ir::Executor::compile`] runs.
+//! * [`PassManager::optimizing`] — canonical plus [`RedundantElim`] and
+//!   [`Relayer`]. Behaviour-preserving but not sequence-preserving; used by
+//!   optimization workflows (`snetctl passes`, redundancy experiments).
+//!
+//! Each [`PassManager::run`] returns one [`PassRecord`] per pass with
+//! before/after metrics and wall-clock cost, which is what the
+//! `ir_passes` bench and the CLI table report.
+
+use super::program::{Op, Program};
+use crate::element::ElementKind;
+use crate::perm::Permutation;
+
+/// A semantics-preserving rewrite of a [`Program`].
+pub trait Pass {
+    /// Stable display name (used in [`PassRecord`], benches, and the CLI).
+    fn name(&self) -> &'static str;
+    /// Rewrites the program in place. Must preserve the input→output
+    /// mapping for every input.
+    fn run(&self, prog: &mut Program);
+}
+
+/// Metrics around one pass execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassRecord {
+    /// [`Pass::name`] of the executed pass.
+    pub name: &'static str,
+    /// Total op count before / after (comparators plus `Pass`/`Swap`).
+    pub ops_before: usize,
+    /// See `ops_before`.
+    pub ops_after: usize,
+    /// Comparator count (network *size*) before / after.
+    pub size_before: usize,
+    /// See `size_before`.
+    pub size_after: usize,
+    /// Level count before / after.
+    pub depth_before: usize,
+    /// See `depth_before`.
+    pub depth_after: usize,
+    /// Wall-clock cost of the pass in microseconds.
+    pub micros: u128,
+}
+
+impl PassRecord {
+    /// Ops removed by this pass (never negative: passes only drop ops).
+    pub fn ops_eliminated(&self) -> usize {
+        self.ops_before.saturating_sub(self.ops_after)
+    }
+}
+
+/// An ordered pipeline of passes.
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass + Send + Sync>>,
+}
+
+impl PassManager {
+    /// A pipeline that runs nothing (the faithful lowering is executed
+    /// as-is; this is what `--no-passes` selects).
+    pub fn empty() -> Self {
+        PassManager { passes: Vec::new() }
+    }
+
+    /// The order- and comparator-preserving pipeline every [`Executor`]
+    /// runs by default: absorb routes, normalize `CmpRev`, strip
+    /// `Pass`/`Swap`.
+    ///
+    /// [`Executor`]: crate::ir::Executor
+    pub fn canonical() -> Self {
+        PassManager::empty().with(AbsorbRoutes).with(NormalizeCmpRev).with(StripPassSwap)
+    }
+
+    /// The canonical pipeline plus redundant-comparator elimination and
+    /// greedy re-layering. Behaviour-preserving, but reorders and removes
+    /// comparators, so traced replay no longer mirrors the interpreter.
+    pub fn optimizing() -> Self {
+        PassManager::canonical().with(RedundantElim::default()).with(Relayer)
+    }
+
+    /// Appends a pass to the pipeline.
+    pub fn with<P: Pass + Send + Sync + 'static>(mut self, pass: P) -> Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Number of passes in the pipeline.
+    pub fn len(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// True iff the pipeline runs no passes.
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// Runs every pass in order, returning one record per pass.
+    pub fn run(&self, prog: &mut Program) -> Vec<PassRecord> {
+        self.passes
+            .iter()
+            .map(|pass| {
+                let (ops_before, size_before, depth_before) =
+                    (prog.op_count(), prog.size(), prog.depth());
+                let t0 = std::time::Instant::now();
+                pass.run(prog);
+                let micros = t0.elapsed().as_micros();
+                debug_assert_eq!(prog.validate(), Ok(()), "pass {} broke the IR", pass.name());
+                PassRecord {
+                    name: pass.name(),
+                    ops_before,
+                    ops_after: prog.op_count(),
+                    size_before,
+                    size_after: prog.size(),
+                    depth_before,
+                    depth_after: prog.depth(),
+                    micros,
+                }
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<_> = self.passes.iter().map(|p| p.name()).collect();
+        f.debug_struct("PassManager").field("passes", &names).finish()
+    }
+}
+
+/// Absorbs every routing permutation into a wire relabeling: a route only
+/// permutes the wire→slot mapping, moving no data at run time. Op slots
+/// are rewritten through the mapping and the accumulated permutation is
+/// folded into the final `output_map` gather. After this pass
+/// `Program::has_routes()` is false.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AbsorbRoutes;
+
+impl Pass for AbsorbRoutes {
+    fn name(&self) -> &'static str {
+        "absorb-routes"
+    }
+
+    fn run(&self, prog: &mut Program) {
+        if !prog.has_routes() {
+            return;
+        }
+        let n = prog.n;
+        // phys[s] = physical slot currently holding (pre-pass) slot s's value.
+        let mut phys: Vec<u32> = (0..n as u32).collect();
+        let mut scratch: Vec<u32> = vec![0; n];
+        let mut start = 0usize;
+        for lvl in 0..prog.level_count {
+            if let Some(route) = prog.routes[lvl as usize].take() {
+                // Routing by p moves slot s's value to slot p(s); relabel
+                // instead of moving: new_phys[p(s)] = phys[s].
+                scratch.copy_from_slice(&phys);
+                route.route(&scratch, &mut phys);
+            }
+            let end = start + prog.level_of[start..].iter().take_while(|&&l| l == lvl).count();
+            for op in &mut prog.ops[start..end] {
+                op.a = phys[op.a as usize];
+                op.b = phys[op.b as usize];
+            }
+            start = end;
+        }
+        for m in &mut prog.output_map {
+            *m = phys[*m as usize];
+        }
+    }
+}
+
+/// Rewrites every `CmpRev` op as `Cmp` with its operands exchanged
+/// (`max → a, min → b` ≡ `min → b, max → a`), so downstream backends can
+/// specialize on a homogeneous `Cmp` op list. Origins keep the source
+/// element, letting traced replay undo the exchange when reporting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NormalizeCmpRev;
+
+impl Pass for NormalizeCmpRev {
+    fn name(&self) -> &'static str {
+        "normalize-cmprev"
+    }
+
+    fn run(&self, prog: &mut Program) {
+        for op in &mut prog.ops {
+            if op.kind == ElementKind::CmpRev {
+                *op = Op { a: op.b, b: op.a, kind: ElementKind::Cmp };
+            }
+        }
+    }
+}
+
+/// Drops every `Pass` op and absorbs every `Swap` op into a slot
+/// relabeling (an unconditional exchange is a compile-time renaming). If a
+/// route is encountered with a pending relabeling φ, the route `r` is
+/// replaced by `r ∘ φ⁻¹` and φ resets, so the pass is correct in any
+/// pipeline position. The final relabeling folds into `output_map`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StripPassSwap;
+
+impl Pass for StripPassSwap {
+    fn name(&self) -> &'static str {
+        "strip-pass-swap"
+    }
+
+    fn run(&self, prog: &mut Program) {
+        let n = prog.n;
+        // phi[s] = slot of the rewritten program holding slot s's value.
+        let mut phi: Vec<u32> = (0..n as u32).collect();
+        let mut ops = Vec::with_capacity(prog.ops.len());
+        let mut origins = Vec::with_capacity(prog.ops.len());
+        let mut level_of = Vec::with_capacity(prog.ops.len());
+        let mut start = 0usize;
+        for lvl in 0..prog.level_count {
+            if let Some(route) = prog.routes[lvl as usize].take() {
+                if phi.iter().enumerate().all(|(s, &v)| s as u32 == v) {
+                    prog.routes[lvl as usize] = Some(route);
+                } else {
+                    // New slot phi[s] must route to wherever old slot s
+                    // routed: r'(phi[s]) = r(s), i.e. r' = r ∘ φ⁻¹.
+                    let mut images = vec![0u32; n];
+                    for (s, &p) in phi.iter().enumerate() {
+                        images[p as usize] = route.apply(s) as u32;
+                    }
+                    prog.routes[lvl as usize] =
+                        Some(Permutation::from_images(images).expect("r ∘ φ⁻¹ is a bijection"));
+                    for (s, v) in phi.iter_mut().enumerate() {
+                        *v = s as u32;
+                    }
+                }
+            }
+            let end = start + prog.level_of[start..].iter().take_while(|&&l| l == lvl).count();
+            for k in start..end {
+                let op = prog.ops[k];
+                match op.kind {
+                    ElementKind::Pass => {}
+                    ElementKind::Swap => phi.swap(op.a as usize, op.b as usize),
+                    ElementKind::Cmp | ElementKind::CmpRev => {
+                        ops.push(Op {
+                            a: phi[op.a as usize],
+                            b: phi[op.b as usize],
+                            kind: op.kind,
+                        });
+                        origins.push(prog.origins[k]);
+                        level_of.push(lvl);
+                    }
+                }
+            }
+            start = end;
+        }
+        for m in &mut prog.output_map {
+            *m = phi[*m as usize];
+        }
+        prog.ops = ops;
+        prog.origins = origins;
+        prog.level_of = level_of;
+    }
+}
+
+/// Returns, for each op, the bitmask union over **all** `2ⁿ` 0-1 inputs of
+/// the lanes on which the op fired (actually exchanged its values).
+/// A comparator with mask 0 never exchanges on any 0-1 input, hence — by
+/// the monotone threshold argument behind the 0-1 principle — on no input
+/// at all. Exhaustive: caller is responsible for keeping `n` sane.
+pub fn exhaustive_fired_masks(prog: &Program) -> Vec<u64> {
+    let n = prog.wires();
+    assert!(n <= 26, "fired analysis is exhaustive over 2^n inputs (n={n})");
+    let total: u64 = 1u64 << n;
+    let mut fired = vec![0u64; prog.op_count()];
+    let mut slots = vec![0u64; n];
+    let mut route_scratch = Vec::new();
+    let mut base = 0u64;
+    while base < total {
+        let valid: u64 = if total - base >= 64 { u64::MAX } else { (1u64 << (total - base)) - 1 };
+        prog.pack_block(base, &mut slots);
+        prog.run_block_01x64_fired(&mut slots, valid, &mut fired, &mut route_scratch);
+        base += 64;
+    }
+    fired
+}
+
+/// Removes comparators that provably never exchange their inputs:
+///
+/// * **structurally** — a comparator identical to the previous op that
+///   touched both of its slots can never fire (the pair is already
+///   ordered); works at any `n`, resets at routed levels;
+/// * **exhaustively** — when `n ≤ exhaustive_limit`, every comparator
+///   whose [`exhaustive_fired_masks`] entry is 0 is removed. This subsumes
+///   the structural rule and is exact (never removes a load-bearing
+///   comparator); by the 0-1 principle it is sound for arbitrary inputs.
+///
+/// `Pass`/`Swap` ops are left alone (run [`StripPassSwap`] for those).
+#[derive(Debug, Clone, Copy)]
+pub struct RedundantElim {
+    /// Run the exhaustive `2ⁿ` analysis when `wires() <= exhaustive_limit`;
+    /// above it only the structural rule applies.
+    pub exhaustive_limit: usize,
+}
+
+impl Default for RedundantElim {
+    /// The default limit (16) keeps optimizing compiles sub-millisecond;
+    /// [`crate::optimize::redundant_comparators`] opts into the analysis
+    /// cap of 26.
+    fn default() -> Self {
+        RedundantElim { exhaustive_limit: 16 }
+    }
+}
+
+impl Pass for RedundantElim {
+    fn name(&self) -> &'static str {
+        "redundant-elim"
+    }
+
+    fn run(&self, prog: &mut Program) {
+        let n = prog.n;
+        let mut drop = vec![false; prog.op_count()];
+        if n <= self.exhaustive_limit {
+            for (k, (&mask, op)) in
+                exhaustive_fired_masks(prog).iter().zip(prog.ops.iter()).enumerate()
+            {
+                drop[k] = mask == 0 && op.is_comparator();
+            }
+        } else {
+            // last[s] = index of the last surviving op touching slot s since
+            // the last route (routes move values between slots, so the
+            // adjacency argument resets there).
+            let mut last: Vec<Option<usize>> = vec![None; n];
+            let mut start = 0usize;
+            for lvl in 0..prog.level_count {
+                if prog.routes[lvl as usize].is_some() {
+                    last.iter_mut().for_each(|s| *s = None);
+                }
+                let end = start + prog.level_of[start..].iter().take_while(|&&l| l == lvl).count();
+                let (ops, dropped) = (&prog.ops[..end], &mut drop[..end]);
+                for (k, (&op, dk)) in ops.iter().zip(dropped).enumerate().skip(start) {
+                    let (ia, ib) = (op.a as usize, op.b as usize);
+                    if op.is_comparator()
+                        && last[ia].is_some()
+                        && last[ia] == last[ib]
+                        && prog.ops[last[ia].expect("checked")] == op
+                    {
+                        *dk = true;
+                        continue;
+                    }
+                    last[ia] = Some(k);
+                    last[ib] = Some(k);
+                }
+                start = end;
+            }
+        }
+        if drop.iter().any(|&d| d) {
+            let mut k = 0;
+            prog.ops.retain(|_| {
+                k += 1;
+                !drop[k - 1]
+            });
+            k = 0;
+            prog.origins.retain(|_| {
+                k += 1;
+                !drop[k - 1]
+            });
+            k = 0;
+            prog.level_of.retain(|_| {
+                k += 1;
+                !drop[k - 1]
+            });
+        }
+    }
+}
+
+/// Greedily re-packs ops into minimal-depth levels (ASAP scheduling): each
+/// op lands at `max(earliest[a], earliest[b])`. Ops assigned the same
+/// level are automatically slot-disjoint, and relative order within every
+/// slot's dependency chain is preserved, so the rewrite is
+/// behaviour-preserving. No-op while routes are present (run
+/// [`AbsorbRoutes`] first); depth never increases on a valid program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Relayer;
+
+impl Pass for Relayer {
+    fn name(&self) -> &'static str {
+        "relayer"
+    }
+
+    fn run(&self, prog: &mut Program) {
+        if prog.has_routes() {
+            return;
+        }
+        let n = prog.n;
+        if prog.ops.is_empty() {
+            prog.level_of.clear();
+            prog.routes.clear();
+            prog.level_count = 0;
+            return;
+        }
+        let mut earliest = vec![0u32; n];
+        let mut new_level = vec![0u32; prog.ops.len()];
+        let mut max_level = 0u32;
+        for (k, op) in prog.ops.iter().enumerate() {
+            let lvl = earliest[op.a as usize].max(earliest[op.b as usize]);
+            new_level[k] = lvl;
+            earliest[op.a as usize] = lvl + 1;
+            earliest[op.b as usize] = lvl + 1;
+            max_level = max_level.max(lvl);
+        }
+        let level_count = max_level + 1;
+        // Stable counting sort by new level: same-level ops are
+        // slot-disjoint, and cross-level order respects every dependency.
+        let mut counts = vec![0usize; level_count as usize + 1];
+        for &lvl in &new_level {
+            counts[lvl as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let mut ops = vec![prog.ops[0]; prog.ops.len()];
+        let mut origins = vec![prog.origins[0]; prog.origins.len()];
+        let mut level_of = vec![0u32; prog.ops.len()];
+        for (k, &lvl) in new_level.iter().enumerate() {
+            let slot = counts[lvl as usize];
+            counts[lvl as usize] += 1;
+            ops[slot] = prog.ops[k];
+            origins[slot] = prog.origins[k];
+            level_of[slot] = lvl;
+        }
+        prog.ops = ops;
+        prog.origins = origins;
+        prog.level_of = level_of;
+        prog.level_count = level_count;
+        prog.routes = vec![None; level_count as usize];
+    }
+}

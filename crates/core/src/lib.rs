@@ -19,6 +19,14 @@
 //! notion on concrete inputs ([`trace`]), and batched/parallel evaluation
 //! ([`batch`]).
 //!
+//! All evaluation funnels through the compiled IR in [`ir`]: both models
+//! lower into one flat [`ir::Program`], a [`ir::PassManager`] rewrites it
+//! (route absorption, `CmpRev` normalization, `Pass`/`Swap` and redundant
+//! comparator elimination, re-layering), and a single [`ir::Executor`]
+//! runs the scalar, 64-lane 0-1, sharded, and batched backends. The
+//! interpreters in [`network`]/[`register`] are kept as the reference
+//! semantics the differential suites compare against.
+//!
 //! Higher layers build on this: `snet-topology` (shuffle/butterfly/reverse
 //! delta networks), `snet-pattern` (the §3 input-pattern calculus), and
 //! `snet-adversary` (the §4 lower-bound construction).
@@ -43,6 +51,7 @@ pub mod batch;
 pub mod bitparallel;
 pub mod element;
 pub mod engine;
+pub mod ir;
 pub mod network;
 pub mod optimize;
 pub mod perm;
@@ -56,6 +65,7 @@ pub mod prelude {
     pub use crate::batch::{count_sorted_parallel, evaluate_batch};
     pub use crate::element::{Element, ElementKind, WireId};
     pub use crate::engine::{check_zero_one_sharded, default_engine_threads, CompiledNetwork};
+    pub use crate::ir::{Executor, PassManager, PassRecord, Program};
     pub use crate::network::{CmpEvent, ComparatorNetwork, Level, NetworkError};
     pub use crate::perm::Permutation;
     pub use crate::register::{RegisterNetwork, RegisterStage};

@@ -426,15 +426,15 @@ mod tests {
 
     #[test]
     fn validation_rejects_self_loop() {
-        let err =
-            ComparatorNetwork::new(2, vec![Level::of_elements(vec![Element::cmp(1, 1)])]).unwrap_err();
+        let err = ComparatorNetwork::new(2, vec![Level::of_elements(vec![Element::cmp(1, 1)])])
+            .unwrap_err();
         assert_eq!(err, NetworkError::SelfLoop { wire: 1 });
     }
 
     #[test]
     fn validation_rejects_out_of_range() {
-        let err =
-            ComparatorNetwork::new(2, vec![Level::of_elements(vec![Element::cmp(0, 5)])]).unwrap_err();
+        let err = ComparatorNetwork::new(2, vec![Level::of_elements(vec![Element::cmp(0, 5)])])
+            .unwrap_err();
         assert_eq!(err, NetworkError::WireOutOfRange { wire: 5, n: 2 });
     }
 

@@ -1,10 +1,16 @@
-//! Comparator redundancy analysis.
+//! Comparator redundancy analysis, reported in source-network coordinates.
 //!
 //! A comparator is **redundant** if it never exchanges its inputs on any
 //! 0-1 input; by the monotone-map argument behind the 0-1 principle it
 //! then never exchanges on *any* input, so replacing it with `Pass`
-//! preserves the network's entire input/output behaviour. The analysis
-//! runs bit-parallel over all `2ⁿ` zero-one inputs.
+//! preserves the network's entire input/output behaviour.
+//!
+//! The heavy lifting now lives in the IR: the analysis is
+//! [`crate::ir::exhaustive_fired_masks`] over the canonically-compiled
+//! [`Program`](crate::ir::Program) (the same machinery the
+//! [`RedundantElim`](crate::ir::RedundantElim) pass runs), and this module
+//! only maps never-fired ops back through the IR's `origins` provenance to
+//! `(level, element)` pairs for callers that edit networks.
 //!
 //! Experiment E17's finding: Batcher's constructions and the brick wall
 //! carry none of these (every comparator fires on some input), while the
@@ -13,39 +19,32 @@
 //! comparators all fire, yet a different 5-comparator sorter exists.)
 
 use crate::element::ElementKind;
-use crate::engine::CompiledNetwork;
+use crate::ir::{exhaustive_fired_masks, Executor};
 use crate::network::{ComparatorNetwork, Level};
 
 /// Identifies every comparator that never swaps on any 0-1 input.
-/// Returns `(level index, element index within level)` pairs.
+/// Returns `(level index, element index within level)` pairs, in
+/// lexicographic order.
 ///
-/// Exhaustive over `2ⁿ` inputs, 64 at a time through the compiled engine's
-/// fired-lane tracking ([`CompiledNetwork::run_01x64_fired`]); a compiled
-/// op fires exactly when the source comparator exchanges (`Cmp` on `a=1,
-/// b=0`; `CmpRev` on `a=0, b=1` — the compile-time operand swap makes both
-/// the same slot test). Panics for `n > 26`.
+/// Exhaustive over `2ⁿ` inputs, 64 at a time through the IR's fired-lane
+/// tracking; a compiled op fires exactly when the source comparator
+/// exchanges (`Cmp` on `a=1, b=0`; `CmpRev` on `a=0, b=1` — the
+/// `NormalizeCmpRev` pass's operand swap makes both the same slot test).
+/// Panics for `n > 26`.
 pub fn redundant_comparators(net: &ComparatorNetwork) -> Vec<(usize, usize)> {
     let n = net.wires();
     assert!(n <= 26, "redundancy analysis is exhaustive over 2^n inputs");
-    let compiled = CompiledNetwork::compile(net);
-    let total: u64 = 1u64 << n;
-    let mut slots = vec![0u64; n];
-    let mut fired = vec![0u64; compiled.op_count()];
-    let mut base = 0u64;
-    while base < total {
-        let valid: u64 = if total - base >= 64 { u64::MAX } else { (1u64 << (total - base)) - 1 };
-        compiled.pack_block(base, &mut slots);
-        compiled.run_01x64_fired(&mut slots, valid, &mut fired);
-        base += 64;
-    }
-    // Map never-fired ops back to source coordinates. Ops are emitted in
-    // (level, element) order, so the result stays lexicographically sorted.
-    compiled
+    let exec = Executor::compile(net);
+    let fired = exhaustive_fired_masks(exec.program());
+    // Map never-fired ops back to source coordinates. The canonical
+    // pipeline preserves op order, so the result stays lexicographically
+    // sorted by (level, element).
+    exec.program()
         .origins()
         .iter()
         .zip(&fired)
         .filter(|(_, &f)| f == 0)
-        .map(|(&(li, ei), _)| (li as usize, ei as usize))
+        .map(|(origin, _)| (origin.level as usize, origin.index as usize))
         .collect()
 }
 
@@ -123,5 +122,18 @@ mod tests {
         net.push_elements(vec![Element::cmp(0, 1)]).unwrap();
         assert!(check_zero_one_exhaustive(&net).is_sorting());
         assert!(redundant_comparators(&net).is_empty(), "the 3-sorter is minimal");
+    }
+
+    #[test]
+    fn analysis_agrees_with_redundant_elim_pass() {
+        use crate::ir::{PassManager, Program, RedundantElim};
+        let mut net = ComparatorNetwork::empty(5);
+        net.push_elements(vec![Element::cmp(0, 1), Element::cmp_rev(3, 2)]).unwrap();
+        net.push_elements(vec![Element::cmp(0, 1), Element::cmp_rev(3, 2)]).unwrap();
+        net.push_elements(vec![Element::cmp(1, 2)]).unwrap();
+        let dead = redundant_comparators(&net);
+        let mut prog = Program::from_network(&net);
+        PassManager::canonical().with(RedundantElim { exhaustive_limit: 26 }).run(&mut prog);
+        assert_eq!(net.size() - dead.len(), prog.size(), "pass removes exactly the dead set");
     }
 }

@@ -71,9 +71,7 @@ impl std::error::Error for PermError {}
 impl Permutation {
     /// The identity permutation on `n` points.
     pub fn identity(n: usize) -> Self {
-        Permutation {
-            map: (0..n as u32).collect(),
-        }
+        Permutation { map: (0..n as u32).collect() }
     }
 
     /// Builds a permutation from its one-line image vector, validating that
@@ -172,9 +170,7 @@ impl Permutation {
     pub fn shuffle(n: usize) -> Self {
         assert!(n.is_power_of_two() && n >= 2, "shuffle requires n = 2^d >= 2");
         let d = n.trailing_zeros();
-        let map = (0..n as u32)
-            .map(|j| ((j << 1) & (n as u32 - 1)) | (j >> (d - 1)))
-            .collect();
+        let map = (0..n as u32).map(|j| ((j << 1) & (n as u32 - 1)) | (j >> (d - 1))).collect();
         Permutation { map }
     }
 
@@ -187,15 +183,8 @@ impl Permutation {
     pub fn bit_reversal(n: usize) -> Self {
         assert!(n.is_power_of_two() && n >= 1, "bit reversal requires n = 2^d");
         let d = n.trailing_zeros();
-        let map = (0..n as u32)
-            .map(|j| {
-                if d == 0 {
-                    j
-                } else {
-                    j.reverse_bits() >> (32 - d)
-                }
-            })
-            .collect();
+        let map =
+            (0..n as u32).map(|j| if d == 0 { j } else { j.reverse_bits() >> (32 - d) }).collect();
         Permutation { map }
     }
 
@@ -273,10 +262,7 @@ impl Permutation {
                 gcd(b, a % b)
             }
         }
-        self.cycles()
-            .iter()
-            .map(|c| c.len() as u64)
-            .fold(1u64, |acc, l| acc / gcd(acc, l) * l)
+        self.cycles().iter().map(|c| c.len() as u64).fold(1u64, |acc, l| acc / gcd(acc, l) * l)
     }
 }
 

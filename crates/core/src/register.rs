@@ -113,10 +113,7 @@ impl RegisterNetwork {
 
     /// Total comparator count.
     pub fn size(&self) -> usize {
-        self.stages
-            .iter()
-            .map(|s| s.ops.iter().filter(|o| o.is_comparator()).count())
-            .sum()
+        self.stages.iter().map(|s| s.ops.iter().filter(|o| o.is_comparator()).count()).sum()
     }
 
     /// Evaluates the register network directly (reference semantics).
@@ -128,7 +125,8 @@ impl RegisterNetwork {
             scratch.copy_from_slice(&values);
             stage.perm.route(&scratch, &mut values);
             for (k, op) in stage.ops.iter().enumerate() {
-                Element { a: 2 * k as WireId, b: 2 * k as WireId + 1, kind: *op }.apply(&mut values);
+                Element { a: 2 * k as WireId, b: 2 * k as WireId + 1, kind: *op }
+                    .apply(&mut values);
             }
         }
         values

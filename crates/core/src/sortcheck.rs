@@ -9,7 +9,13 @@
 //!   the 0-1 principle itself),
 //! * randomized refutation search,
 //! * sortedness predicates and counterexample extraction.
+//!
+//! Every checker compiles the network once through
+//! [`crate::ir::Executor`] and replays the compiled program, so the whole
+//! module gets the engine speedup; the differential suites in
+//! `xtask-tests` pin these results to the interpreter's.
 
+use crate::ir::Executor;
 use crate::network::ComparatorNetwork;
 use crate::perm::Permutation;
 
@@ -43,26 +49,22 @@ impl SortCheck {
     }
 }
 
-/// Exhaustively checks all `2ⁿ` zero-one inputs. By the 0-1 principle the
-/// result is definitive for arbitrary inputs. Panics if `n > 30` (would not
+/// Exhaustively checks all `2ⁿ` zero-one inputs (compiled, 64 inputs per
+/// pass, lowest failing index first). By the 0-1 principle the result is
+/// definitive for arbitrary inputs. Panics if `n > 30` (would not
 /// terminate in reasonable time anyway).
 pub fn check_zero_one_exhaustive(net: &ComparatorNetwork) -> SortCheck {
     let n = net.wires();
     assert!(n <= 30, "exhaustive 0-1 check limited to n <= 30 (got {n})");
-    let mut values: Vec<u32> = vec![0; n];
-    let mut scratch: Vec<u32> = Vec::with_capacity(n);
-    let total: u64 = 1u64 << n;
-    for mask in 0..total {
-        for (w, v) in values.iter_mut().enumerate() {
-            *v = ((mask >> w) & 1) as u32;
-        }
-        let input = values.clone();
-        net.evaluate_in_place(&mut values, &mut scratch);
-        if !is_sorted(&values) {
-            return SortCheck::Counterexample { input, output: values };
+    let exec = Executor::compile(net);
+    match exec.first_unsorted_01() {
+        None => SortCheck::AllSorted { tested: 1u64 << n },
+        Some(idx) => {
+            let input: Vec<u32> = (0..n).map(|w| ((idx >> w) & 1) as u32).collect();
+            let output = exec.evaluate(&input);
+            SortCheck::Counterexample { input, output }
         }
     }
-    SortCheck::AllSorted { tested: total }
 }
 
 /// Exhaustively checks all `n!` permutation inputs. Only sensible for tiny
@@ -70,6 +72,7 @@ pub fn check_zero_one_exhaustive(net: &ComparatorNetwork) -> SortCheck {
 pub fn check_permutations_exhaustive(net: &ComparatorNetwork) -> SortCheck {
     let n = net.wires();
     assert!(n <= 10, "exhaustive permutation check limited to n <= 10 (got {n})");
+    let exec = Executor::compile(net);
     let mut perm: Vec<u32> = (0..n as u32).collect();
     let mut scratch: Vec<u32> = Vec::with_capacity(n);
     let mut tested = 0u64;
@@ -77,7 +80,7 @@ pub fn check_permutations_exhaustive(net: &ComparatorNetwork) -> SortCheck {
     let mut c = vec![0usize; n];
     loop {
         let mut values = perm.clone();
-        net.evaluate_in_place(&mut values, &mut scratch);
+        exec.run_scalar_in_place(&mut values, &mut scratch);
         tested += 1;
         if !is_sorted(&values) {
             return SortCheck::Counterexample { input: perm, output: values };
@@ -112,11 +115,12 @@ pub fn check_random_permutations<R: rand::Rng>(
     rng: &mut R,
 ) -> SortCheck {
     let n = net.wires();
+    let exec = Executor::compile(net);
     let mut scratch: Vec<u32> = Vec::with_capacity(n);
     for _ in 0..trials {
         let input: Vec<u32> = Permutation::random(n, rng).images().to_vec();
         let mut values = input.clone();
-        net.evaluate_in_place(&mut values, &mut scratch);
+        exec.run_scalar_in_place(&mut values, &mut scratch);
         if !is_sorted(&values) {
             return SortCheck::Counterexample { input, output: values };
         }
@@ -128,34 +132,21 @@ pub fn check_random_permutations<R: rand::Rng>(
 /// engine, 64 inputs per pass; definitive by the 0-1 principle). The
 /// failure *density* is this over `2ⁿ`.
 pub fn count_unsorted_01(net: &ComparatorNetwork) -> u64 {
-    let n = net.wires();
-    assert!(n <= 26, "exhaustive over 2^n inputs");
-    let compiled = crate::engine::CompiledNetwork::compile(net);
-    let total: u64 = 1u64 << n;
-    let mut slots = vec![0u64; n];
-    let mut count = 0u64;
-    let mut base = 0u64;
-    while base < total {
-        compiled.pack_block(base, &mut slots);
-        compiled.run_block_01x64(&mut slots);
-        let valid: u64 = if total - base >= 64 { u64::MAX } else { (1u64 << (total - base)) - 1 };
-        count += (compiled.unsorted_lanes_in_slots(&slots) & valid).count_ones() as u64;
-        base += 64;
-    }
-    count
+    Executor::compile(net).count_unsorted_01()
 }
 
 /// Fraction of `trials` random permutations the network sorts. Used by the
 /// Section 5 average-case experiments (E7).
 pub fn fraction_sorted<R: rand::Rng>(net: &ComparatorNetwork, trials: u64, rng: &mut R) -> f64 {
     let n = net.wires();
+    let exec = Executor::compile(net);
     let mut scratch: Vec<u32> = Vec::with_capacity(n);
     let mut sorted = 0u64;
     let mut values: Vec<u32> = vec![0; n];
     for _ in 0..trials {
         let p = Permutation::random(n, rng);
         values.copy_from_slice(p.images());
-        net.evaluate_in_place(&mut values, &mut scratch);
+        exec.run_scalar_in_place(&mut values, &mut scratch);
         if is_sorted(&values) {
             sorted += 1;
         }
@@ -170,12 +161,13 @@ pub fn fraction_sorted<R: rand::Rng>(net: &ComparatorNetwork, trials: u64, rng: 
 pub fn common_output_map(net: &ComparatorNetwork) -> Option<Vec<u32>> {
     let n = net.wires();
     assert!(n <= 8, "common_output_map is exhaustive over n! inputs (n <= 8)");
+    let exec = Executor::compile(net);
     let mut reference: Option<Vec<u32>> = None;
     let mut perm: Vec<u32> = (0..n as u32).collect();
     let mut c = vec![0usize; n];
     loop {
         // Output position of each value: out_pos[v] = wire where value v lands.
-        let out = net.evaluate(&perm);
+        let out = exec.evaluate(&perm);
         let mut out_pos = vec![0u32; n];
         for (w, &v) in out.iter().enumerate() {
             out_pos[v as usize] = w as u32;
@@ -260,15 +252,36 @@ mod tests {
         // Drop the last round: some input must remain unsorted.
         let n = 6;
         let full = brick_wall(n);
-        let truncated =
-            ComparatorNetwork::new(n, full.levels()[..n - 2].to_vec()).unwrap();
+        let truncated = ComparatorNetwork::new(n, full.levels()[..n - 2].to_vec()).unwrap();
         let res = check_zero_one_exhaustive(&truncated);
         match res {
             SortCheck::Counterexample { input, output } => {
                 assert!(!is_sorted(&output));
-                // Re-verify the counterexample independently.
+                // Re-verify the counterexample independently through the
+                // interpreter (the checker itself ran the compiled IR).
                 assert_eq!(truncated.evaluate(&input), output);
             }
+            _ => panic!("expected a counterexample"),
+        }
+    }
+
+    #[test]
+    fn counterexample_is_the_lowest_failing_index() {
+        // The deterministic lowest-index rule, pinned against a scalar
+        // interpreter scan.
+        let n = 6;
+        let full = brick_wall(n);
+        let truncated = ComparatorNetwork::new(n, full.levels()[..2].to_vec()).unwrap();
+        let mut lowest = None;
+        for mask in 0..(1u64 << n) {
+            let input: Vec<u32> = (0..n).map(|w| ((mask >> w) & 1) as u32).collect();
+            if !is_sorted(&truncated.evaluate(&input)) {
+                lowest = Some(input);
+                break;
+            }
+        }
+        match check_zero_one_exhaustive(&truncated) {
+            SortCheck::Counterexample { input, .. } => assert_eq!(Some(input), lowest),
             _ => panic!("expected a counterexample"),
         }
     }

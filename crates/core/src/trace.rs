@@ -46,10 +46,7 @@ impl ComparisonTrace {
     /// The first level at which `x` and `y` met, if they did.
     pub fn first_level(&self, x: u32, y: u32) -> Option<u32> {
         let key = (x.min(y), x.max(y));
-        self.pairs
-            .binary_search_by(|&(lo, hi, _)| (lo, hi).cmp(&key))
-            .ok()
-            .map(|i| self.pairs[i].2)
+        self.pairs.binary_search_by(|&(lo, hi, _)| (lo, hi).cmp(&key)).ok().map(|i| self.pairs[i].2)
     }
 
     /// The adjacent value pairs `{m, m+1}` that were *not* compared.
@@ -209,8 +206,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(78);
         let inputs: Vec<Vec<u32>> =
             (0..50).map(|_| Permutation::random(n, &mut rng).images().to_vec()).collect();
-        let cov =
-            AdjacentCoverage::measure(&shallow, inputs.iter().map(|v| v.as_slice()));
+        let cov = AdjacentCoverage::measure(&shallow, inputs.iter().map(|v| v.as_slice()));
         assert_eq!(cov.inputs, 50);
         assert!(cov.fully_covered < 50, "2 levels cannot cover all adjacent pairs always");
         assert!(cov.min_covered < cov.total_adjacent);

@@ -59,9 +59,7 @@ pub fn to_svg(net: &ComparatorNetwork) -> String {
                 ElementKind::Swap => {
                     "stroke=\"#a33\" stroke-width=\"1.4\" stroke-dasharray=\"4 2\""
                 }
-                ElementKind::Pass => {
-                    "stroke=\"#bbb\" stroke-width=\"1\" stroke-dasharray=\"1 3\""
-                }
+                ElementKind::Pass => "stroke=\"#bbb\" stroke-width=\"1\" stroke-dasharray=\"1 3\"",
             };
             s.push_str(&format!(
                 "  <line x1=\"{x:.1}\" y1=\"{ya:.1}\" x2=\"{x:.1}\" y2=\"{yb:.1}\" {style}/>\n"
@@ -111,10 +109,7 @@ pub fn to_dot(net: &ComparatorNetwork) -> String {
                 ElementKind::Swap => "[dir=none, color=red, style=dashed]",
                 ElementKind::Pass => "[dir=none, color=gray, style=dotted]",
             };
-            s.push_str(&format!(
-                "  p_{cur}_{} -> p_{cur}_{} {attr};\n",
-                e.a, e.b
-            ));
+            s.push_str(&format!("  p_{cur}_{} -> p_{cur}_{} {attr};\n", e.a, e.b));
         }
         // Keep each level's nodes in one rank.
         s.push_str("  { rank=same; ");

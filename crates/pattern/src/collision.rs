@@ -50,10 +50,7 @@ pub fn all_permutations(n: usize) -> Vec<Vec<u32>> {
 /// All inputs the pattern can be refined to (`p[V]`), by filtering the full
 /// permutation set. Exponential; small `n` only.
 pub fn refining_inputs(p: &Pattern) -> Vec<Vec<u32>> {
-    all_permutations(p.len())
-        .into_iter()
-        .filter(|input| p.refines_to_input(input))
-        .collect()
+    all_permutations(p.len()).into_iter().filter(|input| p.refines_to_input(input)).collect()
 }
 
 /// Exact Definition 3.7 classification of `(w0, w1)` in `net` under `p`.

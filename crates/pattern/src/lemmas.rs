@@ -128,8 +128,7 @@ pub fn lemma_3_2_check(
             let mut met = 0usize;
             for input in &inputs {
                 let trace = ComparisonTrace::record(delta, input);
-                let lvl = trace
-                    .first_level(input[w0 as usize], input[w1 as usize]);
+                let lvl = trace.first_level(input[w0 as usize], input[w1 as usize]);
                 if lvl == Some((d - 1) as u32) {
                     met += 1;
                 }

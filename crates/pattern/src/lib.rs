@@ -43,7 +43,7 @@ pub mod pattern;
 pub mod symbol;
 pub mod symbolic;
 
+pub use maymeet::{is_noncolliding_sound, MayMeet};
 pub use pattern::Pattern;
 pub use symbol::Symbol;
-pub use maymeet::{is_noncolliding_sound, MayMeet};
-pub use symbolic::{output_pattern, StepOutcome, TrackedMeet, Tracer};
+pub use symbolic::{output_pattern, StepOutcome, Tracer, TrackedMeet};

@@ -61,12 +61,7 @@ impl Pattern {
 
     /// The `[P]`-set of this pattern: all wires carrying `sym`.
     pub fn symbol_set(&self, sym: Symbol) -> Vec<WireId> {
-        self.syms
-            .iter()
-            .enumerate()
-            .filter(|(_, &s)| s == sym)
-            .map(|(w, _)| w as WireId)
-            .collect()
+        self.syms.iter().enumerate().filter(|(_, &s)| s == sym).map(|(w, _)| w as WireId).collect()
     }
 
     /// Counts wires carrying `sym`.
@@ -237,9 +232,8 @@ impl Pattern {
         let mut distinct: Vec<Symbol> = self.syms.clone();
         distinct.sort_unstable();
         distinct.dedup();
-        let rank_of = |s: Symbol| -> u32 {
-            distinct.binary_search(&s).expect("symbol present") as u32
-        };
+        let rank_of =
+            |s: Symbol| -> u32 { distinct.binary_search(&s).expect("symbol present") as u32 };
         Pattern { syms: self.syms.iter().map(|&s| Symbol::M(rank_of(s))).collect() }
     }
 

@@ -172,12 +172,9 @@ impl Tracer {
                         // this out for tracked symbols, so the tokens here
                         // are untracked and the tie is harmless: leave in
                         // place.
-                        (Some(o), None) | (None, Some(o)) => StepOutcome::AmbiguousMeet {
-                            a: e.a,
-                            b: e.b,
-                            origin_a: o,
-                            origin_b: o,
-                        },
+                        (Some(o), None) | (None, Some(o)) => {
+                            StepOutcome::AmbiguousMeet { a: e.a, b: e.b, origin_a: o, origin_b: o }
+                        }
                         (None, None) => StepOutcome::Determined,
                     };
                 }
@@ -309,6 +306,7 @@ mod tests {
         );
         let p = Pattern::from_symbols(vec![M(0), S(0), M(0), L(0)]);
         let out_pattern = output_pattern(&net, &p);
+        let exec = snet_core::ir::Executor::compile(&net);
         // Enumerate all refinements of p over permutations of {0..3}.
         let mut found = 0;
         let mut perm = vec![0u32, 1, 2, 3];
@@ -316,7 +314,7 @@ mod tests {
         loop {
             if p.refines_to_input(&perm) {
                 found += 1;
-                let out = net.evaluate(&perm);
+                let out = exec.evaluate(&perm);
                 assert!(
                     out_pattern.refines_to_input(&out),
                     "output {:?} violates output pattern on input {:?}",
@@ -349,9 +347,9 @@ mod tests {
     fn tracer_tracks_through_comparators_and_swaps() {
         let net = net_of(
             vec![
-                vec![Element::cmp(0, 1)],          // M(0) on 0, L on 1: no move
-                vec![Element::swap(1, 2)],         // L moves to 2
-                vec![Element::cmp_rev(0, 2)],      // max to 0: L to 0, M to 2
+                vec![Element::cmp(0, 1)],     // M(0) on 0, L on 1: no move
+                vec![Element::swap(1, 2)],    // L moves to 2
+                vec![Element::cmp_rev(0, 2)], // max to 0: L to 0, M to 2
             ],
             3,
         );
@@ -485,12 +483,13 @@ mod tests {
             // Skip trials where the invariant doesn't hold (M symbols are
             // distinct here, so strict never panics; but S/L ties are fine).
             tr.apply_network_strict(&net, |_, _| {});
+            let exec = snet_core::ir::Executor::compile(&net);
             // For a sample of refinements, check value positions.
             for _ in 0..20 {
                 let tie: Vec<u32> = (0..n as u32).map(|_| rng.gen()).collect();
                 let input = p.to_input_with(|w| tie[w as usize]);
                 assert!(p.refines_to_input(&input), "trial {trial}");
-                let out = net.evaluate(&input);
+                let out = exec.evaluate(&input);
                 for w in 0..n as u32 {
                     if p.get(w).is_m() {
                         let pos = tr.position_of(w).expect("still tracked") as usize;

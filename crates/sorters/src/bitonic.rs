@@ -36,8 +36,7 @@ pub fn bitonic_circuit(n: usize) -> ComparatorNetwork {
                 let partner = i ^ j;
                 if partner > i {
                     // Ascending iff bit `k` of i is clear.
-                    let kind =
-                        if i & k == 0 { ElementKind::Cmp } else { ElementKind::CmpRev };
+                    let kind = if i & k == 0 { ElementKind::Cmp } else { ElementKind::CmpRev };
                     elements.push(Element { a: i as u32, b: partner as u32, kind });
                 }
             }
@@ -136,9 +135,10 @@ mod tests {
         for l in [5usize, 6, 8] {
             let n = 1 << l;
             let net = bitonic_shuffle(n).to_network();
+            let exec = snet_core::ir::Executor::compile(&net);
             for _ in 0..20 {
                 let input: Vec<u32> = Permutation::random(n, &mut rng).images().to_vec();
-                assert!(is_sorted(&net.evaluate(&input)), "n={n}");
+                assert!(is_sorted(&exec.evaluate(&input)), "n={n}");
             }
         }
     }
@@ -148,8 +148,8 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(56);
         for l in 2..=5usize {
             let n = 1 << l;
-            let circuit = bitonic_circuit(n);
-            let shuffled = bitonic_shuffle(n).to_network();
+            let circuit = snet_core::ir::Executor::compile(&bitonic_circuit(n));
+            let shuffled = snet_core::ir::Executor::compile(&bitonic_shuffle(n).to_network());
             for _ in 0..30 {
                 let input: Vec<u32> = Permutation::random(n, &mut rng).images().to_vec();
                 assert_eq!(circuit.evaluate(&input), shuffled.evaluate(&input), "n={n}");
@@ -177,8 +177,8 @@ mod tests {
         assert!(ird.post_route().is_none());
         // The embedding is behaviour-preserving (spot check).
         let mut rng = rand::rngs::StdRng::seed_from_u64(57);
-        let net_a = sn.to_network();
-        let net_b = ird.to_network();
+        let net_a = snet_core::ir::Executor::compile(&sn.to_network());
+        let net_b = snet_core::ir::Executor::compile(&ird.to_network());
         for _ in 0..20 {
             let input: Vec<u32> = Permutation::random(n, &mut rng).images().to_vec();
             assert_eq!(net_a.evaluate(&input), net_b.evaluate(&input));

@@ -34,8 +34,7 @@ pub fn random_halver<R: Rng>(n: usize, depth: usize, rng: &mut R) -> ComparatorN
             let j = rng.gen_range(0..=i);
             tops.swap(i, j);
         }
-        let elements: Vec<Element> =
-            (0..half).map(|i| Element::cmp(i as u32, tops[i])).collect();
+        let elements: Vec<Element> = (0..half).map(|i| Element::cmp(i as u32, tops[i])).collect();
         net.push_elements(elements).expect("matchings are wire-disjoint");
     }
     net
@@ -48,6 +47,7 @@ pub fn random_halver<R: Rng>(n: usize, depth: usize, rng: &mut R) -> ComparatorN
 pub fn measure_epsilon<R: Rng>(net: &ComparatorNetwork, trials: usize, rng: &mut R) -> f64 {
     let n = net.wires();
     let half = n / 2;
+    let exec = snet_core::ir::Executor::compile(net);
     let mut worst: f64 = 0.0;
     for _ in 0..trials {
         let k = rng.gen_range(1..=half);
@@ -61,7 +61,7 @@ pub fn measure_epsilon<R: Rng>(net: &ComparatorNetwork, trials: usize, rng: &mut
         for &i in idx.iter().take(k) {
             input[i] = 1;
         }
-        let out = net.evaluate(&input);
+        let out = exec.evaluate(&input);
         // Ones belong in the top half; count strays in the bottom half.
         let stray = out[..half].iter().filter(|&&v| v == 1).count();
         worst = worst.max(stray as f64 / k as f64);
@@ -74,13 +74,7 @@ pub fn measure_epsilon<R: Rng>(net: &ComparatorNetwork, trials: usize, rng: &mut
 /// `halver_depth · lg n`; the result is an *approximate* sorter.
 pub fn halver_tree<R: Rng>(n: usize, halver_depth: usize, rng: &mut R) -> ComparatorNetwork {
     assert!(n.is_power_of_two() && n >= 2);
-    fn rec<R: Rng>(
-        net: &mut ComparatorNetwork,
-        lo: u32,
-        len: usize,
-        depth: usize,
-        rng: &mut R,
-    ) {
+    fn rec<R: Rng>(net: &mut ComparatorNetwork, lo: u32, len: usize, depth: usize, rng: &mut R) {
         if len < 2 {
             return;
         }
@@ -162,10 +156,11 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(8);
         let n = 256;
         let tree = halver_tree(n, 4, &mut rng);
+        let exec = snet_core::ir::Executor::compile(&tree);
         let mut total = 0.0;
         for _ in 0..50 {
             let input = snet_core::perm::Permutation::random(n, &mut rng);
-            let out = tree.evaluate(input.images());
+            let out = exec.evaluate(input.images());
             total += mean_dislocation(&out);
         }
         let mean = total / 50.0;
@@ -183,11 +178,8 @@ mod tests {
             if v.is_empty() {
                 return 0.0;
             }
-            let total: u64 = v
-                .iter()
-                .enumerate()
-                .map(|(i, &x)| (x as i64 - i as i64).unsigned_abs())
-                .sum();
+            let total: u64 =
+                v.iter().enumerate().map(|(i, &x)| (x as i64 - i as i64).unsigned_abs()).sum();
             total as f64 / v.len() as f64
         }
     }
@@ -200,9 +192,10 @@ mod tests {
         let f = fraction_sorted(&net, 1000, &mut rng);
         assert!(f > 0.5, "halver+cleanup should sort most random inputs, got {f}");
         // But it is NOT a sorting network (worst case exists).
-        assert!(!snet_core::sortcheck::check_random_permutations(&net, 200_000, &mut rng)
-            .is_sorting()
-            || f < 1.0 + 1e-9);
+        assert!(
+            !snet_core::sortcheck::check_random_permutations(&net, 200_000, &mut rng).is_sorting()
+                || f < 1.0 + 1e-9
+        );
     }
 
     #[test]
@@ -224,6 +217,6 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(12);
         let net = halver_sorter(32, 3, 4, &mut rng);
         let input: Vec<u32> = (0..32).collect();
-        assert!(is_sorted(&net.evaluate(&input)));
+        assert!(is_sorted(&snet_core::ir::evaluate(&net, &input)));
     }
 }

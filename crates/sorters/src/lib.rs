@@ -28,8 +28,8 @@
 #![warn(missing_docs)]
 
 pub mod bitonic;
-pub mod halver;
 pub mod brick;
+pub mod halver;
 pub mod merge;
 pub mod odd_even;
 pub mod periodic;

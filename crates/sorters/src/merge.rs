@@ -30,10 +30,8 @@ pub fn odd_even_merger(n: usize) -> ComparatorNetwork {
     // p = n/4, n/8, …, 1 compare (i, i+p) for i in blocks where
     // ⌊i/p⌋ is odd … the classic odd-even merge schedule.
     let half = n / 2;
-    net.push_elements(
-        (0..half).map(|i| Element::cmp(i as u32, (i + half) as u32)).collect(),
-    )
-    .expect("first merge level is disjoint");
+    net.push_elements((0..half).map(|i| Element::cmp(i as u32, (i + half) as u32)).collect())
+        .expect("first merge level is disjoint");
     let mut p = half / 2;
     while p >= 1 {
         let elements: Vec<Element> = (0..n - p)
@@ -78,8 +76,9 @@ mod tests {
             let n = 1 << l;
             let net = bitonic_merger(n);
             assert_eq!(net.depth(), l);
+            let exec = snet_core::ir::Executor::compile(&net);
             for input in bitonic_01_inputs(n) {
-                let out = net.evaluate(&input);
+                let out = exec.evaluate(&input);
                 assert!(is_sorted(&out), "n={n}, input {input:?} → {out:?}");
             }
         }
@@ -90,7 +89,7 @@ mod tests {
         // ascending run then descending run = bitonic.
         let net = bitonic_merger(8);
         let input = vec![1u32, 4, 6, 7, 8, 5, 3, 0];
-        assert!(is_sorted(&net.evaluate(&input)));
+        assert!(is_sorted(&snet_core::ir::evaluate(&net, &input)));
     }
 
     #[test]
@@ -101,13 +100,14 @@ mod tests {
             let n = 1 << l;
             let net = odd_even_merger(n);
             assert_eq!(net.depth(), l, "lg n merge levels");
+            let exec = snet_core::ir::Executor::compile(&net);
             for _ in 0..50 {
                 let mut a: Vec<u32> = (0..n as u32 / 2).map(|_| rng.gen_range(0..100)).collect();
                 let mut b: Vec<u32> = (0..n as u32 / 2).map(|_| rng.gen_range(0..100)).collect();
                 a.sort_unstable();
                 b.sort_unstable();
                 let input: Vec<u32> = a.iter().chain(b.iter()).copied().collect();
-                let out = net.evaluate(&input);
+                let out = exec.evaluate(&input);
                 assert!(is_sorted(&out), "n={n}: {input:?} → {out:?}");
             }
         }

@@ -17,10 +17,8 @@ pub fn balanced_block(n: usize) -> ComparatorNetwork {
     let mut net = ComparatorNetwork::empty(n);
     for t in 1..=l {
         let mask = (1u32 << (l - t + 1)) - 1;
-        let elements: Vec<Element> = (0..n as u32)
-            .filter(|&x| (x ^ mask) > x)
-            .map(|x| Element::cmp(x, x ^ mask))
-            .collect();
+        let elements: Vec<Element> =
+            (0..n as u32).filter(|&x| (x ^ mask) > x).map(|x| Element::cmp(x, x ^ mask)).collect();
         net.push_elements(elements).expect("reflection pairs are disjoint");
     }
     net

@@ -96,7 +96,7 @@ mod tests {
         let net = randomizing_block(16, 4, &mut rng).to_network();
         assert_eq!(net.size(), 0, "swap/pass only — zero comparators");
         let input: Vec<u32> = (0..16).collect();
-        let mut out = net.evaluate(&input);
+        let mut out = snet_core::ir::evaluate(&net, &input);
         out.sort_unstable();
         assert_eq!(out, input, "output is a permutation of the input");
     }
@@ -110,7 +110,7 @@ mod tests {
         for seed in 0..40u64 {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             let net = randomizing_block(n, 8, &mut rng).to_network();
-            outputs.insert(net.evaluate(&input));
+            outputs.insert(snet_core::ir::evaluate(&net, &input));
         }
         assert!(outputs.len() > 30, "got only {} distinct outputs", outputs.len());
     }
@@ -119,7 +119,7 @@ mod tests {
     fn randomized_then_bitonic_composes() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(62);
         let net = randomized_then_bitonic(16, 4, 16, &mut rng);
-        let out = net.evaluate(&(0..16u32).rev().collect::<Vec<_>>());
+        let out = snet_core::ir::evaluate(&net, &(0..16u32).rev().collect::<Vec<_>>());
         let mut sorted = out.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..16u32).collect::<Vec<_>>());

@@ -138,7 +138,7 @@ pub fn realizes(net: &ComparatorNetwork, perm: &Permutation) -> bool {
         return false;
     }
     let input: Vec<u32> = (0..n as u32).collect();
-    let out = net.evaluate(&input);
+    let out = snet_core::ir::evaluate(net, &input);
     (0..n).all(|i| out[perm.apply(i)] == i as u32)
 }
 
@@ -160,11 +160,9 @@ mod tests {
     #[test]
     fn routes_reversal_and_shuffle() {
         for n in [2usize, 4, 8, 16, 32] {
-            for p in [
-                Permutation::bit_reversal(n),
-                Permutation::shuffle(n),
-                Permutation::unshuffle(n),
-            ] {
+            for p in
+                [Permutation::bit_reversal(n), Permutation::shuffle(n), Permutation::unshuffle(n)]
+            {
                 let net = route_permutation(&p);
                 assert!(realizes(&net, &p), "structured perm on {n}");
             }

@@ -108,8 +108,7 @@ impl RdNode {
         let in_one = |w: WireId| wo.binary_search(&w).is_ok();
         let mut used: Vec<WireId> = Vec::with_capacity(gamma.len() * 2);
         for e in &gamma {
-            let crossing =
-                (in_zero(e.a) && in_one(e.b)) || (in_one(e.a) && in_zero(e.b));
+            let crossing = (in_zero(e.a) && in_one(e.b)) || (in_one(e.a) && in_zero(e.b));
             if !crossing {
                 return Err(DeltaError::GammaNotCrossing { a: e.a, b: e.b });
             }
@@ -357,8 +356,7 @@ impl ReverseDelta {
             }
             let split_bit = 1u32 << (l - m);
             let zero = build(l, m - 1, fixed_mask | split_bit, fixed_bits, level_elems)?;
-            let one =
-                build(l, m - 1, fixed_mask | split_bit, fixed_bits | split_bit, level_elems)?;
+            let one = build(l, m - 1, fixed_mask | split_bit, fixed_bits | split_bit, level_elems)?;
             let gamma = level_elems[m - 1]
                 .iter()
                 .filter(|e| (e.a & fixed_mask) == fixed_bits)
@@ -382,7 +380,10 @@ impl ReverseDelta {
     /// network leaves its values in the `σ^f` frame; callers composing
     /// blocks absorb that relabeling into the (arbitrary, free) inter-block
     /// permutation.
-    pub fn shuffle_stage_forest(n: usize, ops: &[Vec<ElementKind>]) -> Result<Vec<RdNode>, DeltaError> {
+    pub fn shuffle_stage_forest(
+        n: usize,
+        ops: &[Vec<ElementKind>],
+    ) -> Result<Vec<RdNode>, DeltaError> {
         assert!(n.is_power_of_two() && n >= 2, "n must be a power of two >= 2");
         let l = n.trailing_zeros() as usize;
         let f = ops.len();
@@ -422,8 +423,7 @@ impl ReverseDelta {
             }
             let split_bit = 1u32 << (l - m);
             let zero = build(l, m - 1, fixed_mask | split_bit, fixed_bits, level_elems)?;
-            let one =
-                build(l, m - 1, fixed_mask | split_bit, fixed_bits | split_bit, level_elems)?;
+            let one = build(l, m - 1, fixed_mask | split_bit, fixed_bits | split_bit, level_elems)?;
             let gamma = level_elems[m - 1]
                 .iter()
                 .filter(|e| (e.a & fixed_mask) == fixed_bits)
@@ -433,9 +433,7 @@ impl ReverseDelta {
         }
         // One tree per value of the low l−f untouched bits.
         let low_mask = (1u32 << (l - f)) - 1;
-        (0..1u32 << (l - f))
-            .map(|c| build(l, f, low_mask, c, &level_elems))
-            .collect()
+        (0..1u32 << (l - f)).map(|c| build(l, f, low_mask, c, &level_elems)).collect()
     }
 
     /// Flattens a forest built by [`ReverseDelta::shuffle_stage_forest`]
@@ -611,7 +609,7 @@ mod tests {
         // are arranged per the bit-reversal convention. Here we just check
         // behaviour is monotone-preserving on an already-sorted input.
         let net = ReverseDelta::butterfly(3).to_network();
-        let out = net.evaluate(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let out = snet_core::ir::evaluate(&net, &[0, 1, 2, 3, 4, 5, 6, 7]);
         assert!(is_sorted(&out));
     }
 
@@ -647,12 +645,12 @@ mod tests {
                 .collect();
             let reg = RegisterNetwork::new(n, stages).unwrap();
             let rdn = ReverseDelta::from_shuffle_stages(n, &ops).unwrap();
-            let net = rdn.to_network();
+            let exec = snet_core::ir::Executor::compile(&rdn.to_network());
             for _ in 0..50 {
                 let input: Vec<u32> = Permutation::random(n, &mut rng).images().to_vec();
                 assert_eq!(
                     reg.evaluate(&input),
-                    net.evaluate(&input),
+                    exec.evaluate(&input),
                     "seed={seed}: shuffle block ≠ reverse delta flattening"
                 );
             }
@@ -671,8 +669,8 @@ mod tests {
     fn gamma_wire_reuse_rejected() {
         let zero = RdNode::split(RdNode::Leaf(0), RdNode::Leaf(1), vec![]).unwrap();
         let one = RdNode::split(RdNode::Leaf(2), RdNode::Leaf(3), vec![]).unwrap();
-        let err = RdNode::split(zero, one, vec![Element::cmp(0, 2), Element::cmp(0, 3)])
-            .unwrap_err();
+        let err =
+            RdNode::split(zero, one, vec![Element::cmp(0, 2), Element::cmp(0, 3)]).unwrap_err();
         assert!(matches!(err, DeltaError::GammaWireReuse { wire: 0 }));
     }
 
@@ -704,7 +702,7 @@ mod tests {
         let pair = RdNode::split(RdNode::Leaf(0), RdNode::Leaf(1), vec![]).unwrap();
         let rdn = ReverseDelta::new(pair).unwrap();
         assert_eq!(rdn.size(), 0);
-        assert_eq!(rdn.to_network().evaluate(&[5, 1]), vec![5, 1]);
+        assert_eq!(snet_core::ir::evaluate(&rdn.to_network(), &[5, 1]), vec![5, 1]);
     }
 
     #[test]
@@ -720,8 +718,10 @@ mod tests {
             None,
         );
         assert_eq!(ird.comparator_depth(), 4);
-        let net = ird.to_network();
-        let manual = bf().to_network().then(Some(&rev), &bf().to_network());
+        let net = snet_core::ir::Executor::compile(&ird.to_network());
+        let manual = snet_core::ir::Executor::compile(
+            &bf().to_network().then(Some(&rev), &bf().to_network()),
+        );
         for input in [[3u32, 1, 2, 0], [0, 3, 1, 2], [2, 2, 1, 1]] {
             assert_eq!(net.evaluate(&input), manual.evaluate(&input));
         }
@@ -731,10 +731,11 @@ mod tests {
     fn post_route_applies() {
         let bf = ReverseDelta::butterfly(1);
         let swap = Permutation::from_images_unchecked(vec![1, 0]);
-        let ird = IteratedReverseDelta::new(
-            vec![Block { pre_route: None, rdn: bf }],
-            Some(swap),
+        let ird = IteratedReverseDelta::new(vec![Block { pre_route: None, rdn: bf }], Some(swap));
+        assert_eq!(
+            snet_core::ir::evaluate(&ird.to_network(), &[9, 3]),
+            vec![9, 3],
+            "sorted then swapped"
         );
-        assert_eq!(ird.to_network().evaluate(&[9, 3]), vec![9, 3], "sorted then swapped");
     }
 }

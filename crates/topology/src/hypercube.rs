@@ -47,13 +47,7 @@ impl DimensionBlock {
             .iter()
             .map(|_| {
                 (0..n / 2)
-                    .map(|_| {
-                        if rng.gen_bool(0.5) {
-                            ElementKind::Cmp
-                        } else {
-                            ElementKind::CmpRev
-                        }
-                    })
+                    .map(|_| if rng.gen_bool(0.5) { ElementKind::Cmp } else { ElementKind::CmpRev })
                     .collect()
             })
             .collect();
@@ -117,8 +111,7 @@ pub fn reverse_delta_from_dimensions(
         }
         let split_bit = 1u32 << bits[m - 1];
         let zero = build(bits, m - 1, fixed_mask | split_bit, fixed_bits, level_elems)?;
-        let one =
-            build(bits, m - 1, fixed_mask | split_bit, fixed_bits | split_bit, level_elems)?;
+        let one = build(bits, m - 1, fixed_mask | split_bit, fixed_bits | split_bit, level_elems)?;
         let gamma = level_elems[m - 1]
             .iter()
             .filter(|e| (e.a & fixed_mask) == fixed_bits)
@@ -251,7 +244,7 @@ mod tests {
                     }
                 }
             }
-            assert_eq!(net.evaluate(&input), direct);
+            assert_eq!(snet_core::ir::evaluate(&net, &input), direct);
         }
     }
 
@@ -289,8 +282,7 @@ mod tests {
         let blocks: Vec<DimensionBlock> = (0..3)
             .map(|_| DimensionBlock::random(n, schedules::random(l, &mut rng), &mut rng))
             .collect();
-        let routes: Vec<Permutation> =
-            (0..2).map(|_| Permutation::random(n, &mut rng)).collect();
+        let routes: Vec<Permutation> = (0..2).map(|_| Permutation::random(n, &mut rng)).collect();
         let ird = iterated_from_schedules(n, &blocks, Some(&routes));
         assert_eq!(ird.block_count(), 3);
         assert!(ird.blocks()[1].pre_route.is_some());

@@ -74,7 +74,6 @@ impl Reachability {
         }
         self.bits = next;
     }
-
 }
 
 /// Accumulates, across stages, which origin pairs have become comparable.

@@ -120,11 +120,7 @@ pub fn random_iterated<R: Rng>(
     let n = 1usize << l;
     let blocks = (0..k)
         .map(|i| Block {
-            pre_route: if with_routes && i > 0 {
-                Some(Permutation::random(n, rng))
-            } else {
-                None
-            },
+            pre_route: if with_routes && i > 0 { Some(Permutation::random(n, rng)) } else { None },
             rdn: random_reverse_delta(l, cfg, rng),
         })
         .collect();
@@ -193,7 +189,7 @@ mod tests {
             assert_eq!(rdn.levels(), l);
             // Evaluation works (structure validated on construction).
             let input: Vec<u32> = (0..(1u32 << l)).rev().collect();
-            let out = rdn.to_network().evaluate(&input);
+            let out = snet_core::ir::evaluate(&rdn.to_network(), &input);
             let mut sorted = out.clone();
             sorted.sort_unstable();
             let expect: Vec<u32> = (0..(1u32 << l)).collect();

@@ -181,8 +181,7 @@ fn build_tree(
     }
     let zero = build_tree(&side0, &levels0, height - 1)?;
     let one = build_tree(&side1, &levels1, height - 1)?;
-    RdNode::split(zero, one, levels[height - 1].clone())
-        .map_err(|_| RecognizeError::Contradiction)
+    RdNode::split(zero, one, levels[height - 1].clone()).map_err(|_| RecognizeError::Contradiction)
 }
 
 /// Attempts to reconstruct a reverse-delta tree from a route-free
@@ -200,17 +199,14 @@ pub fn recognize_reverse_delta(net: &ComparatorNetwork) -> Result<ReverseDelta, 
         return Err(RecognizeError::BadDepth { depth: net.depth(), block: l });
     }
     let wires: Vec<WireId> = (0..n as WireId).collect();
-    let levels: Vec<Vec<Element>> =
-        net.levels().iter().map(|lv| lv.elements.clone()).collect();
+    let levels: Vec<Vec<Element>> = net.levels().iter().map(|lv| lv.elements.clone()).collect();
     let root = build_tree(&wires, &levels, l)?;
     ReverseDelta::new(root).map_err(|_| RecognizeError::Contradiction)
 }
 
 /// Attempts to reconstruct an iterated reverse delta network from a
 /// route-free circuit of depth `k · lg n`.
-pub fn recognize_iterated(
-    net: &ComparatorNetwork,
-) -> Result<IteratedReverseDelta, RecognizeError> {
+pub fn recognize_iterated(net: &ComparatorNetwork) -> Result<IteratedReverseDelta, RecognizeError> {
     let n = net.wires();
     if !n.is_power_of_two() || n < 2 {
         return Err(RecognizeError::BadWidth);
@@ -239,10 +235,10 @@ mod tests {
     fn same_behaviour(a: &ComparatorNetwork, b: &ComparatorNetwork, seed: u64) -> bool {
         use snet_core::perm::Permutation;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (ea, eb) = (snet_core::ir::Executor::compile(a), snet_core::ir::Executor::compile(b));
         (0..30).all(|_| {
-            let input: Vec<u32> =
-                Permutation::random(a.wires(), &mut rng).images().to_vec();
-            a.evaluate(&input) == b.evaluate(&input)
+            let input: Vec<u32> = Permutation::random(a.wires(), &mut rng).images().to_vec();
+            ea.evaluate(&input) == eb.evaluate(&input)
         })
     }
 
@@ -270,8 +266,8 @@ mod tests {
             for t in 0..5 {
                 let rdn = random_reverse_delta(l, &cfg, &mut rng);
                 let flat = rdn.to_network();
-                let rec = recognize_reverse_delta(&flat)
-                    .unwrap_or_else(|e| panic!("l={l} t={t}: {e}"));
+                let rec =
+                    recognize_reverse_delta(&flat).unwrap_or_else(|e| panic!("l={l} t={t}: {e}"));
                 // The recovered tree may differ from the original, but its
                 // flattening must be the same circuit (same levels).
                 assert!(same_behaviour(&rec.to_network(), &flat, (l * 10 + t) as u64));
@@ -377,10 +373,7 @@ mod tests {
         )
         .unwrap();
         // Depth 3 ≠ lg 4 = 2: rejected on shape before balance even runs.
-        assert!(matches!(
-            recognize_reverse_delta(&net),
-            Err(RecognizeError::BadDepth { .. })
-        ));
+        assert!(matches!(recognize_reverse_delta(&net), Err(RecognizeError::BadDepth { .. })));
         let net = ComparatorNetwork::new(
             4,
             vec![
@@ -399,10 +392,7 @@ mod tests {
     #[test]
     fn rejects_bad_shapes() {
         let net = ComparatorNetwork::empty(8); // depth 0 ≠ 3
-        assert!(matches!(
-            recognize_reverse_delta(&net),
-            Err(RecognizeError::BadDepth { .. })
-        ));
+        assert!(matches!(recognize_reverse_delta(&net), Err(RecognizeError::BadDepth { .. })));
         let net = ComparatorNetwork::empty(6);
         assert_eq!(recognize_reverse_delta(&net), Err(RecognizeError::BadWidth));
     }

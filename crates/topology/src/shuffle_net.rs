@@ -58,10 +58,7 @@ impl ShuffleNetwork {
 
     /// Total comparator count.
     pub fn size(&self) -> usize {
-        self.stages
-            .iter()
-            .map(|s| s.iter().filter(|o| o.is_comparator()).count())
-            .sum()
+        self.stages.iter().map(|s| s.iter().filter(|o| o.is_comparator()).count()).sum()
     }
 
     /// Lowers to the register model (each stage becomes `(σ, x̄_i)`).
@@ -157,11 +154,12 @@ mod tests {
             let ird = sn.to_iterated_reverse_delta();
             assert_eq!(ird.block_count(), 1);
             assert!(ird.post_route().is_none());
-            let bf = ReverseDelta::butterfly(l).to_network();
+            let bf = snet_core::ir::Executor::compile(&ReverseDelta::butterfly(l).to_network());
+            let direct = snet_core::ir::Executor::compile(&sn.to_network());
             let mut rng = rand::rngs::StdRng::seed_from_u64(l as u64);
             for _ in 0..40 {
                 let input: Vec<u32> = Permutation::random(n, &mut rng).images().to_vec();
-                assert_eq!(sn.to_network().evaluate(&input), bf.evaluate(&input));
+                assert_eq!(direct.evaluate(&input), bf.evaluate(&input));
             }
         }
     }
@@ -173,8 +171,9 @@ mod tests {
             for d in [1usize, 2, 3, 4, 6, 7, 9] {
                 let n = 8;
                 let sn = random_shuffle_net(n, d, seed * 100 + d as u64);
-                let direct = sn.to_network();
-                let embedded = sn.to_iterated_reverse_delta().to_network();
+                let direct = snet_core::ir::Executor::compile(&sn.to_network());
+                let embedded =
+                    snet_core::ir::Executor::compile(&sn.to_iterated_reverse_delta().to_network());
                 for _ in 0..30 {
                     let input: Vec<u32> = Permutation::random(n, &mut rng).images().to_vec();
                     assert_eq!(
@@ -205,7 +204,7 @@ mod tests {
         // Stage: route by σ then sort pairs (0,1) and (2,3).
         // σ on 4: 0→0, 1→2, 2→1, 3→3. Input [3,1,2,0] routes to [3,2,1,0],
         // pairs sort to [2,3,0,1].
-        assert_eq!(sn.to_network().evaluate(&[3, 1, 2, 0]), vec![2, 3, 0, 1]);
+        assert_eq!(snet_core::ir::evaluate(&sn.to_network(), &[3, 1, 2, 0]), vec![2, 3, 0, 1]);
     }
 
     #[test]
@@ -221,16 +220,15 @@ mod tests {
 
     #[test]
     fn stage_shapes_validated() {
-        let result = std::panic::catch_unwind(|| {
-            ShuffleNetwork::new(4, vec![vec![ElementKind::Cmp; 3]])
-        });
+        let result =
+            std::panic::catch_unwind(|| ShuffleNetwork::new(4, vec![vec![ElementKind::Cmp; 3]]));
         assert!(result.is_err());
     }
 
     #[test]
     fn sorted_input_stays_sorted_under_all_plus() {
         let sn = ShuffleNetwork::all_plus(8, 3);
-        let out = sn.to_network().evaluate(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let out = snet_core::ir::evaluate(&sn.to_network(), &[0, 1, 2, 3, 4, 5, 6, 7]);
         assert!(is_sorted(&out));
     }
 }

@@ -34,9 +34,7 @@ fn main() {
 
     // Their side: parse and audit with independent checks.
     let received: LowerBoundCertificate = serde_json::from_str(&json).unwrap();
-    received
-        .check(500, 0xA0D17)
-        .expect("the auditor's sampled check must pass");
+    received.check(500, 0xA0D17).expect("the auditor's sampled check must pass");
     println!("auditor: certificate VALID (500 sampled refinements, witness re-verified)");
 
     // Tampering is caught.

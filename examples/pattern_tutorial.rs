@@ -67,8 +67,10 @@ fn main() {
     .unwrap();
     let mut tr = Tracer::new(&p, |s| s.is_m());
     tr.apply_network_strict(&net, |level, meet| {
-        println!("  level {level}: tracked tokens met (origins {} vs {})",
-            meet.origin_min, meet.origin_max);
+        println!(
+            "  level {level}: tracked tokens met (origins {} vs {})",
+            meet.origin_min, meet.origin_max
+        );
     });
     for origin in [0u32, 3] {
         println!(

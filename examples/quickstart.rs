@@ -18,7 +18,10 @@ fn main() {
     let sorter = bitonic_shuffle(n);
     let net = sorter.to_network();
     println!("bitonic on {n} wires: {} stages, {} comparators", sorter.depth(), net.size());
-    println!("evaluate [15..0]      → {:?}", net.evaluate(&(0..n as u32).rev().collect::<Vec<_>>()));
+    println!(
+        "evaluate [15..0]      → {:?}",
+        net.evaluate(&(0..n as u32).rev().collect::<Vec<_>>())
+    );
 
     // 2. Prove it sorts via the 0-1 principle (exhaustive, 2^16 inputs).
     let check = check_zero_one_exhaustive(&net);
@@ -35,8 +38,8 @@ fn main() {
     );
 
     let prefix_net = ird.to_network();
-    let refutation = refute(&prefix_net, &adversary.input_pattern)
-        .expect("|D| >= 2, so a witness pair exists");
+    let refutation =
+        refute(&prefix_net, &adversary.input_pattern).expect("|D| >= 2, so a witness pair exists");
     refutation.verify(&prefix_net).expect("independently re-verified");
 
     let bad = refutation.unsorted_witness();

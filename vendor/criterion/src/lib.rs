@@ -15,15 +15,10 @@ use std::time::{Duration, Instant};
 pub use std::hint::black_box;
 
 /// Top-level harness state, threaded through every benchmark function.
+#[derive(Default)]
 pub struct Criterion {
     test_mode: bool,
     filter: Option<String>,
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { test_mode: false, filter: None }
-    }
 }
 
 impl Criterion {
@@ -50,12 +45,7 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            criterion: self,
-            name: name.into(),
-            throughput: None,
-            _sample_size: 100,
-        }
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, _sample_size: 100 }
     }
 
     /// Registers a standalone benchmark (a group of one).

@@ -48,9 +48,7 @@ pub mod thread {
     where
         F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
     {
-        catch_unwind(AssertUnwindSafe(|| {
-            std::thread::scope(|s| f(&Scope { inner: s }))
-        }))
+        catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
     }
 }
 
@@ -58,7 +56,7 @@ pub mod thread {
 mod tests {
     #[test]
     fn scoped_threads_borrow_and_join() {
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let total: u64 = crate::thread::scope(|s| {
             let handles: Vec<_> =
                 data.chunks(2).map(|c| s.spawn(move |_| c.iter().sum::<u64>())).collect();
@@ -74,7 +72,7 @@ mod tests {
             let h = s.spawn(|_| -> u32 { panic!("worker boom") });
             h.join().is_err()
         });
-        assert_eq!(r.expect("scope itself survives joined panic"), true);
+        assert!(r.expect("scope itself survives joined panic"));
     }
 
     #[test]

@@ -67,10 +67,7 @@ pub mod test_runner {
 
         /// Next 64 uniformly random bits.
         pub fn next_u64(&mut self) -> u64 {
-            let result = self.s[0]
-                .wrapping_add(self.s[3])
-                .rotate_left(23)
-                .wrapping_add(self.s[0]);
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
             let t = self.s[1] << 17;
             self.s[2] ^= self.s[0];
             self.s[3] ^= self.s[1];
@@ -439,14 +436,14 @@ macro_rules! prop_assert_ne {
         match (&$left, &$right) {
             (__l, __r) => {
                 if *__l == *__r {
-                    return ::std::result::Result::Err(
-                        $crate::test_runner::TestCaseError::fail(format!(
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
                             "assertion failed: `{} != {}`\n  both: {:?}",
                             stringify!($left),
                             stringify!($right),
                             __l
-                        )),
-                    );
+                        ),
+                    ));
                 }
             }
         }

@@ -44,9 +44,7 @@ impl Number {
         match *self {
             Number::U(u) => Some(u),
             Number::I(i) if i >= 0 => Some(i as u64),
-            Number::F(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
-                Some(f as u64)
-            }
+            Number::F(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
             _ => None,
         }
     }
@@ -56,9 +54,7 @@ impl Number {
         match *self {
             Number::U(u) => i64::try_from(u).ok(),
             Number::I(i) => Some(i),
-            Number::F(f)
-                if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 =>
-            {
+            Number::F(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 => {
                 Some(f as i64)
             }
             _ => None,
@@ -310,9 +306,9 @@ impl Serialize for String {
 }
 impl Deserialize for String {
     fn deserialize(v: &Value) -> Result<Self, Error> {
-        v.as_str().map(str::to_owned).ok_or_else(|| {
-            Error::custom(format!("expected string, found {}", v.kind()))
-        })
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom(format!("expected string, found {}", v.kind())))
     }
 }
 
@@ -414,13 +410,11 @@ pub mod __private {
 
     /// Deserializes field `key` of an object; a missing key is treated as
     /// `null` (so `Option` fields default to `None`, as with real serde).
-    pub fn get_field<T: Deserialize>(
-        obj: &[(String, Value)],
-        key: &str,
-    ) -> Result<T, Error> {
+    pub fn get_field<T: Deserialize>(obj: &[(String, Value)], key: &str) -> Result<T, Error> {
         match obj.iter().find(|(k, _)| k == key) {
-            Some((_, v)) => T::deserialize(v)
-                .map_err(|e| Error::custom(format!("field `{key}`: {e}"))),
+            Some((_, v)) => {
+                T::deserialize(v).map_err(|e| Error::custom(format!("field `{key}`: {e}")))
+            }
             None => T::deserialize(&Value::Null)
                 .map_err(|_| Error::custom(format!("missing field `{key}`"))),
         }
@@ -428,9 +422,8 @@ pub mod __private {
 
     /// Deserializes element `idx` of an array (tuple variant content).
     pub fn get_elem<T: Deserialize>(arr: &[Value], idx: usize) -> Result<T, Error> {
-        let v = arr
-            .get(idx)
-            .ok_or_else(|| Error::custom(format!("missing tuple element {idx}")))?;
+        let v =
+            arr.get(idx).ok_or_else(|| Error::custom(format!("missing tuple element {idx}")))?;
         T::deserialize(v).map_err(|e| Error::custom(format!("element {idx}: {e}")))
     }
 
@@ -448,7 +441,7 @@ mod tests {
     fn primitive_roundtrips() {
         assert_eq!(u32::deserialize(&7u32.serialize()).unwrap(), 7);
         assert_eq!(i64::deserialize(&(-3i64).serialize()).unwrap(), -3);
-        assert_eq!(bool::deserialize(&true.serialize()).unwrap(), true);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
         assert_eq!(String::deserialize(&"hi".serialize()).unwrap(), "hi");
         let v: Vec<u32> = vec![1, 2, 3];
         assert_eq!(Vec::<u32>::deserialize(&v.serialize()).unwrap(), v);

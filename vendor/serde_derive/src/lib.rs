@@ -651,9 +651,9 @@ fn de_internally_tagged_enum(item: &Item, variants: &[Variant], tag_key: &str) -
                 let ctor = ctor_from_fields(&format!("{name}::{vn}"), fields, "__obj");
                 format!("::std::result::Result::Ok({ctor})")
             }
-            VariantKind::Tuple(_) => panic!(
-                "serde_derive (vendored): tuple variant `{vn}` cannot be internally tagged"
-            ),
+            VariantKind::Tuple(_) => {
+                panic!("serde_derive (vendored): tuple variant `{vn}` cannot be internally tagged")
+            }
         };
         arms.push_str(&format!("\"{tag}\" => {arm_body},"));
     }

@@ -109,19 +109,13 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
         Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
         Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
         Some(b'-') | Some(b'0'..=b'9') => parse_number(bytes, pos),
-        Some(&c) => Err(Error::new(format!(
-            "unexpected character `{}` at byte {}",
-            c as char, *pos
-        ))),
+        Some(&c) => {
+            Err(Error::new(format!("unexpected character `{}` at byte {}", c as char, *pos)))
+        }
     }
 }
 
-fn parse_keyword(
-    bytes: &[u8],
-    pos: &mut usize,
-    word: &str,
-    value: Value,
-) -> Result<Value, Error> {
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Value) -> Result<Value, Error> {
     if bytes[*pos..].starts_with(word.as_bytes()) {
         *pos += word.len();
         Ok(value)
@@ -211,8 +205,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
                         let hi = parse_hex4(bytes, pos)?;
                         let code = if (0xD800..0xDC00).contains(&hi) {
                             // Surrogate pair: expect \uDC00..\uDFFF next.
-                            if bytes.get(*pos) == Some(&b'\\')
-                                && bytes.get(*pos + 1) == Some(&b'u')
+                            if bytes.get(*pos) == Some(&b'\\') && bytes.get(*pos + 1) == Some(&b'u')
                             {
                                 *pos += 2;
                                 let lo = parse_hex4(bytes, pos)?;
@@ -224,8 +217,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
                             hi
                         };
                         out.push(
-                            char::from_u32(code)
-                                .ok_or_else(|| Error::new("invalid \\u escape"))?,
+                            char::from_u32(code).ok_or_else(|| Error::new("invalid \\u escape"))?,
                         );
                         continue; // pos already advanced past the hex digits
                     }
@@ -256,8 +248,7 @@ fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, Error> {
     if end > bytes.len() {
         return Err(Error::new("truncated \\u escape"));
     }
-    let s = std::str::from_utf8(&bytes[*pos..end])
-        .map_err(|_| Error::new("invalid \\u escape"))?;
+    let s = std::str::from_utf8(&bytes[*pos..end]).map_err(|_| Error::new("invalid \\u escape"))?;
     let v = u32::from_str_radix(s, 16).map_err(|_| Error::new("invalid \\u escape"))?;
     *pos = end;
     Ok(v)

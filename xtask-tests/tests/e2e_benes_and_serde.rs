@@ -47,7 +47,10 @@ proptest! {
         prop_assert_eq!(&back, &net);
         // And the deserialized network still computes the same function.
         let input: Vec<u32> = Permutation::random(n, &mut rng).images().to_vec();
-        prop_assert_eq!(back.evaluate(&input), net.evaluate(&input));
+        prop_assert_eq!(
+            snet_core::ir::evaluate(&back, &input),
+            snet_core::ir::evaluate(&net, &input)
+        );
     }
 
     #[test]

@@ -44,8 +44,8 @@ proptest! {
         let a = random_net(n, 2, seed);
         let b = random_net(n, 2, seed ^ 1);
         let c = random_net(n, 2, seed ^ 2);
-        let left = a.then(None, &b).then(None, &c);
-        let right = a.then(None, &b.then(None, &c));
+        let left = snet_core::ir::Executor::compile(&a.then(None, &b).then(None, &c));
+        let right = snet_core::ir::Executor::compile(&a.then(None, &b.then(None, &c)));
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 3);
         for _ in 0..10 {
             let input: Vec<u32> = Permutation::random(n, &mut rng).images().to_vec();
@@ -64,10 +64,13 @@ proptest! {
         let p = Permutation::random(n, &mut rng);
         let q = Permutation::random(n, &mut rng);
         let composed = a.then(Some(&p), &b).then(Some(&q), &ComparatorNetwork::empty(n));
+        let (ca, cb) =
+            (snet_core::ir::Executor::compile(&a), snet_core::ir::Executor::compile(&b));
+        let cc = snet_core::ir::Executor::compile(&composed);
         for _ in 0..10 {
             let input: Vec<u32> = Permutation::random(n, &mut rng).images().to_vec();
-            let manual = q.route_vec(&b.evaluate(&p.route_vec(&a.evaluate(&input))));
-            prop_assert_eq!(composed.evaluate(&input), manual);
+            let manual = q.route_vec(&cb.evaluate(&p.route_vec(&ca.evaluate(&input))));
+            prop_assert_eq!(cc.evaluate(&input), manual);
         }
     }
 
@@ -85,9 +88,9 @@ proptest! {
             let ib: Vec<u32> =
                 Permutation::random(nb, &mut rng).images().iter().map(|&v| v + 100).collect();
             let joint: Vec<u32> = ia.iter().chain(ib.iter()).copied().collect();
-            let out = ab.evaluate(&joint);
-            let ea = a.evaluate(&ia);
-            let eb = b.evaluate(&ib);
+            let out = snet_core::ir::evaluate(&ab, &joint);
+            let ea = snet_core::ir::evaluate(&a, &ia);
+            let eb = snet_core::ir::evaluate(&b, &ib);
             prop_assert_eq!(&out[..na], ea.as_slice());
             prop_assert_eq!(&out[na..], eb.as_slice());
         }
@@ -132,8 +135,7 @@ fn flipped_butterfly_recognizes_as_reverse_delta() {
     for l in 2..=5usize {
         let bf = ReverseDelta::butterfly(l).to_network();
         let flipped = bf.flipped();
-        let rec = recognize_reverse_delta(&flipped)
-            .unwrap_or_else(|e| panic!("l={l}: {e}"));
+        let rec = recognize_reverse_delta(&flipped).unwrap_or_else(|e| panic!("l={l}: {e}"));
         assert_eq!(rec.levels(), l);
         // Root now splits on bit l-1 (the flipped last level's bit).
         let (zero, _, gamma) = rec.root().as_split().unwrap();

@@ -5,6 +5,11 @@
 //! counterexample, and `tested` accounting) to the sequential scan —
 //! plus cross-validation over the real sorter zoo and a thread-count
 //! determinism regression.
+//!
+//! This is the designated interpreter-vs-IR differential suite: the
+//! interpreter calls (and the deprecated `bitparallel` shim) are the
+//! independent references the compiled IR is checked against.
+#![allow(deprecated)]
 
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};

@@ -35,9 +35,9 @@ proptest! {
             let input: Vec<u32> =
                 Permutation::random(n, &mut rng).images().to_vec();
             let a = register.evaluate(&input);
-            let b = circuit.evaluate(&input);
+            let b = snet_core::ir::evaluate(&circuit, &input);
             let c = re_raised.evaluate(&input);
-            let e = embedded.evaluate(&input);
+            let e = snet_core::ir::evaluate(&embedded, &input);
             prop_assert_eq!(&a, &b, "register vs circuit, trial {}", trial);
             prop_assert_eq!(&b, &c, "circuit vs re-raised, trial {}", trial);
             prop_assert_eq!(&b, &e, "circuit vs embedded IRD, trial {}", trial);
@@ -56,7 +56,7 @@ proptest! {
         let sn = random_shuffle_network(n, d, 0.7, &mut rng);
         let net = sn.to_network();
         let input: Vec<u32> = Permutation::random(n, &mut rng).images().to_vec();
-        let mut out = net.evaluate(&input);
+        let mut out = snet_core::ir::evaluate(&net, &input);
         out.sort_unstable();
         let mut expect = input.clone();
         expect.sort_unstable();
@@ -79,9 +79,10 @@ proptest! {
         let net = sn.to_network();
         let input: Vec<u32> = Permutation::random(n, &mut rng).images().to_vec();
         let mapped: Vec<u32> = input.iter().map(|&x| scale * x + offset).collect();
+        let exec = snet_core::ir::Executor::compile(&net);
         let out_then_map: Vec<u32> =
-            net.evaluate(&input).iter().map(|&x| scale * x + offset).collect();
-        let map_then_out = net.evaluate(&mapped);
+            exec.evaluate(&input).iter().map(|&x| scale * x + offset).collect();
+        let map_then_out = exec.evaluate(&mapped);
         prop_assert_eq!(out_then_map, map_then_out);
     }
 }

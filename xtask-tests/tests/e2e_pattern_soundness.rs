@@ -101,8 +101,9 @@ proptest! {
             Symbol::L(0),
         ]);
         let q = output_pattern(&net, &p);
+        let exec = snet_core::ir::Executor::compile(&net);
         for input in refining_inputs(&p) {
-            let out = net.evaluate(&input);
+            let out = exec.evaluate(&input);
             prop_assert!(q.refines_to_input(&out), "output {:?} violates Λ(p)", out);
         }
     }

@@ -41,7 +41,7 @@ proptest! {
         // unsorted witness really is mis-sorted.
         let trace = ComparisonTrace::record(&net, &r.input_a);
         prop_assert!(!trace.compared(r.m, r.m + 1));
-        prop_assert!(!is_sorted(&net.evaluate(r.unsorted_witness())));
+        prop_assert!(!is_sorted(&snet_core::ir::evaluate(&net, r.unsorted_witness())));
     }
 
     #[test]

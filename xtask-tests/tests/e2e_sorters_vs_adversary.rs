@@ -42,7 +42,7 @@ fn every_strict_block_prefix_of_bitonic_is_refuted() {
         let net = prefix.to_network();
         let r = refute(&net, &out.input_pattern).expect("witness");
         r.verify(&net).unwrap_or_else(|e| panic!("prefix {keep}: {e}"));
-        assert!(!is_sorted(&net.evaluate(r.unsorted_witness())));
+        assert!(!is_sorted(&snet_core::ir::evaluate(&net, r.unsorted_witness())));
         // Independent confirmation via the 0-1 principle: the prefix is
         // indeed not a sorting network.
         assert!(!check_zero_one_exhaustive(&net).is_sorting());
