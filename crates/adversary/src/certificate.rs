@@ -112,6 +112,16 @@ impl LowerBoundCertificate {
     /// Checks the certificate with sampled noncollision evidence
     /// (`samples` random refinements of the pattern; use a few hundred).
     pub fn check(&self, samples: usize, seed: u64) -> Result<(), String> {
+        let mut span = snet_obs::span("adversary.check_certificate")
+            .attr("wires", self.network.wires())
+            .attr("d_size", self.d_set.len())
+            .attr("samples", samples);
+        let r = self.check_inner(samples, seed);
+        span.add_attr("ok", r.is_ok());
+        r
+    }
+
+    fn check_inner(&self, samples: usize, seed: u64) -> Result<(), String> {
         use rand::{Rng, SeedableRng};
         let n = self.network.wires();
         if self.pattern_tags.len() != n {

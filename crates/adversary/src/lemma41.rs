@@ -402,9 +402,18 @@ pub fn lemma41(delta: &ReverseDelta, p: &Pattern, k: usize) -> Lemma41Output {
 /// offset policies.
 pub fn lemma41_with(delta: &ReverseDelta, p: &Pattern, cfg: &AdversaryConfig) -> Lemma41Output {
     assert_eq!(p.len(), delta.wires(), "pattern/network width mismatch");
+    let mut span = snet_obs::span("adversary.lemma41")
+        .attr("wires", delta.wires())
+        .attr("levels", delta.levels())
+        .attr("k", cfg.k);
     let mut engine = Engine::with_config(p.clone(), cfg);
+    span.add_attr("initial_mass", engine.audit.initial_mass);
     let family = engine.run_tree(delta.root());
-    finish(engine, family, delta.levels(), cfg.is_admissible())
+    let out = finish(engine, family, delta.levels(), cfg.is_admissible());
+    span.add_attr("retained_mass", out.family.mass());
+    span.add_attr("evicted", out.audit.total_loss());
+    snet_obs::counter("adversary.evictions", out.audit.total_loss() as u64);
+    out
 }
 
 /// Runs Lemma 4.1 over a *forest* of disjoint reverse-delta trees under a

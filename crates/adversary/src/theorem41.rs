@@ -125,6 +125,10 @@ pub fn theorem41(ird: &IteratedReverseDelta, k: usize) -> Theorem41Output {
 pub fn theorem41_with(ird: &IteratedReverseDelta, cfg: &AdversaryConfig) -> Theorem41Output {
     let n = ird.wires();
     assert!(n >= 2, "need at least two wires");
+    let mut run_span = snet_obs::span("adversary.theorem41")
+        .attr("wires", n)
+        .attr("blocks", ird.blocks().len())
+        .attr("k", cfg.k);
     let lg_n = (n as f64).log2();
 
     let mut input_pattern = Pattern::uniform(n, Symbol::M(0));
@@ -139,6 +143,7 @@ pub fn theorem41_with(ird: &IteratedReverseDelta, cfg: &AdversaryConfig) -> Theo
     let mut d_input: Vec<WireId> = (0..n as WireId).collect();
 
     for (bi, block) in ird.blocks().iter().enumerate() {
+        let mut block_span = snet_obs::span("adversary.block").attr("block", bi);
         // 1. Free pre-route.
         if let Some(p) = &block.pre_route {
             block_pattern = block_pattern.route(p);
@@ -169,6 +174,7 @@ pub fn theorem41_with(ird: &IteratedReverseDelta, cfg: &AdversaryConfig) -> Theo
             });
             d_input.clear();
             input_pattern = relabel_all_non_m(&input_pattern);
+            block_span.add_attr("d_size", 0);
             break;
         };
         let d_block: Vec<WireId> = d_block.to_vec();
@@ -219,12 +225,18 @@ pub fn theorem41_with(ird: &IteratedReverseDelta, cfg: &AdversaryConfig) -> Theo
             nonempty_sets: out.family.nonempty_count(),
             chosen_index: i0,
         });
+        block_span.add_attr("d_size", d_block.len());
+        block_span.add_attr("retained_mass", out.family.mass());
+        block_span.add_attr("nonempty_sets", out.family.nonempty_count());
+        snet_obs::counter("adversary.retained_mass", out.family.mass() as u64);
 
         if d_block.len() <= 1 {
             break;
         }
     }
 
+    run_span.add_attr("blocks_run", blocks.len());
+    run_span.add_attr("d_final", d_input.len());
     Theorem41Output { input_pattern, d_set: d_input, blocks, audits }
 }
 

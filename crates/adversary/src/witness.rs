@@ -68,6 +68,14 @@ impl SortingRefutation {
     /// 4. the two values were never compared (checked on `input_a`);
     /// 5. at least one output is unsorted.
     pub fn verify(&self, net: &ComparatorNetwork) -> Result<(), String> {
+        let mut span =
+            snet_obs::span("adversary.verify_witness").attr("wires", net.wires()).attr("m", self.m);
+        let r = self.verify_inner(net);
+        span.add_attr("ok", r.is_ok());
+        r
+    }
+
+    fn verify_inner(&self, net: &ComparatorNetwork) -> Result<(), String> {
         let n = net.wires();
         let (w0, w1) = self.wire_pair;
         if self.input_a.len() != n || self.input_b.len() != n {
@@ -155,6 +163,8 @@ pub fn refute(
     pattern: &Pattern,
 ) -> Result<SortingRefutation, RefuteError> {
     let d = pattern.symbol_set(Symbol::M(0));
+    let _span =
+        snet_obs::span("adversary.refute").attr("wires", net.wires()).attr("d_size", d.len());
     if d.len() < 2 {
         return Err(RefuteError::SetTooSmall { size: d.len() });
     }

@@ -39,6 +39,13 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
 
+/// The run manifest (commit, toolchain, parallelism, …) as a JSON value,
+/// embedded into the results document for provenance.
+fn manifest_value(tool: &str) -> Value {
+    let json = snet_obs::RunManifest::capture(tool).to_json();
+    serde_json::from_str(&json).expect("manifest JSON parses")
+}
+
 fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
     let mut samples: Vec<f64> = (0..reps.max(1))
         .map(|_| {
@@ -133,7 +140,9 @@ fn main() {
     }
     let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     let doc = obj(vec![
-        ("schema", vs("snet-engine-baseline/1")),
+        ("schema", vs("snet-engine-baseline/2")),
+        ("schema_version", vu(2)),
+        ("manifest", manifest_value("engine_baseline")),
         ("units", vs("milliseconds, median")),
         (
             "hardware",

@@ -3,7 +3,7 @@
 //! For every sorter in the zoo (bitonic shuffle, odd-even mergesort,
 //! Pratt, periodic balanced, brick wall — each at two sizes), runs the
 //! optimizing pipeline and records, per pass: compile cost in
-//! microseconds and the ops/size/depth before and after. The canonical
+//! nanoseconds and the ops/size/depth before and after. The canonical
 //! prefix shows what route absorption and Pass/Swap elimination cost on
 //! the shuffle-based forms; the `redundant-elim`/`relayer` rows show what
 //! the optimizing tail buys on each construction (E17's finding — the
@@ -30,6 +30,13 @@ fn vs(v: &str) -> Value {
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// The run manifest (commit, toolchain, parallelism, …) as a JSON value,
+/// embedded into the results document for provenance.
+fn manifest_value(tool: &str) -> Value {
+    let json = snet_obs::RunManifest::capture(tool).to_json();
+    serde_json::from_str(&json).expect("manifest JSON parses")
 }
 
 fn zoo() -> Vec<(String, ComparatorNetwork)> {
@@ -60,7 +67,7 @@ fn network_entry(name: &str, net: &ComparatorNetwork) -> Value {
                 ("depth_before", vu(r.depth_before as u64)),
                 ("depth_after", vu(r.depth_after as u64)),
                 ("ops_eliminated", vu(r.ops_eliminated() as u64)),
-                ("micros", vu(r.micros as u64)),
+                ("nanos", vu(r.nanos as u64)),
             ])
         })
         .collect();
@@ -104,7 +111,9 @@ fn main() {
     }
     let entries: Vec<Value> = zoo().iter().map(|(name, net)| network_entry(name, net)).collect();
     let doc = obj(vec![
-        ("schema", vs("snet-ir-passes/1")),
+        ("schema", vs("snet-ir-passes/2")),
+        ("schema_version", vu(2)),
+        ("manifest", manifest_value("ir_passes")),
         (
             "pipeline",
             vs("absorb-routes, normalize-cmprev, strip-pass-swap, redundant-elim, relayer"),

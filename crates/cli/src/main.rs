@@ -29,31 +29,85 @@ use snet_topology::random::{
 };
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let code = match args.first().map(String::as_str) {
-        Some("gen") => cmd_gen(&args[1..]),
-        Some("info") => cmd_info(&args[1..]),
-        Some("check") => cmd_check(&args[1..]),
-        Some("refute") => cmd_refute(&args[1..]),
-        Some("verify") => cmd_verify(&args[1..]),
-        Some("route") => cmd_route(&args[1..]),
-        Some("render") => cmd_render(&args[1..]),
-        Some("stats") => cmd_stats(&args[1..]),
-        Some("passes") => cmd_passes(&args[1..]),
-        Some("certify") => cmd_certify(&args[1..]),
-        Some("audit") => cmd_audit(&args[1..]),
-        Some("closure") => cmd_closure(&args[1..]),
-        Some("duel") => cmd_duel(&args[1..]),
-        Some("--help") | Some("-h") | None => {
-            print_usage();
-            Ok(())
-        }
-        Some(other) => Err(format!("unknown command '{other}' (try --help)")),
-    };
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Global observability flags, accepted in any position and stripped
+    // before subcommand dispatch.
+    let code =
+        setup_observability(&mut args).and_then(|()| match args.first().map(String::as_str) {
+            Some("gen") => cmd_gen(&args[1..]),
+            Some("info") => cmd_info(&args[1..]),
+            Some("check") => cmd_check(&args[1..]),
+            Some("refute") => cmd_refute(&args[1..]),
+            Some("verify") => cmd_verify(&args[1..]),
+            Some("route") => cmd_route(&args[1..]),
+            Some("render") => cmd_render(&args[1..]),
+            Some("stats") => cmd_stats(&args[1..]),
+            Some("passes") => cmd_passes(&args[1..]),
+            Some("certify") => cmd_certify(&args[1..]),
+            Some("audit") => cmd_audit(&args[1..]),
+            Some("closure") => cmd_closure(&args[1..]),
+            Some("duel") => cmd_duel(&args[1..]),
+            Some("report") => cmd_report(&args[1..]),
+            Some("--help") | Some("-h") | None => {
+                print_usage();
+                Ok(())
+            }
+            Some(other) => Err(format!("unknown command '{other}' (try --help)")),
+        });
+    snet_obs::flush();
     if let Err(e) = code {
         eprintln!("snetctl: {e}");
         std::process::exit(1);
     }
+}
+
+/// Handles `--trace-out FILE.jsonl` (structured JSONL trace) and
+/// `--progress` (live progress meter on stderr), removing them from
+/// `args`. When either is active, the run manifest leads the event
+/// stream.
+fn setup_observability(args: &mut Vec<String>) -> Result<(), String> {
+    use std::sync::Arc;
+    let trace_out = take_flag_value(args, "--trace-out")?;
+    let progress = take_flag(args, "--progress");
+    if let Some(path) = &trace_out {
+        let sink = snet_obs::JsonlSink::create(path)
+            .map_err(|e| format!("cannot create trace file {path}: {e}"))?;
+        snet_obs::install_sink(Arc::new(sink));
+    }
+    if progress {
+        snet_obs::install_sink(Arc::new(snet_obs::ProgressSink::new()));
+    }
+    if trace_out.is_some() || progress {
+        snet_obs::RunManifest::capture("snetctl").emit();
+    }
+    Ok(())
+}
+
+/// Removes every occurrence of the boolean flag `name`; true if present.
+fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != name);
+    args.len() != before
+}
+
+/// Removes `name VALUE` from the argument list, returning the value.
+fn take_flag_value(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(format!("{name} requires a value"));
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Ok(Some(value))
+}
+
+/// Flushes buffered trace output before a nonzero exit — `main`'s flush
+/// never runs on `process::exit` paths.
+fn exit_flushed(code: i32) -> ! {
+    snet_obs::flush();
+    std::process::exit(code);
 }
 
 fn print_usage() {
@@ -74,7 +128,13 @@ fn print_usage() {
          \x20 certify FILE -o CERT [--k K]    export a checkable proof bundle\n\
          \x20 audit   CERT [--samples N]      independently check a proof bundle\n\
          \x20 closure --n N (--rho shuffle|identity|bit-reversal|random) [--seed S]\n\
-         \x20 duel    --n N [--k K]            interactive adaptive game on stdin"
+         \x20 duel    --n N [--k K]            interactive adaptive game on stdin\n\
+         \x20 report  TRACE.jsonl              render a --trace-out file: span tree + counters\n\
+         \n\
+         global flags (any command):\n\
+         \x20 --trace-out FILE.jsonl           write structured trace events (spans, counters,\n\
+         \x20                                  gauges, run manifest); read back with 'report'\n\
+         \x20 --progress                       live progress meter on stderr for long scans"
     );
 }
 
@@ -202,7 +262,7 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
             println!("NOT a sorting network");
             println!("counterexample input : {input:?}");
             println!("unsorted output      : {output:?}");
-            std::process::exit(3);
+            exit_flushed(3);
         }
     }
 }
@@ -223,7 +283,7 @@ fn cmd_refute(args: &[String]) -> Result<(), String> {
     println!("adversary: |D| = {} after {} blocks", out.d_set.len(), out.blocks.len());
     if out.d_set.len() < 2 {
         println!("no witness available at this depth (the network may sort).");
-        std::process::exit(4);
+        exit_flushed(4);
     }
     let net = ird.to_network();
     let r = refute(&net, &out.input_pattern).map_err(|e| e.to_string())?;
@@ -362,12 +422,13 @@ fn cmd_passes(args: &[String]) -> Result<(), String> {
     );
     println!();
     println!(
-        "{:<18} {:>12} {:>12} {:>10} {:>8} {:>9}",
-        "pass", "ops", "size", "depth", "elim", "µs"
+        "{:<18} {:>12} {:>12} {:>10} {:>8} {:>10} {:>7}",
+        "pass", "ops", "size", "depth", "elim", "time", "%"
     );
+    let total_nanos: u128 = exec.pass_records().iter().map(|r| r.nanos).sum();
     for r in exec.pass_records() {
         println!(
-            "{:<18} {:>5} → {:<4} {:>5} → {:<4} {:>4} → {:<3} {:>8} {:>9}",
+            "{:<18} {:>5} → {:<4} {:>5} → {:<4} {:>4} → {:<3} {:>8} {:>10} {:>6.1}%",
             r.name,
             r.ops_before,
             r.ops_after,
@@ -376,9 +437,11 @@ fn cmd_passes(args: &[String]) -> Result<(), String> {
             r.depth_before,
             r.depth_after,
             r.ops_eliminated(),
-            r.micros
+            human_nanos(r.nanos),
+            if total_nanos > 0 { 100.0 * r.nanos as f64 / total_nanos as f64 } else { 0.0 }
         );
     }
+    println!("{:<18} {:>49} {:>10}", "total", "", human_nanos(total_nanos));
     let prog = exec.program();
     println!();
     println!(
@@ -388,6 +451,25 @@ fn cmd_passes(args: &[String]) -> Result<(), String> {
         prog.depth(),
         raw.op_count() - prog.op_count()
     );
+    Ok(())
+}
+
+/// Adaptive-unit rendering of a nanosecond duration for the passes table.
+fn human_nanos(ns: u128) -> String {
+    if ns >= 10_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 10_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("report requires TRACE.jsonl")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let report = snet_obs::report::parse_trace(&text)?;
+    print!("{}", snet_obs::report::render(&report));
     Ok(())
 }
 
@@ -414,7 +496,7 @@ fn cmd_closure(args: &[String]) -> Result<(), String> {
         None => {
             println!("ρ = {rho_name}: closure never completes");
             println!("⇒ NO sorting network based on ρ exists at any depth");
-            std::process::exit(5);
+            exit_flushed(5);
         }
     }
     Ok(())
@@ -479,7 +561,7 @@ fn cmd_certify(args: &[String]) -> Result<(), String> {
     let run = theorem41(&ird, k);
     if run.d_set.len() < 2 {
         println!("adversary exhausted (|D| = {}): nothing to certify", run.d_set.len());
-        std::process::exit(4);
+        exit_flushed(4);
     }
     let net = ird.to_network();
     let cert = LowerBoundCertificate::from_run(&net, &run)?;
@@ -517,7 +599,7 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
         }
         Err(e) => {
             eprintln!("certificate REJECTED: {e}");
-            std::process::exit(6);
+            exit_flushed(6);
         }
     }
 }

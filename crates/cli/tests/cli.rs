@@ -330,6 +330,68 @@ fn certify_full_sorter_exits_gracefully() {
 }
 
 #[test]
+fn trace_out_writes_jsonl_and_report_reconstructs_spans() {
+    let f = tmpfile("bitonic16_trace.json");
+    let t = tmpfile("trace.jsonl");
+    snetctl(&["gen", "--kind", "bitonic", "--n", "16", "-o", &f]);
+    let out = snetctl(&["check", &f, "--exhaustive", "--progress", "--trace-out", &t]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("sorted all 65536"));
+    // The progress meter draws on stderr.
+    assert!(String::from_utf8_lossy(&out.stderr).contains("check.zero_one"));
+
+    // The trace file leads with the manifest and contains the span events.
+    let trace = std::fs::read_to_string(&t).unwrap();
+    let first = trace.lines().next().unwrap();
+    assert!(first.contains("\"type\":\"manifest\""), "manifest first: {first}");
+    assert!(trace.contains("\"name\":\"ir.compile\""));
+    assert!(trace.contains("\"name\":\"check.zero_one\""));
+
+    // `report` reconstructs the tree: compile + passes + check with
+    // counters, headed by the manifest.
+    let out = snetctl(&["report", &t]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("run manifest"));
+    assert!(text.contains("tool"));
+    assert!(text.contains("ir.compile"));
+    assert!(text.contains("ir.pass"));
+    assert!(text.contains("check.zero_one"));
+    assert!(text.contains("check.inputs"));
+    // Pass spans are indented under the compile span.
+    let compile_indent = text.lines().find(|l| l.contains("ir.compile")).unwrap();
+    let pass_indent = text.lines().find(|l| l.contains("ir.pass")).unwrap();
+    let lead = |s: &str| s.len() - s.trim_start().len();
+    assert!(lead(pass_indent) > lead(compile_indent), "pass nests under compile");
+}
+
+#[test]
+fn trace_flags_are_global_and_stripped() {
+    // --trace-out before the subcommand and --progress after: both must be
+    // accepted and not confuse subcommand parsing.
+    let f = tmpfile("brick8_trace.json");
+    let t = tmpfile("trace_global.jsonl");
+    snetctl(&["gen", "--kind", "brick", "--n", "8", "-o", &f]);
+    let out = snetctl(&["--trace-out", &t, "check", &f, "--exhaustive", "--progress"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(std::fs::read_to_string(&t).unwrap().contains("check.zero_one"));
+    // A missing value for --trace-out errors out cleanly.
+    let out = snetctl(&["check", &f, "--trace-out"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires a value"));
+}
+
+#[test]
+fn report_rejects_missing_and_garbage_files() {
+    let out = snetctl(&["report", "/nonexistent/trace.jsonl"]);
+    assert!(!out.status.success());
+    let g = tmpfile("garbage.jsonl");
+    std::fs::write(&g, "this is not json\n").unwrap();
+    let out = snetctl(&["report", &g]);
+    assert!(!out.status.success());
+}
+
+#[test]
 fn refute_recognizes_circuit_files_in_the_class() {
     // A periodic-balanced block is a reverse delta network in disguise;
     // stored as a plain circuit it must still be refutable via recognition.

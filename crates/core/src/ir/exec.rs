@@ -13,19 +13,111 @@ use crate::network::{CmpEvent, ComparatorNetwork};
 use crate::register::RegisterNetwork;
 use crate::sortcheck::SortCheck;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Parses an `SNET_THREADS`-style override. Only a trimmed positive
+/// integer is accepted: `None`, empty, non-numeric, and `0` all yield
+/// `None`, so a malformed override can never produce a zero-worker
+/// engine — callers fall back to the machine's parallelism instead.
+pub fn parse_engine_threads(var: Option<&str>) -> Option<usize> {
+    var?.trim().parse::<usize>().ok().filter(|&t| t >= 1)
+}
 
 /// Worker count for the sharded checker and batched runners when the
 /// caller does not specify one: the `SNET_THREADS` environment variable if
-/// set to a positive integer, else [`std::thread::available_parallelism`].
+/// set to a positive integer (see [`parse_engine_threads`]), else
+/// [`std::thread::available_parallelism`].
 pub fn default_engine_threads() -> usize {
-    if let Ok(v) = std::env::var("SNET_THREADS") {
-        if let Ok(t) = v.trim().parse::<usize>() {
-            if t >= 1 {
-                return t;
-            }
+    parse_engine_threads(std::env::var("SNET_THREADS").ok().as_deref())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
+}
+
+/// A progress snapshot from [`Executor::check_zero_one_with`]: how much
+/// of the `2ⁿ` input space has been scanned so far.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckProgress {
+    /// Inputs scanned so far (monotone; may stop short of `total` when a
+    /// counterexample ends the scan early).
+    pub done: u64,
+    /// Total input count (`2ⁿ`).
+    pub total: u64,
+    /// Wall time since the check started.
+    pub elapsed: Duration,
+}
+
+impl CheckProgress {
+    /// Completed fraction in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.done as f64 / self.total as f64
         }
     }
-    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+
+    /// Scan throughput in inputs per second (0 until time has elapsed).
+    pub fn per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.done as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Estimated seconds to completion at the current throughput
+    /// (`None` before any throughput is measurable).
+    pub fn eta_secs(&self) -> Option<f64> {
+        let rate = self.per_sec();
+        if rate > 0.0 {
+            Some((self.total - self.done.min(self.total)) as f64 / rate)
+        } else {
+            None
+        }
+    }
+}
+
+/// Shared progress state for one exhaustive check: a single atomic the
+/// workers add scanned-input counts to, surfaced as obs events and
+/// through the caller's reporter.
+struct ProgressTracker<'a> {
+    done: AtomicU64,
+    total: u64,
+    t0: Instant,
+    reporter: Option<&'a (dyn Fn(CheckProgress) + Sync)>,
+}
+
+impl ProgressTracker<'_> {
+    fn new(total: u64, reporter: Option<&(dyn Fn(CheckProgress) + Sync)>) -> ProgressTracker<'_> {
+        ProgressTracker { done: AtomicU64::new(0), total, t0: Instant::now(), reporter }
+    }
+
+    /// True iff recording progress reaches anyone — lets the scan paths
+    /// skip chunking entirely when nobody is listening.
+    fn active(&self) -> bool {
+        self.reporter.is_some() || snet_obs::enabled()
+    }
+
+    /// Credits `scanned` freshly-checked inputs and publishes a snapshot.
+    fn record(&self, scanned: u64) {
+        let done = (self.done.fetch_add(scanned, Ordering::Relaxed) + scanned).min(self.total);
+        let p = CheckProgress { done, total: self.total, elapsed: self.t0.elapsed() };
+        snet_obs::counter("check.inputs", scanned);
+        if snet_obs::enabled() {
+            let mut attrs = vec![
+                ("done".to_string(), p.done.to_string()),
+                ("total".to_string(), p.total.to_string()),
+                ("per_sec".to_string(), format!("{:.0}", p.per_sec())),
+            ];
+            if let Some(eta) = p.eta_secs() {
+                attrs.push(("eta_s".to_string(), format!("{eta:.1}")));
+            }
+            snet_obs::gauge_with("check.zero_one.progress", p.fraction(), attrs);
+        }
+        if let Some(r) = self.reporter {
+            r(p);
+        }
+    }
 }
 
 /// A network compiled through the IR pass pipeline, exposing every
@@ -54,13 +146,26 @@ impl Executor {
 
     /// Compiles through an explicit pipeline.
     pub fn compile_with(net: &ComparatorNetwork, pm: &PassManager) -> Self {
-        Self::from_program(Program::from_network(net), pm)
+        let mut span = snet_obs::span("ir.compile")
+            .attr("wires", net.wires())
+            .attr("size", net.size())
+            .attr("passes", pm.len());
+        let exec = Self::from_program(Program::from_network(net), pm);
+        span.add_attr("ops", exec.op_count());
+        exec
     }
 
     /// Compiles a register-model network through the canonical pipeline —
     /// both Section 1 models execute through the same IR.
     pub fn compile_register(reg: &RegisterNetwork) -> Self {
-        Self::from_program(Program::from_register(reg), &PassManager::canonical())
+        let pm = PassManager::canonical();
+        let mut span = snet_obs::span("ir.compile")
+            .attr("wires", reg.registers())
+            .attr("size", reg.size())
+            .attr("passes", pm.len());
+        let exec = Self::from_program(Program::from_register(reg), &pm);
+        span.add_attr("ops", exec.op_count());
+        exec
     }
 
     /// Runs `pm` over an already-lowered program.
@@ -237,26 +342,90 @@ impl Executor {
     /// [`crate::sortcheck::check_zero_one_exhaustive`]. Panics if
     /// `n > 30`.
     pub fn check_zero_one(&self, threads: usize) -> SortCheck {
+        self.check_zero_one_with(threads, None)
+    }
+
+    /// [`check_zero_one`](Self::check_zero_one) with progress reporting:
+    /// `reporter` (if any) is called from worker threads with monotone
+    /// [`CheckProgress`] snapshots as shards complete. Progress is also
+    /// published as obs events (`check.inputs` counter,
+    /// `check.zero_one.progress` gauge, one `check.shard` span per shard)
+    /// when a sink is installed; with no sink and no reporter the scan is
+    /// identical to the unreported one.
+    pub fn check_zero_one_with(
+        &self,
+        threads: usize,
+        reporter: Option<&(dyn Fn(CheckProgress) + Sync)>,
+    ) -> SortCheck {
         let n = self.wires();
         assert!(n <= 30, "exhaustive 0-1 check limited to n <= 30 (got {n})");
         let total: u64 = 1u64 << n;
         let threads = threads.max(1);
         let best = AtomicU64::new(u64::MAX);
+        let mut span = snet_obs::span("check.zero_one")
+            .attr("wires", n)
+            .attr("total", total)
+            .attr("threads", threads);
+        let progress = ProgressTracker::new(total, reporter);
 
         // Small spaces (or explicit single-thread): scan inline. The
         // threshold keeps thread spawn/join overhead away from
         // sub-millisecond checks.
-        if threads == 1 || total <= (1 << 16) {
-            let mut slots = vec![0u64; n];
-            let mut route_scratch = Vec::new();
+        let result = if threads == 1 || total <= (1 << 16) {
+            self.check_sequential(total, &best, &progress)
+        } else {
+            self.check_sharded(total, threads, &best, &progress, span.id())
+        };
+        span.add_attr("sorted", matches!(result, SortCheck::AllSorted { .. }));
+        result
+    }
+
+    /// Inline scan for small spaces. Chunked only when someone is
+    /// observing, so the unobserved path stays a single `scan_range`.
+    fn check_sequential(
+        &self,
+        total: u64,
+        best: &AtomicU64,
+        progress: &ProgressTracker<'_>,
+    ) -> SortCheck {
+        let n = self.wires();
+        let mut slots = vec![0u64; n];
+        let mut route_scratch = Vec::new();
+        if !progress.active() {
             if let Some(idx) =
-                self.scan_range(0, total, total, &best, &mut slots, &mut route_scratch)
+                self.scan_range(0, total, total, best, &mut slots, &mut route_scratch)
             {
                 return self.counterexample_at(idx);
             }
             return SortCheck::AllSorted { tested: total };
         }
+        // ≤ 256 progress samples, floored so tiny spaces take one chunk.
+        let chunk = (total / 256).next_multiple_of(64).max(1 << 14);
+        let mut from = 0u64;
+        while from < total {
+            let to = (from + chunk).min(total);
+            if let Some(idx) =
+                self.scan_range(from, to, total, best, &mut slots, &mut route_scratch)
+            {
+                progress.record(idx + 1 - from);
+                return self.counterexample_at(idx);
+            }
+            progress.record(to - from);
+            from = to;
+        }
+        SortCheck::AllSorted { tested: total }
+    }
 
+    /// Work-stealing sharded scan across `threads` workers.
+    fn check_sharded(
+        &self,
+        total: u64,
+        threads: usize,
+        best: &AtomicU64,
+        progress: &ProgressTracker<'_>,
+        check_span: u64,
+    ) -> SortCheck {
+        let n = self.wires();
         // Lane-aligned shards, sized for ~8 claims per worker so
         // stragglers rebalance; claimed in increasing order so "lowest
         // index wins" needs no post-hoc reconciliation.
@@ -280,10 +449,15 @@ impl Executor {
                             break;
                         }
                         let to = (from + shard).min(total);
-                        if let Some(idx) =
-                            self.scan_range(from, to, total, &best, &mut slots, &mut route_scratch)
-                        {
+                        let span = snet_obs::span_under("check.shard", check_span).attr("shard", k);
+                        let found =
+                            self.scan_range(from, to, total, best, &mut slots, &mut route_scratch);
+                        drop(span);
+                        if let Some(idx) = found {
                             best.fetch_min(idx, Ordering::AcqRel);
+                            progress.record(idx + 1 - from);
+                        } else {
+                            progress.record(to - from);
                         }
                     }
                 });
@@ -291,7 +465,7 @@ impl Executor {
         })
         .expect("verification workers do not panic");
 
-        match best.into_inner() {
+        match best.load(Ordering::Acquire) {
             u64::MAX => SortCheck::AllSorted { tested: total },
             idx => self.counterexample_at(idx),
         }
@@ -396,4 +570,72 @@ pub fn evaluate<T: Ord + Copy>(net: &ComparatorNetwork, input: &[T]) -> Vec<T> {
 /// [`Executor::check_zero_one`].
 pub fn check_zero_one_sharded(net: &ComparatorNetwork, threads: usize) -> SortCheck {
     Executor::compile(net).check_zero_one(threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn engine_thread_parsing_rejects_garbage() {
+        assert_eq!(parse_engine_threads(None), None);
+        assert_eq!(parse_engine_threads(Some("")), None);
+        assert_eq!(parse_engine_threads(Some("0")), None);
+        assert_eq!(parse_engine_threads(Some("-3")), None);
+        assert_eq!(parse_engine_threads(Some("four")), None);
+        assert_eq!(parse_engine_threads(Some("4.5")), None);
+        assert_eq!(parse_engine_threads(Some("4")), Some(4));
+        assert_eq!(parse_engine_threads(Some("  12\t")), Some(12));
+        assert_eq!(parse_engine_threads(Some("1")), Some(1));
+    }
+
+    #[test]
+    fn env_override_path_clamps_and_falls_back() {
+        // The only test mutating SNET_THREADS; restore whatever was set so
+        // concurrently-running tests observing the default are unaffected.
+        let prev = std::env::var("SNET_THREADS").ok();
+        std::env::set_var("SNET_THREADS", "3");
+        assert_eq!(default_engine_threads(), 3);
+        std::env::set_var("SNET_THREADS", "0");
+        let fallback = default_engine_threads();
+        assert!(fallback >= 1, "a zero override must not produce zero workers");
+        std::env::set_var("SNET_THREADS", "not-a-number");
+        assert_eq!(default_engine_threads(), fallback);
+        match prev {
+            Some(v) => std::env::set_var("SNET_THREADS", v),
+            None => std::env::remove_var("SNET_THREADS"),
+        }
+    }
+
+    #[test]
+    fn check_progress_reporter_reaches_total_and_is_monotone() {
+        use crate::element::{Element, ElementKind};
+        use crate::network::Level;
+        // Odd-even transposition sort on 8 wires: sorts, so the scan runs
+        // to completion and progress must reach 2^8.
+        let n = 8usize;
+        let levels = (0..n)
+            .map(|pass| {
+                Level::of_elements(
+                    (pass % 2..n - 1)
+                        .step_by(2)
+                        .map(|w| Element { a: w as u32, b: w as u32 + 1, kind: ElementKind::Cmp })
+                        .collect(),
+                )
+            })
+            .collect();
+        let net = ComparatorNetwork::new(n, levels).expect("valid network");
+        let exec = Executor::compile(&net);
+        let seen: Mutex<Vec<CheckProgress>> = Mutex::new(Vec::new());
+        let reporter = |p: CheckProgress| seen.lock().unwrap().push(p);
+        let result = exec.check_zero_one_with(1, Some(&reporter));
+        assert!(matches!(result, SortCheck::AllSorted { .. }));
+        let seen = seen.into_inner().unwrap();
+        assert!(!seen.is_empty(), "reporter saw at least one snapshot");
+        assert_eq!(seen.last().unwrap().done, 1 << 8);
+        assert_eq!(seen.last().unwrap().total, 1 << 8);
+        assert!(seen.windows(2).all(|w| w[0].done <= w[1].done));
+        assert!((seen.last().unwrap().fraction() - 1.0).abs() < 1e-12);
+    }
 }

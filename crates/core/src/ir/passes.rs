@@ -48,14 +48,19 @@ pub struct PassRecord {
     pub depth_before: usize,
     /// See `depth_before`.
     pub depth_after: usize,
-    /// Wall-clock cost of the pass in microseconds.
-    pub micros: u128,
+    /// Wall-clock cost of the pass in nanoseconds.
+    pub nanos: u128,
 }
 
 impl PassRecord {
     /// Ops removed by this pass (never negative: passes only drop ops).
     pub fn ops_eliminated(&self) -> usize {
         self.ops_before.saturating_sub(self.ops_after)
+    }
+
+    /// Wall-clock cost of the pass in (truncated) microseconds.
+    pub fn micros(&self) -> u128 {
+        self.nanos / 1_000
     }
 }
 
@@ -110,11 +115,12 @@ impl PassManager {
             .map(|pass| {
                 let (ops_before, size_before, depth_before) =
                     (prog.op_count(), prog.size(), prog.depth());
+                let mut span = snet_obs::span("ir.pass").attr("pass", pass.name());
                 let t0 = std::time::Instant::now();
                 pass.run(prog);
-                let micros = t0.elapsed().as_micros();
+                let nanos = t0.elapsed().as_nanos();
                 debug_assert_eq!(prog.validate(), Ok(()), "pass {} broke the IR", pass.name());
-                PassRecord {
+                let rec = PassRecord {
                     name: pass.name(),
                     ops_before,
                     ops_after: prog.op_count(),
@@ -122,8 +128,11 @@ impl PassManager {
                     size_after: prog.size(),
                     depth_before,
                     depth_after: prog.depth(),
-                    micros,
-                }
+                    nanos,
+                };
+                span.add_attr("ops_before", rec.ops_before);
+                span.add_attr("ops_after", rec.ops_after);
+                rec
             })
             .collect()
     }

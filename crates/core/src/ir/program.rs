@@ -97,6 +97,10 @@ impl Program {
     /// level, routes copied, every element (including `Pass`/`Swap`)
     /// becoming one op on its own wires, `output_map` the identity.
     pub fn from_network(net: &ComparatorNetwork) -> Self {
+        let _span = snet_obs::span("ir.lower")
+            .attr("model", "circuit")
+            .attr("wires", net.wires())
+            .attr("size", net.size());
         let n = net.wires();
         let mut ops = Vec::with_capacity(net.size());
         let mut origins = Vec::with_capacity(net.size());
@@ -125,6 +129,10 @@ impl Program {
     /// becomes level `i` with `route = Some(Π_i)` and op `k` on slots
     /// `(2k, 2k+1)`. Both Section 1 models thus share one execution path.
     pub fn from_register(reg: &RegisterNetwork) -> Self {
+        let _span = snet_obs::span("ir.lower")
+            .attr("model", "register")
+            .attr("wires", reg.registers())
+            .attr("size", reg.size());
         let n = reg.registers();
         let mut ops = Vec::new();
         let mut origins = Vec::new();

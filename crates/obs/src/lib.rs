@@ -1,0 +1,462 @@
+//! `snet_obs` — dependency-free structured observability for the
+//! workspace: spans, counters, gauges, a per-thread event buffer drained
+//! to pluggable [`Sink`]s, and a [`RunManifest`] recording what produced
+//! a run.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when disabled.** No sink installed ⇒ every entry point
+//!    is a single relaxed atomic load and an early return; no allocation,
+//!    no locking, no time syscalls. Hot loops stay uninstrumented — only
+//!    phase boundaries (compiles, passes, shards, adversary rounds) emit.
+//! 2. **No dependencies.** Consistent with the offline `vendor/` policy;
+//!    JSON encoding and the report-side parser are hand-rolled for the
+//!    small subset the event model needs.
+//! 3. **Thread-aware.** Events buffer in a thread-local queue (no global
+//!    lock on the emit path until a drain), spans nest via a thread-local
+//!    stack, and cross-thread nesting (worker shards under a coordinator
+//!    span) is explicit via [`span_under`].
+//!
+//! Typical wiring (the `snetctl` entry point):
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! let sink = Arc::new(snet_obs::JsonlSink::create("trace.jsonl").unwrap());
+//! snet_obs::install_sink(sink);
+//! snet_obs::RunManifest::capture("snetctl").emit();
+//! {
+//!     let _span = snet_obs::span("work").attr("n", 16);
+//!     snet_obs::counter("items", 3);
+//! }
+//! snet_obs::flush();
+//! ```
+
+pub mod event;
+pub mod manifest;
+pub mod report;
+pub mod sink;
+
+pub use event::{Event, EventKind};
+pub use manifest::{RunManifest, MANIFEST_SCHEMA};
+pub use sink::{JsonlSink, MemorySink, ProgressSink, Sink};
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, LazyLock, Mutex, RwLock};
+use std::time::Instant;
+
+/// Fast global switch: true iff at least one sink is installed.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Installed sinks, keyed by handle for removal.
+static SINKS: RwLock<Vec<(u64, Arc<dyn Sink>)>> = RwLock::new(Vec::new());
+static NEXT_SINK: AtomicU64 = AtomicU64::new(1);
+/// Span ids are global and increase over time, so a child's id is always
+/// larger than its parent's (the report reconstructor relies on this).
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+static EPOCH: LazyLock<Instant> = LazyLock::new(Instant::now);
+
+/// Events buffered per thread before a drain grabs the sink lock.
+const BUFFER_CAPACITY: usize = 128;
+
+struct ThreadState {
+    ordinal: u64,
+    buf: Vec<Event>,
+    stack: Vec<u64>,
+}
+
+impl Drop for ThreadState {
+    fn drop(&mut self) {
+        drain(&mut self.buf);
+    }
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadState> = RefCell::new(ThreadState {
+        ordinal: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+        buf: Vec::new(),
+        stack: Vec::new(),
+    });
+}
+
+/// True iff any sink is installed. Callers may use this to skip building
+/// expensive attributes; every emit function checks it internally.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Microseconds since the process-wide observation epoch (first use).
+pub fn now_us() -> u64 {
+    EPOCH.elapsed().as_micros() as u64
+}
+
+/// Handle returned by [`install_sink`], accepted by [`remove_sink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkHandle(u64);
+
+/// Installs a sink and enables event emission. Returns a handle for
+/// targeted removal.
+pub fn install_sink(sink: Arc<dyn Sink>) -> SinkHandle {
+    let id = NEXT_SINK.fetch_add(1, Ordering::Relaxed);
+    let mut sinks = SINKS.write().expect("sink registry poisoned");
+    sinks.push((id, sink));
+    ENABLED.store(true, Ordering::Relaxed);
+    SinkHandle(id)
+}
+
+/// Removes one sink (flushing it first); emission disables when the last
+/// sink is gone.
+pub fn remove_sink(handle: SinkHandle) {
+    flush();
+    let mut sinks = SINKS.write().expect("sink registry poisoned");
+    sinks.retain(|(id, _)| *id != handle.0);
+    if sinks.is_empty() {
+        ENABLED.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Drains the calling thread's buffer and flushes every sink. Call once
+/// before process exit so buffered JSONL lines hit the file.
+pub fn flush() {
+    TLS.with(|tls| {
+        if let Ok(mut st) = tls.try_borrow_mut() {
+            drain(&mut st.buf);
+        }
+    });
+    for (_, sink) in SINKS.read().expect("sink registry poisoned").iter() {
+        sink.flush();
+    }
+}
+
+fn drain(buf: &mut Vec<Event>) {
+    if buf.is_empty() {
+        return;
+    }
+    let sinks = SINKS.read().expect("sink registry poisoned");
+    for e in buf.drain(..) {
+        for (_, sink) in sinks.iter() {
+            sink.event(&e);
+        }
+    }
+}
+
+/// Queues an event on the calling thread's buffer; drains when the
+/// buffer fills or the event is latency-sensitive (gauges drive live
+/// progress displays; manifests must lead the trace file).
+pub(crate) fn emit_event(e: Event) {
+    if !enabled() {
+        return;
+    }
+    // SpanEnds drain eagerly, not just for latency: `thread::scope`
+    // returns when the spawned *closures* finish, while thread-local
+    // destructors run later during OS-thread teardown — a buffer drained
+    // only by the TLS destructor can miss the coordinator's snapshot.
+    // Spans mark phase boundaries, so their ends are natural batch edges.
+    let urgent = matches!(e.kind, EventKind::SpanEnd | EventKind::Gauge | EventKind::Manifest);
+    TLS.with(|tls| {
+        let Ok(mut st) = tls.try_borrow_mut() else {
+            return; // re-entrant emit from inside a drain: drop it
+        };
+        st.buf.push(e);
+        if urgent || st.buf.len() >= BUFFER_CAPACITY {
+            drain(&mut st.buf);
+        }
+    });
+}
+
+fn fill_thread_fields(e: &mut Event) {
+    TLS.with(|tls| {
+        if let Ok(st) = tls.try_borrow() {
+            e.thread = st.ordinal;
+            if e.parent == 0 {
+                e.parent = st.stack.last().copied().unwrap_or(0);
+            }
+        }
+    });
+}
+
+/// An RAII span: emits `SpanStart` on creation and `SpanEnd` (carrying
+/// duration and accumulated attrs) on drop. Inert when no sink is
+/// installed. Obtain via [`span`] or [`span_under`].
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing"]
+pub struct SpanGuard {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start_us: u64,
+    attrs: Vec<(String, String)>,
+}
+
+/// Opens a span nested under the calling thread's current span.
+pub fn span(name: &'static str) -> SpanGuard {
+    span_impl(name, None)
+}
+
+/// Opens a span under an explicit parent id — the cross-thread variant
+/// (e.g. worker shards under the coordinator's span). `parent` is
+/// usually [`SpanGuard::id`] from another thread.
+pub fn span_under(name: &'static str, parent: u64) -> SpanGuard {
+    span_impl(name, Some(parent))
+}
+
+fn span_impl(name: &'static str, explicit_parent: Option<u64>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { id: 0, parent: 0, name, start_us: 0, attrs: Vec::new() };
+    }
+    let id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
+    let t_us = now_us();
+    let mut parent = explicit_parent.unwrap_or(0);
+    let mut thread = 0;
+    TLS.with(|tls| {
+        if let Ok(mut st) = tls.try_borrow_mut() {
+            thread = st.ordinal;
+            if explicit_parent.is_none() {
+                parent = st.stack.last().copied().unwrap_or(0);
+            }
+            st.stack.push(id);
+        }
+    });
+    emit_event(Event {
+        kind: EventKind::SpanStart,
+        name: name.to_string(),
+        id,
+        parent,
+        thread,
+        t_us,
+        dur_us: 0,
+        value: 0.0,
+        attrs: Vec::new(),
+    });
+    SpanGuard { id, parent, name, start_us: t_us, attrs: Vec::new() }
+}
+
+impl SpanGuard {
+    /// True iff the span is recording (a sink was installed when it
+    /// opened).
+    pub fn is_active(&self) -> bool {
+        self.id != 0
+    }
+
+    /// The span id (0 when inert) — pass to [`span_under`] for
+    /// cross-thread nesting.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Attaches an attribute (builder form). No-op when inert, so
+    /// callers can chain unconditionally.
+    pub fn attr(mut self, key: &'static str, value: impl std::fmt::Display) -> Self {
+        self.add_attr(key, value);
+        self
+    }
+
+    /// Attaches an attribute to an already-bound span (e.g. a result
+    /// computed mid-span).
+    pub fn add_attr(&mut self, key: &'static str, value: impl std::fmt::Display) {
+        if self.id != 0 {
+            self.attrs.push((key.to_string(), value.to_string()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.id == 0 {
+            return;
+        }
+        let t_us = now_us();
+        let mut thread = 0;
+        TLS.with(|tls| {
+            if let Ok(mut st) = tls.try_borrow_mut() {
+                thread = st.ordinal;
+                // Pop through this span's id: panics unwinding past inner
+                // guards must not wedge the stack.
+                while let Some(top) = st.stack.pop() {
+                    if top == self.id {
+                        break;
+                    }
+                }
+            }
+        });
+        emit_event(Event {
+            kind: EventKind::SpanEnd,
+            name: self.name.to_string(),
+            id: self.id,
+            parent: self.parent,
+            thread,
+            t_us,
+            dur_us: t_us.saturating_sub(self.start_us),
+            value: 0.0,
+            attrs: std::mem::take(&mut self.attrs),
+        });
+    }
+}
+
+/// Increments a counter. Aggregated by name in reports; the enclosing
+/// span (if any) is recorded as parent.
+pub fn counter(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut e = Event {
+        kind: EventKind::Counter,
+        name: name.to_string(),
+        id: 0,
+        parent: 0,
+        thread: 0,
+        t_us: now_us(),
+        dur_us: 0,
+        value: delta as f64,
+        attrs: Vec::new(),
+    };
+    fill_thread_fields(&mut e);
+    emit_event(e);
+}
+
+/// Records a gauge sample (last value wins in reports). Gauges drain
+/// immediately — they drive live progress sinks.
+pub fn gauge(name: &'static str, value: f64) {
+    gauge_with(name, value, Vec::new());
+}
+
+/// [`gauge`] with attributes (e.g. the progress attrs `done`, `total`,
+/// `per_sec`, `eta_s` that [`ProgressSink`] renders).
+pub fn gauge_with(name: &'static str, value: f64, attrs: Vec<(String, String)>) {
+    if !enabled() {
+        return;
+    }
+    let mut e = Event {
+        kind: EventKind::Gauge,
+        name: name.to_string(),
+        id: 0,
+        parent: 0,
+        thread: 0,
+        t_us: now_us(),
+        dur_us: 0,
+        value,
+        attrs,
+    };
+    fill_thread_fields(&mut e);
+    emit_event(e);
+}
+
+/// Test helper: runs `f` with a fresh [`MemorySink`] installed and
+/// returns the events it captured. Serialized across threads (the sink
+/// registry is global), so concurrent `test_capture` calls — e.g. from
+/// different `#[test]`s — cannot observe each other's events.
+pub fn test_capture(f: impl FnOnce()) -> Vec<Event> {
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let sink = Arc::new(MemorySink::new());
+    let handle = install_sink(sink.clone());
+    f();
+    remove_sink(handle);
+    sink.events()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_emission_is_inert() {
+        // Not under test_capture: relies on no sink being installed on
+        // entry, which test_capture's lock guarantees for others.
+        let events = test_capture(|| {});
+        assert!(events.is_empty());
+        let span = span("never.recorded");
+        assert!(!span.is_active());
+        assert_eq!(span.id(), 0);
+        drop(span);
+        counter("never.counted", 1);
+    }
+
+    #[test]
+    fn spans_nest_and_attrs_land_on_end_events() {
+        let events = test_capture(|| {
+            let mut outer = span("outer").attr("n", 16);
+            {
+                let _inner = span("inner");
+                counter("steps", 2);
+                counter("steps", 3);
+            }
+            outer.add_attr("result", "ok");
+        });
+        let ends: Vec<&Event> = events.iter().filter(|e| e.kind == EventKind::SpanEnd).collect();
+        assert_eq!(ends.len(), 2);
+        let inner = ends.iter().find(|e| e.name == "inner").unwrap();
+        let outer = ends.iter().find(|e| e.name == "outer").unwrap();
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(outer.parent, 0);
+        assert_eq!(outer.attr("n"), Some("16"));
+        assert_eq!(outer.attr("result"), Some("ok"));
+        assert!(inner.id > outer.id, "child ids allocate after parents");
+        let steps: f64 = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Counter && e.name == "steps")
+            .map(|e| e.value)
+            .sum();
+        assert_eq!(steps, 5.0);
+        // Counters nest under the span open at emission time.
+        for c in events.iter().filter(|e| e.kind == EventKind::Counter) {
+            assert_eq!(c.parent, inner.id);
+        }
+    }
+
+    #[test]
+    fn cross_thread_spans_nest_under_explicit_parent() {
+        let events = test_capture(|| {
+            let coordinator = span("coordinator");
+            let parent_id = coordinator.id();
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(move || {
+                        let _shard = span_under("shard", parent_id);
+                        counter("shard.work", 1);
+                    });
+                }
+            });
+        });
+        let coord = events.iter().find(|e| e.kind == EventKind::SpanEnd && e.name == "coordinator");
+        let coord_id = coord.expect("coordinator ended").id;
+        let shards: Vec<&Event> =
+            events.iter().filter(|e| e.kind == EventKind::SpanEnd && e.name == "shard").collect();
+        assert_eq!(shards.len(), 2);
+        for s in shards {
+            assert_eq!(s.parent, coord_id);
+        }
+    }
+
+    #[test]
+    fn trace_file_roundtrip_through_report() {
+        let dir = std::env::temp_dir().join("snet-obs-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.jsonl");
+        let path = path.to_str().unwrap();
+        {
+            static LOCK: Mutex<()> = Mutex::new(());
+            let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+            let handle =
+                install_sink(Arc::new(JsonlSink::create(path).expect("create trace file")));
+            RunManifest::capture("obs-test").emit();
+            {
+                let _outer = span("phase.outer").attr("k", 3);
+                let _inner = span("phase.inner");
+                counter("work.items", 7);
+                gauge("work.progress", 1.0);
+            }
+            remove_sink(handle);
+        }
+        let text = std::fs::read_to_string(path).unwrap();
+        let report = report::parse_trace(&text).expect("trace parses");
+        assert!(report.has_span("phase.outer"));
+        assert!(report.has_span("phase.inner"));
+        assert_eq!(report.counters["work.items"].total, 7.0);
+        assert_eq!(report.gauges["work.progress"], 1.0);
+        let manifest = report.manifest.as_ref().expect("manifest recorded");
+        assert!(manifest.iter().any(|(k, v)| k == "tool" && v == "obs-test"));
+        let rendered = report::render(&report);
+        assert!(rendered.contains("phase.outer") && rendered.contains("work.items"));
+    }
+}

@@ -1,0 +1,149 @@
+//! The [`RunManifest`]: provenance captured once at run start so every
+//! trace file and `results/*.json` row records what produced it.
+
+use crate::event::{write_json_string, Event, EventKind};
+
+/// Schema identifier stamped into every manifest; bump on breaking
+/// changes so stale result files are detectable.
+pub const MANIFEST_SCHEMA: &str = "snet-obs-manifest/1";
+
+/// Provenance of one run: what binary, on what commit, with what
+/// toolchain and parallelism, started when, on which host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunManifest {
+    /// [`MANIFEST_SCHEMA`].
+    pub schema: String,
+    /// The producing tool (e.g. `snetctl`, `engine_baseline`).
+    pub tool: String,
+    /// Command-line arguments after the binary name.
+    pub args: Vec<String>,
+    /// `git rev-parse HEAD` of the working tree, or `unknown`.
+    pub git_commit: String,
+    /// `rustc -V` of the toolchain on `PATH`, or `unknown`.
+    pub rustc_version: String,
+    /// [`std::thread::available_parallelism`] at capture time.
+    pub available_parallelism: usize,
+    /// The raw `SNET_THREADS` environment override, if set.
+    pub snet_threads: Option<String>,
+    /// Milliseconds since the Unix epoch at capture time.
+    pub started_unix_ms: u64,
+    /// `std::env::consts::OS`.
+    pub os: String,
+    /// `std::env::consts::ARCH`.
+    pub arch: String,
+    /// `$HOSTNAME`, or `unknown`.
+    pub host: String,
+}
+
+fn command_line(bin: &str, args: &[&str]) -> Option<String> {
+    let out = std::process::Command::new(bin).args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    if text.is_empty() {
+        None
+    } else {
+        Some(text)
+    }
+}
+
+impl RunManifest {
+    /// Captures the manifest for `tool` from the current environment.
+    /// Never fails: unavailable fields degrade to `"unknown"`.
+    pub fn capture(tool: &str) -> Self {
+        RunManifest {
+            schema: MANIFEST_SCHEMA.to_string(),
+            tool: tool.to_string(),
+            args: std::env::args().skip(1).collect(),
+            git_commit: command_line("git", &["rev-parse", "HEAD"])
+                .unwrap_or_else(|| "unknown".into()),
+            rustc_version: command_line("rustc", &["-V"]).unwrap_or_else(|| "unknown".into()),
+            available_parallelism: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            snet_threads: std::env::var("SNET_THREADS").ok(),
+            started_unix_ms: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            host: std::env::var("HOSTNAME").unwrap_or_else(|_| "unknown".into()),
+        }
+    }
+
+    /// The manifest as flat string key/value pairs (the event-attr and
+    /// report representation).
+    pub fn fields(&self) -> Vec<(String, String)> {
+        vec![
+            ("schema".into(), self.schema.clone()),
+            ("tool".into(), self.tool.clone()),
+            ("args".into(), self.args.join(" ")),
+            ("git_commit".into(), self.git_commit.clone()),
+            ("rustc_version".into(), self.rustc_version.clone()),
+            ("available_parallelism".into(), self.available_parallelism.to_string()),
+            ("snet_threads".into(), self.snet_threads.clone().unwrap_or_else(|| "unset".into())),
+            ("started_unix_ms".into(), self.started_unix_ms.to_string()),
+            ("os".into(), self.os.clone()),
+            ("arch".into(), self.arch.clone()),
+            ("host".into(), self.host.clone()),
+        ]
+    }
+
+    /// Renders the manifest as one flat JSON object (all values strings),
+    /// suitable for embedding into a larger JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.fields().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&mut out, k);
+            out.push(':');
+            write_json_string(&mut out, v);
+        }
+        out.push('}');
+        out
+    }
+
+    /// The manifest as an [`Event`] (kind [`EventKind::Manifest`]).
+    pub fn to_event(&self) -> Event {
+        Event {
+            kind: EventKind::Manifest,
+            name: "run.manifest".into(),
+            id: 0,
+            parent: 0,
+            thread: 0,
+            t_us: crate::now_us(),
+            dur_us: 0,
+            value: 0.0,
+            attrs: self.fields(),
+        }
+    }
+
+    /// Emits the manifest to every installed sink (no-op when disabled).
+    pub fn emit(&self) {
+        crate::emit_event(self.to_event());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_is_total_and_json_parses() {
+        let m = RunManifest::capture("unit-test");
+        assert_eq!(m.schema, MANIFEST_SCHEMA);
+        assert_eq!(m.tool, "unit-test");
+        assert!(m.available_parallelism >= 1);
+        assert!(!m.os.is_empty() && !m.arch.is_empty());
+        // The flat-JSON form parses back through the report-side parser.
+        let line = m.to_event().to_json_line();
+        let back = crate::report::parse_event_line(&line).expect("manifest line parses");
+        assert_eq!(back.kind, EventKind::Manifest);
+        assert_eq!(back.attr("tool"), Some("unit-test"));
+        assert_eq!(back.attr("schema"), Some(MANIFEST_SCHEMA));
+    }
+}

@@ -1,0 +1,477 @@
+//! Reads a JSONL trace back into a [`Report`]: the reconstructed span
+//! tree plus counter and gauge summaries. This is what `snetctl report`
+//! renders.
+//!
+//! The parser handles exactly the JSON subset [`Event::to_json_line`]
+//! emits — flat objects of strings and numbers plus one nested
+//! string→string `attrs` object — keeping the crate dependency-free.
+
+use crate::event::{Event, EventKind};
+use std::collections::BTreeMap;
+
+/// One reconstructed span with its children (children sorted by start
+/// time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Span name.
+    pub name: String,
+    /// Span id.
+    pub id: u64,
+    /// Emitting thread ordinal.
+    pub thread: u64,
+    /// Start time (µs since the run epoch).
+    pub start_us: u64,
+    /// Wall duration in µs.
+    pub dur_us: u64,
+    /// Attributes attached over the span's lifetime.
+    pub attrs: Vec<(String, String)>,
+    /// Nested spans.
+    pub children: Vec<SpanNode>,
+}
+
+/// Aggregated view of one counter name.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CounterSummary {
+    /// Number of increments observed.
+    pub increments: u64,
+    /// Sum of all deltas.
+    pub total: f64,
+}
+
+/// A parsed trace: manifest, span forest, counter and gauge summaries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// The run manifest's key/value pairs, if the trace recorded one.
+    pub manifest: Option<Vec<(String, String)>>,
+    /// Root spans in start order.
+    pub roots: Vec<SpanNode>,
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, CounterSummary>,
+    /// Last-seen gauge value by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Events parsed.
+    pub events: usize,
+}
+
+impl Report {
+    /// True iff a span with this name exists anywhere in the forest.
+    pub fn has_span(&self, name: &str) -> bool {
+        fn walk(nodes: &[SpanNode], name: &str) -> bool {
+            nodes.iter().any(|n| n.name == name || walk(&n.children, name))
+        }
+        walk(&self.roots, name)
+    }
+
+    /// All span names in the forest, pre-order, with duplicates.
+    pub fn span_names(&self) -> Vec<String> {
+        fn walk(nodes: &[SpanNode], out: &mut Vec<String>) {
+            for n in nodes {
+                out.push(n.name.clone());
+                walk(&n.children, out);
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.roots, &mut out);
+        out
+    }
+}
+
+/// Parses a whole JSONL trace. Fails on the first malformed line
+/// (reporting its number); an empty file yields an empty report.
+pub fn parse_trace(text: &str) -> Result<Report, String> {
+    let mut report = Report::default();
+    // id → finished span (start, dur, name, parent, thread, attrs).
+    let mut ended: Vec<Event> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let ev = parse_event_line(line)
+            .ok_or_else(|| format!("line {}: not a trace event: {line}", lineno + 1))?;
+        report.events += 1;
+        match ev.kind {
+            EventKind::Manifest => report.manifest = Some(ev.attrs),
+            EventKind::Counter => {
+                let c = report.counters.entry(ev.name).or_default();
+                c.increments += 1;
+                c.total += ev.value;
+            }
+            EventKind::Gauge => {
+                report.gauges.insert(ev.name, ev.value);
+            }
+            EventKind::SpanStart => {}
+            EventKind::SpanEnd => ended.push(ev),
+        }
+    }
+    report.roots = build_forest(ended);
+    Ok(report)
+}
+
+/// Assembles finished spans into a forest. Orphans (parent id never
+/// ended, e.g. a truncated trace) are promoted to roots.
+fn build_forest(ended: Vec<Event>) -> Vec<SpanNode> {
+    let known: std::collections::BTreeSet<u64> = ended.iter().map(|e| e.id).collect();
+    let mut children_of: BTreeMap<u64, Vec<SpanNode>> = BTreeMap::new();
+    let mut order: Vec<(u64, u64)> = Vec::new(); // (id, parent)
+    for e in &ended {
+        order.push((e.id, e.parent));
+    }
+    // Build leaves-first: process in descending id order (a child's id is
+    // always allocated after its parent's).
+    let mut by_id: BTreeMap<u64, Event> = ended.into_iter().map(|e| (e.id, e)).collect();
+    let ids: Vec<u64> = by_id.keys().rev().copied().collect();
+    for id in ids {
+        let e = by_id.remove(&id).expect("present");
+        let mut kids = children_of.remove(&id).unwrap_or_default();
+        kids.sort_by_key(|c| c.start_us);
+        let node = SpanNode {
+            name: e.name,
+            id: e.id,
+            thread: e.thread,
+            start_us: e.t_us.saturating_sub(e.dur_us),
+            dur_us: e.dur_us,
+            attrs: e.attrs,
+            children: kids,
+        };
+        let parent = if known.contains(&e.parent) { e.parent } else { 0 };
+        children_of.entry(parent).or_default().push(node);
+    }
+    let mut roots = children_of.remove(&0).unwrap_or_default();
+    roots.sort_by_key(|r| r.start_us);
+    roots
+}
+
+/// Renders a report as human-readable text: manifest header, span tree
+/// with durations and attrs, counter and gauge tables.
+pub fn render(report: &Report) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if let Some(manifest) = &report.manifest {
+        let _ = writeln!(out, "run manifest:");
+        for (k, v) in manifest {
+            let _ = writeln!(out, "  {k:<24} {v}");
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out, "span tree ({} events):", report.events);
+    fn node(out: &mut String, n: &SpanNode, depth: usize) {
+        use std::fmt::Write as _;
+        let indent = "  ".repeat(depth + 1);
+        let attrs = if n.attrs.is_empty() {
+            String::new()
+        } else {
+            let kv: Vec<String> = n.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("  [{}]", kv.join(" "))
+        };
+        let _ = writeln!(out, "{indent}{:<32} {:>12}{attrs}", n.name, human_us(n.dur_us));
+        for c in &n.children {
+            node(out, c, depth + 1);
+        }
+    }
+    for root in &report.roots {
+        node(&mut out, root, 0);
+    }
+    if report.roots.is_empty() {
+        let _ = writeln!(out, "  (no spans)");
+    }
+    if !report.counters.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "{:<34} {:>14} {:>12}", "counter", "total", "increments");
+        for (name, c) in &report.counters {
+            let _ = writeln!(
+                out,
+                "{name:<34} {:>14} {:>12}",
+                crate::event::fmt_f64(c.total),
+                c.increments
+            );
+        }
+    }
+    if !report.gauges.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "{:<34} {:>14}", "gauge (last)", "value");
+        for (name, v) in &report.gauges {
+            let _ = writeln!(out, "{name:<34} {:>14}", crate::event::fmt_f64(*v));
+        }
+    }
+    out
+}
+
+/// `1234567` µs → `"1.235s"`; adaptive µs/ms/s units.
+pub fn human_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.3}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON parsing for the emitted subset.
+// ---------------------------------------------------------------------
+
+/// Parses one JSONL trace line back into an [`Event`]. Returns `None`
+/// for anything [`Event::to_json_line`] could not have produced.
+pub fn parse_event_line(line: &str) -> Option<Event> {
+    let mut p = Parser { b: line.as_bytes(), i: 0 };
+    let fields = p.object()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return None;
+    }
+    let mut ev = Event {
+        kind: EventKind::Counter,
+        name: String::new(),
+        id: 0,
+        parent: 0,
+        thread: 0,
+        t_us: 0,
+        dur_us: 0,
+        value: 0.0,
+        attrs: Vec::new(),
+    };
+    let mut saw_type = false;
+    for (key, val) in fields {
+        match (key.as_str(), val) {
+            ("type", JsonValue::Str(s)) => {
+                ev.kind = EventKind::from_wire_name(&s)?;
+                saw_type = true;
+            }
+            ("name", JsonValue::Str(s)) => ev.name = s,
+            ("id", JsonValue::Num(v)) => ev.id = v as u64,
+            ("parent", JsonValue::Num(v)) => ev.parent = v as u64,
+            ("thread", JsonValue::Num(v)) => ev.thread = v as u64,
+            ("t_us", JsonValue::Num(v)) => ev.t_us = v as u64,
+            ("dur_us", JsonValue::Num(v)) => ev.dur_us = v as u64,
+            ("value", JsonValue::Num(v)) => ev.value = v,
+            ("attrs", JsonValue::Obj(kv)) => {
+                ev.attrs = kv
+                    .into_iter()
+                    .map(|(k, v)| match v {
+                        JsonValue::Str(s) => Some((k, s)),
+                        _ => None,
+                    })
+                    .collect::<Option<Vec<_>>>()?;
+            }
+            _ => return None,
+        }
+    }
+    if !saw_type {
+        return None;
+    }
+    Some(ev)
+}
+
+enum JsonValue {
+    Str(String),
+    Num(f64),
+    Obj(Vec<(String, JsonValue)>),
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Option<()> {
+        self.ws();
+        if self.i < self.b.len() && self.b[self.i] == c {
+            self.i += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn object(&mut self) -> Option<Vec<(String, JsonValue)>> {
+        self.eat(b'{')?;
+        let mut out = Vec::new();
+        self.ws();
+        if self.i < self.b.len() && self.b[self.i] == b'}' {
+            self.i += 1;
+            return Some(out);
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            let val = self.value()?;
+            out.push((key, val));
+            self.ws();
+            match self.b.get(self.i)? {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Some(out);
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn value(&mut self) -> Option<JsonValue> {
+        self.ws();
+        match self.b.get(self.i)? {
+            b'"' => Some(JsonValue::Str(self.string()?)),
+            b'{' => Some(JsonValue::Obj(self.object()?)),
+            _ => self.number(),
+        }
+    }
+
+    fn number(&mut self) -> Option<JsonValue> {
+        let start = self.i;
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i]).ok()?.parse().ok().map(JsonValue::Num)
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match *self.b.get(self.i)? {
+                b'"' => {
+                    self.i += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match *self.b.get(self.i)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.b.get(self.i + 1..self.i + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.i += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.i += 1;
+                }
+                c if c < 0x80 => {
+                    out.push(c as char);
+                    self.i += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the full scalar.
+                    let s = std::str::from_utf8(&self.b[self.i..]).ok()?;
+                    let ch = s.chars().next()?;
+                    out.push(ch);
+                    self.i += ch.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(kind: EventKind, name: &str, id: u64, parent: u64, t: u64, dur: u64) -> String {
+        Event {
+            kind,
+            name: name.into(),
+            id,
+            parent,
+            thread: 0,
+            t_us: t,
+            dur_us: dur,
+            value: 0.0,
+            attrs: Vec::new(),
+        }
+        .to_json_line()
+    }
+
+    #[test]
+    fn forest_reconstruction_nests_and_orders() {
+        // compile(1) { lower(2), pass(3) }  check(4) { shard(5), shard(6) }
+        let text = [
+            line(EventKind::SpanEnd, "ir.lower", 2, 1, 20, 10),
+            line(EventKind::SpanEnd, "ir.pass", 3, 1, 40, 15),
+            line(EventKind::SpanEnd, "ir.compile", 1, 0, 50, 45),
+            line(EventKind::SpanEnd, "check.shard", 6, 4, 90, 9),
+            line(EventKind::SpanEnd, "check.shard", 5, 4, 80, 15),
+            line(EventKind::SpanEnd, "check.zero_one", 4, 0, 100, 40),
+        ]
+        .join("\n");
+        let report = parse_trace(&text).expect("parses");
+        assert_eq!(report.roots.len(), 2);
+        assert_eq!(report.roots[0].name, "ir.compile");
+        let names: Vec<&str> = report.roots[0].children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["ir.lower", "ir.pass"]);
+        assert_eq!(report.roots[1].children.len(), 2);
+        // Children sorted by start time: shard 5 starts at 65, shard 6 at 81.
+        assert!(report.roots[1].children[0].start_us <= report.roots[1].children[1].start_us);
+        assert!(report.has_span("check.shard"));
+        assert!(!report.has_span("nonexistent"));
+        let rendered = render(&report);
+        assert!(rendered.contains("ir.compile"));
+        assert!(rendered.contains("check.zero_one"));
+    }
+
+    #[test]
+    fn counters_and_gauges_aggregate() {
+        let mut ev = Event {
+            kind: EventKind::Counter,
+            name: "check.inputs".into(),
+            id: 0,
+            parent: 0,
+            thread: 0,
+            t_us: 0,
+            dur_us: 0,
+            value: 64.0,
+            attrs: Vec::new(),
+        };
+        let mut lines = vec![ev.to_json_line(), ev.to_json_line()];
+        ev.kind = EventKind::Gauge;
+        ev.name = "check.progress".into();
+        ev.value = 0.5;
+        lines.push(ev.to_json_line());
+        ev.value = 1.0;
+        lines.push(ev.to_json_line());
+        let report = parse_trace(&lines.join("\n")).unwrap();
+        let c = report.counters.get("check.inputs").unwrap();
+        assert_eq!(c.increments, 2);
+        assert_eq!(c.total, 128.0);
+        assert_eq!(report.gauges.get("check.progress"), Some(&1.0));
+        assert!(render(&report).contains("check.inputs"));
+    }
+
+    #[test]
+    fn orphan_spans_become_roots_and_bad_lines_error() {
+        let text = line(EventKind::SpanEnd, "lost.child", 9, 4, 10, 5);
+        let report = parse_trace(&text).unwrap();
+        assert_eq!(report.roots.len(), 1);
+        assert_eq!(report.roots[0].name, "lost.child");
+        assert!(parse_trace("not json at all").is_err());
+        assert!(parse_trace("{\"no_type\": 1}").is_err());
+        assert_eq!(parse_trace("").unwrap().events, 0);
+    }
+
+    #[test]
+    fn human_us_units() {
+        assert_eq!(human_us(5), "5µs");
+        assert_eq!(human_us(1_500), "1.50ms");
+        assert_eq!(human_us(2_500_000), "2.500s");
+    }
+}
