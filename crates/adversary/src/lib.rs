@@ -17,7 +17,10 @@
 //!   each level after seeing all previous comparison outcomes;
 //! * [`truncated`] — the Section 5 `f(n)`-stage variant over forests of
 //!   truncated reverse delta networks;
-//! * [`setfam`] — sparse disjoint set families.
+//! * [`setfam`] — sparse disjoint set families;
+//! * [`oracle`] — the bound repackaged as an admissible residual-depth
+//!   floor ([`DepthOracle`]) pruning the `snet-search` depth-optimal
+//!   engine.
 
 //!
 //! ## Example
@@ -45,6 +48,7 @@ pub mod adaptive;
 pub mod certificate;
 pub mod lemma41;
 pub mod naive;
+pub mod oracle;
 pub mod setfam;
 pub mod theorem41;
 pub mod truncated;
@@ -54,6 +58,7 @@ pub use certificate::LowerBoundCertificate;
 pub use lemma41::{
     lemma41, lemma41_forest, lemma41_with, AdversaryConfig, Lemma41Output, OffsetPolicy, SetChoice,
 };
+pub use oracle::{DepthOracle, LayerModel};
 pub use theorem41::theorem41_with;
 pub use theorem41::{theorem41, Theorem41Output};
 pub use witness::{refute, refute_all_pairs, RefuteError, SortingRefutation};

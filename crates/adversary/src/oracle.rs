@@ -1,0 +1,175 @@
+//! The adversary bound as a search oracle: admissible lower bounds on the
+//! comparator depth still needed to sort a reachable 0-1 set.
+//!
+//! The depth-optimal search in `snet-search` explores prefixes of
+//! candidate networks; at each node it holds the prefix's reachable 0-1
+//! set `S` ([`snet_core::zeroone::ZeroOneSet`]) and a remaining layer
+//! budget `r`. [`DepthOracle::residual_floor`] returns a depth every
+//! suffix provably needs; whenever that floor exceeds `r`, the branch is
+//! cut, and because the floor is *admissible* (never overestimates) the
+//! cut can never remove an optimal network.
+//!
+//! Three ingredients, each a genuine theorem:
+//!
+//! * **Collapse bound.** A layer has at most `⌊n/2⌋` comparators, and a
+//!   comparator merges at most two distinct vectors onto one image, so one
+//!   layer maps a set of `m` same-popcount vectors onto at least
+//!   `m / 2^⌊n/2⌋` distinct vectors. Sorting leaves exactly one vector
+//!   per popcount class, hence depth `≥ ⌈log2(max_k |S_k|) / ⌊n/2⌋⌉`.
+//! * **Fan-in bound** (whole-network floor): every output of a sorting
+//!   network depends on all `n` inputs and comparators have fan-in 2, so
+//!   any sorting network needs depth `≥ ⌈lg n⌉`.
+//! * **Mixing bound** (shuffle-legal mode): the paper's machinery. A
+//!   network whose every stage routes by a fixed `ρ` cannot sort before
+//!   every register pair has become comparable;
+//!   [`snet_topology::mixing::comparison_closure_depth`] computes the
+//!   first stage at which that happens, a hard floor on the *total* depth
+//!   of any `ρ`-based sorting network. The residual floor is that total
+//!   minus the layers already spent.
+
+use snet_core::perm::Permutation;
+use snet_core::zeroone::ZeroOneSet;
+use snet_topology::mixing::comparison_closure_depth;
+
+/// Layer discipline the oracle is asked about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerModel {
+    /// Layers are arbitrary matchings of the `n` wires.
+    Unrestricted,
+    /// Every layer routes by the shuffle `σ` and then acts on register
+    /// pairs `(2k, 2k+1)` — the paper's model.
+    ShuffleLegal,
+}
+
+/// Admissible depth lower bounds for the search engine. Construct once
+/// per search; queries are cheap and lock-free.
+#[derive(Debug, Clone)]
+pub struct DepthOracle {
+    n: usize,
+    model: LayerModel,
+    /// `⌊n/2⌋` — comparators per layer.
+    layer_capacity: u32,
+    /// Mixing floor on the total depth of any sorting network in this
+    /// model (0 when no such floor applies).
+    total_floor: usize,
+}
+
+impl DepthOracle {
+    /// Oracle for unrestricted matching layers on `n` wires.
+    pub fn unrestricted(n: usize) -> Self {
+        assert!(n >= 1, "oracle needs at least one wire");
+        let fan_in_floor = if n <= 1 { 0 } else { (n - 1).ilog2() as usize + 1 };
+        DepthOracle {
+            n,
+            model: LayerModel::Unrestricted,
+            layer_capacity: (n / 2).max(1) as u32,
+            total_floor: fan_in_floor,
+        }
+    }
+
+    /// Oracle for shuffle-legal layers on `n = 2^l` wires: the total
+    /// floor is the larger of the fan-in bound and the paper's
+    /// comparison-closure depth of `σ`.
+    pub fn shuffle_legal(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "shuffle model needs n = 2^l >= 2");
+        let sigma = Permutation::shuffle(n);
+        let mixing = comparison_closure_depth(&sigma, 4 * n.ilog2() as usize + 8).unwrap_or(0);
+        let fan_in_floor = n.ilog2() as usize;
+        DepthOracle {
+            n,
+            model: LayerModel::ShuffleLegal,
+            layer_capacity: (n / 2) as u32,
+            total_floor: mixing.max(fan_in_floor),
+        }
+    }
+
+    /// Number of wires.
+    pub fn wires(&self) -> usize {
+        self.n
+    }
+
+    /// The layer discipline this oracle models.
+    pub fn model(&self) -> LayerModel {
+        self.model
+    }
+
+    /// Admissible floor on the **total** depth of any sorting network in
+    /// this model — the starting budget of iterative deepening.
+    pub fn network_floor(&self) -> usize {
+        self.total_floor.max(if self.n >= 2 { 1 } else { 0 })
+    }
+
+    /// Admissible floor on the depth any suffix needs to sort the
+    /// reachable set `state`, given that `used` layers were already
+    /// spent reaching it. Returns 0 iff the state may already be sorted.
+    pub fn residual_floor(&self, state: &ZeroOneSet, used: usize) -> usize {
+        if state.is_sorted_only() {
+            return 0;
+        }
+        // Unsorted vectors remain: at least one more layer.
+        let mut floor = 1usize;
+        // Collapse bound per popcount class.
+        let worst = state.max_class_len();
+        if worst > 1 {
+            let need_bits = usize::BITS - (worst - 1).leading_zeros(); // ceil(log2 worst)
+            floor = floor.max(need_bits.div_ceil(self.layer_capacity) as usize);
+        }
+        // Model-level floor on the total depth, minus what is spent.
+        floor.max(self.total_floor.saturating_sub(used))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_state_needs_nothing() {
+        let oracle = DepthOracle::unrestricted(8);
+        assert_eq!(oracle.residual_floor(&ZeroOneSet::sorted_only(8), 0), 0);
+    }
+
+    #[test]
+    fn full_cube_floor_matches_fan_in_bound() {
+        // From the full cube, residual_floor at used = 0 is the whole
+        // network floor; for n = 8 that is lg 8 = 3 (collapse gives
+        // ceil(log2 C(8,4)) / 4 = ceil(6.13)/4 -> 2, fan-in wins).
+        let oracle = DepthOracle::unrestricted(8);
+        assert_eq!(oracle.network_floor(), 3);
+        assert_eq!(oracle.residual_floor(&ZeroOneSet::full(8), 0), 3);
+        // Admissibility spot check: real optima are 1, 3, 3, 5, 5, 6, 6.
+        for (n, opt) in [(2usize, 1usize), (3, 3), (4, 3), (5, 5), (6, 5), (7, 6), (8, 6)] {
+            let o = DepthOracle::unrestricted(n);
+            assert!(
+                o.residual_floor(&ZeroOneSet::full(n), 0) <= opt,
+                "floor exceeds known optimum for n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffle_floor_dominates_fan_in_and_decreases_with_use() {
+        let oracle = DepthOracle::shuffle_legal(8);
+        let floor = oracle.network_floor();
+        assert!(floor >= 3, "shuffle total floor at least lg n");
+        // Spending layers reduces the residual mixing requirement.
+        let full = ZeroOneSet::full(8);
+        let at0 = oracle.residual_floor(&full, 0);
+        let at2 = oracle.residual_floor(&full, 2);
+        assert!(at2 <= at0);
+        assert!(at0 >= floor.min(at0));
+    }
+
+    #[test]
+    fn collapse_bound_activates_on_large_classes() {
+        // n = 4, layer capacity 2: a class of 5 vectors needs
+        // ceil(log2 5)/2 = ceil(2.32)/2 = 2 layers.
+        let oracle = DepthOracle::unrestricted(4);
+        let mut s = ZeroOneSet::empty(4);
+        // Five vectors of popcount 2 (out of C(4,2) = 6).
+        for x in [0b0011u64, 0b0101, 0b0110, 0b1001, 0b1010] {
+            s.insert(x);
+        }
+        assert!(oracle.residual_floor(&s, 10) >= 2);
+    }
+}

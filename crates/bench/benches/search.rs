@@ -1,0 +1,56 @@
+//! Criterion benches for the depth-optimal search engine: full
+//! iterative-deepening runs (the end-to-end number that gates n = 8
+//! feasibility), single-budget refutation rounds, and the per-layer
+//! compiled 0-1 set application that forms the DFS inner loop.
+//!
+//! `snet-bench/src/bin/search_frontier.rs` runs the same scenarios once
+//! and records states/sec and transposition hit rates to
+//! `results/search_frontier.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snet_core::prelude::{CompiledLayer, ZeroOneSet};
+use snet_search::{search, Layer, MoveSet, SearchConfig, SearchMode};
+
+/// End-to-end searches: floor-to-optimum iterative deepening including
+/// verification of the witness. Throughput is nodes visited per run,
+/// measured once up front (single-threaded runs are deterministic).
+fn bench_search_full(c: &mut Criterion) {
+    let mut g = c.benchmark_group("search");
+    g.sample_size(10);
+    for (label, n, mode) in [
+        ("unrestricted", 5usize, SearchMode::Unrestricted),
+        ("unrestricted", 6, SearchMode::Unrestricted),
+        ("shuffle-legal", 4, SearchMode::ShuffleLegal),
+    ] {
+        let mut cfg = SearchConfig::new(n, mode);
+        cfg.threads = 1;
+        let nodes = search(&cfg).totals.nodes;
+        g.throughput(Throughput::Elements(nodes));
+        g.bench_with_input(BenchmarkId::new(label, n), &cfg, |b, cfg| {
+            b.iter(|| search(cfg));
+        });
+    }
+    g.finish();
+}
+
+/// The DFS inner loop in isolation: applying one compiled layer to a
+/// reachable 0-1 set (masked word shifts, no per-vector iteration).
+fn bench_layer_application(c: &mut Criterion) {
+    let mut g = c.benchmark_group("search_layer_apply");
+    for n in [8usize, 12, 16] {
+        let moves = MoveSet::unrestricted(n);
+        let layer: &Layer = &moves.moves[moves.moves.len() / 2];
+        let compiled = CompiledLayer::compile(n, None, &layer.elements);
+        let state = ZeroOneSet::full(n);
+        let mut dst = state.clone();
+        let mut scratch = state.clone();
+        g.throughput(Throughput::Elements(1u64 << n));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| compiled.apply(&state, &mut dst, &mut scratch));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_search_full, bench_layer_application);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Experiment dispatcher: regenerates every table and figure series in
 //! EXPERIMENTS.md.
 //!
-//! Usage: `experiments <e1|…|e11|all> [--full] [--seed N] [--threads N]`
+//! Usage: `experiments <e1|…|e18|all> [--full] [--seed N] [--threads N]`
 
 use snet_bench::{run_experiment, ExpConfig};
 
@@ -34,7 +34,7 @@ fn main() {
         cfg.seed, cfg.full, cfg.threads
     );
     if !run_experiment(&id, &cfg) {
-        eprintln!("unknown experiment id {id}; use e1..e17 or all");
+        eprintln!("unknown experiment id {id}; use e1..e18 or all");
         std::process::exit(2);
     }
 }

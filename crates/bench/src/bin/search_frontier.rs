@@ -1,0 +1,165 @@
+//! Records the depth-optimal search frontier to
+//! `results/search_frontier.json` (schema `snet-search-frontier/2`, the
+//! same per-run shape `snetctl search --frontier-out` writes, wrapped in
+//! a `runs` array with derived throughput metrics).
+//!
+//! Per scenario (unrestricted n = 5..7, shuffle-legal n = 4): the
+//! adversary floor, measured optimal depth, per-budget round statistics,
+//! states/sec, and the transposition-table hit rate. The embedded run
+//! manifest pins commit, toolchain, and parallelism for provenance.
+//!
+//! Usage: `cargo run --release -p snet-bench --bin search_frontier
+//! [-- -o results/search_frontier.json] [--threads N] [--full]`
+
+use serde_json::Value;
+use snet_search::{search, SearchConfig, SearchMode, SearchOutcome, SearchStats};
+
+fn vu(v: u64) -> Value {
+    Value::Number(serde_json::Number::U(v))
+}
+
+fn vs(v: &str) -> Value {
+    Value::String(v.to_string())
+}
+
+fn vb(v: bool) -> Value {
+    Value::Bool(v)
+}
+
+fn vf(v: f64) -> Value {
+    Value::Number(serde_json::Number::F(v))
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// The run manifest (commit, toolchain, parallelism, …) as a JSON value,
+/// embedded into the results document for provenance.
+fn manifest_value(tool: &str) -> Value {
+    let json = snet_obs::RunManifest::capture(tool).to_json();
+    serde_json::from_str(&json).expect("manifest JSON parses")
+}
+
+fn stats_value(s: &SearchStats) -> Value {
+    obj(vec![
+        ("nodes", vu(s.nodes)),
+        ("tt_hits", vu(s.tt_hits)),
+        ("tt_misses", vu(s.tt_misses)),
+        ("tt_stores", vu(s.tt_stores)),
+        ("oracle_cuts", vu(s.oracle_cuts)),
+        ("subsumed", vu(s.subsumed)),
+        ("noop_skips", vu(s.noop_skips)),
+        ("tasks_run", vu(s.tasks_run)),
+        ("tasks_aborted", vu(s.tasks_aborted)),
+    ])
+}
+
+fn run_entry(outcome: &SearchOutcome) -> Value {
+    let rounds: Vec<Value> = outcome
+        .rounds
+        .iter()
+        .map(|r| {
+            obj(vec![
+                ("budget", vu(r.budget as u64)),
+                ("sat", vb(r.sat)),
+                ("tasks", vu(r.tasks as u64)),
+                ("elapsed_ms", vu(r.elapsed_ms)),
+                ("stats", stats_value(&r.stats)),
+            ])
+        })
+        .collect();
+    let elapsed_ms: u64 = outcome.rounds.iter().map(|r| r.elapsed_ms).sum();
+    let probes = outcome.totals.tt_hits + outcome.totals.tt_misses;
+    let states_per_sec = if elapsed_ms == 0 {
+        // Sub-millisecond run: round timing cannot resolve a rate.
+        Value::Null
+    } else {
+        vf(outcome.totals.nodes as f64 * 1000.0 / elapsed_ms as f64)
+    };
+    let tt_hit_rate =
+        if probes == 0 { Value::Null } else { vf(outcome.totals.tt_hits as f64 / probes as f64) };
+    eprintln!(
+        "[{} n={}] optimal depth {:?}, {} nodes in {} ms, tt hit rate {:.3}",
+        outcome.mode.name(),
+        outcome.n,
+        outcome.optimal_depth,
+        outcome.totals.nodes,
+        elapsed_ms,
+        if probes == 0 { 0.0 } else { outcome.totals.tt_hits as f64 / probes as f64 },
+    );
+    obj(vec![
+        ("n", vu(outcome.n as u64)),
+        ("mode", vs(outcome.mode.name())),
+        ("floor", vu(outcome.floor as u64)),
+        ("max_depth", vu(outcome.max_depth as u64)),
+        ("optimal_depth", outcome.optimal_depth.map(|d| vu(d as u64)).unwrap_or(Value::Null)),
+        ("verified", outcome.verified.map(vb).unwrap_or(Value::Null)),
+        ("elapsed_ms", vu(elapsed_ms)),
+        ("states_per_sec", states_per_sec),
+        ("tt_hit_rate", tt_hit_rate),
+        ("rounds", Value::Array(rounds)),
+        ("totals", stats_value(&outcome.totals)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::from("results/search_frontier.json");
+    let mut threads = 0usize;
+    let mut full = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" => {
+                i += 1;
+                out = args[i].clone();
+            }
+            "--threads" => {
+                i += 1;
+                threads = args[i].parse().expect("--threads takes a count");
+            }
+            "--full" => full = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut scenarios: Vec<(usize, SearchMode)> = vec![
+        (5, SearchMode::Unrestricted),
+        (6, SearchMode::Unrestricted),
+        (7, SearchMode::Unrestricted),
+        (4, SearchMode::ShuffleLegal),
+    ];
+    if full {
+        // ~2 minutes in release: the depth-5 refutation at n = 8.
+        scenarios.push((8, SearchMode::Unrestricted));
+    }
+
+    let runs: Vec<Value> = scenarios
+        .iter()
+        .map(|&(n, mode)| {
+            let mut cfg = SearchConfig::new(n, mode);
+            if threads > 0 {
+                cfg.threads = threads;
+            }
+            run_entry(&search(&cfg))
+        })
+        .collect();
+
+    let doc = obj(vec![
+        ("schema", vs("snet-search-frontier/2")),
+        ("schema_version", vu(2)),
+        ("manifest", manifest_value("search_frontier")),
+        ("runs", Value::Array(runs)),
+    ]);
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let text = serde_json::to_string_pretty(&doc).expect("serialize frontier");
+    std::fs::write(&out, text).expect("write frontier");
+    eprintln!("wrote {out}");
+}

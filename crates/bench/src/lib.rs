@@ -1,6 +1,6 @@
 //! # snet-bench — experiment harness
 //!
-//! One module per experiment in EXPERIMENTS.md (E1–E11), each regenerating
+//! One module per experiment in EXPERIMENTS.md (E1–E18), each regenerating
 //! its table/figure series; run them via the `experiments` binary:
 //!
 //! ```text
@@ -21,6 +21,7 @@ pub mod e14_halver;
 pub mod e15_hypercube;
 pub mod e16_verification;
 pub mod e17_redundancy;
+pub mod e18_search;
 pub mod e1_lemma;
 pub mod e2_theorem;
 pub mod e3_witness;
@@ -34,7 +35,7 @@ mod registry_tests;
 
 pub use common::ExpConfig;
 
-/// Runs one experiment by id ("e1" … "e17") or "all".
+/// Runs one experiment by id ("e1" … "e18") or "all".
 pub fn run_experiment(id: &str, cfg: &ExpConfig) -> bool {
     match id {
         "e1" => e1_lemma::run(cfg),
@@ -54,10 +55,11 @@ pub fn run_experiment(id: &str, cfg: &ExpConfig) -> bool {
         "e15" => e15_hypercube::run(cfg),
         "e16" => e16_verification::run(cfg),
         "e17" => e17_redundancy::run(cfg),
+        "e18" => e18_search::run(cfg),
         "all" => {
             for e in [
                 "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-                "e14", "e15", "e16", "e17",
+                "e14", "e15", "e16", "e17", "e18",
             ] {
                 println!("=== {} ===", e.to_uppercase());
                 run_experiment(e, cfg);

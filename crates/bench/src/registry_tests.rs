@@ -10,7 +10,7 @@ mod tests {
     fn unknown_ids_are_rejected() {
         let cfg = ExpConfig::default();
         assert!(!run_experiment("e0", &cfg));
-        assert!(!run_experiment("e18", &cfg));
+        assert!(!run_experiment("e19", &cfg));
         assert!(!run_experiment("", &cfg));
         assert!(!run_experiment("E1", &cfg), "ids are lowercase");
     }
@@ -22,14 +22,14 @@ mod tests {
         // and by the match-arm coverage below.
         let ids = [
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-            "e14", "e15", "e16", "e17",
+            "e14", "e15", "e16", "e17", "e18",
         ];
         // Compile-time-ish guarantee: the `all` list inside run_experiment
         // must cover the same ids; spot-run the cheapest experiment to
         // prove dispatch works end to end.
         let cfg = ExpConfig { full: false, threads: 1, ..Default::default() };
         assert!(run_experiment("e8", &cfg), "cheap experiment must dispatch and run");
-        assert_eq!(ids.len(), 17);
+        assert_eq!(ids.len(), 18);
     }
 
     #[test]

@@ -40,6 +40,7 @@ fn main() {
             Some("refute") => cmd_refute(&args[1..]),
             Some("verify") => cmd_verify(&args[1..]),
             Some("route") => cmd_route(&args[1..]),
+            Some("search") => cmd_search(&args[1..]),
             Some("render") => cmd_render(&args[1..]),
             Some("stats") => cmd_stats(&args[1..]),
             Some("passes") => cmd_passes(&args[1..]),
@@ -78,7 +79,13 @@ fn setup_observability(args: &mut Vec<String>) -> Result<(), String> {
         snet_obs::install_sink(Arc::new(snet_obs::ProgressSink::new()));
     }
     if trace_out.is_some() || progress {
-        snet_obs::RunManifest::capture("snetctl").emit();
+        let mut manifest = snet_obs::RunManifest::capture("snetctl");
+        // Reproducibility: any subcommand seed is provenance — thread it
+        // into the manifest so a trace file pins down the exact run.
+        if let Some(seed) = flag(args, "--seed") {
+            manifest = manifest.with_extra("seed", seed);
+        }
+        manifest.emit();
     }
     Ok(())
 }
@@ -115,13 +122,15 @@ fn print_usage() {
         "snetctl — comparator-network toolbox (shufflebound)\n\
          \n\
          commands:\n\
-         \x20 gen     --kind <bitonic|odd-even|pratt|periodic|brick|random-shuffle> \
+         \x20 gen     --kind <bitonic|odd-even|pratt|periodic|brick|random-shuffle|randomized> \
          --n N [--depth D] [--seed S] -o FILE\n\
          \x20 info    FILE                     print wires/depth/size\n\
          \x20 check   FILE [--exhaustive [--threads W]] [--trials T] [--seed S] [--no-passes]\n\
          \x20 refute  FILE [-o WITNESS] [--k K] [--explain]   (shuffle networks only)\n\
          \x20 verify  FILE WITNESS\n\
          \x20 route   --n N [--seed S | --perm a,b,c,…]\n\
+         \x20 search  --n N [--shuffle-legal] [--max-depth D] [--threads W]\n\
+         \x20         [--frontier-out FILE.json] [-o FILE]   minimum-depth sorting network\n\
          \x20 render  FILE [--svg | --dot]     diagram (ASCII default)\n\
          \x20 stats   FILE [--trials T] [--seed S]   sortedness statistics\n\
          \x20 passes  FILE                     run the optimizing IR pipeline, show per-pass effect\n\
@@ -165,6 +174,21 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
             let depth: usize = parse(flag(args, "--depth").ok_or("--depth required")?, "--depth")?;
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             NetworkFile::from_shuffle(&random_shuffle_network(n, depth, 1.0, &mut rng))
+        }
+        "randomized" => {
+            // The Section 5 randomized candidate: a seeded randomizing
+            // prefix, then a truncated bitonic suffix. Same --seed, same
+            // sampled network, byte for byte.
+            let l = n.trailing_zeros() as usize;
+            let depth: usize = parse(flag(args, "--depth").unwrap_or(&l.to_string()), "--depth")?;
+            let stages: usize =
+                parse(flag(args, "--stages").unwrap_or(&(l * l).to_string()), "--stages")?;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            NetworkFile::Circuit {
+                network: snet_sorters::randomized::randomized_then_bitonic(
+                    n, depth, stages, &mut rng,
+                ),
+            }
         }
         "random-ird" => {
             let l = n.trailing_zeros() as usize;
@@ -344,6 +368,139 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
     println!("Beneš depth : {} switch levels, {} comparators", net.depth(), net.size());
     println!("realized    : {}", realizes(&net, &perm));
     Ok(())
+}
+
+fn cmd_search(args: &[String]) -> Result<(), String> {
+    use snet_search::{SearchConfig, SearchMode};
+    let n: usize = parse(flag(args, "--n").ok_or("search requires --n")?, "--n")?;
+    if !(2..=16).contains(&n) {
+        return Err(format!("search supports 2 <= n <= 16 (got {n})"));
+    }
+    let mode = if has_flag(args, "--shuffle-legal") {
+        if !n.is_power_of_two() {
+            return Err(format!("--shuffle-legal requires n to be a power of two (got {n})"));
+        }
+        SearchMode::ShuffleLegal
+    } else {
+        SearchMode::Unrestricted
+    };
+    let mut cfg = SearchConfig::new(n, mode);
+    if let Some(d) = flag(args, "--max-depth") {
+        cfg.max_depth = parse(d, "--max-depth")?;
+    }
+    cfg.threads = match flag(args, "--threads") {
+        Some(t) => parse(t, "--threads")?,
+        None => default_engine_threads(),
+    };
+
+    let outcome = snet_search::search(&cfg);
+
+    // Everything printed here is schedule-independent (the per-round
+    // node/hit counters are not — they live in the frontier document).
+    println!(
+        "search: n = {n}, mode = {}, adversary floor = {}",
+        outcome.mode.name(),
+        outcome.floor
+    );
+    for round in &outcome.rounds {
+        let verdict = if round.sat { "satisfiable" } else { "refuted" };
+        println!(
+            "depth {:>2}: {verdict} ({} symmetry-broken prefix tasks)",
+            round.budget, round.tasks
+        );
+    }
+
+    if let Some(path) = flag(args, "--frontier-out") {
+        write_frontier(&outcome, path)?;
+        println!("frontier written to {path}");
+    }
+
+    let Some(depth) = outcome.optimal_depth else {
+        println!(
+            "no sorting network on {n} wires within depth {} ({})",
+            cfg.max_depth,
+            outcome.mode.name()
+        );
+        exit_flushed(7);
+    };
+    let net = outcome.network.as_ref().expect("witness network accompanies the depth");
+    println!("optimal depth: {depth} ({} comparators over {} wires)", net.size(), net.wires());
+    match outcome.verified {
+        Some(true) => println!("verified: sharded 0-1 check passed on all {} inputs", 1u64 << n),
+        other => return Err(format!("internal: witness failed the sharded 0-1 check ({other:?})")),
+    }
+    if let Some(out) = flag(args, "-o") {
+        let doc = match &outcome.shuffle {
+            Some(sn) => NetworkFile::from_shuffle(sn),
+            None => NetworkFile::Circuit { network: net.clone() },
+        };
+        doc.save(out)?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+/// Writes the `results/search_frontier.json` schema-v2 document: the run
+/// manifest plus per-budget frontier statistics. Unlike stdout, this
+/// includes the timing-dependent counters (nodes, table hits, aborts).
+fn write_frontier(outcome: &snet_search::SearchOutcome, path: &str) -> Result<(), String> {
+    use serde_json::Value;
+    fn vu(v: u64) -> Value {
+        Value::Number(serde_json::Number::U(v))
+    }
+    fn vb(v: bool) -> Value {
+        Value::Bool(v)
+    }
+    fn obj(fields: Vec<(&str, Value)>) -> Value {
+        Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+    fn stats_value(s: &snet_search::SearchStats) -> Value {
+        obj(vec![
+            ("nodes", vu(s.nodes)),
+            ("tt_hits", vu(s.tt_hits)),
+            ("tt_misses", vu(s.tt_misses)),
+            ("tt_stores", vu(s.tt_stores)),
+            ("oracle_cuts", vu(s.oracle_cuts)),
+            ("subsumed", vu(s.subsumed)),
+            ("noop_skips", vu(s.noop_skips)),
+            ("tasks_run", vu(s.tasks_run)),
+            ("tasks_aborted", vu(s.tasks_aborted)),
+        ])
+    }
+    let manifest: Value =
+        serde_json::from_str(&snet_obs::RunManifest::capture("snetctl").to_json())
+            .map_err(|e| format!("manifest: {e}"))?;
+    let rounds: Vec<Value> = outcome
+        .rounds
+        .iter()
+        .map(|r| {
+            obj(vec![
+                ("budget", vu(r.budget as u64)),
+                ("sat", vb(r.sat)),
+                ("tasks", vu(r.tasks as u64)),
+                ("elapsed_ms", vu(r.elapsed_ms)),
+                ("stats", stats_value(&r.stats)),
+            ])
+        })
+        .collect();
+    let doc = obj(vec![
+        ("schema", Value::String("snet-search-frontier/2".into())),
+        ("schema_version", vu(2)),
+        ("manifest", manifest),
+        ("n", vu(outcome.n as u64)),
+        ("mode", Value::String(outcome.mode.name().into())),
+        ("floor", vu(outcome.floor as u64)),
+        ("max_depth", vu(outcome.max_depth as u64)),
+        ("optimal_depth", outcome.optimal_depth.map(|d| vu(d as u64)).unwrap_or(Value::Null)),
+        ("verified", outcome.verified.map(vb).unwrap_or(Value::Null)),
+        ("rounds", Value::Array(rounds)),
+        ("totals", stats_value(&outcome.totals)),
+    ]);
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(path, serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?)
+        .map_err(|e| format!("{path}: {e}"))
 }
 
 fn cmd_render(args: &[String]) -> Result<(), String> {

@@ -407,3 +407,116 @@ fn refute_recognizes_circuit_files_in_the_class() {
     let out = snetctl(&["refute", &g]);
     assert!(!out.status.success());
 }
+
+/// Like [`snetctl`] but with `SNET_THREADS` pinned, for determinism tests.
+fn snetctl_threads(args: &[&str], threads: &str) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_snetctl"))
+        .args(args)
+        .env("SNET_THREADS", threads)
+        .output()
+        .expect("snetctl should launch")
+}
+
+#[test]
+fn search_finds_known_optimum_and_emits_verified_network() {
+    let f = tmpfile("optimal5.json");
+    let fr = tmpfile("frontier5.json");
+    let out = snetctl(&["search", "--n", "5", "-o", &f, "--frontier-out", &fr]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("adversary floor = 3"), "{text}");
+    assert!(text.contains("optimal depth: 5 ("), "{text}");
+    assert!(text.contains("verified: sharded 0-1 check passed"), "{text}");
+    // The emitted witness is a real sorting network.
+    let out = snetctl(&["check", &f, "--exhaustive"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("sorted all 32"));
+    // The frontier document carries the schema and the embedded manifest.
+    let frontier = std::fs::read_to_string(&fr).unwrap();
+    assert!(frontier.contains("\"schema\": \"snet-search-frontier/2\""), "{frontier}");
+    assert!(frontier.contains("\"manifest\""));
+    assert!(frontier.contains("\"optimal_depth\": 5"));
+}
+
+#[test]
+fn search_is_thread_count_independent() {
+    // Same -o path both times so stdout (which echoes it) is comparable
+    // byte for byte; the acceptance bar for the parallel frontier.
+    let f = tmpfile("optimal6_det.json");
+    let a = snetctl_threads(&["search", "--n", "6", "-o", &f], "1");
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    let net_a = std::fs::read(&f).unwrap();
+    let b = snetctl_threads(&["search", "--n", "6", "-o", &f], "8");
+    assert!(b.status.success(), "{}", String::from_utf8_lossy(&b.stderr));
+    let net_b = std::fs::read(&f).unwrap();
+    assert_eq!(a.stdout, b.stdout, "stdout must be byte-identical across thread counts");
+    assert_eq!(net_a, net_b, "emitted network must be byte-identical across thread counts");
+    assert!(String::from_utf8_lossy(&a.stdout).contains("optimal depth: 5 ("));
+}
+
+#[test]
+fn search_reports_refutation_when_ceiling_is_too_low() {
+    let out = snetctl(&["search", "--n", "4", "--max-depth", "2"]);
+    assert_eq!(out.status.code(), Some(7), "refuted ceiling has its own exit code");
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("depth  2: refuted"), "{text}");
+    assert!(text.contains("no sorting network on 4 wires within depth 2"), "{text}");
+}
+
+#[test]
+fn search_shuffle_legal_emits_a_shuffle_file() {
+    let f = tmpfile("shuffle4.json");
+    let out = snetctl(&["search", "--n", "4", "--shuffle-legal", "-o", &f]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("mode = shuffle-legal"));
+    // The witness file round-trips as a shuffle-based document…
+    let out = snetctl(&["info", &f]);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("shuffle-based"));
+    // …and sorts.
+    let out = snetctl(&["check", &f, "--exhaustive"]);
+    assert!(out.status.success());
+    // Non-power-of-two widths are rejected up front in this mode.
+    let out = snetctl(&["search", "--n", "6", "--shuffle-legal"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("power of two"));
+}
+
+#[test]
+fn gen_randomized_is_seed_reproducible() {
+    let a = tmpfile("rand_a.json");
+    let b = tmpfile("rand_b.json");
+    let c = tmpfile("rand_c.json");
+    for (path, seed) in [(&a, "9"), (&b, "9"), (&c, "10")] {
+        let out =
+            snetctl(&["gen", "--kind", "randomized", "--n", "16", "--seed", seed, "-o", path]);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+    let (da, db, dc) =
+        (std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap(), std::fs::read(&c).unwrap());
+    assert_eq!(da, db, "same seed, same sampled network, byte for byte");
+    assert_ne!(da, dc, "different seed must resample the randomizing prefix");
+}
+
+#[test]
+fn seed_is_threaded_into_the_run_manifest() {
+    let f = tmpfile("rand_traced.json");
+    let tr = tmpfile("rand_trace.jsonl");
+    let out = snetctl(&[
+        "gen",
+        "--kind",
+        "randomized",
+        "--n",
+        "16",
+        "--seed",
+        "41",
+        "-o",
+        &f,
+        "--trace-out",
+        &tr,
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let trace = std::fs::read_to_string(&tr).unwrap();
+    let manifest_line =
+        trace.lines().find(|l| l.contains("run.manifest")).expect("manifest leads the trace");
+    assert!(manifest_line.contains("\"seed\":\"41\""), "{manifest_line}");
+}

@@ -9,9 +9,11 @@
 
 use super::passes::{PassManager, PassRecord};
 use super::program::Program;
+use crate::element::Element;
 use crate::network::{CmpEvent, ComparatorNetwork};
 use crate::register::RegisterNetwork;
 use crate::sortcheck::SortCheck;
+use crate::zeroone::ZeroOneSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -262,6 +264,62 @@ impl Executor {
     /// [`Program::unsorted_lanes_in_slots`].
     pub fn unsorted_lanes_in_slots(&self, slots: &[u64]) -> u64 {
         self.program.unsorted_lanes_in_slots(slots)
+    }
+
+    // ------------------------------------------------------------------
+    // Reachable-set 0-1 backend (the depth-search state abstraction).
+    // ------------------------------------------------------------------
+
+    /// Pushes a reachable 0-1 set through program levels
+    /// `levels.start..levels.end` — routes included, the final output
+    /// gather excluded. This is the incremental per-layer entry point the
+    /// depth-search engine drives: seed with [`ZeroOneSet::full`], apply a
+    /// level at a time, and test [`ZeroOneSet::is_sorted_only`].
+    ///
+    /// `scratch` must match `set` in wire count; both are rewritten.
+    pub fn apply_levels_01_set(
+        &self,
+        levels: std::ops::Range<usize>,
+        set: &mut ZeroOneSet,
+        scratch: &mut ZeroOneSet,
+    ) {
+        let p = &self.program;
+        assert!(levels.end <= p.depth(), "level range out of bounds");
+        assert_eq!(set.wires(), p.wires(), "set wire count mismatch");
+        assert_eq!(scratch.wires(), p.wires(), "scratch wire count mismatch");
+        let level_of = p.level_of();
+        let mut start = level_of.partition_point(|&l| (l as usize) < levels.start);
+        for lvl in levels {
+            if let Some(r) = &p.routes[lvl] {
+                set.apply_route_into(r, scratch);
+                std::mem::swap(set, scratch);
+            }
+            let end = start + level_of[start..].iter().take_while(|&&l| l as usize == lvl).count();
+            let ops = &p.ops()[start..end];
+            if !ops.is_empty() {
+                // Ops within a level touch disjoint slots, so applying them
+                // jointly per member index is exact.
+                let elements: Vec<Element> =
+                    ops.iter().map(|op| Element { a: op.a, b: op.b, kind: op.kind }).collect();
+                set.apply_elements_into(&elements, scratch);
+                std::mem::swap(set, scratch);
+            }
+            start = end;
+        }
+    }
+
+    /// The network's full reachable 0-1 output set: the image of the
+    /// `2^n` cube under the whole program (all levels plus the output
+    /// gather). A network sorts iff this is exactly the sorted set — the
+    /// set-level restatement of the 0-1 principle, differentially tested
+    /// against the lane scan.
+    pub fn reachable_01_set(&self) -> ZeroOneSet {
+        let n = self.wires();
+        let mut set = ZeroOneSet::full(n);
+        let mut scratch = ZeroOneSet::empty(n);
+        self.apply_levels_01_set(0..self.program.depth(), &mut set, &mut scratch);
+        set.apply_output_map_into(self.program.output_map(), &mut scratch);
+        scratch
     }
 
     /// Scans inputs `[from, to)` (both 64-aligned except `to == total`)
@@ -637,5 +695,84 @@ mod tests {
         assert_eq!(seen.last().unwrap().total, 1 << 8);
         assert!(seen.windows(2).all(|w| w[0].done <= w[1].done));
         assert!((seen.last().unwrap().fraction() - 1.0).abs() < 1e-12);
+    }
+
+    /// Brute-force reachable output set: evaluate every 0-1 input and
+    /// collect the outputs — the reference the set backend must match.
+    fn brute_force_reachable(exec: &Executor) -> ZeroOneSet {
+        let n = exec.wires();
+        let mut out = ZeroOneSet::empty(n);
+        for x in 0..(1u64 << n) {
+            let input: Vec<u32> = (0..n).map(|w| ((x >> w) & 1) as u32).collect();
+            let output = exec.evaluate(&input);
+            let y = output.iter().enumerate().fold(0u64, |acc, (w, &v)| acc | ((v as u64) << w));
+            out.insert(y);
+        }
+        out
+    }
+
+    fn odd_even_transposition(n: usize, passes: usize) -> ComparatorNetwork {
+        use crate::element::{Element, ElementKind};
+        use crate::network::Level;
+        let levels = (0..passes)
+            .map(|pass| {
+                Level::of_elements(
+                    (pass % 2..n - 1)
+                        .step_by(2)
+                        .map(|w| Element { a: w as u32, b: w as u32 + 1, kind: ElementKind::Cmp })
+                        .collect(),
+                )
+            })
+            .collect();
+        ComparatorNetwork::new(n, levels).expect("valid network")
+    }
+
+    #[test]
+    fn reachable_01_set_matches_brute_force_and_lane_scan() {
+        for (n, passes) in [(6usize, 6usize), (6, 3), (7, 7), (7, 4), (5, 2)] {
+            let net = odd_even_transposition(n, passes);
+            for exec in [Executor::compile(&net), Executor::compile_raw(&net)] {
+                let reach = exec.reachable_01_set();
+                assert_eq!(reach, brute_force_reachable(&exec), "n={n} passes={passes}");
+                // Set-level sortedness agrees with the lane scan verdict.
+                assert_eq!(
+                    reach.is_sorted_only(),
+                    exec.first_unsorted_01().is_none(),
+                    "n={n} passes={passes}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_levels_01_set_is_incremental() {
+        // A routed register-model lowering exercises the per-level route
+        // path; applying levels one at a time must equal one whole-range
+        // application.
+        use crate::element::ElementKind;
+        use crate::register::{RegisterNetwork, RegisterStage};
+        let n = 8usize;
+        let sigma = crate::perm::Permutation::shuffle(n);
+        let stages = (0..4)
+            .map(|i| RegisterStage {
+                perm: sigma.clone(),
+                ops: (0..n / 2)
+                    .map(|k| if (i + k) % 3 == 0 { ElementKind::CmpRev } else { ElementKind::Cmp })
+                    .collect(),
+            })
+            .collect();
+        let reg = RegisterNetwork::new(n, stages).expect("valid register network");
+        let exec = Executor::compile_register(&reg);
+        let depth = exec.program().depth();
+        let mut whole = ZeroOneSet::full(n);
+        let mut scratch = ZeroOneSet::empty(n);
+        exec.apply_levels_01_set(0..depth, &mut whole, &mut scratch);
+        let mut stepped = ZeroOneSet::full(n);
+        for lvl in 0..depth {
+            exec.apply_levels_01_set(lvl..lvl + 1, &mut stepped, &mut scratch);
+        }
+        assert_eq!(whole, stepped);
+        // And the gathered set matches brute force.
+        assert_eq!(exec.reachable_01_set(), brute_force_reachable(&exec));
     }
 }

@@ -175,6 +175,33 @@ mod tests {
     }
 
     #[test]
+    fn raising_round_trips_through_every_pipeline() {
+        // `Program::to_network` must replay the source mapping for the
+        // faithful lowering (structural identity) and for every pass
+        // pipeline (behavioural identity, gather level included).
+        for seed in 0..10u64 {
+            let n = 9;
+            let net = gnarly(n, seed);
+            let faithful = Program::from_network(&net).to_network();
+            assert_eq!(&faithful, &net, "faithful lowering raises to the identical circuit");
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xace);
+            for (name, pm) in all_pipelines() {
+                let mut prog = Program::from_network(&net);
+                pm.run(&mut prog);
+                let raised = prog.to_network();
+                for _ in 0..25 {
+                    let input: Vec<u32> = Permutation::random(n, &mut rng).images().to_vec();
+                    assert_eq!(
+                        raised.evaluate(&input),
+                        net.evaluate(&input),
+                        "pipeline {name} seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn compiled_lanes_match_scalar_on_01_inputs() {
         for seed in 0..10u64 {
             let n = 9;

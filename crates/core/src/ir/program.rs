@@ -162,6 +162,36 @@ impl Program {
         }
     }
 
+    /// Raises the program back to a leveled circuit: ops grouped by level
+    /// (per-level routes preserved verbatim), plus — when passes have
+    /// accumulated a non-identity relabeling — one final routing-only
+    /// level realizing the output gather. The result replays the program's
+    /// input→output mapping exactly; after the canonical pipeline it is a
+    /// route-free circuit suitable for structural analyses that reject
+    /// routes (e.g. `recognize`).
+    pub fn to_network(&self) -> ComparatorNetwork {
+        let mut levels: Vec<crate::network::Level> = (0..self.level_count as usize)
+            .map(|li| crate::network::Level {
+                route: self.routes[li].clone(),
+                elements: Vec::new(),
+            })
+            .collect();
+        for (op, &li) in self.ops.iter().zip(&self.level_of) {
+            levels[li as usize].elements.push(Element { a: op.a, b: op.b, kind: op.kind });
+        }
+        if self.output_map.iter().enumerate().any(|(w, &s)| w as u32 != s) {
+            // Output wire `w` reads slot `output_map[w]`, so the gather
+            // moves the value on slot `s` to the wire reading it.
+            let mut images = vec![0u32; self.n];
+            for (w, &s) in self.output_map.iter().enumerate() {
+                images[s as usize] = w as u32;
+            }
+            let gather = Permutation::from_images(images).expect("output map is a permutation");
+            levels.push(crate::network::Level::of_route(gather));
+        }
+        ComparatorNetwork::new(self.n, levels).expect("valid program raises to a valid network")
+    }
+
     /// Number of wires (= physical slots).
     #[inline]
     pub fn wires(&self) -> usize {

@@ -48,7 +48,6 @@
 #![warn(missing_docs)]
 
 pub mod batch;
-pub mod bitparallel;
 pub mod element;
 pub mod engine;
 pub mod ir;
@@ -59,6 +58,7 @@ pub mod register;
 pub mod sortcheck;
 pub mod trace;
 pub mod viz;
+pub mod zeroone;
 
 /// Convenient glob-import of the most-used items.
 pub mod prelude {
@@ -74,4 +74,5 @@ pub mod prelude {
         fraction_sorted, is_sorted, SortCheck,
     };
     pub use crate::trace::{AdjacentCoverage, ComparisonTrace};
+    pub use crate::zeroone::{CompiledLayer, ZeroOneSet};
 }

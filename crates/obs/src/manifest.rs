@@ -33,6 +33,10 @@ pub struct RunManifest {
     pub arch: String,
     /// `$HOSTNAME`, or `unknown`.
     pub host: String,
+    /// Tool-specific provenance appended by [`RunManifest::with_extra`]
+    /// (e.g. the `--seed` of a randomized run); rendered after the fixed
+    /// fields in declaration order.
+    pub extras: Vec<(String, String)>,
 }
 
 fn command_line(bin: &str, args: &[&str]) -> Option<String> {
@@ -70,13 +74,22 @@ impl RunManifest {
             os: std::env::consts::OS.to_string(),
             arch: std::env::consts::ARCH.to_string(),
             host: std::env::var("HOSTNAME").unwrap_or_else(|_| "unknown".into()),
+            extras: Vec::new(),
         }
+    }
+
+    /// Appends one tool-specific provenance pair (builder style). Keys
+    /// shadowing a fixed field are kept as-is: both appear, the extra
+    /// last, so readers keyed on the fixed schema are unaffected.
+    pub fn with_extra(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.extras.push((key.into(), value.into()));
+        self
     }
 
     /// The manifest as flat string key/value pairs (the event-attr and
     /// report representation).
     pub fn fields(&self) -> Vec<(String, String)> {
-        vec![
+        let mut out = vec![
             ("schema".into(), self.schema.clone()),
             ("tool".into(), self.tool.clone()),
             ("args".into(), self.args.join(" ")),
@@ -88,7 +101,9 @@ impl RunManifest {
             ("os".into(), self.os.clone()),
             ("arch".into(), self.arch.clone()),
             ("host".into(), self.host.clone()),
-        ]
+        ];
+        out.extend(self.extras.iter().cloned());
+        out
     }
 
     /// Renders the manifest as one flat JSON object (all values strings),
@@ -145,5 +160,15 @@ mod tests {
         assert_eq!(back.kind, EventKind::Manifest);
         assert_eq!(back.attr("tool"), Some("unit-test"));
         assert_eq!(back.attr("schema"), Some(MANIFEST_SCHEMA));
+    }
+
+    #[test]
+    fn extras_ride_after_the_fixed_fields() {
+        let m = RunManifest::capture("unit-test").with_extra("seed", "41");
+        let fields = m.fields();
+        assert_eq!(fields.last().map(|(k, v)| (k.as_str(), v.as_str())), Some(("seed", "41")));
+        let back = crate::report::parse_event_line(&m.to_event().to_json_line())
+            .expect("manifest line parses");
+        assert_eq!(back.attr("seed"), Some("41"));
     }
 }

@@ -1,0 +1,665 @@
+//! The iterative-deepening, work-stealing search engine.
+//!
+//! # Algorithm
+//!
+//! The state of a network prefix is its reachable 0-1 set
+//! ([`ZeroOneSet`]): the image of the full cube `{0,1}^n` under the
+//! prefix. A suffix completes the prefix into a sorting network iff it
+//! maps that set into the `n + 1` sorted vectors, so prefixes with equal
+//! states are interchangeable and the search runs over states, not
+//! networks.
+//!
+//! For each depth budget `b = floor, floor+1, …` (the floor comes from
+//! [`DepthOracle::network_floor`], seeded in shuffle mode by the paper's
+//! mixing bound) the engine enumerates symmetry-reduced two-layer
+//! prefixes ([`crate::layers`]), dedups them by state, and runs one DFS
+//! task per surviving prefix. A task's DFS prunes with, in order:
+//!
+//! 1. **Sat-on-entry** — sorted states succeed before the budget is
+//!    consulted, which keeps budget rounds monotone;
+//! 2. the **oracle cut** — [`DepthOracle::residual_floor`] exceeding the
+//!    remaining budget (admissible, so never cuts an optimal network);
+//! 3. the **transposition table** — canonical state (lexicographic
+//!    minimum of the state and, in unrestricted mode, its dual) known to
+//!    fail at least this budget;
+//! 4. **no-op skipping** — children whose layer leaves the state
+//!    unchanged (a minimal solution never needs such a layer);
+//! 5. **subsumption** — a child whose state contains another child's
+//!    state is dominated: any suffix sorting the superset sorts the
+//!    subset. Children are kept `⊆`-minimal, ties broken by lowest move
+//!    id, and visited in `(|state|, id)` order.
+//!
+//! # Determinism
+//!
+//! The result is identical for every thread count. Tasks are indexed in
+//! a fixed enumeration order; the first Sat *by index* wins. A worker
+//! aborts a task only when a strictly lower-indexed task has already
+//! succeeded, so every task below the winning index runs to completion
+//! (and is Unsat), making the winner — and its DFS path, which visits
+//! children in a fixed order — schedule-independent. The transposition
+//! table stores only refutations (true facts about states), so sharing
+//! it across threads prunes Unsat subtrees without ever changing which
+//! network is found. Node and cache counters *are* timing-dependent;
+//! they are reported in [`SearchStats`] for the frontier artifact and
+//! must be kept out of any output that claims byte-stability.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
+use parking_lot::Mutex;
+use snet_adversary::DepthOracle;
+use snet_core::ir::Executor;
+use snet_core::network::{ComparatorNetwork, Level};
+use snet_core::zeroone::{CompiledLayer, ZeroOneSet};
+use snet_topology::ShuffleNetwork;
+
+use crate::layers::{
+    canonical_first_layer, second_layer_reps, shuffle_first_stages, Layer, MoveSet,
+};
+use crate::tt::TransTable;
+
+/// Which layer discipline to search over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Layers are arbitrary non-empty matchings of the wires.
+    Unrestricted,
+    /// Every layer routes by the shuffle `σ` and acts on register pairs.
+    ShuffleLegal,
+}
+
+impl SearchMode {
+    /// Stable name used in CLI flags and result artifacts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SearchMode::Unrestricted => "unrestricted",
+            SearchMode::ShuffleLegal => "shuffle-legal",
+        }
+    }
+}
+
+/// Search parameters.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Number of wires (`2..=16` unrestricted; a power of two in shuffle
+    /// mode — the practical frontier is n ≤ 8).
+    pub n: usize,
+    /// Layer discipline.
+    pub mode: SearchMode,
+    /// Largest depth budget to try before giving up. When every budget up
+    /// to this is refuted the outcome carries `optimal_depth: None`,
+    /// itself a proof that no such network of depth ≤ `max_depth` exists.
+    pub max_depth: usize,
+    /// Worker threads (0 ⇒ 1). The result does not depend on this.
+    pub threads: usize,
+    /// Transposition-table capacity in facts.
+    pub tt_capacity: usize,
+}
+
+impl SearchConfig {
+    /// Defaults: 12-layer ceiling, single thread, 2^20-fact table.
+    pub fn new(n: usize, mode: SearchMode) -> Self {
+        SearchConfig { n, mode, max_depth: 12, threads: 1, tt_capacity: 1 << 20 }
+    }
+}
+
+/// Pruning and traversal counters. **Timing-dependent** under parallelism
+/// (which thread records a transposition fact first changes hit/miss
+/// splits) — report these in artifacts, never in byte-stable output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// DFS nodes entered.
+    pub nodes: u64,
+    /// Transposition probes answered by a stored refutation.
+    pub tt_hits: u64,
+    /// Transposition probes that missed (or hit a too-shallow fact).
+    pub tt_misses: u64,
+    /// Refutations recorded.
+    pub tt_stores: u64,
+    /// Branches cut by the adversary oracle's residual floor.
+    pub oracle_cuts: u64,
+    /// Children dropped by subsumption.
+    pub subsumed: u64,
+    /// Children skipped because their layer left the state unchanged.
+    pub noop_skips: u64,
+    /// Prefix tasks executed to completion.
+    pub tasks_run: u64,
+    /// Prefix tasks abandoned after a lower-indexed task succeeded.
+    pub tasks_aborted: u64,
+}
+
+impl SearchStats {
+    fn absorb(&mut self, other: &SearchStats) {
+        self.nodes += other.nodes;
+        self.tt_hits += other.tt_hits;
+        self.tt_misses += other.tt_misses;
+        self.tt_stores += other.tt_stores;
+        self.oracle_cuts += other.oracle_cuts;
+        self.subsumed += other.subsumed;
+        self.noop_skips += other.noop_skips;
+        self.tasks_run += other.tasks_run;
+        self.tasks_aborted += other.tasks_aborted;
+    }
+
+    /// Emits the counters as obs metrics under the `search.` namespace.
+    pub fn emit_counters(&self) {
+        snet_obs::counter("search.nodes", self.nodes);
+        snet_obs::counter("search.tt.hit", self.tt_hits);
+        snet_obs::counter("search.tt.miss", self.tt_misses);
+        snet_obs::counter("search.tt.store", self.tt_stores);
+        snet_obs::counter("search.oracle.cut", self.oracle_cuts);
+        snet_obs::counter("search.subsumed", self.subsumed);
+    }
+}
+
+/// One iterative-deepening round.
+#[derive(Debug, Clone)]
+pub struct BudgetRound {
+    /// The depth budget this round explored.
+    pub budget: usize,
+    /// Whether a sorting network of this depth was found.
+    pub sat: bool,
+    /// Symmetry- and state-deduplicated prefix tasks enumerated.
+    pub tasks: usize,
+    /// Counters for this round (timing-dependent; see [`SearchStats`]).
+    pub stats: SearchStats,
+    /// Wall-clock milliseconds spent in the round.
+    pub elapsed_ms: u64,
+}
+
+/// Result of a depth-optimal search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Number of wires searched.
+    pub n: usize,
+    /// Layer discipline searched.
+    pub mode: SearchMode,
+    /// The admissible total-depth floor the deepening started from.
+    pub floor: usize,
+    /// The configured budget ceiling.
+    pub max_depth: usize,
+    /// Minimum depth of a sorting network in this model, or `None` if
+    /// every budget up to `max_depth` was refuted.
+    pub optimal_depth: Option<usize>,
+    /// A witness network of that depth (leveled circuit form).
+    pub network: Option<ComparatorNetwork>,
+    /// The same witness as stage op vectors (shuffle mode only).
+    pub shuffle: Option<ShuffleNetwork>,
+    /// Whether the witness passed the sharded exhaustive 0-1 check
+    /// (`None` when there is no witness).
+    pub verified: Option<bool>,
+    /// Per-budget round records, in deepening order.
+    pub rounds: Vec<BudgetRound>,
+    /// Counters summed over all rounds.
+    pub totals: SearchStats,
+}
+
+/// A two-layer (or shorter) prefix queued as one parallel task.
+struct PrefixTask {
+    index: usize,
+    layer_ids: Vec<u32>,
+    state: ZeroOneSet,
+}
+
+enum Dfs {
+    Sat(Vec<u32>),
+    Unsat,
+    Aborted,
+}
+
+/// Runs the full iterative-deepening search described in the module docs.
+///
+/// # Panics
+///
+/// Panics if `n` is outside `2..=16`, if `max_depth` is below the model
+/// floor, or (shuffle mode) if `n` is not a power of two.
+pub fn search(cfg: &SearchConfig) -> SearchOutcome {
+    assert!((2..=16).contains(&cfg.n), "search supports 2..=16 wires (got {})", cfg.n);
+    let mut span = snet_obs::span("search.run");
+    span.add_attr("n", cfg.n);
+    span.add_attr("mode", cfg.mode.name());
+
+    let (moves, oracle) = match cfg.mode {
+        SearchMode::Unrestricted => {
+            (MoveSet::unrestricted(cfg.n), DepthOracle::unrestricted(cfg.n))
+        }
+        SearchMode::ShuffleLegal => {
+            (MoveSet::shuffle_legal(cfg.n), DepthOracle::shuffle_legal(cfg.n))
+        }
+    };
+    let floor = oracle.network_floor();
+    assert!(
+        cfg.max_depth >= floor,
+        "max_depth {} is below the admissible floor {floor}",
+        cfg.max_depth
+    );
+    let tt = TransTable::new(cfg.tt_capacity);
+    let threads = cfg.threads.max(1);
+    // Compile every move to masked-shift form once; DFS expansion then
+    // costs O(words) per candidate layer instead of O(set size).
+    let compiled: Vec<CompiledLayer> = moves
+        .moves
+        .iter()
+        .map(|layer| CompiledLayer::compile(cfg.n, moves.route.as_ref(), &layer.elements))
+        .collect();
+
+    let mut rounds = Vec::new();
+    let mut totals = SearchStats::default();
+    let mut witness_ids: Option<Vec<u32>> = None;
+
+    for budget in floor..=cfg.max_depth {
+        let started = Instant::now();
+        let tasks = prefix_tasks(cfg, &moves, budget);
+        let task_count = tasks.len();
+        let (winner, stats) =
+            run_round(cfg, &moves, &compiled, &oracle, &tt, budget, tasks, threads);
+        let sat = winner.is_some();
+        stats.emit_counters();
+        totals.absorb(&stats);
+        rounds.push(BudgetRound {
+            budget,
+            sat,
+            tasks: task_count,
+            stats,
+            elapsed_ms: started.elapsed().as_millis() as u64,
+        });
+        snet_obs::counter("search.rounds", 1);
+        if let Some(ids) = winner {
+            witness_ids = Some(ids);
+            break;
+        }
+    }
+
+    let optimal_depth = witness_ids.as_ref().map(|_| rounds.last().expect("sat round").budget);
+    let (network, shuffle) = match &witness_ids {
+        Some(ids) => reconstruct(cfg, &moves, ids),
+        None => (None, None),
+    };
+    let verified = network.as_ref().map(|net| {
+        let check = Executor::compile(net).check_zero_one(threads);
+        check.is_sorting()
+    });
+    span.add_attr("optimal_depth", optimal_depth.map(|d| d as i64).unwrap_or(-1));
+    SearchOutcome {
+        n: cfg.n,
+        mode: cfg.mode,
+        floor,
+        max_depth: cfg.max_depth,
+        optimal_depth,
+        network,
+        shuffle,
+        verified,
+        rounds,
+        totals,
+    }
+}
+
+/// Finds the move id of a layer by structural equality.
+fn move_id_of(moves: &MoveSet, layer: &Layer) -> u32 {
+    moves.moves.iter().position(|m| m == layer).expect("generated prefix layer is in the move set")
+        as u32
+}
+
+/// Applies one move to `state` (route, then elements), reusing `tmp`.
+fn apply_move(moves: &MoveSet, id: u32, state: &ZeroOneSet, tmp: &mut ZeroOneSet) -> ZeroOneSet {
+    let mut cur = state.clone();
+    if let Some(route) = &moves.route {
+        cur.apply_route_into(route, tmp);
+        std::mem::swap(&mut cur, tmp);
+    }
+    let layer = &moves.moves[id as usize];
+    if !layer.elements.is_empty() {
+        cur.apply_elements_into(&layer.elements, tmp);
+        std::mem::swap(&mut cur, tmp);
+    }
+    cur
+}
+
+/// Enumerates the symmetry-reduced, state-deduplicated prefix tasks for
+/// one budget round, in the fixed order that defines task indices.
+fn prefix_tasks(cfg: &SearchConfig, moves: &MoveSet, budget: usize) -> Vec<PrefixTask> {
+    let n = cfg.n;
+    let prefix_len = budget.min(2);
+    // First-layer candidates (already symmetry-reduced).
+    let firsts: Vec<u32> = match cfg.mode {
+        SearchMode::Unrestricted => vec![move_id_of(moves, &canonical_first_layer(n))],
+        SearchMode::ShuffleLegal => {
+            shuffle_first_stages(n).iter().map(|l| move_id_of(moves, l)).collect()
+        }
+    };
+    // Second-layer candidates (orbit representatives in unrestricted
+    // mode, the full move set in shuffle mode).
+    let seconds: Vec<u32> = if prefix_len < 2 {
+        Vec::new()
+    } else {
+        match cfg.mode {
+            SearchMode::Unrestricted => {
+                second_layer_reps(n).iter().map(|l| move_id_of(moves, l)).collect()
+            }
+            SearchMode::ShuffleLegal => (0..moves.moves.len() as u32).collect(),
+        }
+    };
+
+    let full = ZeroOneSet::full(n);
+    let mut tmp = ZeroOneSet::empty(n);
+    let mut seen: std::collections::HashMap<Box<[u64]>, usize> = std::collections::HashMap::new();
+    let mut tasks = Vec::new();
+    for &f in &firsts {
+        let after_first = apply_move(moves, f, &full, &mut tmp);
+        let prefixes: Vec<(Vec<u32>, ZeroOneSet)> = if prefix_len < 2 {
+            vec![(vec![f], after_first)]
+        } else {
+            seconds
+                .iter()
+                .map(|&s| (vec![f, s], apply_move(moves, s, &after_first, &mut tmp)))
+                .collect()
+        };
+        for (layer_ids, state) in prefixes {
+            let key: Box<[u64]> = state.words().into();
+            if seen.contains_key(&key) {
+                continue; // equal states are interchangeable; first index wins
+            }
+            seen.insert(key, tasks.len());
+            tasks.push(PrefixTask { index: tasks.len(), layer_ids, state });
+        }
+    }
+    tasks
+}
+
+/// Runs one budget round over its prefix tasks with a work-stealing
+/// worker pool. Returns the winning full move-id list (lowest task index
+/// with a Sat DFS) and the merged round stats.
+#[allow(clippy::too_many_arguments)]
+fn run_round(
+    cfg: &SearchConfig,
+    moves: &MoveSet,
+    compiled: &[CompiledLayer],
+    oracle: &DepthOracle,
+    tt: &TransTable,
+    budget: usize,
+    tasks: Vec<PrefixTask>,
+    threads: usize,
+) -> (Option<Vec<u32>>, SearchStats) {
+    let task_count = tasks.len();
+    let best = AtomicUsize::new(usize::MAX);
+    let results: Mutex<Vec<Option<Vec<u32>>>> = Mutex::new(vec![None; task_count]);
+    let stats = Mutex::new(SearchStats::default());
+
+    let injector = Injector::new();
+    for task in tasks {
+        injector.push(task);
+    }
+    let deques: Vec<Deque<PrefixTask>> = (0..threads).map(|_| Deque::new_fifo()).collect();
+    let stealers: Vec<Stealer<PrefixTask>> = deques.iter().map(|d| d.stealer()).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for local in deques {
+            let injector = &injector;
+            let stealers = &stealers;
+            let best = &best;
+            let results = &results;
+            let stats = &stats;
+            scope.spawn(move |_| {
+                let mut worker = TaskWorker {
+                    moves,
+                    compiled,
+                    oracle,
+                    tt,
+                    best,
+                    my_index: usize::MAX,
+                    use_dual: cfg.mode == SearchMode::Unrestricted,
+                    tmp: ZeroOneSet::empty(cfg.n),
+                    scratch: ZeroOneSet::empty(cfg.n),
+                    dual_scratch: ZeroOneSet::empty(cfg.n),
+                    keybuf: Vec::new(),
+                    stats: SearchStats::default(),
+                };
+                while let Some(task) = next_task(&local, injector, stealers) {
+                    if best.load(Ordering::SeqCst) < task.index {
+                        worker.stats.tasks_aborted += 1;
+                        continue;
+                    }
+                    worker.my_index = task.index;
+                    let used = task.layer_ids.len();
+                    match worker.dfs(&task.state, used, budget - used) {
+                        Dfs::Sat(suffix) => {
+                            best.fetch_min(task.index, Ordering::SeqCst);
+                            let mut ids = task.layer_ids.clone();
+                            ids.extend(suffix);
+                            results.lock()[task.index] = Some(ids);
+                            worker.stats.tasks_run += 1;
+                        }
+                        Dfs::Unsat => worker.stats.tasks_run += 1,
+                        Dfs::Aborted => worker.stats.tasks_aborted += 1,
+                    }
+                }
+                stats.lock().absorb(&worker.stats);
+            });
+        }
+    })
+    .expect("search workers do not panic");
+
+    let winner_index = best.load(Ordering::SeqCst);
+    let winner = if winner_index == usize::MAX {
+        None
+    } else {
+        // Every task below `winner_index` ran to completion and was Unsat
+        // (aborts require an even lower Sat index), so this is the
+        // schedule-independent minimum.
+        results.lock()[winner_index].clone()
+    };
+    (winner, stats.into_inner())
+}
+
+/// Pops the next task: local deque first, then the injector (batching
+/// into the local deque), then other workers' deques.
+fn next_task(
+    local: &Deque<PrefixTask>,
+    injector: &Injector<PrefixTask>,
+    stealers: &[Stealer<PrefixTask>],
+) -> Option<PrefixTask> {
+    loop {
+        if let Some(task) = local.pop() {
+            return Some(task);
+        }
+        match injector.steal_batch_and_pop(local) {
+            Steal::Success(task) => return Some(task),
+            Steal::Retry => continue,
+            Steal::Empty => {}
+        }
+        let mut retry = false;
+        for stealer in stealers {
+            match stealer.steal() {
+                Steal::Success(task) => return Some(task),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !retry {
+            return None;
+        }
+    }
+}
+
+/// Applies one move to a single vector index: route the index bits, then
+/// run the layer's elements. Used to pre-filter candidate last layers
+/// against one unsorted witness before paying for a full set application.
+fn apply_move_to_index(moves: &MoveSet, id: u32, n: usize, x: u64) -> u64 {
+    let mut y = x;
+    if let Some(route) = &moves.route {
+        let images = route.images();
+        let mut r = 0u64;
+        for (w, &img) in images.iter().enumerate().take(n) {
+            if (y >> w) & 1 == 1 {
+                r |= 1 << img;
+            }
+        }
+        y = r;
+    }
+    for e in &moves.moves[id as usize].elements {
+        y = ZeroOneSet::apply_element_to_index(y, e);
+    }
+    y
+}
+
+struct TaskWorker<'a> {
+    moves: &'a MoveSet,
+    compiled: &'a [CompiledLayer],
+    oracle: &'a DepthOracle,
+    tt: &'a TransTable,
+    best: &'a AtomicUsize,
+    my_index: usize,
+    use_dual: bool,
+    tmp: ZeroOneSet,
+    scratch: ZeroOneSet,
+    dual_scratch: ZeroOneSet,
+    keybuf: Vec<u64>,
+    stats: SearchStats,
+}
+
+impl TaskWorker<'_> {
+    fn cancelled(&self) -> bool {
+        self.best.load(Ordering::Relaxed) < self.my_index
+    }
+
+    /// Fills `keybuf` with the canonical transposition key of `state`:
+    /// in unrestricted mode the lexicographic minimum of the state and
+    /// its dual (which share their minimum remaining depth), otherwise
+    /// the raw words.
+    fn compute_key(&mut self, state: &ZeroOneSet) {
+        self.keybuf.clear();
+        if self.use_dual && state.dual_is_smaller(&mut self.dual_scratch) {
+            self.keybuf.extend_from_slice(self.dual_scratch.words());
+        } else {
+            self.keybuf.extend_from_slice(state.words());
+        }
+    }
+
+    fn dfs(&mut self, state: &ZeroOneSet, used: usize, remaining: usize) -> Dfs {
+        self.stats.nodes += 1;
+        if self.stats.nodes.is_multiple_of(1024) && self.cancelled() {
+            return Dfs::Aborted;
+        }
+        if state.is_sorted_only() {
+            return Dfs::Sat(Vec::new());
+        }
+        if remaining == 0 {
+            return Dfs::Unsat;
+        }
+        if self.oracle.residual_floor(state, used) > remaining {
+            self.stats.oracle_cuts += 1;
+            return Dfs::Unsat;
+        }
+        self.compute_key(state);
+        if let Some(failed) = self.tt.failed_budget(&self.keybuf) {
+            if failed as usize >= remaining {
+                self.stats.tt_hits += 1;
+                return Dfs::Unsat;
+            }
+        }
+        self.stats.tt_misses += 1;
+
+        if remaining == 1 {
+            // Last layer: a single candidate layer must sort the state.
+            // Pre-filter against one unsorted witness vector — a move
+            // that cannot fix the witness cannot sort the set — and only
+            // pay the full application for survivors.
+            let n = state.wires();
+            let witness = state
+                .iter()
+                .find(|&x| x != ZeroOneSet::sorted_index(n, x.count_ones() as usize))
+                .expect("state is not sorted-only");
+            for id in 0..self.moves.moves.len() as u32 {
+                let y = apply_move_to_index(self.moves, id, n, witness);
+                if y != ZeroOneSet::sorted_index(n, y.count_ones() as usize) {
+                    continue;
+                }
+                self.compiled[id as usize].apply(state, &mut self.tmp, &mut self.scratch);
+                if self.tmp.is_sorted_only() {
+                    return Dfs::Sat(vec![id]);
+                }
+            }
+            self.compute_key(state);
+            if self.tt.record_failure(&self.keybuf, 1) {
+                self.stats.tt_stores += 1;
+            }
+            return Dfs::Unsat;
+        }
+
+        // Expand children, skipping layers that do not change the state.
+        let mut children: Vec<(u32, ZeroOneSet)> = Vec::new();
+        for id in 0..self.moves.moves.len() as u32 {
+            self.compiled[id as usize].apply(state, &mut self.tmp, &mut self.scratch);
+            if self.tmp == *state {
+                self.stats.noop_skips += 1;
+                continue;
+            }
+            children.push((id, self.tmp.clone()));
+        }
+        // Keep ⊆-minimal children: visiting order is (|state|, move id),
+        // and since a subset has at most the superset's cardinality, each
+        // child only needs checking against already-kept ones.
+        children.sort_by_key(|(id, s)| (s.len(), *id));
+        let mut kept: Vec<(u32, ZeroOneSet)> = Vec::new();
+        'next_child: for (id, s) in children {
+            for (_, k) in &kept {
+                if k.is_subset(&s) {
+                    self.stats.subsumed += 1;
+                    continue 'next_child;
+                }
+            }
+            kept.push((id, s));
+        }
+
+        for (id, child) in &kept {
+            match self.dfs(child, used + 1, remaining - 1) {
+                Dfs::Sat(mut suffix) => {
+                    suffix.insert(0, *id);
+                    return Dfs::Sat(suffix);
+                }
+                Dfs::Unsat => {}
+                Dfs::Aborted => return Dfs::Aborted,
+            }
+        }
+        // All children refuted with budget `remaining - 1`; the state
+        // itself is refuted at `remaining`. Aborted subtrees never reach
+        // this line, so only complete refutations are recorded.
+        self.compute_key(state);
+        if self.tt.record_failure(&self.keybuf, remaining.min(u8::MAX as usize) as u8) {
+            self.stats.tt_stores += 1;
+        }
+        Dfs::Unsat
+    }
+}
+
+/// Rebuilds the witness network from the winning move-id list.
+fn reconstruct(
+    cfg: &SearchConfig,
+    moves: &MoveSet,
+    ids: &[u32],
+) -> (Option<ComparatorNetwork>, Option<ShuffleNetwork>) {
+    match cfg.mode {
+        SearchMode::Unrestricted => {
+            let levels = ids
+                .iter()
+                .map(|&id| Level::of_elements(moves.moves[id as usize].elements.clone()))
+                .collect();
+            let net = ComparatorNetwork::new(cfg.n, levels).expect("search layers are matchings");
+            (Some(net), None)
+        }
+        SearchMode::ShuffleLegal => {
+            let stages = ids
+                .iter()
+                .map(|&id| {
+                    moves.moves[id as usize]
+                        .stage_ops
+                        .clone()
+                        .expect("shuffle moves carry stage ops")
+                })
+                .collect();
+            let sn = ShuffleNetwork::new(cfg.n, stages);
+            let net = sn.to_network();
+            (Some(net), Some(sn))
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Sharded transposition table over canonical reachable-set keys.
+//!
+//! The table stores **refutations only**: an entry `S → r` means "no
+//! suffix of at most `r` layers sorts the reachable set `S`". That fact
+//! is absolute (independent of which prefix produced `S`, of the
+//! iterative-deepening round, and of thread timing), so the table can be
+//! shared freely across tasks, threads, and budget rounds without
+//! compromising the engine's determinism: a probe can only remove
+//! branches that would fail anyway, never change which network is found.
+//!
+//! Successes are deliberately *not* cached — a Sat result's move list
+//! depends on the remaining budget, and replaying one out of order could
+//! make the reported network depend on thread scheduling.
+//!
+//! Capacity is bounded: once a shard is full, new facts are dropped
+//! (existing entries still deepen). Dropping facts affects speed only,
+//! never soundness.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+const SHARDS: usize = 64;
+
+/// A concurrent map from canonical state words to the deepest budget the
+/// state is known to fail.
+pub struct TransTable {
+    shards: Vec<Mutex<HashMap<Box<[u64]>, u8>>>,
+    capacity_per_shard: usize,
+}
+
+impl TransTable {
+    /// A table holding at most `capacity` facts across all shards.
+    pub fn new(capacity: usize) -> Self {
+        let capacity_per_shard = capacity.div_ceil(SHARDS).max(1);
+        TransTable {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            capacity_per_shard,
+        }
+    }
+
+    fn shard_of(key: &[u64]) -> usize {
+        // FNV-1a over the words; only shard selection, the map hashes again.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &w in key {
+            h ^= w;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        (h % SHARDS as u64) as usize
+    }
+
+    /// The deepest budget `key` is known to fail, if any.
+    pub fn failed_budget(&self, key: &[u64]) -> Option<u8> {
+        self.shards[Self::shard_of(key)].lock().get(key).copied()
+    }
+
+    /// Records that `key` fails every suffix of at most `budget` layers.
+    /// Keeps the maximum of the old and new budgets; returns `true` if the
+    /// table changed.
+    pub fn record_failure(&self, key: &[u64], budget: u8) -> bool {
+        let mut shard = self.shards[Self::shard_of(key)].lock();
+        if let Some(existing) = shard.get_mut(key) {
+            if *existing < budget {
+                *existing = budget;
+                return true;
+            }
+            return false;
+        }
+        if shard.len() >= self.capacity_per_shard {
+            return false; // full: drop the fact, correctness unaffected
+        }
+        shard.insert(key.into(), budget);
+        true
+    }
+
+    /// Number of facts currently stored.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_keep_the_deepest_refutation() {
+        let tt = TransTable::new(1024);
+        let key = [0b1011u64, 0];
+        assert_eq!(tt.failed_budget(&key), None);
+        assert!(tt.record_failure(&key, 2));
+        assert_eq!(tt.failed_budget(&key), Some(2));
+        assert!(!tt.record_failure(&key, 1), "shallower fact is a no-op");
+        assert_eq!(tt.failed_budget(&key), Some(2));
+        assert!(tt.record_failure(&key, 5));
+        assert_eq!(tt.failed_budget(&key), Some(5));
+        assert_eq!(tt.len(), 1);
+    }
+
+    #[test]
+    fn capacity_cap_drops_new_facts_but_deepens_existing() {
+        let tt = TransTable::new(SHARDS); // one entry per shard
+        let mut stored = Vec::new();
+        for i in 0..10_000u64 {
+            let key = [i, i.wrapping_mul(0x9e37_79b9_7f4a_7c15)];
+            if tt.record_failure(&key, 1) {
+                stored.push(key);
+            }
+        }
+        assert!(tt.len() <= SHARDS);
+        assert!(!stored.is_empty());
+        // Existing entries still deepen after the cap is hit.
+        assert!(tt.record_failure(&stored[0], 7));
+        assert_eq!(tt.failed_budget(&stored[0]), Some(7));
+    }
+
+    #[test]
+    fn concurrent_use_is_safe() {
+        let tt = TransTable::new(1 << 16);
+        crossbeam::thread::scope(|s| {
+            for t in 0..4u64 {
+                let tt = &tt;
+                s.spawn(move |_| {
+                    for i in 0..500u64 {
+                        let key = [i % 97, t];
+                        tt.record_failure(&key, (i % 7) as u8);
+                        let _ = tt.failed_budget(&key);
+                    }
+                });
+            }
+        })
+        .expect("no panics");
+        assert!(!tt.is_empty());
+    }
+}

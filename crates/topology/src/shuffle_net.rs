@@ -77,6 +77,26 @@ impl ShuffleNetwork {
         self.to_register().to_network()
     }
 
+    /// Enumerates every legal stage op vector for an `n`-wire shuffle
+    /// network: all `|kinds|^(n/2)` assignments of the allowed element
+    /// kinds to the register pairs `(2k, 2k+1)`, in lexicographic order of
+    /// the `kinds` slice (pair 0 varies slowest). This is the move set of
+    /// the shuffle-legal depth search: a layer is legal iff it routes by
+    /// `σ` and then applies one of these vectors.
+    ///
+    /// The order is deterministic, which the search's reproducibility
+    /// guarantee leans on.
+    pub fn legal_stage_vectors(n: usize, kinds: &[ElementKind]) -> Vec<Vec<ElementKind>> {
+        assert!(n.is_power_of_two() && n >= 2, "shuffle networks need n = 2^l >= 2");
+        assert!(!kinds.is_empty(), "at least one element kind required");
+        let half = n / 2;
+        let total = kinds.len().checked_pow(half as u32).expect("stage space overflows usize");
+        let mut out = Vec::with_capacity(total);
+        let mut current = vec![kinds[0]; half];
+        fill_stage_vectors(kinds, &mut current, 0, &mut out);
+        out
+    }
+
     /// Embeds into the iterated-reverse-delta class: stages are grouped into
     /// blocks of `lg n`; each block, having cumulative route `σ^{lg n} = id`,
     /// is a route-free reverse delta network
@@ -120,6 +140,24 @@ impl ShuffleNetwork {
             Some(p)
         };
         IteratedReverseDelta::new(blocks, post_route)
+    }
+}
+
+/// Depth-first expansion of the stage vector space for
+/// [`ShuffleNetwork::legal_stage_vectors`].
+fn fill_stage_vectors(
+    kinds: &[ElementKind],
+    current: &mut Vec<ElementKind>,
+    pair: usize,
+    out: &mut Vec<Vec<ElementKind>>,
+) {
+    if pair == current.len() {
+        out.push(current.clone());
+        return;
+    }
+    for &k in kinds {
+        current[pair] = k;
+        fill_stage_vectors(kinds, current, pair + 1, out);
     }
 }
 
@@ -216,6 +254,30 @@ mod tests {
         let sn = ShuffleNetwork::all_plus(n, 6);
         let res = snet_core::sortcheck::check_zero_one_exhaustive(&sn.to_network());
         assert!(!res.is_sorting(), "all-plus is not a sorting network");
+    }
+
+    #[test]
+    fn legal_stage_vectors_enumerate_the_full_space_in_order() {
+        use ElementKind::{Cmp, CmpRev, Pass, Swap};
+        let all = ShuffleNetwork::legal_stage_vectors(4, &[Cmp, CmpRev, Pass, Swap]);
+        assert_eq!(all.len(), 16, "4 kinds on 2 pairs");
+        assert_eq!(all[0], vec![Cmp, Cmp]);
+        assert_eq!(all[1], vec![Cmp, CmpRev]);
+        assert_eq!(all[15], vec![Swap, Swap]);
+        // Deterministic and duplicate-free.
+        let rerun = ShuffleNetwork::legal_stage_vectors(4, &[Cmp, CmpRev, Pass, Swap]);
+        assert_eq!(all, rerun);
+        let mut seen = std::collections::HashSet::new();
+        for v in &all {
+            let key: String = v.iter().map(|k| k.symbol()).collect();
+            assert!(seen.insert(key), "duplicate stage vector");
+        }
+        // Every vector builds a valid one-stage network.
+        for v in &all {
+            let _ = ShuffleNetwork::new(4, vec![v.clone()]);
+        }
+        // Restricted alphabets shrink the space accordingly.
+        assert_eq!(ShuffleNetwork::legal_stage_vectors(8, &[Cmp, CmpRev]).len(), 16);
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Property round-trips for `topology::recognize` through the compiled
+//! IR: every generated shuffle / reverse-delta / hypercube network
+//! (n ≤ 16) still recognizes as its own structural family after being
+//! lowered to the IR, canonicalized (routes absorbed, `CmpRev`
+//! normalized, `Pass`/`Swap` stripped), and raised back to a circuit —
+//! and the recognized form replays the original mapping.
+//!
+//! This is the guard for the pipeline the search subsystem and `snetctl`
+//! rely on: structural analyses run *after* canonical passes, so family
+//! membership must survive the lowering round-trip, not just hold on the
+//! hand-built constructions.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use snet_core::ir::{Executor, PassManager, Program};
+use snet_core::network::ComparatorNetwork;
+use snet_core::perm::Permutation;
+use snet_topology::hypercube::{reverse_delta_from_dimensions, DimensionBlock};
+use snet_topology::random::{
+    random_iterated, random_reverse_delta, random_shuffle_network, RandomDeltaConfig, SplitStyle,
+};
+use snet_topology::recognize::{recognize_iterated, recognize_reverse_delta};
+
+/// Lowers to the IR, runs the canonical pipeline, raises back to a
+/// circuit. The result is route-free (shuffle routes are absorbed into
+/// slot naming), which is exactly what `recognize` requires.
+fn lower_raise_canonical(net: &ComparatorNetwork) -> ComparatorNetwork {
+    let mut prog = Program::from_network(net);
+    PassManager::canonical().run(&mut prog);
+    let raised = prog.to_network();
+    assert!(
+        raised.levels().iter().all(|l| l.route.is_none()),
+        "canonical raising must be route-free"
+    );
+    raised
+}
+
+/// Input-for-input agreement on sampled permutations (plus the two
+/// constant extremes), through the compiled executor.
+fn same_behaviour(a: &ComparatorNetwork, b: &ComparatorNetwork, seed: u64) -> bool {
+    let n = a.wires();
+    let (ea, eb) = (Executor::compile(a), Executor::compile(b));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut inputs: Vec<Vec<u32>> =
+        (0..30).map(|_| Permutation::random(n, &mut rng).images().to_vec()).collect();
+    inputs.push(vec![0; n]);
+    inputs.push((0..n as u32).rev().collect());
+    inputs.iter().all(|input| ea.evaluate(input) == eb.evaluate(input))
+}
+
+fn dense_cfg(reverse_bias: f64) -> RandomDeltaConfig {
+    RandomDeltaConfig {
+        split: SplitStyle::FreeSplit,
+        comparator_density: 1.0,
+        reverse_bias,
+        swap_density: 0.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn shuffle_networks_recognize_after_lowering(seed in 0u64..100_000, l in 2usize..=4, k in 1usize..=2) {
+        let n = 1usize << l;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Full comparator density: every stage op is Cmp or CmpRev, so the
+        // canonical pipeline strips nothing and depth stays k·lg n.
+        let sn = random_shuffle_network(n, k * l, 1.0, &mut rng);
+        let source = sn.to_network();
+        let raised = lower_raise_canonical(&source);
+        prop_assert_eq!(raised.depth(), k * l, "absorbing σ keeps the stage count");
+        let ird = recognize_iterated(&raised)
+            .map_err(|e| TestCaseError::fail(format!("n={n} k={k}: {e}")))?;
+        prop_assert_eq!(ird.block_count(), k, "one reverse-delta block per lg n stages");
+        prop_assert_eq!(ird.wires(), n);
+        prop_assert!(same_behaviour(&ird.to_network(), &source, seed ^ 0x5));
+    }
+
+    #[test]
+    fn reverse_delta_trees_recognize_after_lowering(seed in 0u64..100_000, l in 2usize..=4) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let rdn = random_reverse_delta(l, &dense_cfg(0.4), &mut rng);
+        let source = rdn.to_network();
+        let raised = lower_raise_canonical(&source);
+        let rec = recognize_reverse_delta(&raised)
+            .map_err(|e| TestCaseError::fail(format!("l={l}: {e}")))?;
+        prop_assert_eq!(rec.levels(), l);
+        prop_assert!(same_behaviour(&rec.to_network(), &source, seed ^ 0x7));
+    }
+
+    #[test]
+    fn iterated_deltas_recognize_after_lowering(seed in 0u64..100_000, l in 2usize..=4, k in 1usize..=2) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Route-free iteration: recognition rejects routes, and pre-routes
+        // would survive canonicalization as a non-identity output gather.
+        let ird = random_iterated(k, l, &dense_cfg(0.3), false, &mut rng);
+        let source = ird.to_network();
+        let raised = lower_raise_canonical(&source);
+        let rec = recognize_iterated(&raised)
+            .map_err(|e| TestCaseError::fail(format!("k={k} l={l}: {e}")))?;
+        prop_assert_eq!(rec.block_count(), k);
+        prop_assert!(same_behaviour(&rec.to_network(), &source, seed ^ 0x9));
+    }
+
+    #[test]
+    fn hypercube_blocks_recognize_after_lowering(seed in 0u64..100_000, l in 2usize..=4) {
+        let n = 1usize << l;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // A random distinct-dimension order with random comparator
+        // orientations — the E15 observation says any such block is a
+        // reverse delta network; here we check that survives the IR.
+        let mut bits: Vec<usize> = (0..l).collect();
+        for i in (1..l).rev() {
+            let j = rng.gen_range(0..=i);
+            bits.swap(i, j);
+        }
+        let block = DimensionBlock::random(n, bits, &mut rng);
+        let rdn = reverse_delta_from_dimensions(n, &block)
+            .map_err(|e| TestCaseError::fail(format!("n={n}: {e}")))?;
+        let source = rdn.to_network();
+        let raised = lower_raise_canonical(&source);
+        let rec = recognize_reverse_delta(&raised)
+            .map_err(|e| TestCaseError::fail(format!("n={n}: {e}")))?;
+        prop_assert_eq!(rec.levels(), l);
+        prop_assert!(same_behaviour(&rec.to_network(), &source, seed ^ 0xb));
+    }
+}

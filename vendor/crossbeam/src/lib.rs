@@ -1,9 +1,16 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only `crossbeam::thread::scope` is used by this workspace; since Rust
-//! 1.63 the standard library ships scoped threads, so this shim adapts the
-//! crossbeam API surface (`scope(|s| …)` returning a `Result`, spawn
-//! closures receiving the scope handle) onto `std::thread::scope`.
+//! Two slices of the crossbeam API surface are used by this workspace:
+//!
+//! * `crossbeam::thread::scope` — since Rust 1.63 the standard library
+//!   ships scoped threads, so this shim adapts the crossbeam calling
+//!   convention (`scope(|s| …)` returning a `Result`, spawn closures
+//!   receiving the scope handle) onto `std::thread::scope`;
+//! * `crossbeam::deque` — the work-stealing `Injector`/`Worker`/`Stealer`
+//!   triple, implemented here over locked `VecDeque`s. The semantics match
+//!   (owner pops LIFO from a `new_lifo` worker, thieves steal FIFO from the
+//!   opposite end; `Steal::Retry` is possible), only the lock-free
+//!   performance characteristics are simplified.
 
 pub mod thread {
     //! Scoped threads with the crossbeam calling convention.
@@ -52,6 +59,193 @@ pub mod thread {
     }
 }
 
+pub mod deque {
+    //! Work-stealing deques with the crossbeam API.
+    //!
+    //! A [`Worker`] is owned by one thread, which pushes and pops locally;
+    //! [`Stealer`]s are cloned to other threads and steal from the opposite
+    //! end. An [`Injector`] is a shared FIFO queue any thread can push to
+    //! or steal from.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The source was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// True for [`Steal::Success`].
+        pub fn is_success(&self) -> bool {
+            matches!(self, Steal::Success(_))
+        }
+
+        /// True for [`Steal::Empty`].
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        /// True for [`Steal::Retry`].
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+    }
+
+    #[derive(Debug)]
+    enum Flavor {
+        Fifo,
+        Lifo,
+    }
+
+    /// A deque owned by a single worker thread.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+        flavor: Flavor,
+    }
+
+    impl<T> Worker<T> {
+        /// A FIFO worker: `pop` takes the oldest local task.
+        pub fn new_fifo() -> Self {
+            Worker { queue: Arc::new(Mutex::new(VecDeque::new())), flavor: Flavor::Fifo }
+        }
+
+        /// A LIFO worker: `pop` takes the youngest local task.
+        pub fn new_lifo() -> Self {
+            Worker { queue: Arc::new(Mutex::new(VecDeque::new())), flavor: Flavor::Lifo }
+        }
+
+        /// Pushes a task onto the local end.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("deque lock poisoned").push_back(task);
+        }
+
+        /// Pops a task from the local end.
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.queue.lock().expect("deque lock poisoned");
+            match self.flavor {
+                Flavor::Fifo => q.pop_front(),
+                Flavor::Lifo => q.pop_back(),
+            }
+        }
+
+        /// True if no tasks are queued locally.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque lock poisoned").is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("deque lock poisoned").len()
+        }
+
+        /// A handle other threads use to steal from this worker.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { queue: Arc::clone(&self.queue) }
+        }
+    }
+
+    /// A handle for stealing tasks from a [`Worker`]'s deque.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer { queue: Arc::clone(&self.queue) }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals the oldest task from the worker's deque.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("deque lock poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True if the source deque is empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque lock poisoned").is_empty()
+        }
+    }
+
+    /// A shared FIFO injector queue.
+    #[derive(Debug)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector.
+        pub fn new() -> Self {
+            Injector { queue: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Pushes a task onto the global queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("injector lock poisoned").push_back(task);
+        }
+
+        /// Steals the oldest task from the global queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector lock poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch of tasks, pushes them onto `dest`, and pops one.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = self.queue.lock().expect("injector lock poisoned");
+            let Some(first) = q.pop_front() else {
+                return Steal::Empty;
+            };
+            // Move up to half of the remainder over to the destination.
+            let extra = q.len().div_ceil(2).min(16);
+            for _ in 0..extra {
+                if let Some(t) = q.pop_front() {
+                    dest.push(t);
+                }
+            }
+            Steal::Success(first)
+        }
+
+        /// True if no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector lock poisoned").is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("injector lock poisoned").len()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -82,5 +276,62 @@ mod tests {
         })
         .unwrap();
         assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn deque_owner_order_and_stealing_end() {
+        use crate::deque::{Steal, Worker};
+        let lifo = Worker::new_lifo();
+        lifo.push(1);
+        lifo.push(2);
+        lifo.push(3);
+        let stealer = lifo.stealer();
+        // Thieves take the oldest task, the owner the youngest.
+        assert_eq!(stealer.steal(), Steal::Success(1));
+        assert_eq!(lifo.pop(), Some(3));
+        assert_eq!(lifo.pop(), Some(2));
+        assert!(lifo.pop().is_none());
+        assert!(stealer.steal().is_empty());
+
+        let fifo = Worker::new_fifo();
+        fifo.push(1);
+        fifo.push(2);
+        assert_eq!(fifo.pop(), Some(1));
+    }
+
+    #[test]
+    fn injector_feeds_workers_across_threads() {
+        use crate::deque::{Injector, Steal, Worker};
+        let injector = Injector::new();
+        for i in 0..1000u64 {
+            injector.push(i);
+        }
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let inj = &injector;
+                    s.spawn(move |_| {
+                        let local: Worker<u64> = Worker::new_lifo();
+                        let mut sum = 0u64;
+                        loop {
+                            let task = local.pop().or_else(|| loop {
+                                match inj.steal_batch_and_pop(&local) {
+                                    Steal::Success(t) => break Some(t),
+                                    Steal::Empty => break None,
+                                    Steal::Retry => continue,
+                                }
+                            });
+                            match task {
+                                Some(t) => sum += t,
+                                None => break sum,
+                            }
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker ok")).sum()
+        })
+        .expect("scope ok");
+        assert_eq!(total, 999 * 1000 / 2);
     }
 }

@@ -1,15 +1,12 @@
-//! Differential tests for the bit-parallel 0-1 evaluator and the
-//! redundancy analysis, across random networks and the real sorter zoo.
-//!
-//! The interpreter (`net.evaluate`) is the independent reference here and
-//! the deprecated `bitparallel` shims are themselves under test, so this
-//! file is exempt from the "everything goes through the IR" rule.
-#![allow(deprecated)]
+//! Differential tests for the executor's bit-parallel 0-1 backends and
+//! the redundancy analysis, across random networks and the real sorter
+//! zoo. The interpreter (`net.evaluate`) is the independent reference
+//! the compiled lane backend is checked against.
 
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
-use snet_core::bitparallel::{check_zero_one_bitparallel, evaluate_01x64};
 use snet_core::element::{Element, ElementKind};
+use snet_core::ir::Executor;
 use snet_core::network::{ComparatorNetwork, Level};
 use snet_core::optimize::{redundant_comparators, with_comparators_passed};
 use snet_core::perm::Permutation;
@@ -51,10 +48,10 @@ proptest! {
     fn bitparallel_matches_scalar_on_random_networks(seed in 0u64..100_000, d in 0usize..6) {
         let n = 9;
         let net = random_net(n, d, seed);
+        let exec = Executor::compile(&net);
         // All 2^9 inputs, both ways.
-        let bp = check_zero_one_bitparallel(&net);
         let scalar = check_zero_one_exhaustive(&net);
-        prop_assert_eq!(bp.is_none(), scalar.is_sorting());
+        prop_assert_eq!(exec.first_unsorted_01().is_none(), scalar.is_sorting());
         // Lane-level agreement on a packed batch.
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xB17);
         let mut lanes = vec![0u64; n];
@@ -68,7 +65,8 @@ proptest! {
             }
             inputs.push(input);
         }
-        let out = evaluate_01x64(&net, &lanes);
+        let mut out = lanes.clone();
+        exec.run_01x64_in_place(&mut out, &mut Vec::new());
         for (i, input) in inputs.iter().enumerate() {
             let scalar_out = net.evaluate(input);
             for (w, &v) in scalar_out.iter().enumerate() {
