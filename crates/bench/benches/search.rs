@@ -10,6 +10,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use snet_core::prelude::{CompiledLayer, ZeroOneSet};
 use snet_search::{search, Layer, MoveSet, SearchConfig, SearchMode};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// End-to-end searches: floor-to-optimum iterative deepening including
 /// verification of the witness. Throughput is nodes visited per run,
@@ -33,6 +35,41 @@ fn bench_search_full(c: &mut Criterion) {
     g.finish();
 }
 
+/// An event-counting sink with no I/O: isolates the cost of the obs
+/// emission path itself (buffering, draining, attribute formatting)
+/// from any file-writing cost.
+struct NullSink(AtomicU64);
+
+impl snet_obs::Sink for NullSink {
+    fn event(&self, _e: &snet_obs::Event) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Telemetry overhead: the identical search with no sink installed (the
+/// production default — every emit is one relaxed load and an early
+/// return) versus a null sink observing every event. The no-sink variant
+/// must track `search/unrestricted/6` within the <2% acceptance budget;
+/// the sink variant bounds the worst case for traced runs.
+fn bench_search_instrumentation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("search_obs_overhead");
+    g.sample_size(10);
+    let mut cfg = SearchConfig::new(6, SearchMode::Unrestricted);
+    cfg.threads = 1;
+    let nodes = search(&cfg).totals.nodes;
+    g.throughput(Throughput::Elements(nodes));
+    g.bench_with_input(BenchmarkId::new("no_sink", 6), &cfg, |b, cfg| {
+        b.iter(|| search(cfg));
+    });
+    g.bench_with_input(BenchmarkId::new("null_sink", 6), &cfg, |b, cfg| {
+        let sink = Arc::new(NullSink(AtomicU64::new(0)));
+        let handle = snet_obs::install_sink(sink);
+        b.iter(|| search(cfg));
+        snet_obs::remove_sink(handle);
+    });
+    g.finish();
+}
+
 /// The DFS inner loop in isolation: applying one compiled layer to a
 /// reachable 0-1 set (masked word shifts, no per-vector iteration).
 fn bench_layer_application(c: &mut Criterion) {
@@ -52,5 +89,5 @@ fn bench_layer_application(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_search_full, bench_layer_application);
+criterion_group!(benches, bench_search_full, bench_search_instrumentation, bench_layer_application);
 criterion_main!(benches);

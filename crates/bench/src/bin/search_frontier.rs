@@ -8,10 +8,17 @@
 //! states/sec, and the transposition-table hit rate. The embedded run
 //! manifest pins commit, toolchain, and parallelism for provenance.
 //!
+//! Each scenario also writes a perf baseline (schema
+//! `snet-bench-baseline/1`) to `<baseline-dir>/<label>.json` with
+//! states/sec, TT hit rate, and wall time — the inputs `snetctl bench
+//! diff` compares across runs.
+//!
 //! Usage: `cargo run --release -p snet-bench --bin search_frontier
-//! [-- -o results/search_frontier.json] [--threads N] [--full]`
+//! [-- -o results/search_frontier.json] [--threads N] [--full]
+//! [--baseline-dir DIR] [--only LABEL]`
 
 use serde_json::Value;
+use snet_obs::Baseline;
 use snet_search::{search, SearchConfig, SearchMode, SearchOutcome, SearchStats};
 
 fn vu(v: u64) -> Value {
@@ -47,12 +54,42 @@ fn stats_value(s: &SearchStats) -> Value {
         ("tt_hits", vu(s.tt_hits)),
         ("tt_misses", vu(s.tt_misses)),
         ("tt_stores", vu(s.tt_stores)),
+        ("tt_evicts", vu(s.tt_evicts)),
         ("oracle_cuts", vu(s.oracle_cuts)),
         ("subsumed", vu(s.subsumed)),
         ("noop_skips", vu(s.noop_skips)),
+        ("witness_skips", vu(s.witness_skips)),
         ("tasks_run", vu(s.tasks_run)),
         ("tasks_aborted", vu(s.tasks_aborted)),
+        ("steals", vu(s.steals)),
     ])
+}
+
+/// The stable per-scenario label, also the baseline file stem.
+fn scenario_label(n: usize, mode: SearchMode) -> String {
+    match mode {
+        SearchMode::Unrestricted => format!("search_n{n}"),
+        SearchMode::ShuffleLegal => format!("search_shuffle_n{n}"),
+    }
+}
+
+/// Derives the cross-run comparison metrics for one scenario and writes
+/// them as a baseline file.
+fn write_baseline(outcome: &SearchOutcome, dir: &str) {
+    let label = scenario_label(outcome.n, outcome.mode);
+    let elapsed_ms: u64 = outcome.rounds.iter().map(|r| r.elapsed_ms).sum();
+    let manifest = snet_obs::RunManifest::capture("search_frontier");
+    let mut baseline = Baseline::new(&label, &manifest)
+        .metric("wall_ms", elapsed_ms as f64)
+        .metric("nodes_total", outcome.totals.nodes as f64)
+        .metric("tt_hit_rate", outcome.totals.tt_hit_rate());
+    if elapsed_ms > 0 {
+        baseline = baseline
+            .metric("states_per_sec", outcome.totals.nodes as f64 * 1000.0 / elapsed_ms as f64);
+    }
+    let path = std::path::Path::new(dir).join(format!("{label}.json"));
+    baseline.save(&path).expect("write baseline");
+    eprintln!("baseline written to {}", path.display());
 }
 
 fn run_entry(outcome: &SearchOutcome) -> Value {
@@ -106,6 +143,8 @@ fn run_entry(outcome: &SearchOutcome) -> Value {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out = String::from("results/search_frontier.json");
+    let mut baseline_dir = String::from("results/baselines");
+    let mut only: Option<String> = None;
     let mut threads = 0usize;
     let mut full = false;
     let mut i = 0;
@@ -114,6 +153,14 @@ fn main() {
             "-o" => {
                 i += 1;
                 out = args[i].clone();
+            }
+            "--baseline-dir" => {
+                i += 1;
+                baseline_dir = args[i].clone();
+            }
+            "--only" => {
+                i += 1;
+                only = Some(args[i].clone());
             }
             "--threads" => {
                 i += 1;
@@ -138,6 +185,13 @@ fn main() {
         // ~2 minutes in release: the depth-5 refutation at n = 8.
         scenarios.push((8, SearchMode::Unrestricted));
     }
+    if let Some(label) = &only {
+        scenarios.retain(|&(n, mode)| &scenario_label(n, mode) == label);
+        if scenarios.is_empty() {
+            eprintln!("--only {label} matches no scenario");
+            std::process::exit(2);
+        }
+    }
 
     let runs: Vec<Value> = scenarios
         .iter()
@@ -146,7 +200,9 @@ fn main() {
             if threads > 0 {
                 cfg.threads = threads;
             }
-            run_entry(&search(&cfg))
+            let outcome = search(&cfg);
+            write_baseline(&outcome, &baseline_dir);
+            run_entry(&outcome)
         })
         .collect();
 

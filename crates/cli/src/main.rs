@@ -49,6 +49,7 @@ fn main() {
             Some("closure") => cmd_closure(&args[1..]),
             Some("duel") => cmd_duel(&args[1..]),
             Some("report") => cmd_report(&args[1..]),
+            Some("bench") => cmd_bench(&args[1..]),
             Some("--help") | Some("-h") | None => {
                 print_usage();
                 Ok(())
@@ -129,8 +130,10 @@ fn print_usage() {
          \x20 refute  FILE [-o WITNESS] [--k K] [--explain]   (shuffle networks only)\n\
          \x20 verify  FILE WITNESS\n\
          \x20 route   --n N [--seed S | --perm a,b,c,…]\n\
-         \x20 search  --n N [--shuffle-legal] [--max-depth D] [--threads W]\n\
+         \x20 search  --n N [--shuffle-legal] [--max-depth D] [--threads W] [--stats]\n\
          \x20         [--frontier-out FILE.json] [-o FILE]   minimum-depth sorting network\n\
+         \x20         (--stats prints prune breakdown, TT hit rate, task histograms,\n\
+         \x20         and worker balance)\n\
          \x20 render  FILE [--svg | --dot]     diagram (ASCII default)\n\
          \x20 stats   FILE [--trials T] [--seed S]   sortedness statistics\n\
          \x20 passes  FILE                     run the optimizing IR pipeline, show per-pass effect\n\
@@ -138,7 +141,12 @@ fn print_usage() {
          \x20 audit   CERT [--samples N]      independently check a proof bundle\n\
          \x20 closure --n N (--rho shuffle|identity|bit-reversal|random) [--seed S]\n\
          \x20 duel    --n N [--k K]            interactive adaptive game on stdin\n\
-         \x20 report  TRACE.jsonl              render a --trace-out file: span tree + counters\n\
+         \x20 report  TRACE.jsonl [--chrome OUT.json]\n\
+         \x20         render a --trace-out file: span tree + counters + histograms;\n\
+         \x20         --chrome exports Chrome trace-event JSON (chrome://tracing, Perfetto)\n\
+         \x20 bench   diff NEW.json [--against OLD.json] [--fail-on-regress PCT]\n\
+         \x20         compare a bench baseline (schema snet-bench-baseline/1) against a\n\
+         \x20         stored one; exit code 8 if any metric regressed beyond PCT (default 10)\n\
          \n\
          global flags (any command):\n\
          \x20 --trace-out FILE.jsonl           write structured trace events (spans, counters,\n\
@@ -410,6 +418,10 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         );
     }
 
+    if has_flag(args, "--stats") {
+        print!("{}", search_stats_table(&outcome));
+    }
+
     if let Some(path) = flag(args, "--frontier-out") {
         write_frontier(&outcome, path)?;
         println!("frontier written to {path}");
@@ -440,6 +452,73 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Renders the `--stats` summary: prune breakdown as a percentage of
+/// DFS nodes, transposition-table behaviour, prefix symmetry reduction,
+/// task-granularity histogram percentiles, and per-worker balance — all
+/// from counters carried in the outcome, so no sink is required.
+fn search_stats_table(outcome: &snet_search::SearchOutcome) -> String {
+    use snet_obs::report::{render_breakdown, render_hist_table};
+    use std::fmt::Write as _;
+    let t = &outcome.totals;
+    let mut out = String::from("\n");
+    let _ = writeln!(
+        out,
+        "search stats (timing-dependent; {} nodes over {} rounds):",
+        t.nodes,
+        outcome.rounds.len()
+    );
+    out.push('\n');
+    out.push_str(&render_breakdown(
+        "prune breakdown (vs nodes)",
+        t.nodes,
+        &[
+            ("oracle floor cuts", t.oracle_cuts),
+            ("transposition hits", t.tt_hits),
+            ("subsumed children", t.subsumed),
+            ("no-op layer skips", t.noop_skips),
+            ("witness fast-path skips", t.witness_skips),
+        ],
+    ));
+    out.push('\n');
+    let _ = writeln!(out, "transposition table:");
+    let _ = writeln!(out, "  probes         {:>14}", t.tt_hits + t.tt_misses);
+    let _ = writeln!(out, "  hit rate       {:>13.1}%", 100.0 * t.tt_hit_rate());
+    let _ = writeln!(out, "  facts stored   {:>14}", t.tt_stores);
+    let _ = writeln!(out, "  facts resident {:>14}", outcome.tt_facts);
+    let _ = writeln!(out, "  drops (full)   {:>14}", t.tt_evicts);
+    if let Some(last) = outcome.rounds.last() {
+        out.push('\n');
+        let _ = writeln!(out, "prefix symmetry (last round, budget {}):", last.budget);
+        let _ = writeln!(out, "  moves in model {:>14}", last.moves_total);
+        let _ = writeln!(out, "  first layers   {:>14}", last.firsts_kept);
+        let _ = writeln!(out, "  second layers  {:>14}", last.seconds_kept);
+        let _ = writeln!(out, "  tasks (dedup)  {:>14}", last.tasks);
+    }
+    out.push('\n');
+    out.push_str(&render_hist_table([
+        ("task nodes", &outcome.hists.task_nodes),
+        ("task wall µs", &outcome.hists.task_us),
+    ]));
+    if let Some(last) = outcome.rounds.last() {
+        if !last.workers.is_empty() {
+            out.push('\n');
+            let _ = writeln!(
+                out,
+                "{:<10} {:>10} {:>10} {:>10} {:>14}",
+                "worker", "run", "aborted", "steals", "nodes"
+            );
+            for w in &last.workers {
+                let _ = writeln!(
+                    out,
+                    "{:<10} {:>10} {:>10} {:>10} {:>14}",
+                    w.worker, w.tasks_run, w.tasks_aborted, w.steals, w.nodes
+                );
+            }
+        }
+    }
+    out
+}
+
 /// Writes the `results/search_frontier.json` schema-v2 document: the run
 /// manifest plus per-budget frontier statistics. Unlike stdout, this
 /// includes the timing-dependent counters (nodes, table hits, aborts).
@@ -460,11 +539,14 @@ fn write_frontier(outcome: &snet_search::SearchOutcome, path: &str) -> Result<()
             ("tt_hits", vu(s.tt_hits)),
             ("tt_misses", vu(s.tt_misses)),
             ("tt_stores", vu(s.tt_stores)),
+            ("tt_evicts", vu(s.tt_evicts)),
             ("oracle_cuts", vu(s.oracle_cuts)),
             ("subsumed", vu(s.subsumed)),
             ("noop_skips", vu(s.noop_skips)),
+            ("witness_skips", vu(s.witness_skips)),
             ("tasks_run", vu(s.tasks_run)),
             ("tasks_aborted", vu(s.tasks_aborted)),
+            ("steals", vu(s.steals)),
         ])
     }
     let manifest: Value =
@@ -623,10 +705,52 @@ fn human_nanos(ns: u128) -> String {
 }
 
 fn cmd_report(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let chrome_out = take_flag_value(&mut args, "--chrome")?;
     let path = args.first().ok_or("report requires TRACE.jsonl")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(out) = chrome_out {
+        let json = snet_obs::trace_to_chrome(&text)?;
+        std::fs::write(&out, json).map_err(|e| format!("{out}: {e}"))?;
+        println!("chrome trace written to {out} (load in chrome://tracing or ui.perfetto.dev)");
+        return Ok(());
+    }
     let report = snet_obs::report::parse_trace(&text)?;
     print!("{}", snet_obs::report::render(&report));
+    Ok(())
+}
+
+/// `bench diff NEW.json [--against OLD.json] [--fail-on-regress PCT]` —
+/// compares a fresh bench baseline against a stored one and exits with
+/// code 8 when any metric regressed beyond the threshold.
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("diff") => cmd_bench_diff(&args[1..]),
+        Some(other) => Err(format!("unknown bench subcommand '{other}' (try 'diff')")),
+        None => Err("bench requires a subcommand (try 'diff')".into()),
+    }
+}
+
+fn cmd_bench_diff(args: &[String]) -> Result<(), String> {
+    use snet_obs::baseline;
+    let new_path = args.first().ok_or("bench diff requires NEW.json")?;
+    let new = baseline::Baseline::load(std::path::Path::new(new_path))?;
+    let against = match flag(args, "--against") {
+        Some(p) => p.to_string(),
+        // Default reference: the committed seed baseline for this scenario.
+        None => format!("results/baselines/{}.json", new.name),
+    };
+    let old = baseline::Baseline::load(std::path::Path::new(&against))?;
+    let fail_pct: f64 =
+        parse(flag(args, "--fail-on-regress").unwrap_or("10"), "--fail-on-regress")?;
+    if old.name != new.name {
+        eprintln!("bench diff: comparing different scenarios ('{}' vs '{}')", old.name, new.name);
+    }
+    let d = baseline::diff(&old, &new, fail_pct);
+    print!("{}", baseline::render_diff(&old, &new, &d));
+    if !d.regressions().is_empty() {
+        exit_flushed(8);
+    }
     Ok(())
 }
 

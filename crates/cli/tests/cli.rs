@@ -520,3 +520,147 @@ fn seed_is_threaded_into_the_run_manifest() {
         trace.lines().find(|l| l.contains("run.manifest")).expect("manifest leads the trace");
     assert!(manifest_line.contains("\"seed\":\"41\""), "{manifest_line}");
 }
+
+#[test]
+fn search_stats_reports_prune_breakdown_and_tt_hit_rate() {
+    let out = snetctl_threads(&["search", "--n", "6", "--stats"], "2");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("optimal depth: 5"), "{text}");
+    assert!(text.contains("prune breakdown (vs nodes)"), "{text}");
+    assert!(text.contains("hit rate"), "{text}");
+
+    // The breakdown carries live counters, not a table of zeros: at
+    // n = 6 the TT must field probes and at least one prune kind fires.
+    let row_count = |label: &str| -> u64 {
+        let line = text.lines().find(|l| l.trim_start().starts_with(label)).unwrap_or_else(|| {
+            panic!("row {label:?} missing from:\n{text}");
+        });
+        line.split_whitespace()
+            .find_map(|w| w.parse::<u64>().ok())
+            .unwrap_or_else(|| panic!("no count in {line:?}"))
+    };
+    assert!(row_count("transposition hits") > 0, "{text}");
+    assert!(row_count("probes") > 0, "{text}");
+    let hit_rate_line = text.lines().find(|l| l.trim_start().starts_with("hit rate")).unwrap();
+    assert!(!hit_rate_line.contains(" 0.0%"), "nonzero hit rate: {hit_rate_line}");
+    // Percentages annotate every breakdown row; histograms show samples.
+    assert!(text.contains('%'), "{text}");
+    assert!(text.contains("task nodes"), "{text}");
+    assert!(text.contains("worker"), "per-worker balance table: {text}");
+}
+
+#[test]
+fn report_chrome_exports_valid_trace_event_json() {
+    let t = tmpfile("chrome_src.jsonl");
+    let c = tmpfile("chrome_out.json");
+    let out = snetctl_threads(&["search", "--n", "6", "--trace-out", &t, "--stats"], "2");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = snetctl(&["report", &t, "--chrome", &c]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("chrome trace written"));
+
+    // The export must be well-formed trace-event JSON that a real
+    // JSON parser accepts, not just our own reader.
+    let json = std::fs::read_to_string(&c).unwrap();
+    let doc: serde_json::Value = serde_json::from_str(&json).expect("chrome export parses");
+    fn field<'a>(v: &'a serde_json::Value, key: &str) -> Option<&'a serde_json::Value> {
+        v.get(key)
+    }
+    fn fstr<'a>(v: &'a serde_json::Value, key: &str) -> &'a str {
+        field(v, key).and_then(|f| f.as_str()).unwrap_or("")
+    }
+    let events = field(&doc, "traceEvents").and_then(|v| v.as_array()).expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    // Duration events for the search spans, with microsecond timestamps.
+    let complete: Vec<_> = events.iter().filter(|e| fstr(e, "ph") == "X").collect();
+    assert!(
+        complete.iter().any(|e| fstr(e, "name") == "search.run"),
+        "search.run becomes a duration event"
+    );
+    assert!(complete.iter().any(|e| fstr(e, "name") == "search.worker"));
+    for e in &complete {
+        assert!(field(e, "ts").and_then(|v| v.as_f64()).is_some(), "ts missing");
+        assert!(field(e, "dur").and_then(|v| v.as_f64()).is_some(), "dur missing");
+    }
+    // Counter tracks for the node/prune counters.
+    assert!(
+        events.iter().any(|e| fstr(e, "ph") == "C" && fstr(e, "name") == "search.nodes"),
+        "counter track present"
+    );
+    // Metadata names the process and gives every worker its own lane.
+    let meta_name = |e: &serde_json::Value| {
+        field(e, "args").map(|a| fstr(a, "name").to_string()).unwrap_or_default()
+    };
+    let thread_names: Vec<String> = events
+        .iter()
+        .filter(|e| fstr(e, "ph") == "M" && fstr(e, "name") == "thread_name")
+        .map(meta_name)
+        .collect();
+    assert!(thread_names.iter().any(|n| n == "main"), "{thread_names:?}");
+    assert!(thread_names.iter().any(|n| n.starts_with("worker-")), "{thread_names:?}");
+    assert!(
+        events.iter().any(|e| fstr(e, "ph") == "M"
+            && fstr(e, "name") == "process_name"
+            && meta_name(e) == "snetctl"),
+        "process lane is named after the tool"
+    );
+}
+
+/// A hand-written baseline file: the same shape `Baseline::save` emits,
+/// which keeps this test honest about the on-disk format.
+fn write_baseline_file(name: &str, file: &str, states_per_sec: f64, wall_ms: f64) -> String {
+    let path = tmpfile(file);
+    let text = format!(
+        "{{\n  \"schema\": \"snet-bench-baseline/1\",\n  \"name\": \"{name}\",\n  \
+         \"manifest\": {{\n    \"tool\": \"cli-test\",\n    \"threads\": \"2\"\n  }},\n  \
+         \"metrics\": {{\n    \"states_per_sec\": {states_per_sec},\n    \
+         \"wall_ms\": {wall_ms}\n  }}\n}}\n"
+    );
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+#[test]
+fn bench_diff_passes_clean_and_fails_injected_regression() {
+    let old = write_baseline_file("search_n6", "base_old.json", 1_000_000.0, 120.0);
+
+    // A re-run within noise: small moves in the good direction pass.
+    let fresh = write_baseline_file("search_n6", "base_fresh.json", 1_020_000.0, 118.0);
+    let out = snetctl(&["bench", "diff", &fresh, "--against", &old, "--fail-on-regress", "10"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("OK:"), "{text}");
+    assert!(!text.contains("REGRESSED"), "{text}");
+
+    // Throughput halved: the diff must flag it and exit nonzero.
+    let slow = write_baseline_file("search_n6", "base_slow.json", 500_000.0, 240.0);
+    let out = snetctl(&["bench", "diff", &slow, "--against", &old, "--fail-on-regress", "10"]);
+    assert_eq!(out.status.code(), Some(8), "{}", String::from_utf8_lossy(&out.stdout));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("REGRESSED"), "{text}");
+    assert!(text.contains("states_per_sec"), "{text}");
+    assert!(text.contains("FAIL"), "{text}");
+
+    // The same regression under a huge threshold is tolerated.
+    let out = snetctl(&["bench", "diff", &slow, "--against", &old, "--fail-on-regress", "150"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn bench_diff_rejects_malformed_baselines() {
+    let g = tmpfile("base_garbage.json");
+    std::fs::write(&g, "{\"schema\": \"something-else/9\", \"name\": \"x\"}").unwrap();
+    let out = snetctl(&["bench", "diff", &g]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("schema"));
+
+    let out = snetctl(&["bench", "diff", "/nonexistent/base.json"]);
+    assert!(!out.status.success());
+
+    let out = snetctl(&["bench", "frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown bench subcommand"));
+}

@@ -1,0 +1,211 @@
+//! Chrome trace-event export: converts a JSONL trace into the JSON
+//! object format `chrome://tracing` and Perfetto load directly.
+//!
+//! Mapping:
+//!
+//! * finished spans → complete (`"ph":"X"`) duration events on the lane
+//!   of their emitting thread, span attrs as `args`;
+//! * spans that started but never ended (truncated trace) → begin
+//!   (`"ph":"B"`) events, which the viewers render as open-ended;
+//! * counters → cumulative counter tracks (`"ph":"C"`), one per name;
+//! * gauges → counter tracks carrying the raw sample;
+//! * histogram snapshots → global instant events (`"ph":"i"`) whose
+//!   `args` hold the percentile summary;
+//! * the run manifest → `process_name` metadata plus an instant event
+//!   with the full manifest as `args`;
+//! * every thread ordinal seen → `thread_name`/`thread_sort_index`
+//!   metadata, so worker lanes are labelled and ordered.
+//!
+//! Timestamps are microseconds since the run epoch, which is exactly the
+//! trace-event format's native unit.
+
+use crate::event::{fmt_f64, write_json_string, Event, EventKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The fixed process id stamped on every exported event (one trace file
+/// is one process).
+const PID: u64 = 1;
+
+fn push_args(out: &mut String, attrs: &[(String, String)]) {
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_string(out, k);
+        out.push(':');
+        write_json_string(out, v);
+    }
+    out.push('}');
+}
+
+fn push_event_head(out: &mut String, ph: char, name: &str, tid: u64, ts: u64) {
+    use std::fmt::Write as _;
+    out.push_str("{\"ph\":\"");
+    out.push(ph);
+    out.push_str("\",\"name\":");
+    write_json_string(out, name);
+    let _ = write!(out, ",\"pid\":{PID},\"tid\":{tid},\"ts\":{ts}");
+}
+
+/// Converts parsed trace events into a Chrome trace-event JSON document
+/// (the object form: `{"displayTimeUnit": …, "traceEvents": […]}`).
+pub fn to_chrome_trace(events: &[Event]) -> String {
+    let mut records: Vec<String> = Vec::with_capacity(events.len() + 8);
+
+    // Metadata: process name (from the manifest when present) and one
+    // labelled, sorted lane per thread ordinal.
+    let tool = events
+        .iter()
+        .find(|e| e.kind == EventKind::Manifest)
+        .and_then(|e| e.attr("tool"))
+        .unwrap_or("snet");
+    let mut meta = String::new();
+    push_event_head(&mut meta, 'M', "process_name", 0, 0);
+    push_args(&mut meta, &[("name".to_string(), tool.to_string())]);
+    meta.push('}');
+    records.push(meta);
+
+    let threads: BTreeSet<u64> = events.iter().map(|e| e.thread).collect();
+    for &tid in &threads {
+        let label = if tid == 0 { "main".to_string() } else { format!("worker-{tid}") };
+        let mut name = String::new();
+        push_event_head(&mut name, 'M', "thread_name", tid, 0);
+        push_args(&mut name, &[("name".to_string(), label)]);
+        name.push('}');
+        records.push(name);
+        let mut sort = String::new();
+        push_event_head(&mut sort, 'M', "thread_sort_index", tid, 0);
+        sort.push_str(&format!(",\"args\":{{\"sort_index\":{tid}}}}}"));
+        records.push(sort);
+    }
+
+    // Spans that started but never finished surface as "B" events.
+    let ended: BTreeSet<u64> =
+        events.iter().filter(|e| e.kind == EventKind::SpanEnd).map(|e| e.id).collect();
+
+    // Counter tracks are cumulative sums in emission order.
+    let mut totals: BTreeMap<&str, f64> = BTreeMap::new();
+
+    for e in events {
+        let mut rec = String::new();
+        match e.kind {
+            EventKind::SpanEnd => {
+                let ts = e.t_us.saturating_sub(e.dur_us);
+                push_event_head(&mut rec, 'X', &e.name, e.thread, ts);
+                rec.push_str(&format!(",\"dur\":{}", e.dur_us));
+                if !e.attrs.is_empty() {
+                    push_args(&mut rec, &e.attrs);
+                }
+                rec.push('}');
+            }
+            EventKind::SpanStart => {
+                if ended.contains(&e.id) {
+                    continue; // covered by the complete event
+                }
+                push_event_head(&mut rec, 'B', &e.name, e.thread, e.t_us);
+                rec.push('}');
+            }
+            EventKind::Counter => {
+                let total = totals.entry(e.name.as_str()).or_insert(0.0);
+                *total += e.value;
+                push_event_head(&mut rec, 'C', &e.name, 0, e.t_us);
+                rec.push_str(&format!(",\"args\":{{\"value\":{}}}}}", fmt_f64(*total)));
+            }
+            EventKind::Gauge => {
+                push_event_head(&mut rec, 'C', &e.name, 0, e.t_us);
+                rec.push_str(&format!(",\"args\":{{\"value\":{}}}}}", fmt_f64(e.value)));
+            }
+            EventKind::Hist => {
+                push_event_head(&mut rec, 'i', &e.name, e.thread, e.t_us);
+                rec.push_str(",\"s\":\"g\"");
+                push_args(&mut rec, &e.attrs);
+                rec.push('}');
+            }
+            EventKind::Manifest => {
+                push_event_head(&mut rec, 'i', &e.name, e.thread, e.t_us);
+                rec.push_str(",\"s\":\"g\"");
+                push_args(&mut rec, &e.attrs);
+                rec.push('}');
+            }
+        }
+        records.push(rec);
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&records.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Parses a JSONL trace and exports it ([`to_chrome_trace`] over
+/// [`crate::report::parse_events`]).
+pub fn trace_to_chrome(trace_text: &str) -> Result<String, String> {
+    Ok(to_chrome_trace(&crate::report::parse_events(trace_text)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, name: &str, id: u64, thread: u64, t_us: u64, dur_us: u64) -> Event {
+        Event {
+            kind,
+            name: name.into(),
+            id,
+            parent: 0,
+            thread,
+            t_us,
+            dur_us,
+            value: 0.0,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn spans_become_complete_events_on_thread_lanes() {
+        let mut end = ev(EventKind::SpanEnd, "search.worker", 3, 2, 150, 100);
+        end.attrs.push(("tasks".into(), "7".into()));
+        let events = vec![ev(EventKind::SpanStart, "search.worker", 3, 2, 50, 0), end];
+        let json = to_chrome_trace(&events);
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"tid\":2"));
+        assert!(json.contains("\"ts\":50"));
+        assert!(json.contains("\"dur\":100"));
+        assert!(json.contains("\"tasks\":\"7\""));
+        assert!(json.contains("\"name\":\"worker-2\""), "thread lane is labelled: {json}");
+        // The start is absorbed into the complete event.
+        assert!(!json.contains("\"ph\":\"B\""));
+    }
+
+    #[test]
+    fn unfinished_spans_surface_as_begin_events() {
+        let events = vec![ev(EventKind::SpanStart, "search.run", 1, 0, 10, 0)];
+        let json = to_chrome_trace(&events);
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(!json.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn counters_accumulate_into_tracks() {
+        let mut a = ev(EventKind::Counter, "search.nodes", 0, 1, 10, 0);
+        a.value = 5.0;
+        let mut b = a.clone();
+        b.t_us = 20;
+        b.value = 7.0;
+        let json = to_chrome_trace(&[a, b]);
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("{\"value\":5}"));
+        assert!(json.contains("{\"value\":12}"), "counter track is cumulative: {json}");
+    }
+
+    #[test]
+    fn manifest_names_the_process_and_roundtrips_from_jsonl() {
+        let manifest = crate::RunManifest::capture("unit-tool").to_event();
+        let jsonl = manifest.to_json_line();
+        let json = trace_to_chrome(&jsonl).expect("trace parses");
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"name\":\"unit-tool\""));
+        assert!(trace_to_chrome("not json").is_err());
+    }
+}

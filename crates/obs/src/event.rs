@@ -19,6 +19,10 @@ pub enum EventKind {
     Counter,
     /// A point-in-time sample (`value` holds the sample).
     Gauge,
+    /// A histogram snapshot (`value` holds the sample count; the bucket
+    /// encoding lives in the attrs — see
+    /// [`crate::hist::HistSnapshot::to_attrs`]).
+    Hist,
     /// The run manifest, emitted once at sink installation.
     Manifest,
 }
@@ -31,6 +35,7 @@ impl EventKind {
             EventKind::SpanEnd => "span_end",
             EventKind::Counter => "counter",
             EventKind::Gauge => "gauge",
+            EventKind::Hist => "hist",
             EventKind::Manifest => "manifest",
         }
     }
@@ -42,6 +47,7 @@ impl EventKind {
             "span_end" => EventKind::SpanEnd,
             "counter" => EventKind::Counter,
             "gauge" => EventKind::Gauge,
+            "hist" => EventKind::Hist,
             "manifest" => EventKind::Manifest,
             _ => return None,
         })
@@ -176,6 +182,7 @@ mod tests {
             EventKind::SpanEnd,
             EventKind::Counter,
             EventKind::Gauge,
+            EventKind::Hist,
             EventKind::Manifest,
         ] {
             assert_eq!(EventKind::from_wire_name(kind.wire_name()), Some(kind));

@@ -31,18 +31,24 @@
 //! snet_obs::flush();
 //! ```
 
+pub mod baseline;
+pub mod chrome;
 pub mod event;
+pub mod hist;
 pub mod manifest;
 pub mod report;
 pub mod sink;
 
+pub use baseline::{Baseline, BaselineDiff, BASELINE_SCHEMA};
+pub use chrome::{to_chrome_trace, trace_to_chrome};
 pub use event::{Event, EventKind};
+pub use hist::{HistSnapshot, Histogram, ShardedCounter};
 pub use manifest::{RunManifest, MANIFEST_SCHEMA};
 pub use sink::{JsonlSink, MemorySink, ProgressSink, Sink};
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, LazyLock, Mutex, RwLock};
+use std::sync::{Arc, LazyLock, Mutex, Once, RwLock};
 use std::time::Instant;
 
 /// Fast global switch: true iff at least one sink is installed.
@@ -97,12 +103,31 @@ pub struct SinkHandle(u64);
 
 /// Installs a sink and enables event emission. Returns a handle for
 /// targeted removal.
+///
+/// The first installation also chains a panic hook that flushes the
+/// calling thread's buffer and every sink, so a panicking run still
+/// leaves a parseable (truncated-but-valid) trace file.
 pub fn install_sink(sink: Arc<dyn Sink>) -> SinkHandle {
+    install_panic_flush_hook();
     let id = NEXT_SINK.fetch_add(1, Ordering::Relaxed);
     let mut sinks = SINKS.write().expect("sink registry poisoned");
     sinks.push((id, sink));
     ENABLED.store(true, Ordering::Relaxed);
     SinkHandle(id)
+}
+
+/// Chains the previous panic hook with a [`flush`] so buffered events
+/// reach their sinks before the process aborts. Installed once, on the
+/// first [`install_sink`]; a no-sink process never touches the hook.
+fn install_panic_flush_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            flush();
+            previous(info);
+        }));
+    });
 }
 
 /// Removes one sink (flushing it first); emission disables when the last
@@ -118,13 +143,18 @@ pub fn remove_sink(handle: SinkHandle) {
 
 /// Drains the calling thread's buffer and flushes every sink. Call once
 /// before process exit so buffered JSONL lines hit the file.
+///
+/// Safe to call from a panic hook or thread-local destructor: TLS access
+/// uses `try_with` and a poisoned sink registry is read through anyway
+/// (sinks are append-only, so the data is still coherent).
 pub fn flush() {
-    TLS.with(|tls| {
+    let _ = TLS.try_with(|tls| {
         if let Ok(mut st) = tls.try_borrow_mut() {
             drain(&mut st.buf);
         }
     });
-    for (_, sink) in SINKS.read().expect("sink registry poisoned").iter() {
+    let sinks = SINKS.read().unwrap_or_else(|p| p.into_inner());
+    for (_, sink) in sinks.iter() {
         sink.flush();
     }
 }
@@ -133,7 +163,7 @@ fn drain(buf: &mut Vec<Event>) {
     if buf.is_empty() {
         return;
     }
-    let sinks = SINKS.read().expect("sink registry poisoned");
+    let sinks = SINKS.read().unwrap_or_else(|p| p.into_inner());
     for e in buf.drain(..) {
         for (_, sink) in sinks.iter() {
             sink.event(&e);
@@ -153,8 +183,11 @@ pub(crate) fn emit_event(e: Event) {
     // destructors run later during OS-thread teardown — a buffer drained
     // only by the TLS destructor can miss the coordinator's snapshot.
     // Spans mark phase boundaries, so their ends are natural batch edges.
-    let urgent = matches!(e.kind, EventKind::SpanEnd | EventKind::Gauge | EventKind::Manifest);
-    TLS.with(|tls| {
+    let urgent = matches!(
+        e.kind,
+        EventKind::SpanEnd | EventKind::Gauge | EventKind::Hist | EventKind::Manifest
+    );
+    let _ = TLS.try_with(|tls| {
         let Ok(mut st) = tls.try_borrow_mut() else {
             return; // re-entrant emit from inside a drain: drop it
         };
@@ -166,7 +199,7 @@ pub(crate) fn emit_event(e: Event) {
 }
 
 fn fill_thread_fields(e: &mut Event) {
-    TLS.with(|tls| {
+    let _ = TLS.try_with(|tls| {
         if let Ok(st) = tls.try_borrow() {
             e.thread = st.ordinal;
             if e.parent == 0 {
@@ -174,6 +207,14 @@ fn fill_thread_fields(e: &mut Event) {
             }
         }
     });
+}
+
+/// The calling thread's small per-process ordinal (0 for the first
+/// thread to observe anything). Used by [`ShardedCounter`] to pick a
+/// shard and by reports to label worker lanes. Returns 0 if the
+/// thread-local state is already torn down.
+pub fn thread_ordinal() -> u64 {
+    TLS.try_with(|tls| tls.try_borrow().map(|st| st.ordinal).unwrap_or(0)).unwrap_or(0)
 }
 
 /// An RAII span: emits `SpanStart` on creation and `SpanEnd` (carrying
@@ -208,7 +249,7 @@ fn span_impl(name: &'static str, explicit_parent: Option<u64>) -> SpanGuard {
     let t_us = now_us();
     let mut parent = explicit_parent.unwrap_or(0);
     let mut thread = 0;
-    TLS.with(|tls| {
+    let _ = TLS.try_with(|tls| {
         if let Ok(mut st) = tls.try_borrow_mut() {
             thread = st.ordinal;
             if explicit_parent.is_none() {
@@ -267,7 +308,7 @@ impl Drop for SpanGuard {
         }
         let t_us = now_us();
         let mut thread = 0;
-        TLS.with(|tls| {
+        let _ = TLS.try_with(|tls| {
             if let Ok(mut st) = tls.try_borrow_mut() {
                 thread = st.ordinal;
                 // Pop through this span's id: panics unwinding past inner
@@ -341,12 +382,24 @@ pub fn gauge_with(name: &'static str, value: f64, attrs: Vec<(String, String)>) 
     emit_event(e);
 }
 
+/// Emits a histogram snapshot (aggregated by name in reports; see
+/// [`HistSnapshot::merge`]). Snapshotting is the caller's job so hot
+/// loops can keep recording into a shared [`Histogram`] and emit only at
+/// phase boundaries.
+pub fn hist(name: &str, snap: &HistSnapshot) {
+    if !enabled() {
+        return;
+    }
+    let mut e = snap.to_event(name);
+    fill_thread_fields(&mut e);
+    emit_event(e);
+}
+
 /// Test helper: runs `f` with a fresh [`MemorySink`] installed and
 /// returns the events it captured. Serialized across threads (the sink
 /// registry is global), so concurrent `test_capture` calls — e.g. from
 /// different `#[test]`s — cannot observe each other's events.
 pub fn test_capture(f: impl FnOnce()) -> Vec<Event> {
-    static TEST_LOCK: Mutex<()> = Mutex::new(());
     let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
     let sink = Arc::new(MemorySink::new());
     let handle = install_sink(sink.clone());
@@ -354,6 +407,11 @@ pub fn test_capture(f: impl FnOnce()) -> Vec<Event> {
     remove_sink(handle);
     sink.events()
 }
+
+/// Serializes every test that installs a sink (the registry is global).
+/// [`test_capture`] takes it internally; tests that install their own
+/// file-backed sinks should hold it directly.
+pub static TEST_LOCK: Mutex<()> = Mutex::new(());
 
 #[cfg(test)]
 mod tests {
@@ -429,14 +487,54 @@ mod tests {
     }
 
     #[test]
+    fn hist_events_carry_their_snapshot() {
+        let events = test_capture(|| {
+            let h = Histogram::new();
+            h.record(10);
+            h.record(2000);
+            hist("task.nodes", &h.snapshot());
+        });
+        let ev = events.iter().find(|e| e.kind == EventKind::Hist).expect("hist emitted");
+        assert_eq!(ev.name, "task.nodes");
+        let snap = HistSnapshot::from_attrs(&ev.attrs).expect("snapshot decodes");
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.sum, 2010);
+    }
+
+    #[test]
+    fn panicking_run_still_leaves_a_parseable_trace() {
+        let dir = std::env::temp_dir().join("snet-obs-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("panic-flush.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        // Serialize against every other sink-installing test.
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let handle =
+            install_sink(Arc::new(JsonlSink::create(&path_str).expect("create trace file")));
+        let result = std::panic::catch_unwind(|| {
+            // No enclosing span on purpose: counters are buffered
+            // (non-urgent), so only the panic-hook flush can get this
+            // increment to disk before the "process" dies.
+            counter("work.before_panic", 3);
+            panic!("injected failure");
+        });
+        assert!(result.is_err());
+        // Read back *before* remove_sink's flush — the panic hook alone
+        // must have produced a parseable trace.
+        let text = std::fs::read_to_string(&path).unwrap();
+        remove_sink(handle);
+        let report = report::parse_trace(&text).expect("truncated trace still parses");
+        assert_eq!(report.counters["work.before_panic"].total, 3.0);
+    }
+
+    #[test]
     fn trace_file_roundtrip_through_report() {
         let dir = std::env::temp_dir().join("snet-obs-tests");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("roundtrip.jsonl");
         let path = path.to_str().unwrap();
         {
-            static LOCK: Mutex<()> = Mutex::new(());
-            let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+            let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
             let handle =
                 install_sink(Arc::new(JsonlSink::create(path).expect("create trace file")));
             RunManifest::capture("obs-test").emit();

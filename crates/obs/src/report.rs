@@ -7,6 +7,7 @@
 //! string→string `attrs` object — keeping the crate dependency-free.
 
 use crate::event::{Event, EventKind};
+use crate::hist::HistSnapshot;
 use std::collections::BTreeMap;
 
 /// One reconstructed span with its children (children sorted by start
@@ -47,8 +48,13 @@ pub struct Report {
     pub roots: Vec<SpanNode>,
     /// Counter totals by name.
     pub counters: BTreeMap<String, CounterSummary>,
-    /// Last-seen gauge value by name.
+    /// Winning gauge value by name. "Last value wins" is decided by the
+    /// deterministic `(t_us, thread)` key, not file order, so gauges
+    /// reported from multiple threads merge the same way no matter how
+    /// the emitting threads' drains interleaved in the trace file.
     pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name (same-name snapshots merge).
+    pub hists: BTreeMap<String, HistSnapshot>,
     /// Events parsed.
     pub events: usize,
 }
@@ -76,12 +82,10 @@ impl Report {
     }
 }
 
-/// Parses a whole JSONL trace. Fails on the first malformed line
-/// (reporting its number); an empty file yields an empty report.
-pub fn parse_trace(text: &str) -> Result<Report, String> {
-    let mut report = Report::default();
-    // id → finished span (start, dur, name, parent, thread, attrs).
-    let mut ended: Vec<Event> = Vec::new();
+/// Parses a whole JSONL trace into its raw event list. Fails on the
+/// first malformed line (reporting its number); empty lines are skipped.
+pub fn parse_events(text: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
@@ -89,6 +93,27 @@ pub fn parse_trace(text: &str) -> Result<Report, String> {
         }
         let ev = parse_event_line(line)
             .ok_or_else(|| format!("line {}: not a trace event: {line}", lineno + 1))?;
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+/// Parses a whole JSONL trace. Fails on the first malformed line
+/// (reporting its number); an empty file yields an empty report.
+pub fn parse_trace(text: &str) -> Result<Report, String> {
+    Ok(summarize(parse_events(text)?))
+}
+
+/// Aggregates an event list into a [`Report`].
+pub fn summarize(events: Vec<Event>) -> Report {
+    let mut report = Report::default();
+    // id → finished span (start, dur, name, parent, thread, attrs).
+    let mut ended: Vec<Event> = Vec::new();
+    // Deterministic "last value wins" for gauges: keyed by
+    // `(t_us, thread)`, not line order (which depends on per-thread
+    // buffer drain scheduling).
+    let mut gauge_keys: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for ev in events {
         report.events += 1;
         match ev.kind {
             EventKind::Manifest => report.manifest = Some(ev.attrs),
@@ -98,14 +123,23 @@ pub fn parse_trace(text: &str) -> Result<Report, String> {
                 c.total += ev.value;
             }
             EventKind::Gauge => {
-                report.gauges.insert(ev.name, ev.value);
+                let key = (ev.t_us, ev.thread);
+                if gauge_keys.get(&ev.name).is_none_or(|&existing| key >= existing) {
+                    gauge_keys.insert(ev.name.clone(), key);
+                    report.gauges.insert(ev.name, ev.value);
+                }
+            }
+            EventKind::Hist => {
+                if let Some(snap) = HistSnapshot::from_attrs(&ev.attrs) {
+                    report.hists.entry(ev.name).or_default().merge(&snap);
+                }
             }
             EventKind::SpanStart => {}
             EventKind::SpanEnd => ended.push(ev),
         }
     }
     report.roots = build_forest(ended);
-    Ok(report)
+    report
 }
 
 /// Assembles finished spans into a forest. Orphans (parent id never
@@ -194,6 +228,50 @@ pub fn render(report: &Report) -> String {
             let _ = writeln!(out, "{name:<34} {:>14}", crate::event::fmt_f64(*v));
         }
     }
+    if !report.hists.is_empty() {
+        let _ = writeln!(out);
+        out.push_str(&render_hist_table(report.hists.iter().map(|(k, v)| (k.as_str(), v))));
+    }
+    out
+}
+
+/// Renders named histogram snapshots as a percentile table (the shared
+/// rendering used by `snetctl report` and `snetctl search --stats`).
+pub fn render_hist_table<'a>(
+    rows: impl IntoIterator<Item = (&'a str, &'a HistSnapshot)>,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<34} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "histogram", "count", "p50", "p90", "p99", "max", "mean"
+    );
+    for (name, h) in rows {
+        let _ = writeln!(
+            out,
+            "{name:<34} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12.1}",
+            h.count,
+            h.percentile(50.0),
+            h.percentile(90.0),
+            h.percentile(99.0),
+            h.max,
+            h.mean()
+        );
+    }
+    out
+}
+
+/// Renders labelled counts as a share-of-total breakdown table (used by
+/// `snetctl search --stats` for the prune breakdown).
+pub fn render_breakdown(title: &str, total: u64, rows: &[(&str, u64)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title:<34} {:>14} {:>10}", "count", "% of total");
+    for (label, count) in rows {
+        let pct = if total == 0 { 0.0 } else { 100.0 * *count as f64 / total as f64 };
+        let _ = writeln!(out, "  {label:<32} {count:>14} {pct:>9.2}%");
+    }
     out
 }
 
@@ -215,12 +293,7 @@ pub fn human_us(us: u64) -> String {
 /// Parses one JSONL trace line back into an [`Event`]. Returns `None`
 /// for anything [`Event::to_json_line`] could not have produced.
 pub fn parse_event_line(line: &str) -> Option<Event> {
-    let mut p = Parser { b: line.as_bytes(), i: 0 };
-    let fields = p.object()?;
-    p.ws();
-    if p.i != p.b.len() {
-        return None;
-    }
+    let fields = parse_json_object(line)?;
     let mut ev = Event {
         kind: EventKind::Counter,
         name: String::new(),
@@ -264,10 +337,23 @@ pub fn parse_event_line(line: &str) -> Option<Event> {
     Some(ev)
 }
 
-enum JsonValue {
+pub(crate) enum JsonValue {
     Str(String),
     Num(f64),
     Obj(Vec<(String, JsonValue)>),
+}
+
+/// Parses a complete JSON object document (any whitespace layout) of the
+/// string/number/nested-object subset this crate emits. Used by
+/// [`crate::baseline`] to read baseline files back.
+pub(crate) fn parse_json_object(text: &str) -> Option<Vec<(String, JsonValue)>> {
+    let mut p = Parser { b: text.as_bytes(), i: 0 };
+    let fields = p.object()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return None;
+    }
+    Some(fields)
 }
 
 struct Parser<'a> {
@@ -466,6 +552,55 @@ mod tests {
         assert!(parse_trace("not json at all").is_err());
         assert!(parse_trace("{\"no_type\": 1}").is_err());
         assert_eq!(parse_trace("").unwrap().events, 0);
+    }
+
+    #[test]
+    fn gauge_merge_is_deterministic_across_line_orders() {
+        // Three threads report the same gauge; the trace file order of
+        // the lines depends on per-thread drain scheduling. The winner
+        // must be the maximal (t_us, thread) key in every ordering.
+        let mut gauges = Vec::new();
+        for (thread, t_us, value) in [(0u64, 50u64, 0.1f64), (2, 90, 0.7), (1, 90, 0.5)] {
+            gauges.push(
+                Event {
+                    kind: EventKind::Gauge,
+                    name: "search.progress".into(),
+                    id: 0,
+                    parent: 0,
+                    thread,
+                    t_us,
+                    dur_us: 0,
+                    value,
+                    attrs: Vec::new(),
+                }
+                .to_json_line(),
+            );
+        }
+        // All 6 permutations of the three lines agree.
+        let perms: [[usize; 3]; 6] =
+            [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        for perm in perms {
+            let text: Vec<&str> = perm.iter().map(|&i| gauges[i].as_str()).collect();
+            let report = parse_trace(&text.join("\n")).unwrap();
+            // (90, thread 2) beats (90, thread 1) beats (50, thread 0).
+            assert_eq!(report.gauges["search.progress"], 0.7, "order {perm:?}");
+        }
+    }
+
+    #[test]
+    fn hist_events_merge_into_the_report() {
+        let h = crate::hist::Histogram::new();
+        h.record(10);
+        h.record(1000);
+        let snap = h.snapshot();
+        let line = snap.to_event("search.task.nodes").to_json_line();
+        let report = parse_trace(&format!("{line}\n{line}")).unwrap();
+        let merged = &report.hists["search.task.nodes"];
+        assert_eq!(merged.count, 4);
+        assert_eq!(merged.sum, 2020);
+        let rendered = render(&report);
+        assert!(rendered.contains("search.task.nodes"));
+        assert!(rendered.contains("p99"));
     }
 
     #[test]

@@ -31,12 +31,27 @@ impl JsonlSink {
 
 impl Sink for JsonlSink {
     fn event(&self, e: &Event) {
-        let mut w = self.w.lock().expect("jsonl sink poisoned");
-        let _ = writeln!(w, "{}", e.to_json_line());
+        if let Ok(mut w) = self.w.lock() {
+            let _ = writeln!(w, "{}", e.to_json_line());
+        }
     }
 
     fn flush(&self) {
-        let _ = self.w.lock().expect("jsonl sink poisoned").flush();
+        if let Ok(mut w) = self.w.lock() {
+            let _ = w.flush();
+        }
+    }
+}
+
+// Last-resort guard: if the sink is dropped without an explicit
+// `snet_obs::flush()` (early return, abort path), the `BufWriter` would
+// otherwise silently discard its tail on some error paths. `BufWriter`'s
+// own Drop does attempt a flush, but doing it here too keeps the
+// behaviour explicit and panic-tolerant (a poisoned lock is skipped, and
+// each line is a complete JSON object so the file stays parseable).
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        Sink::flush(self);
     }
 }
 

@@ -52,6 +52,7 @@ use snet_adversary::DepthOracle;
 use snet_core::ir::Executor;
 use snet_core::network::{ComparatorNetwork, Level};
 use snet_core::zeroone::{CompiledLayer, ZeroOneSet};
+use snet_obs::{HistSnapshot, Histogram};
 use snet_topology::ShuffleNetwork;
 
 use crate::layers::{
@@ -122,10 +123,18 @@ pub struct SearchStats {
     pub subsumed: u64,
     /// Children skipped because their layer left the state unchanged.
     pub noop_skips: u64,
+    /// Last-layer candidates rejected by the single-witness fast path
+    /// (the move could not even fix one unsorted vector).
+    pub witness_skips: u64,
+    /// New transposition facts dropped because their shard was full.
+    pub tt_evicts: u64,
     /// Prefix tasks executed to completion.
     pub tasks_run: u64,
     /// Prefix tasks abandoned after a lower-indexed task succeeded.
     pub tasks_aborted: u64,
+    /// Tasks a worker obtained by stealing from a sibling's deque
+    /// (rather than its own deque or the shared injector).
+    pub steals: u64,
 }
 
 impl SearchStats {
@@ -137,8 +146,22 @@ impl SearchStats {
         self.oracle_cuts += other.oracle_cuts;
         self.subsumed += other.subsumed;
         self.noop_skips += other.noop_skips;
+        self.witness_skips += other.witness_skips;
+        self.tt_evicts += other.tt_evicts;
         self.tasks_run += other.tasks_run;
         self.tasks_aborted += other.tasks_aborted;
+        self.steals += other.steals;
+    }
+
+    /// Fraction of transposition probes answered by a stored refutation
+    /// (0 when no probe ran).
+    pub fn tt_hit_rate(&self) -> f64 {
+        let probes = self.tt_hits + self.tt_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.tt_hits as f64 / probes as f64
+        }
     }
 
     /// Emits the counters as obs metrics under the `search.` namespace.
@@ -147,9 +170,49 @@ impl SearchStats {
         snet_obs::counter("search.tt.hit", self.tt_hits);
         snet_obs::counter("search.tt.miss", self.tt_misses);
         snet_obs::counter("search.tt.store", self.tt_stores);
+        snet_obs::counter("search.tt.evict", self.tt_evicts);
         snet_obs::counter("search.oracle.cut", self.oracle_cuts);
         snet_obs::counter("search.subsumed", self.subsumed);
+        snet_obs::counter("search.noop.skip", self.noop_skips);
+        snet_obs::counter("search.witness.skip", self.witness_skips);
+        snet_obs::counter("search.steals", self.steals);
     }
+}
+
+/// Per-round task-granularity histograms. Recording is wait-free and
+/// always on (a handful of relaxed atomic adds per *task*, not per node);
+/// snapshots ride in the outcome so `--stats` works without any sink.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundHists {
+    /// DFS nodes per prefix task.
+    pub task_nodes: HistSnapshot,
+    /// Wall microseconds per prefix task.
+    pub task_us: HistSnapshot,
+}
+
+impl RoundHists {
+    /// Adds another round's histograms into this one.
+    pub fn merge(&mut self, other: &RoundHists) {
+        self.task_nodes.merge(&other.task_nodes);
+        self.task_us.merge(&other.task_us);
+    }
+}
+
+/// One worker's share of a round, for steal-balance reporting. Worker
+/// identity is the spawn index, so rows are stable across runs even
+/// though the *assignment* of tasks to workers is timing-dependent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerBalance {
+    /// Spawn index of the worker thread.
+    pub worker: u64,
+    /// Tasks this worker ran to completion.
+    pub tasks_run: u64,
+    /// Tasks this worker abandoned after a lower-indexed Sat.
+    pub tasks_aborted: u64,
+    /// Tasks obtained by stealing from a sibling.
+    pub steals: u64,
+    /// DFS nodes this worker expanded.
+    pub nodes: u64,
 }
 
 /// One iterative-deepening round.
@@ -161,8 +224,19 @@ pub struct BudgetRound {
     pub sat: bool,
     /// Symmetry- and state-deduplicated prefix tasks enumerated.
     pub tasks: usize,
+    /// Total moves in the layer model (before symmetry reduction).
+    pub moves_total: usize,
+    /// First-layer candidates after symmetry reduction.
+    pub firsts_kept: usize,
+    /// Second-layer candidates after symmetry reduction (0 when the
+    /// budget admits only a one-layer prefix).
+    pub seconds_kept: usize,
     /// Counters for this round (timing-dependent; see [`SearchStats`]).
     pub stats: SearchStats,
+    /// Task-granularity histograms for this round.
+    pub hists: RoundHists,
+    /// Per-worker task/steal balance, ordered by spawn index.
+    pub workers: Vec<WorkerBalance>,
     /// Wall-clock milliseconds spent in the round.
     pub elapsed_ms: u64,
 }
@@ -192,6 +266,10 @@ pub struct SearchOutcome {
     pub rounds: Vec<BudgetRound>,
     /// Counters summed over all rounds.
     pub totals: SearchStats,
+    /// Histograms merged over all rounds.
+    pub hists: RoundHists,
+    /// Transposition facts resident when the search finished.
+    pub tt_facts: u64,
 }
 
 /// A two-layer (or shorter) prefix queued as one parallel task.
@@ -245,22 +323,52 @@ pub fn search(cfg: &SearchConfig) -> SearchOutcome {
 
     let mut rounds = Vec::new();
     let mut totals = SearchStats::default();
+    let mut hists = RoundHists::default();
     let mut witness_ids: Option<Vec<u32>> = None;
+    let mut evicts_seen = 0u64;
 
     for budget in floor..=cfg.max_depth {
         let started = Instant::now();
-        let tasks = prefix_tasks(cfg, &moves, budget);
+        let mut round_span = snet_obs::span_under("search.round", span.id());
+        round_span.add_attr("budget", budget);
+        let (tasks, symmetry) = prefix_tasks(cfg, &moves, budget);
         let task_count = tasks.len();
-        let (winner, stats) =
-            run_round(cfg, &moves, &compiled, &oracle, &tt, budget, tasks, threads);
+        round_span.add_attr("tasks", task_count);
+        let (winner, mut stats, round_hists, workers) = run_round(
+            cfg,
+            &moves,
+            &compiled,
+            &oracle,
+            &tt,
+            budget,
+            tasks,
+            threads,
+            round_span.id(),
+        );
+        // Eviction counts live in the (cross-round) table; report the
+        // delta so per-round stats stay additive.
+        let evicts_total = tt.evictions();
+        stats.tt_evicts = evicts_total - evicts_seen;
+        evicts_seen = evicts_total;
         let sat = winner.is_some();
+        round_span.add_attr("sat", sat);
         stats.emit_counters();
+        if snet_obs::enabled() {
+            snet_obs::hist("search.task.nodes", &round_hists.task_nodes);
+            snet_obs::hist("search.task.us", &round_hists.task_us);
+        }
         totals.absorb(&stats);
+        hists.merge(&round_hists);
         rounds.push(BudgetRound {
             budget,
             sat,
             tasks: task_count,
+            moves_total: symmetry.moves_total,
+            firsts_kept: symmetry.firsts_kept,
+            seconds_kept: symmetry.seconds_kept,
             stats,
+            hists: round_hists,
+            workers,
             elapsed_ms: started.elapsed().as_millis() as u64,
         });
         snet_obs::counter("search.rounds", 1);
@@ -291,6 +399,8 @@ pub fn search(cfg: &SearchConfig) -> SearchOutcome {
         verified,
         rounds,
         totals,
+        hists,
+        tt_facts: tt.len() as u64,
     }
 }
 
@@ -315,9 +425,25 @@ fn apply_move(moves: &MoveSet, id: u32, state: &ZeroOneSet, tmp: &mut ZeroOneSet
     cur
 }
 
+/// How much the symmetry reduction shrank one round's prefix frontier
+/// (the `--stats` "prefix symmetry" section).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefixSummary {
+    /// Moves in the layer model before any reduction.
+    pub moves_total: usize,
+    /// First-layer candidates kept.
+    pub firsts_kept: usize,
+    /// Second-layer candidates kept (0 for one-layer prefixes).
+    pub seconds_kept: usize,
+}
+
 /// Enumerates the symmetry-reduced, state-deduplicated prefix tasks for
 /// one budget round, in the fixed order that defines task indices.
-fn prefix_tasks(cfg: &SearchConfig, moves: &MoveSet, budget: usize) -> Vec<PrefixTask> {
+fn prefix_tasks(
+    cfg: &SearchConfig,
+    moves: &MoveSet,
+    budget: usize,
+) -> (Vec<PrefixTask>, PrefixSummary) {
     let n = cfg.n;
     let prefix_len = budget.min(2);
     // First-layer candidates (already symmetry-reduced).
@@ -363,12 +489,18 @@ fn prefix_tasks(cfg: &SearchConfig, moves: &MoveSet, budget: usize) -> Vec<Prefi
             tasks.push(PrefixTask { index: tasks.len(), layer_ids, state });
         }
     }
-    tasks
+    let summary = PrefixSummary {
+        moves_total: moves.moves.len(),
+        firsts_kept: firsts.len(),
+        seconds_kept: seconds.len(),
+    };
+    (tasks, summary)
 }
 
 /// Runs one budget round over its prefix tasks with a work-stealing
 /// worker pool. Returns the winning full move-id list (lowest task index
-/// with a Sat DFS) and the merged round stats.
+/// with a Sat DFS), the merged round stats, the round's task
+/// histograms, and the per-worker balance.
 #[allow(clippy::too_many_arguments)]
 fn run_round(
     cfg: &SearchConfig,
@@ -379,11 +511,18 @@ fn run_round(
     budget: usize,
     tasks: Vec<PrefixTask>,
     threads: usize,
-) -> (Option<Vec<u32>>, SearchStats) {
+    round_span_id: u64,
+) -> (Option<Vec<u32>>, SearchStats, RoundHists, Vec<WorkerBalance>) {
     let task_count = tasks.len();
     let best = AtomicUsize::new(usize::MAX);
     let results: Mutex<Vec<Option<Vec<u32>>>> = Mutex::new(vec![None; task_count]);
     let stats = Mutex::new(SearchStats::default());
+    let balances: Mutex<Vec<WorkerBalance>> = Mutex::new(Vec::with_capacity(threads));
+    // Shared wait-free histograms; workers record once per *task*, so the
+    // cost is negligible against the task's DFS whether or not a sink is
+    // installed.
+    let task_nodes_hist = Histogram::new();
+    let task_us_hist = Histogram::new();
 
     let injector = Injector::new();
     for task in tasks {
@@ -393,13 +532,21 @@ fn run_round(
     let stealers: Vec<Stealer<PrefixTask>> = deques.iter().map(|d| d.stealer()).collect();
 
     crossbeam::thread::scope(|scope| {
-        for local in deques {
+        for (worker_index, local) in deques.into_iter().enumerate() {
             let injector = &injector;
             let stealers = &stealers;
             let best = &best;
             let results = &results;
             let stats = &stats;
+            let balances = &balances;
+            let task_nodes_hist = &task_nodes_hist;
+            let task_us_hist = &task_us_hist;
             scope.spawn(move |_| {
+                // Explicit parent: this thread has no span stack, so
+                // without `span_under` the worker span would orphan to a
+                // root in the report tree.
+                let mut worker_span = snet_obs::span_under("search.worker", round_span_id);
+                worker_span.add_attr("worker", worker_index);
                 let mut worker = TaskWorker {
                     moves,
                     compiled,
@@ -414,13 +561,17 @@ fn run_round(
                     keybuf: Vec::new(),
                     stats: SearchStats::default(),
                 };
-                while let Some(task) = next_task(&local, injector, stealers) {
+                while let Some(task) =
+                    next_task(&local, injector, stealers, &mut worker.stats.steals)
+                {
                     if best.load(Ordering::SeqCst) < task.index {
                         worker.stats.tasks_aborted += 1;
                         continue;
                     }
                     worker.my_index = task.index;
                     let used = task.layer_ids.len();
+                    let task_started = Instant::now();
+                    let nodes_before = worker.stats.nodes;
                     match worker.dfs(&task.state, used, budget - used) {
                         Dfs::Sat(suffix) => {
                             best.fetch_min(task.index, Ordering::SeqCst);
@@ -432,7 +583,19 @@ fn run_round(
                         Dfs::Unsat => worker.stats.tasks_run += 1,
                         Dfs::Aborted => worker.stats.tasks_aborted += 1,
                     }
+                    task_nodes_hist.record(worker.stats.nodes - nodes_before);
+                    task_us_hist.record(task_started.elapsed().as_micros() as u64);
                 }
+                worker_span.add_attr("tasks", worker.stats.tasks_run);
+                worker_span.add_attr("steals", worker.stats.steals);
+                worker_span.add_attr("nodes", worker.stats.nodes);
+                balances.lock().push(WorkerBalance {
+                    worker: worker_index as u64,
+                    tasks_run: worker.stats.tasks_run,
+                    tasks_aborted: worker.stats.tasks_aborted,
+                    steals: worker.stats.steals,
+                    nodes: worker.stats.nodes,
+                });
                 stats.lock().absorb(&worker.stats);
             });
         }
@@ -448,15 +611,21 @@ fn run_round(
         // schedule-independent minimum.
         results.lock()[winner_index].clone()
     };
-    (winner, stats.into_inner())
+    let hists =
+        RoundHists { task_nodes: task_nodes_hist.snapshot(), task_us: task_us_hist.snapshot() };
+    let mut workers = balances.into_inner();
+    workers.sort_by_key(|w| w.worker);
+    (winner, stats.into_inner(), hists, workers)
 }
 
 /// Pops the next task: local deque first, then the injector (batching
-/// into the local deque), then other workers' deques.
+/// into the local deque), then other workers' deques. Successful sibling
+/// steals increment `steals` (the balance metric).
 fn next_task(
     local: &Deque<PrefixTask>,
     injector: &Injector<PrefixTask>,
     stealers: &[Stealer<PrefixTask>],
+    steals: &mut u64,
 ) -> Option<PrefixTask> {
     loop {
         if let Some(task) = local.pop() {
@@ -470,7 +639,10 @@ fn next_task(
         let mut retry = false;
         for stealer in stealers {
             match stealer.steal() {
-                Steal::Success(task) => return Some(task),
+                Steal::Success(task) => {
+                    *steals += 1;
+                    return Some(task);
+                }
                 Steal::Retry => retry = true,
                 Steal::Empty => {}
             }
@@ -572,6 +744,7 @@ impl TaskWorker<'_> {
             for id in 0..self.moves.moves.len() as u32 {
                 let y = apply_move_to_index(self.moves, id, n, witness);
                 if y != ZeroOneSet::sorted_index(n, y.count_ones() as usize) {
+                    self.stats.witness_skips += 1;
                     continue;
                 }
                 self.compiled[id as usize].apply(state, &mut self.tmp, &mut self.scratch);

@@ -30,6 +30,9 @@ pub mod engine;
 pub mod layers;
 pub mod tt;
 
-pub use engine::{search, BudgetRound, SearchConfig, SearchMode, SearchOutcome, SearchStats};
+pub use engine::{
+    search, BudgetRound, PrefixSummary, RoundHists, SearchConfig, SearchMode, SearchOutcome,
+    SearchStats, WorkerBalance,
+};
 pub use layers::{Layer, MoveSet};
 pub use tt::TransTable;

@@ -17,6 +17,7 @@
 //! never soundness.
 
 use parking_lot::Mutex;
+use snet_obs::ShardedCounter;
 use std::collections::HashMap;
 
 const SHARDS: usize = 64;
@@ -26,6 +27,9 @@ const SHARDS: usize = 64;
 pub struct TransTable {
     shards: Vec<Mutex<HashMap<Box<[u64]>, u8>>>,
     capacity_per_shard: usize,
+    /// New facts dropped because their shard was at capacity ("evictions"
+    /// in the at-admission sense — the table never removes entries).
+    evictions: ShardedCounter,
 }
 
 impl TransTable {
@@ -35,6 +39,7 @@ impl TransTable {
         TransTable {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             capacity_per_shard,
+            evictions: ShardedCounter::new(),
         }
     }
 
@@ -66,10 +71,18 @@ impl TransTable {
             return false;
         }
         if shard.len() >= self.capacity_per_shard {
+            self.evictions.add(1);
             return false; // full: drop the fact, correctness unaffected
         }
         shard.insert(key.into(), budget);
         true
+    }
+
+    /// Number of new facts dropped at admission because their shard was
+    /// full. A nonzero value means the configured capacity is throttling
+    /// pruning (`--tt-capacity` is the lever).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.sum()
     }
 
     /// Number of facts currently stored.
@@ -113,6 +126,7 @@ mod tests {
         }
         assert!(tt.len() <= SHARDS);
         assert!(!stored.is_empty());
+        assert!(tt.evictions() > 0, "capped inserts count as evictions");
         // Existing entries still deepen after the cap is hit.
         assert!(tt.record_failure(&stored[0], 7));
         assert_eq!(tt.failed_budget(&stored[0]), Some(7));
