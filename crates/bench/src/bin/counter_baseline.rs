@@ -1,0 +1,108 @@
+//! Records counting-network counter throughput as perf baselines (schema
+//! `snet-bench-baseline/1`) under `<baseline-dir>/counter_<label>.json`
+//! — the committed scenarios `snetctl bench diff` compares fresh runs
+//! against in the CI `runtime-smoke` job.
+//!
+//! Scenarios, all `--threads` threads × `--ops` increments:
+//!
+//! * `counter_atomic` — one shared `AtomicU64`, the hot-cache-line
+//!   baseline;
+//! * `counter_bitonic_w{4,8,16}` — bitonic counting networks;
+//! * `counter_periodic_w8` — the periodic balanced layout.
+//!
+//! Metrics per scenario: `wall_ms` (lower is better) and `ops_per_sec`
+//! (higher is better). Every run verifies the quiescent step property
+//! and the claimed totals before writing anything — a baseline from a
+//! broken runtime is worse than no baseline.
+//!
+//! Usage: `cargo run --release -p snet-bench --bin counter_baseline
+//! [-- --threads N] [--ops N] [--baseline-dir DIR] [--only LABEL]`
+
+use snet_obs::Baseline;
+use snet_runtime::CountingNetwork;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Times `threads × ops` increments of one shared atomic.
+fn run_atomic(threads: usize, ops: usize) -> std::time::Duration {
+    let shared = AtomicU64::new(0);
+    let start = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                for _ in 0..ops {
+                    shared.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    assert_eq!(shared.load(Ordering::Relaxed), (threads * ops) as u64);
+    elapsed
+}
+
+/// Times `threads × ops` traversals and checks the quiescent state.
+fn run_network(net: &CountingNetwork, threads: usize, ops: usize) -> std::time::Duration {
+    let start = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                for _ in 0..ops {
+                    net.traverse();
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    assert_eq!(net.total(), (threads * ops) as u64, "no lost traversals");
+    net.check_step().expect("quiescent step property");
+    elapsed
+}
+
+fn write_baseline(label: &str, elapsed: std::time::Duration, total: usize, dir: &str) {
+    let manifest = snet_obs::RunManifest::capture("counter_baseline");
+    let wall_ms = elapsed.as_secs_f64() * 1e3;
+    let baseline = Baseline::new(label, &manifest)
+        .metric("wall_ms", wall_ms)
+        .metric("ops_per_sec", total as f64 / elapsed.as_secs_f64().max(1e-9));
+    let path = std::path::Path::new(dir).join(format!("{label}.json"));
+    baseline.save(&path).expect("write baseline");
+    eprintln!("[{label}] {total} ops in {wall_ms:.1} ms → {}", path.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads: usize = flag(&args, "--threads").map_or(4, |v| v.parse().expect("--threads"));
+    let ops: usize = flag(&args, "--ops").map_or(200_000, |v| v.parse().expect("--ops"));
+    let dir = flag(&args, "--baseline-dir").unwrap_or_else(|| "results/baselines".to_string());
+    let only = flag(&args, "--only");
+    let total = threads * ops;
+
+    let scenarios: Vec<(String, Box<dyn Fn() -> std::time::Duration>)> = vec![
+        ("counter_atomic".to_string(), Box::new(move || run_atomic(threads, ops))),
+        ("counter_bitonic_w4".to_string(), {
+            Box::new(move || run_network(&CountingNetwork::bitonic(4), threads, ops))
+        }),
+        ("counter_bitonic_w8".to_string(), {
+            Box::new(move || run_network(&CountingNetwork::bitonic(8), threads, ops))
+        }),
+        ("counter_bitonic_w16".to_string(), {
+            Box::new(move || run_network(&CountingNetwork::bitonic(16), threads, ops))
+        }),
+        ("counter_periodic_w8".to_string(), {
+            Box::new(move || run_network(&CountingNetwork::periodic(8), threads, ops))
+        }),
+    ];
+
+    for (label, run) in &scenarios {
+        if only.as_deref().is_some_and(|o| o != label) {
+            continue;
+        }
+        // One untimed warm-up settles thread spawn and page faults.
+        run();
+        write_baseline(label, run(), total, &dir);
+    }
+}

@@ -20,6 +20,7 @@ use snet_adversary::{refute, theorem41};
 use snet_core::ir::{default_engine_threads, Executor, PassManager};
 use snet_core::perm::Permutation;
 use snet_core::sortcheck::{check_random_permutations, is_sorted};
+use snet_runtime::{BalancerModel, CountingNetwork, Explorer, Layout};
 use snet_sorters::{
     bitonic_shuffle, brick_wall, odd_even_mergesort, periodic_balanced, pratt_network,
 };
@@ -50,6 +51,7 @@ fn main() {
             Some("duel") => cmd_duel(&args[1..]),
             Some("report") => cmd_report(&args[1..]),
             Some("bench") => cmd_bench(&args[1..]),
+            Some("count") => cmd_count(&args[1..]),
             Some("--help") | Some("-h") | None => {
                 print_usage();
                 Ok(())
@@ -147,6 +149,12 @@ fn print_usage() {
          \x20 bench   diff NEW.json [--against OLD.json] [--fail-on-regress PCT]\n\
          \x20         compare a bench baseline (schema snet-bench-baseline/1) against a\n\
          \x20         stored one; exit code 8 if any metric regressed beyond PCT (default 10)\n\
+         \x20 count   --width W [--threads T] [--ops N] [--kind bitonic|periodic] [--seed S]\n\
+         \x20         run the live counting-network runtime and check the step property;\n\
+         \x20         --explore switches to the deterministic interleaving explorer\n\
+         \x20         (--exhaustive for all schedules, else --schedules K seeded samples);\n\
+         \x20         exit code 9 on any step-property violation (replayable schedule\n\
+         \x20         strings are printed and recorded in the run manifest)\n\
          \n\
          global flags (any command):\n\
          \x20 --trace-out FILE.jsonl           write structured trace events (spans, counters,\n\
@@ -883,4 +891,154 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
             exit_flushed(6);
         }
     }
+}
+
+/// `snetctl count` — drive the live counting-network runtime, or explore
+/// its interleavings deterministically with `--explore`. Exit code 9 on
+/// any step-property violation; explorer counterexamples are printed as
+/// replayable decision strings and recorded in the run manifest.
+fn cmd_count(args: &[String]) -> Result<(), String> {
+    let width: usize = parse(flag(args, "--width").unwrap_or("8"), "--width")?;
+    if !width.is_power_of_two() {
+        return Err("--width must be a power of two".into());
+    }
+    let threads: usize = parse(flag(args, "--threads").unwrap_or("4"), "--threads")?;
+    if threads == 0 {
+        return Err("--threads must be >= 1".into());
+    }
+    let kind = flag(args, "--kind").unwrap_or("bitonic");
+    let layout = match kind {
+        "bitonic" => Layout::bitonic(width),
+        "periodic" => Layout::periodic(width),
+        other => return Err(format!("unknown --kind '{other}' (bitonic|periodic)")),
+    };
+    println!(
+        "counting network: {kind}, width {width}, {} balancers in {} layers",
+        layout.balancer_count(),
+        layout.depth()
+    );
+    if has_flag(args, "--explore") {
+        count_explore(args, layout, threads)
+    } else {
+        count_live(args, layout, threads)
+    }
+}
+
+/// Live mode: real threads hammer the network, then we inspect the
+/// quiescent state and compare throughput against one shared counter.
+fn count_live(args: &[String], layout: Layout, threads: usize) -> Result<(), String> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let ops: usize = parse(flag(args, "--ops").unwrap_or("4096"), "--ops")?;
+    let net = CountingNetwork::new(layout);
+    let span = snet_obs::span("count.live")
+        .attr("width", net.width())
+        .attr("threads", threads)
+        .attr("ops", ops);
+    let start = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                for _ in 0..ops {
+                    net.traverse();
+                }
+            });
+        }
+    });
+    let net_elapsed = start.elapsed();
+    drop(span);
+    net.emit_obs();
+
+    // The structure the counting network is meant to beat: every thread
+    // on one cache line.
+    let shared = AtomicU64::new(0);
+    let start = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                for _ in 0..ops {
+                    shared.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let atomic_elapsed = start.elapsed();
+
+    let total = (threads * ops) as u64;
+    let rate = |d: std::time::Duration| total as f64 / d.as_secs_f64().max(1e-9);
+    println!("traversals      : {total} ({threads} threads × {ops} ops)");
+    println!(
+        "network         : {:.1} ms, {:.0} ops/s",
+        net_elapsed.as_secs_f64() * 1e3,
+        rate(net_elapsed)
+    );
+    println!(
+        "single atomic   : {:.1} ms, {:.0} ops/s",
+        atomic_elapsed.as_secs_f64() * 1e3,
+        rate(atomic_elapsed)
+    );
+    println!("slot counts     : {:?}", net.slot_counts());
+    if net.total() != total {
+        return Err(format!("lost traversals: {} slots vs {total} issued", net.total()));
+    }
+    match net.check_step() {
+        Ok(()) => {
+            println!("step property   : ok");
+            Ok(())
+        }
+        Err(v) => {
+            eprintln!("step property   : {v}");
+            snet_obs::RunManifest::capture("snetctl-count")
+                .with_extra("violation", v.to_string())
+                .emit();
+            exit_flushed(9);
+        }
+    }
+}
+
+/// Explorer mode: deterministic virtual-thread schedules, exhaustive with
+/// `--exhaustive` (small configurations only), seeded sampling otherwise.
+fn count_explore(args: &[String], layout: Layout, threads: usize) -> Result<(), String> {
+    let ops: usize = parse(flag(args, "--ops").unwrap_or("1"), "--ops")?;
+    let seed: u64 = parse(flag(args, "--seed").unwrap_or("0"), "--seed")?;
+    let schedules: u64 = parse(flag(args, "--schedules").unwrap_or("1000"), "--schedules")?;
+    if threads > 62 {
+        return Err("--explore supports at most 62 virtual threads".into());
+    }
+    let explorer = Explorer::new(layout.clone(), threads, ops, BalancerModel::Atomic);
+    let _span = snet_obs::span("count.explore")
+        .attr("width", layout.width())
+        .attr("threads", threads)
+        .attr("ops", ops);
+    let report = if has_flag(args, "--exhaustive") {
+        // Schedule count is multinomial in total steps; keep it in the
+        // millions, not the billions.
+        let steps = threads * ops * (layout.depth() + 1);
+        if steps > 26 {
+            return Err(format!(
+                "exhaustive exploration of {steps} total steps is intractable; \
+                 lower --threads/--ops/--width or use seeded sampling"
+            ));
+        }
+        println!("exploring all interleavings of {threads} virtual threads × {ops} ops…");
+        explorer.explore()
+    } else {
+        println!("sampling {schedules} schedules (seed {seed})…");
+        explorer.sample(seed, schedules)
+    };
+    snet_obs::counter("sched.schedules", report.schedules);
+    snet_obs::counter("sched.failing", report.failing);
+    println!("schedules       : {}", report.schedules);
+    if report.failing == 0 {
+        println!("step property   : ok in every explored schedule");
+        return Ok(());
+    }
+    eprintln!("step property   : VIOLATED in {} schedules", report.failing);
+    let mut manifest =
+        snet_obs::RunManifest::capture("snetctl-count").with_extra("seed", seed.to_string());
+    for (i, v) in report.violations.iter().enumerate() {
+        eprintln!("  schedule '{}': {}", v.decisions, v.detail);
+        manifest = manifest.with_extra(format!("failing_schedule_{i}"), v.decisions.clone());
+    }
+    manifest.emit();
+    exit_flushed(9);
 }

@@ -664,3 +664,93 @@ fn bench_diff_rejects_malformed_baselines() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown bench subcommand"));
 }
+
+#[test]
+fn count_live_run_reports_step_property() {
+    let out = snetctl(&["count", "--width", "4", "--threads", "2", "--ops", "50"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("counting network: bitonic, width 4"));
+    assert!(text.contains("step property   : ok"));
+    assert!(text.contains("slot counts     : [25, 25, 25, 25]"));
+}
+
+#[test]
+fn count_exhaustive_exploration_proves_all_schedules() {
+    let out = snetctl(&[
+        "count",
+        "--width",
+        "4",
+        "--threads",
+        "2",
+        "--ops",
+        "1",
+        "--explore",
+        "--exhaustive",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("schedules       : 70"), "{text}");
+    assert!(text.contains("ok in every explored schedule"));
+
+    // Intractable configurations are refused, not attempted.
+    let out = snetctl(&[
+        "count",
+        "--width",
+        "8",
+        "--threads",
+        "4",
+        "--ops",
+        "4",
+        "--explore",
+        "--exhaustive",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("intractable"));
+}
+
+#[test]
+fn count_sampling_is_seeded_and_traces_carry_runtime_counters() {
+    let t = tmpfile("count-trace.jsonl");
+    let out = snetctl(&[
+        "count",
+        "--width",
+        "8",
+        "--threads",
+        "3",
+        "--ops",
+        "2",
+        "--explore",
+        "--schedules",
+        "100",
+        "--seed",
+        "9",
+        "--kind",
+        "periodic",
+        "--trace-out",
+        &t,
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let trace = std::fs::read_to_string(&t).unwrap();
+    assert!(trace.contains("sched.schedules"), "explorer emits schedule counters");
+    assert!(trace.contains("\"seed\":\"9\""), "manifest pins the sampling seed");
+
+    // Live mode emits the runtime counters and the visit histogram.
+    let t = tmpfile("count-live-trace.jsonl");
+    let out = snetctl(&["count", "--width", "4", "--ops", "32", "--trace-out", &t]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let trace = std::fs::read_to_string(&t).unwrap();
+    assert!(trace.contains("runtime.traversals"));
+    assert!(trace.contains("runtime.balancer_ops"));
+    assert!(trace.contains("runtime.balancer.visits"));
+}
+
+#[test]
+fn count_rejects_bad_configurations() {
+    let out = snetctl(&["count", "--width", "3"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("power of two"));
+    let out = snetctl(&["count", "--width", "4", "--kind", "odd-even"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown --kind"));
+}

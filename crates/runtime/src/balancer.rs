@@ -1,0 +1,108 @@
+//! The balancer: a comparator with the values removed.
+//!
+//! A comparator routes the *smaller* value to its top output; a balancer
+//! routes *alternating tokens* to its top output. Both are instances of
+//! the same switching element — which is exactly why the counting-network
+//! literature reuses sorting-network topologies, and why this crate can
+//! build its networks straight from `snet_sorters::bitonic_flip` /
+//! `periodic_balanced` layer descriptions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A single lock-free balancer.
+///
+/// The entire state is one `AtomicU64` **visit counter**; the toggle is
+/// its parity. [`Balancer::traverse`] performs `fetch_add(1)` and routes
+/// by the parity of the *previous* value, so the first token exits top,
+/// the second bottom, and so on — the fetch-and-flip semantics of
+/// Aspnes–Herlihy–Shavit, with the visit count (needed for the
+/// per-balancer contention histograms) folded into the same word instead
+/// of a second counter.
+///
+/// `Ordering::Relaxed` is deliberate and sufficient: the step property of
+/// a balancer network is a function of *how many* tokens crossed each
+/// balancer, never of cross-balancer visibility order. All we need is the
+/// atomicity of the read-modify-write itself — two tokens must not
+/// observe the same toggle value — and relaxed RMWs guarantee that. (The
+/// interleaving explorer in [`crate::sched`] demonstrates the converse:
+/// its `Racy` model splits the RMW into a separate read and write, and
+/// the lost update is caught as a step-property violation.)
+pub struct Balancer {
+    visits: AtomicU64,
+}
+
+/// Exit side of a balancer traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exit {
+    /// The token leaves on the top (lower-indexed) output wire.
+    Top,
+    /// The token leaves on the bottom output wire.
+    Bottom,
+}
+
+impl Balancer {
+    /// A fresh balancer whose first token will exit [`Exit::Top`].
+    pub const fn new() -> Self {
+        Balancer { visits: AtomicU64::new(0) }
+    }
+
+    /// Pass one token through: flip the toggle, return the exit side.
+    #[inline]
+    pub fn traverse(&self) -> Exit {
+        if self.visits.fetch_add(1, Ordering::Relaxed) & 1 == 0 {
+            Exit::Top
+        } else {
+            Exit::Bottom
+        }
+    }
+
+    /// Total tokens that have crossed this balancer.
+    ///
+    /// Only meaningful as an exact figure in a quiescent state (no thread
+    /// inside [`Balancer::traverse`]); mid-flight it is a monotone lower
+    /// bound, which is all the observability histograms need.
+    #[inline]
+    pub fn visits(&self) -> u64 {
+        self.visits.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Balancer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Balancer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Balancer").field("visits", &self.visits()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternates_starting_top() {
+        let b = Balancer::new();
+        assert_eq!(b.traverse(), Exit::Top);
+        assert_eq!(b.traverse(), Exit::Bottom);
+        assert_eq!(b.traverse(), Exit::Top);
+        assert_eq!(b.visits(), 3);
+    }
+
+    #[test]
+    fn concurrent_tokens_split_evenly() {
+        let b = Balancer::new();
+        let tops: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| (0..1000).filter(|_| b.traverse() == Exit::Top).count() as u64))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        // 4000 tokens, even: exactly half exit top regardless of interleaving.
+        assert_eq!(tops, 2000);
+        assert_eq!(b.visits(), 4000);
+    }
+}

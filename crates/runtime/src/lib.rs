@@ -1,0 +1,52 @@
+//! # snet-runtime — the network as a live concurrent object
+//!
+//! Everything else in this workspace treats a comparator network as a
+//! *static program*: wires carry values, comparators sort them, and the
+//! interesting questions are combinatorial (depth lower bounds, adversary
+//! refutations). This crate flips the viewpoint the way Aspnes, Herlihy
+//! and Shavit did: keep the *topology* — the same bitonic and periodic
+//! layer structure `snet-sorters` builds — but let **threads** travel the
+//! wires instead of values. Each comparator becomes a [`Balancer`]: a
+//! single-word toggle that routes alternating tokens to its top and
+//! bottom output wire. A network of balancers whose quiescent output
+//! counts always satisfy the *step property* (`y_i − y_j ∈ {0, 1}` for
+//! `i < j`) is a **counting network**: `width` independent counter slots
+//! that together behave like one shared counter, with contention spread
+//! across `O(n lg²n)` balancers instead of one hot cache line.
+//!
+//! Two layers:
+//!
+//! * [`CountingNetwork`] (and [`Layout`]) — the live runtime. Real
+//!   threads call [`CountingNetwork::traverse`] to claim globally unique
+//!   counter values; [`CountingNetwork::check_step`] inspects the
+//!   quiescent state. Instrumented via `snet-obs` (traversal counters,
+//!   per-balancer visit histograms).
+//! * [`sched`] — a dependency-free deterministic interleaving explorer
+//!   (loom-style, hand-rolled because this build is offline). Balancer
+//!   operations are the only shared-memory accesses, so they are the only
+//!   yield points; exhaustive DFS over all interleavings is feasible for
+//!   small configurations and *sound* (see DESIGN.md §10), and seeded
+//!   random sampling covers larger ones. Every counterexample is
+//!   replayable from its recorded decision string.
+//!
+//! ## Example
+//!
+//! ```
+//! use snet_runtime::CountingNetwork;
+//!
+//! let net = CountingNetwork::bitonic(4);
+//! let mut claimed: Vec<usize> = (0..10).map(|_| net.traverse()).collect();
+//! claimed.sort_unstable();
+//! assert_eq!(claimed, (0..10).collect::<Vec<_>>()); // a perfect shared counter
+//! assert!(net.check_step().is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod balancer;
+pub mod network;
+pub mod sched;
+
+pub use balancer::Balancer;
+pub use network::{check_step_property, CountingNetwork, Layout, LayoutError, StepViolation};
+pub use sched::{BalancerModel, ExploreReport, Explorer, Violation};

@@ -1,0 +1,471 @@
+//! Balancer networks built from comparator-network layer descriptions.
+//!
+//! A [`Layout`] is the topology only — which wire pairs meet a balancer
+//! at which layer — extracted from any *unidirectional* comparator
+//! network (`ElementKind::Cmp`, `a < b`, no inter-level routes). The two
+//! stock constructors reuse the workspace's sorter constructions:
+//!
+//! * [`Layout::bitonic`] — `snet_sorters::bitonic_flip`, the
+//!   Aspnes–Herlihy–Shavit bitonic counting network. Note the direction
+//!   *matters*: the classic `bitonic_circuit` with its `CmpRev` levels
+//!   normalized to plain comparators is **not** a counting network (the
+//!   differential tests pin this down);
+//! * [`Layout::periodic`] — `snet_sorters::periodic_balanced`, the
+//!   Dowd–Perl–Rudolph–Saks periodic counting network.
+//!
+//! [`CountingNetwork`] instantiates a layout with one [`Balancer`] per
+//! comparator plus one atomic counter slot per output wire, and
+//! [`CountingNetwork::traverse`] claims globally unique counter values.
+
+use crate::balancer::{Balancer, Exit};
+use snet_core::element::{Element, ElementKind};
+use snet_core::network::ComparatorNetwork;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Pads its contents to a cache line so neighbouring balancers/slots in
+/// the backing `Vec` do not false-share under contention.
+#[repr(align(64))]
+struct CacheLine<T>(T);
+
+/// A balancer-network topology: `width` wires, `layers[l]` the wire pairs
+/// `(a, b)` (`a < b`, `a` the top output) joined by a balancer at layer
+/// `l`. Wires a layer does not mention pass through untouched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    width: usize,
+    layers: Vec<Vec<(u32, u32)>>,
+}
+
+/// Why a comparator network cannot be (or a raw layer list does not
+/// describe) a balancer layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// A level contains a `CmpRev`/`Pass`/`Swap` element; balancers have
+    /// no direction to reverse, so only plain `Cmp` maps onto them.
+    NonComparator {
+        /// Offending level index.
+        layer: usize,
+    },
+    /// A level carries an inter-level route; balancer tokens follow the
+    /// wire they exit on, so routed networks must be flattened first.
+    Routed {
+        /// Offending level index.
+        layer: usize,
+    },
+    /// A pair has `a >= b` (top output must be the lower-indexed wire).
+    WireOrder {
+        /// Offending level index.
+        layer: usize,
+    },
+    /// A pair references a wire `>= width`.
+    WireRange {
+        /// Offending level index.
+        layer: usize,
+    },
+    /// A wire appears in two pairs of the same layer.
+    DuplicateWire {
+        /// Offending level index.
+        layer: usize,
+    },
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::NonComparator { layer } => {
+                write!(f, "layer {layer}: only plain `+` comparators map onto balancers")
+            }
+            LayoutError::Routed { layer } => {
+                write!(f, "layer {layer}: routed networks cannot carry balancer tokens")
+            }
+            LayoutError::WireOrder { layer } => {
+                write!(f, "layer {layer}: balancer pair must have a < b")
+            }
+            LayoutError::WireRange { layer } => {
+                write!(f, "layer {layer}: balancer pair references a wire >= width")
+            }
+            LayoutError::DuplicateWire { layer } => {
+                write!(f, "layer {layer}: wire appears in two balancer pairs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// Flat routing tables derived from a [`Layout`]: `pairs` numbers every
+/// balancer (layer-major), `table[layer][wire]` is the index of the
+/// balancer that wire enters at that layer, if any.
+pub(crate) struct Routing {
+    pub(crate) pairs: Vec<(u32, u32)>,
+    pub(crate) table: Vec<Vec<Option<usize>>>,
+}
+
+impl Layout {
+    /// Validates and wraps a raw layer list.
+    pub fn new(width: usize, layers: Vec<Vec<(u32, u32)>>) -> Result<Self, LayoutError> {
+        for (l, layer) in layers.iter().enumerate() {
+            let mut seen = vec![false; width];
+            for &(a, b) in layer {
+                if a >= b {
+                    return Err(LayoutError::WireOrder { layer: l });
+                }
+                if b as usize >= width {
+                    return Err(LayoutError::WireRange { layer: l });
+                }
+                for w in [a as usize, b as usize] {
+                    if seen[w] {
+                        return Err(LayoutError::DuplicateWire { layer: l });
+                    }
+                    seen[w] = true;
+                }
+            }
+        }
+        Ok(Layout { width, layers })
+    }
+
+    /// Extracts the balancer layout of a unidirectional comparator
+    /// network (plain `Cmp` elements, `a < b`, no routes).
+    pub fn from_network(net: &ComparatorNetwork) -> Result<Self, LayoutError> {
+        let mut layers = Vec::with_capacity(net.depth());
+        for (l, level) in net.levels().iter().enumerate() {
+            if level.route.is_some() {
+                return Err(LayoutError::Routed { layer: l });
+            }
+            let mut layer = Vec::with_capacity(level.elements.len());
+            for e in &level.elements {
+                match e.kind {
+                    ElementKind::Cmp => layer.push((e.a, e.b)),
+                    // `Pass` carries no state and routes straight through:
+                    // dropping it from the layout is behaviour-preserving.
+                    ElementKind::Pass => {}
+                    _ => return Err(LayoutError::NonComparator { layer: l }),
+                }
+            }
+            layers.push(layer);
+        }
+        Layout::new(net.wires(), layers)
+    }
+
+    /// The Aspnes–Herlihy–Shavit bitonic counting network on `width`
+    /// wires (`width` a power of two): the balancer layout of
+    /// [`snet_sorters::bitonic_flip`].
+    pub fn bitonic(width: usize) -> Self {
+        assert!(width.is_power_of_two(), "counting networks need power-of-two width");
+        Layout::from_network(&snet_sorters::bitonic_flip(width))
+            .expect("bitonic_flip is unidirectional by construction")
+    }
+
+    /// The periodic balanced counting network on `width` wires: the
+    /// balancer layout of [`snet_sorters::periodic_balanced`].
+    pub fn periodic(width: usize) -> Self {
+        assert!(width.is_power_of_two(), "counting networks need power-of-two width");
+        Layout::from_network(&snet_sorters::periodic_balanced(width))
+            .expect("periodic_balanced is unidirectional by construction")
+    }
+
+    /// Number of wires.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The balancer layers (pairs `(a, b)`, `a` = top output).
+    pub fn layers(&self) -> &[Vec<(u32, u32)>] {
+        &self.layers
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total number of balancers.
+    pub fn balancer_count(&self) -> usize {
+        self.layers.iter().map(Vec::len).sum()
+    }
+
+    /// Rebuilds the comparator network this layout came from — every
+    /// balancer a plain `+` comparator. Round-trips with
+    /// [`Layout::from_network`] (the differential tests rely on this).
+    pub fn to_network(&self) -> ComparatorNetwork {
+        let mut net = ComparatorNetwork::empty(self.width);
+        for layer in &self.layers {
+            let elements: Vec<Element> = layer.iter().map(|&(a, b)| Element::cmp(a, b)).collect();
+            net.push_elements(elements).expect("layout layers are wire-disjoint");
+        }
+        net
+    }
+
+    pub(crate) fn routing(&self) -> Routing {
+        let mut pairs = Vec::with_capacity(self.balancer_count());
+        let mut table = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let mut row = vec![None; self.width];
+            for &(a, b) in layer {
+                row[a as usize] = Some(pairs.len());
+                row[b as usize] = Some(pairs.len());
+                pairs.push((a, b));
+            }
+            table.push(row);
+        }
+        Routing { pairs, table }
+    }
+
+    /// Propagates per-wire input token counts to quiescent per-wire
+    /// output counts, *without* any notion of interleaving: a balancer
+    /// that received `x` tokens in total has emitted `⌈x/2⌉` on top and
+    /// `⌊x/2⌋` on the bottom, whatever order they arrived in. This
+    /// order-independence is what makes the quiescent behaviour of an
+    /// atomic balancer network a pure function of its input counts — the
+    /// soundness argument behind the [`crate::sched`] explorer's terminal
+    /// checks (DESIGN.md §10).
+    pub fn quiescent_counts(&self, inputs: &[u64]) -> Vec<u64> {
+        assert_eq!(inputs.len(), self.width, "one input count per wire");
+        let mut counts = inputs.to_vec();
+        for layer in &self.layers {
+            for &(a, b) in layer {
+                let x = counts[a as usize] + counts[b as usize];
+                counts[a as usize] = x.div_ceil(2);
+                counts[b as usize] = x / 2;
+            }
+        }
+        counts
+    }
+}
+
+/// A witness that a slot-count vector violates the step property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepViolation {
+    /// Lower wire index of the offending pair.
+    pub i: usize,
+    /// Higher wire index of the offending pair.
+    pub j: usize,
+    /// Count on wire `i`.
+    pub yi: u64,
+    /// Count on wire `j`.
+    pub yj: u64,
+}
+
+impl std::fmt::Display for StepViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "step property violated: y[{}] = {} vs y[{}] = {} (need y_i >= y_j and y_i - y_j <= 1)",
+            self.i, self.yi, self.j, self.yj
+        )
+    }
+}
+
+/// Checks the step property: for all `i < j`, `y_i >= y_j` and
+/// `y_i − y_j <= 1`.
+///
+/// `O(n)`: adjacent non-increase gives `y_i >= y_j` for every pair, and
+/// then the single comparison `y_0 − y_{n−1} <= 1` bounds every gap.
+pub fn check_step_property(counts: &[u64]) -> Result<(), StepViolation> {
+    for i in 0..counts.len().saturating_sub(1) {
+        if counts[i] < counts[i + 1] {
+            return Err(StepViolation { i, j: i + 1, yi: counts[i], yj: counts[i + 1] });
+        }
+    }
+    if let (Some(&first), Some(&last)) = (counts.first(), counts.last()) {
+        if first - last > 1 {
+            return Err(StepViolation { i: 0, j: counts.len() - 1, yi: first, yj: last });
+        }
+    }
+    Ok(())
+}
+
+thread_local! {
+    /// Per-thread entry-wire cursor, seeded from the thread's stable
+    /// `snet-obs` ordinal so a fleet of threads starts spread across the
+    /// input wires instead of all hammering wire 0.
+    static ENTRY_CURSOR: Cell<u64> = const { Cell::new(u64::MAX) };
+}
+
+/// A live lock-free counting network: one [`Balancer`] per layout pair,
+/// one atomic counter slot per output wire, each on its own cache line.
+pub struct CountingNetwork {
+    layout: Layout,
+    pairs: Vec<(u32, u32)>,
+    table: Vec<Vec<Option<usize>>>,
+    balancers: Vec<CacheLine<Balancer>>,
+    slots: Vec<CacheLine<AtomicU64>>,
+}
+
+impl CountingNetwork {
+    /// Instantiates a layout with fresh balancers and zeroed slots.
+    pub fn new(layout: Layout) -> Self {
+        let Routing { pairs, table } = layout.routing();
+        let balancers = (0..pairs.len()).map(|_| CacheLine(Balancer::new())).collect();
+        let slots = (0..layout.width()).map(|_| CacheLine(AtomicU64::new(0))).collect();
+        CountingNetwork { layout, pairs, table, balancers, slots }
+    }
+
+    /// A bitonic counting network ([`Layout::bitonic`]).
+    pub fn bitonic(width: usize) -> Self {
+        CountingNetwork::new(Layout::bitonic(width))
+    }
+
+    /// A periodic balanced counting network ([`Layout::periodic`]).
+    pub fn periodic(width: usize) -> Self {
+        CountingNetwork::new(Layout::periodic(width))
+    }
+
+    /// The underlying topology.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Number of wires (= counter slots).
+    pub fn width(&self) -> usize {
+        self.layout.width()
+    }
+
+    /// Claims the next counter value, entering on this thread's
+    /// round-robin input wire. Wait-free: `depth + 1` relaxed RMWs,
+    /// no retries.
+    pub fn traverse(&self) -> usize {
+        let wire = ENTRY_CURSOR.with(|c| {
+            let mut v = c.get();
+            if v == u64::MAX {
+                v = snet_obs::thread_ordinal();
+            }
+            c.set(v.wrapping_add(1));
+            v as usize % self.width()
+        });
+        self.traverse_from(wire)
+    }
+
+    /// Claims the next counter value, entering on wire `wire`.
+    ///
+    /// The token follows balancer exits layer by layer, then claims a
+    /// slot on its output wire: value = `exit_wire + width × k` where `k`
+    /// is how many tokens already exited on that wire. When quiescent,
+    /// the step property guarantees the claimed values are exactly
+    /// `0..total` with no gaps or duplicates.
+    pub fn traverse_from(&self, wire: usize) -> usize {
+        assert!(wire < self.width(), "entry wire out of range");
+        let mut wire = wire;
+        for row in &self.table {
+            if let Some(b) = row[wire] {
+                let (a, bot) = self.pairs[b];
+                wire = match self.balancers[b].0.traverse() {
+                    Exit::Top => a as usize,
+                    Exit::Bottom => bot as usize,
+                };
+            }
+        }
+        let prev = self.slots[wire].0.fetch_add(1, Ordering::Relaxed);
+        wire + self.width() * prev as usize
+    }
+
+    /// Per-wire slot counts (exact when quiescent).
+    pub fn slot_counts(&self) -> Vec<u64> {
+        self.slots.iter().map(|s| s.0.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Total tokens that have fully traversed the network.
+    pub fn total(&self) -> u64 {
+        self.slot_counts().iter().sum()
+    }
+
+    /// Checks the step property of the current slot counts. Only
+    /// meaningful when quiescent — mid-flight tokens may sit between
+    /// layers, and the step property is a quiescent-state guarantee.
+    pub fn check_step(&self) -> Result<(), StepViolation> {
+        check_step_property(&self.slot_counts())
+    }
+
+    /// Emits traversal totals and a per-balancer visit histogram to the
+    /// installed `snet-obs` sinks:
+    ///
+    /// * counter `runtime.traversals` — completed traversals;
+    /// * counter `runtime.balancer_ops` — total balancer visits (the
+    ///   contention volume the network absorbed);
+    /// * histogram `runtime.balancer.visits` — visits per balancer (a
+    ///   flat histogram means the topology spread load evenly).
+    pub fn emit_obs(&self) {
+        snet_obs::counter("runtime.traversals", self.total());
+        let hist = snet_obs::Histogram::new();
+        let mut ops = 0u64;
+        for b in &self.balancers {
+            let v = b.0.visits();
+            ops += v;
+            hist.record(v);
+        }
+        snet_obs::counter("runtime.balancer_ops", ops);
+        snet_obs::hist("runtime.balancer.visits", &hist.snapshot());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_traversals_count_perfectly() {
+        for net in [CountingNetwork::bitonic(8), CountingNetwork::periodic(8)] {
+            let mut claimed: Vec<usize> = (0..100).map(|_| net.traverse()).collect();
+            claimed.sort_unstable();
+            assert_eq!(claimed, (0..100).collect::<Vec<_>>());
+            net.check_step().expect("quiescent step property");
+        }
+    }
+
+    #[test]
+    fn quiescent_counts_match_live_runtime() {
+        let layout = Layout::bitonic(4);
+        let net = CountingNetwork::new(layout.clone());
+        // Deliberately lopsided arrivals: 7 tokens on wire 0, 3 on wire 2.
+        let mut inputs = vec![0u64; 4];
+        for _ in 0..7 {
+            net.traverse_from(0);
+            inputs[0] += 1;
+        }
+        for _ in 0..3 {
+            net.traverse_from(2);
+            inputs[2] += 1;
+        }
+        assert_eq!(net.slot_counts(), layout.quiescent_counts(&inputs));
+        net.check_step().expect("step property under skewed input");
+    }
+
+    #[test]
+    fn step_property_checker_finds_witnesses() {
+        assert!(check_step_property(&[3, 2, 2, 2]).is_ok());
+        assert!(check_step_property(&[]).is_ok());
+        let v = check_step_property(&[1, 2]).unwrap_err();
+        assert_eq!((v.i, v.j), (0, 1));
+        let v = check_step_property(&[3, 2, 2, 1]).unwrap_err();
+        assert_eq!((v.i, v.j), (0, 3));
+    }
+
+    #[test]
+    fn from_network_rejects_directions_and_routes() {
+        // The classic bitonic circuit has CmpRev levels: not a balancer layout.
+        let err = Layout::from_network(&snet_sorters::bitonic_circuit(4)).unwrap_err();
+        assert!(matches!(err, LayoutError::NonComparator { .. }));
+    }
+
+    #[test]
+    fn layout_round_trips_through_network_form() {
+        for layout in [Layout::bitonic(8), Layout::periodic(8)] {
+            assert_eq!(Layout::from_network(&layout.to_network()).unwrap(), layout);
+        }
+    }
+
+    #[test]
+    fn concurrent_traversals_preserve_step_property_and_uniqueness() {
+        let net = CountingNetwork::bitonic(8);
+        let mut claimed: Vec<usize> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| (0..500).map(|_| net.traverse()).collect::<Vec<_>>()))
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        claimed.sort_unstable();
+        assert_eq!(claimed, (0..2000).collect::<Vec<_>>());
+        net.check_step().expect("quiescent step property");
+    }
+}

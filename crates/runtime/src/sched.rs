@@ -1,0 +1,391 @@
+//! Deterministic interleaving exploration for balancer networks —
+//! loom-style, hand-rolled (this build is offline, so no loom).
+//!
+//! The runtime's only shared-memory accesses are the balancer RMWs and
+//! the final slot claim, so a *virtual-thread* simulation whose yield
+//! points are exactly those operations covers every behaviour the real
+//! `std::thread` runtime can exhibit: any real execution maps to the
+//! interleaving that orders its atomic operations. That makes exhaustive
+//! DFS over all interleavings a sound model check for small
+//! configurations (2–3 threads, width 2–4), and seeded random schedule
+//! sampling a cheap probe for larger ones.
+//!
+//! Two balancer models:
+//!
+//! * [`BalancerModel::Atomic`] — the real semantics: toggle flip is one
+//!   indivisible fetch-and-add, as in [`crate::Balancer`];
+//! * [`BalancerModel::Racy`] — a deliberately broken balancer that reads
+//!   the toggle and writes it back as *two separate steps*, so two
+//!   tokens can observe the same toggle value (a lost update) and exit
+//!   on the same wire. The explorer catches this with a replayable
+//!   counterexample schedule — the acceptance test for the harness
+//!   itself.
+//!
+//! Every schedule is a **decision string**: one character per step
+//! naming the virtual thread that moved (`'0'`–`'9'`, `'a'`–`'z'`,
+//! `'A'`–`'Z'`). [`Explorer::replay`] re-executes a decision string
+//! exactly, so any counterexample a CI run reports is reproducible
+//! locally with no shared state beyond the string itself.
+
+use crate::network::{check_step_property, Layout};
+
+/// How simulated balancers execute their toggle update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalancerModel {
+    /// Indivisible fetch-and-flip — the semantics of [`crate::Balancer`].
+    Atomic,
+    /// Read and write as two separate yield points: the classic lost
+    /// update. Exists to prove the explorer can catch real atomicity
+    /// bugs; never used by the live runtime.
+    Racy,
+}
+
+/// One violating schedule: the decision string that reaches it and a
+/// human-readable description of the failed terminal check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The schedule, one character per step ([`Explorer::replay`] takes
+    /// this verbatim).
+    pub decisions: String,
+    /// Which terminal check failed and how.
+    pub detail: String,
+}
+
+/// Outcome of an exploration or sampling run.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreReport {
+    /// Complete schedules executed.
+    pub schedules: u64,
+    /// How many of them failed a terminal check.
+    pub failing: u64,
+    /// The first few failing schedules (capped at
+    /// [`ExploreReport::MAX_RECORDED`]), each replayable.
+    pub violations: Vec<Violation>,
+}
+
+impl ExploreReport {
+    /// Cap on recorded counterexamples; `failing` keeps the true count.
+    pub const MAX_RECORDED: usize = 8;
+
+    fn record(&mut self, decisions: &str, detail: String) {
+        self.failing += 1;
+        if self.violations.len() < Self::MAX_RECORDED {
+            self.violations.push(Violation { decisions: decisions.to_string(), detail });
+        }
+    }
+}
+
+/// Alphabet for decision strings (thread index → character).
+const THREAD_CHARS: &[u8; 62] = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+
+/// One virtual thread's progress through its operation sequence.
+#[derive(Debug, Clone)]
+struct VThread {
+    /// Index of the operation currently in flight (`== ops` when done).
+    op: usize,
+    /// Next layer to act in; `== depth` means the slot-claim step.
+    layer: usize,
+    /// Current wire.
+    wire: usize,
+    /// `Racy` only: toggle value read in the first half of a split RMW.
+    pending: Option<u64>,
+}
+
+/// Full simulation state — small enough to clone at every DFS node.
+#[derive(Debug, Clone)]
+struct Sim {
+    /// Per-balancer visit counts (parity = toggle), layer-major.
+    toggles: Vec<u64>,
+    /// Per-wire completed-exit counts.
+    slots: Vec<u64>,
+    /// Every claimed counter value, in claim order.
+    claimed: Vec<usize>,
+    threads: Vec<VThread>,
+}
+
+/// A deterministic interleaving explorer for one fixed configuration:
+/// layout, virtual-thread count, operations per thread, balancer model.
+pub struct Explorer {
+    layout: Layout,
+    threads: usize,
+    ops: usize,
+    model: BalancerModel,
+    pairs: Vec<(u32, u32)>,
+    table: Vec<Vec<Option<usize>>>,
+}
+
+impl Explorer {
+    /// Builds an explorer. `threads` is capped at 62 (the decision-string
+    /// alphabet); practical exhaustive runs use 2–3.
+    pub fn new(layout: Layout, threads: usize, ops: usize, model: BalancerModel) -> Self {
+        assert!(threads >= 1 && threads <= THREAD_CHARS.len(), "1..=62 virtual threads");
+        assert!(layout.width() >= 1);
+        let routing = layout.routing();
+        Explorer { layout, threads, ops, model, pairs: routing.pairs, table: routing.table }
+    }
+
+    /// Entry wire for thread `t`'s `op`-th traversal: a global
+    /// round-robin, so the token load spreads across input wires the way
+    /// the live runtime's per-thread cursors do.
+    pub fn entry_wire(&self, t: usize, op: usize) -> usize {
+        (t * self.ops + op) % self.layout.width()
+    }
+
+    /// Per-wire input token counts implied by the entry-wire schedule —
+    /// the argument to [`Layout::quiescent_counts`] for the oracle check.
+    pub fn input_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.layout.width()];
+        for t in 0..self.threads {
+            for op in 0..self.ops {
+                counts[self.entry_wire(t, op)] += 1;
+            }
+        }
+        counts
+    }
+
+    fn fresh_sim(&self) -> Sim {
+        let threads = (0..self.threads)
+            .map(|t| {
+                let mut vt =
+                    VThread { op: 0, layer: 0, wire: self.entry_wire(t, 0), pending: None };
+                self.normalize(&mut vt);
+                vt
+            })
+            .collect();
+        Sim {
+            toggles: vec![0; self.pairs.len()],
+            slots: vec![0; self.layout.width()],
+            claimed: Vec::new(),
+            threads,
+        }
+    }
+
+    /// Skip layers where the current wire meets no balancer: those are
+    /// not shared accesses, so they are not yield points.
+    fn normalize(&self, vt: &mut VThread) {
+        while vt.layer < self.table.len() && self.table[vt.layer][vt.wire].is_none() {
+            vt.layer += 1;
+        }
+    }
+
+    fn runnable(&self, sim: &Sim, t: usize) -> bool {
+        sim.threads[t].op < self.ops
+    }
+
+    /// Executes one yield-point step of thread `t`. Caller guarantees
+    /// `runnable`.
+    fn step(&self, sim: &mut Sim, t: usize) {
+        let width = self.layout.width();
+        let depth = self.table.len();
+        let vt = &mut sim.threads[t];
+        if vt.layer == depth {
+            // Slot claim: always an atomic fetch-add; the injected fault
+            // lives in the balancers, not the exit counters.
+            let prev = sim.slots[vt.wire];
+            sim.slots[vt.wire] += 1;
+            sim.claimed.push(vt.wire + width * prev as usize);
+            vt.op += 1;
+            if vt.op < self.ops {
+                vt.wire = self.entry_wire(t, vt.op);
+                vt.layer = 0;
+                self.normalize(vt);
+            }
+            return;
+        }
+        let b = self.table[vt.layer][vt.wire].expect("normalized position sits on a balancer");
+        let value = match self.model {
+            BalancerModel::Atomic => {
+                let v = sim.toggles[b];
+                sim.toggles[b] += 1;
+                v
+            }
+            BalancerModel::Racy => match vt.pending.take() {
+                // First half: read the toggle, yield before writing.
+                None => {
+                    vt.pending = Some(sim.toggles[b]);
+                    return;
+                }
+                // Second half: write back a possibly stale increment.
+                Some(v) => {
+                    sim.toggles[b] = v + 1;
+                    v
+                }
+            },
+        };
+        let (top, bottom) = self.pairs[b];
+        vt.wire = if value & 1 == 0 { top as usize } else { bottom as usize };
+        vt.layer += 1;
+        self.normalize(vt);
+    }
+
+    /// Terminal-state verdict: three independent checks, all phrased
+    /// against order-free oracles (DESIGN.md §10).
+    fn check_terminal(&self, sim: &Sim) -> Result<(), String> {
+        if let Err(v) = check_step_property(&sim.slots) {
+            return Err(v.to_string());
+        }
+        let expected = self.layout.quiescent_counts(&self.input_counts());
+        if sim.slots != expected {
+            return Err(format!(
+                "slot counts {:?} differ from quiescent oracle {:?}",
+                sim.slots, expected
+            ));
+        }
+        let mut claimed = sim.claimed.clone();
+        claimed.sort_unstable();
+        let total = self.threads * self.ops;
+        if claimed != (0..total).collect::<Vec<_>>() {
+            return Err(format!("claimed values {claimed:?} are not exactly 0..{total}"));
+        }
+        Ok(())
+    }
+
+    /// Exhaustive DFS over every interleaving. Sound and complete for the
+    /// configured model: each recursion level tries every runnable
+    /// thread, so all `(Σ steps)! / Π(steps_t!)` schedules are executed
+    /// exactly once. Use small configurations — the count is multinomial
+    /// in threads × ops × (depth + 1).
+    pub fn explore(&self) -> ExploreReport {
+        let mut report = ExploreReport::default();
+        let mut decisions = String::new();
+        self.dfs(&self.fresh_sim(), &mut decisions, &mut report);
+        report
+    }
+
+    fn dfs(&self, sim: &Sim, decisions: &mut String, report: &mut ExploreReport) {
+        let mut any = false;
+        for (t, &ch) in THREAD_CHARS.iter().enumerate().take(self.threads) {
+            if !self.runnable(sim, t) {
+                continue;
+            }
+            any = true;
+            let mut next = sim.clone();
+            self.step(&mut next, t);
+            decisions.push(ch as char);
+            self.dfs(&next, decisions, report);
+            decisions.pop();
+        }
+        if !any {
+            report.schedules += 1;
+            if let Err(detail) = self.check_terminal(sim) {
+                report.record(decisions, detail);
+            }
+        }
+    }
+
+    /// Runs `schedules` complete schedules with uniformly random
+    /// runnable-thread choices from a splitmix64 stream. Deterministic in
+    /// `seed`; every failing schedule's decision string is recorded for
+    /// replay.
+    pub fn sample(&self, seed: u64, schedules: u64) -> ExploreReport {
+        let mut report = ExploreReport::default();
+        let mut state = seed;
+        let mut next_u64 = move || {
+            // splitmix64: tiny, seedable, and good enough for schedule
+            // shuffling — keeps this module dependency-free.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for _ in 0..schedules {
+            let mut sim = self.fresh_sim();
+            let mut decisions = String::new();
+            loop {
+                let runnable: Vec<usize> =
+                    (0..self.threads).filter(|&t| self.runnable(&sim, t)).collect();
+                if runnable.is_empty() {
+                    break;
+                }
+                let t = runnable[(next_u64() % runnable.len() as u64) as usize];
+                self.step(&mut sim, t);
+                decisions.push(THREAD_CHARS[t] as char);
+            }
+            report.schedules += 1;
+            if let Err(detail) = self.check_terminal(&sim) {
+                report.record(&decisions, detail);
+            }
+        }
+        report
+    }
+
+    /// Re-executes one decision string exactly. Returns the terminal
+    /// verdict (`Ok(None)` = all checks passed, `Ok(Some(v))` = the
+    /// violation reproduced), or `Err` if the string is not a complete
+    /// valid schedule for this configuration.
+    pub fn replay(&self, decisions: &str) -> Result<Option<Violation>, String> {
+        let mut sim = self.fresh_sim();
+        for (i, c) in decisions.chars().enumerate() {
+            let t = THREAD_CHARS
+                .iter()
+                .position(|&d| d as char == c)
+                .ok_or_else(|| format!("step {i}: '{c}' is not a thread character"))?;
+            if t >= self.threads || !self.runnable(&sim, t) {
+                return Err(format!("step {i}: thread {t} is not runnable"));
+            }
+            self.step(&mut sim, t);
+        }
+        if (0..self.threads).any(|t| self.runnable(&sim, t)) {
+            return Err("schedule is incomplete: threads still runnable".to_string());
+        }
+        Ok(self
+            .check_terminal(&sim)
+            .err()
+            .map(|detail| Violation { decisions: decisions.to_string(), detail }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_atomic_width2_is_clean() {
+        let ex = Explorer::new(Layout::bitonic(2), 2, 1, BalancerModel::Atomic);
+        let report = ex.explore();
+        // Two threads × (1 balancer step + 1 exit step) = C(4,2) schedules.
+        assert_eq!(report.schedules, 6);
+        assert_eq!(report.failing, 0);
+    }
+
+    #[test]
+    fn racy_balancer_is_caught_with_replayable_schedule() {
+        let ex = Explorer::new(Layout::bitonic(2), 2, 1, BalancerModel::Racy);
+        let report = ex.explore();
+        // Two threads × (2 split-RMW steps + 1 exit step) = C(6,3).
+        assert_eq!(report.schedules, 20);
+        assert!(report.failing > 0, "lost update must surface in some schedule");
+        let v = &report.violations[0];
+        let replayed = ex.replay(&v.decisions).expect("recorded schedule is valid");
+        assert_eq!(replayed.as_ref().map(|r| &r.detail), Some(&v.detail), "violation reproduces");
+        // And the same schedule string is clean under the atomic model.
+        let atomic = Explorer::new(Layout::bitonic(2), 2, 1, BalancerModel::Atomic);
+        assert!(atomic.replay("0101").unwrap().is_none());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_seed() {
+        let ex = Explorer::new(Layout::bitonic(4), 4, 3, BalancerModel::Atomic);
+        let a = ex.sample(7, 50);
+        assert_eq!(a.schedules, 50);
+        assert_eq!(a.failing, 0);
+        let racy = Explorer::new(Layout::bitonic(2), 3, 2, BalancerModel::Racy);
+        let r1 = racy.sample(42, 200);
+        let r2 = racy.sample(42, 200);
+        assert!(r1.failing > 0, "200 random schedules find the lost update");
+        assert_eq!(r1.failing, r2.failing);
+        assert_eq!(
+            r1.violations.iter().map(|v| &v.decisions).collect::<Vec<_>>(),
+            r2.violations.iter().map(|v| &v.decisions).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn replay_rejects_malformed_schedules() {
+        let ex = Explorer::new(Layout::bitonic(2), 2, 1, BalancerModel::Atomic);
+        assert!(ex.replay("0!").is_err(), "bad character");
+        assert!(ex.replay("0000").is_err(), "thread over-scheduled");
+        assert!(ex.replay("00").is_err(), "incomplete schedule");
+    }
+}

@@ -1,0 +1,115 @@
+//! Differential tests pinning the runtime's balancer layouts to the rest
+//! of the workspace:
+//!
+//! * the bitonic counting network is comparator-for-comparator the
+//!   `snet_sorters::bitonic_flip` network (same pairs, same layers, same
+//!   orientation) — the runtime does not grow a private topology;
+//! * the periodic layout is `snet_sorters::periodic_balanced`, and its
+//!   circuit form round-trips through `snet_topology::recognize` as an
+//!   iterated reverse delta (the EXPERIMENTS.md "bonus finding"), tying
+//!   the counting networks back to the paper's network class;
+//! * direction matters: normalizing `bitonic_circuit`'s `CmpRev`
+//!   comparators does **not** yield a counting network — the quiescent
+//!   oracle exhibits a concrete step violation. This is the trap the
+//!   `bitonic_flip` construction exists to avoid.
+
+use snet_core::element::{Element, ElementKind};
+use snet_core::network::ComparatorNetwork;
+use snet_runtime::{check_step_property, Layout};
+use snet_sorters::{bitonic_circuit, bitonic_flip, periodic_balanced};
+use snet_topology::recognize::recognize_iterated;
+
+/// Level-by-level comparator equality (order within a level is
+/// normalized; it is a set, not a sequence).
+fn assert_same_comparators(a: &ComparatorNetwork, b: &ComparatorNetwork) {
+    assert_eq!(a.wires(), b.wires());
+    assert_eq!(a.depth(), b.depth());
+    for (la, lb) in a.levels().iter().zip(b.levels()) {
+        assert!(la.route.is_none() && lb.route.is_none());
+        let mut ea = la.elements.clone();
+        let mut eb = lb.elements.clone();
+        ea.sort_by_key(|e| (e.a, e.b));
+        eb.sort_by_key(|e| (e.a, e.b));
+        assert_eq!(ea, eb);
+    }
+}
+
+#[test]
+fn bitonic_layout_is_bitonic_flip_comparator_for_comparator() {
+    for width in [2usize, 4, 8, 16, 32] {
+        let layout = Layout::bitonic(width);
+        assert_same_comparators(&layout.to_network(), &bitonic_flip(width));
+        // And the extraction round-trips: network → layout → network.
+        assert_eq!(Layout::from_network(&layout.to_network()).unwrap(), layout);
+    }
+}
+
+#[test]
+fn periodic_layout_is_periodic_balanced_comparator_for_comparator() {
+    for width in [2usize, 4, 8, 16] {
+        let layout = Layout::periodic(width);
+        assert_same_comparators(&layout.to_network(), &periodic_balanced(width));
+    }
+}
+
+#[test]
+fn periodic_layout_round_trips_through_recognize() {
+    for width in [4usize, 8, 16] {
+        let l = width.trailing_zeros() as usize;
+        let net = Layout::periodic(width).to_network();
+        let ird = recognize_iterated(&net)
+            .expect("periodic balanced layout is an iterated reverse delta");
+        assert_eq!(ird.block_count(), l, "one reverse-delta block per pass");
+        // The recognized form rebuilds the identical circuit (level
+        // order preserved; order *within* a level is a set), so the
+        // balancer layout survives the class round-trip unchanged.
+        assert_same_comparators(&ird.to_network(), &net);
+        let round_tripped = Layout::from_network(&ird.to_network()).unwrap();
+        let sorted = |l: &Layout| -> Vec<Vec<(u32, u32)>> {
+            l.layers()
+                .iter()
+                .map(|layer| {
+                    let mut pairs = layer.clone();
+                    pairs.sort_unstable();
+                    pairs
+                })
+                .collect()
+        };
+        assert_eq!(sorted(&round_tripped), sorted(&Layout::periodic(width)));
+    }
+}
+
+#[test]
+fn normalized_bitonic_circuit_is_not_a_counting_network() {
+    // Strip the directions off the classic circuit: every CmpRev(a, b)
+    // becomes Cmp(min, max). The result still *sorts* nothing anymore —
+    // but more to the point here, it fails the counting-network step
+    // property on a concrete input-count vector, which is why
+    // Layout::bitonic is built from bitonic_flip instead.
+    let circuit = bitonic_circuit(4);
+    let mut net = ComparatorNetwork::empty(4);
+    for level in circuit.levels() {
+        let elements: Vec<Element> = level
+            .elements
+            .iter()
+            .map(|e| {
+                assert!(matches!(e.kind, ElementKind::Cmp | ElementKind::CmpRev));
+                Element::cmp(e.a.min(e.b), e.a.max(e.b))
+            })
+            .collect();
+        net.push_elements(elements).unwrap();
+    }
+    let layout = Layout::from_network(&net).expect("normalized circuit is unidirectional");
+    // One token on wire 1 and one on wire 3: a counting network must end
+    // with counts [1, 1, 0, 0]; the normalized circuit routes both
+    // tokens' parity the wrong way and lands on [1, 0, 1, 0].
+    let counts = layout.quiescent_counts(&[0, 1, 0, 1]);
+    let violation = check_step_property(&counts)
+        .expect_err("direction-normalized bitonic circuit must fail the step property");
+    assert_eq!(counts, vec![1, 0, 1, 0]);
+    assert_eq!((violation.i, violation.j), (1, 2));
+
+    // Sanity: the flip construction handles the very same input.
+    let good = Layout::bitonic(4).quiescent_counts(&[0, 1, 0, 1]);
+    assert_eq!(good, vec![1, 1, 0, 0]);
+}

@@ -1,0 +1,105 @@
+//! Exhaustive interleaving regression suite.
+//!
+//! The explorer's schedule space is a pure function of (threads, ops,
+//! layout depth): each traversal is `depth + 1` yield points under the
+//! atomic model, so the number of complete schedules is the multinomial
+//! `(Σ_t steps_t)! / Π_t (steps_t!)`. The constants below are committed
+//! on purpose: if a refactor changes the yield-point structure (adds,
+//! removes, or merges shared-memory steps), the schedule count shifts
+//! and this suite fails — catching silent shrinkage of the explored
+//! space, which would otherwise quietly weaken every "all schedules
+//! pass" claim.
+
+use snet_runtime::{BalancerModel, Explorer, Layout};
+
+/// (threads=2, width=2, ops=2): width-2 bitonic has depth 1, so each op
+/// is 2 steps, each thread 4 → C(8, 4).
+const SCHEDULES_T2_W2_OPS2: u64 = 70;
+
+/// (threads=2, width=4, ops=1): width-4 bitonic has depth 3, one op is
+/// 4 steps per thread → C(8, 4).
+const SCHEDULES_T2_W4_OPS1: u64 = 70;
+
+/// (threads=2, width=4, ops=2): 8 steps per thread → C(16, 8).
+const SCHEDULES_T2_W4_OPS2: u64 = 12870;
+
+/// (threads=3, width=2, ops=1): 2 steps per thread → 6!/(2!·2!·2!).
+const SCHEDULES_T3_W2_OPS1: u64 = 90;
+
+#[test]
+fn exhaustive_t2_w2_all_schedules_satisfy_step_property() {
+    let ex = Explorer::new(Layout::bitonic(2), 2, 2, BalancerModel::Atomic);
+    let report = ex.explore();
+    assert_eq!(report.schedules, SCHEDULES_T2_W2_OPS2, "schedule-space regression");
+    assert_eq!(report.failing, 0, "violations: {:?}", report.violations);
+}
+
+#[test]
+fn exhaustive_t2_w4_all_schedules_satisfy_step_property() {
+    let ex = Explorer::new(Layout::bitonic(4), 2, 1, BalancerModel::Atomic);
+    let report = ex.explore();
+    assert_eq!(report.schedules, SCHEDULES_T2_W4_OPS1, "schedule-space regression");
+    assert_eq!(report.failing, 0, "violations: {:?}", report.violations);
+}
+
+#[test]
+fn exhaustive_t2_w4_ops2_all_schedules_satisfy_step_property() {
+    let ex = Explorer::new(Layout::bitonic(4), 2, 2, BalancerModel::Atomic);
+    let report = ex.explore();
+    assert_eq!(report.schedules, SCHEDULES_T2_W4_OPS2, "schedule-space regression");
+    assert_eq!(report.failing, 0, "violations: {:?}", report.violations);
+}
+
+#[test]
+fn exhaustive_t3_w2_all_schedules_satisfy_step_property() {
+    let ex = Explorer::new(Layout::bitonic(2), 3, 1, BalancerModel::Atomic);
+    let report = ex.explore();
+    assert_eq!(report.schedules, SCHEDULES_T3_W2_OPS1, "schedule-space regression");
+    assert_eq!(report.failing, 0, "violations: {:?}", report.violations);
+}
+
+#[test]
+fn periodic_layout_is_clean_under_exhaustive_exploration() {
+    // Same shape as the bitonic w=4 run: periodic_balanced(4) has depth
+    // 4 (2 passes × 2 levels), so 5 steps per thread → C(10, 5) = 252.
+    let ex = Explorer::new(Layout::periodic(4), 2, 1, BalancerModel::Atomic);
+    let report = ex.explore();
+    assert_eq!(report.schedules, 252, "schedule-space regression");
+    assert_eq!(report.failing, 0, "violations: {:?}", report.violations);
+}
+
+#[test]
+fn racy_balancer_caught_at_width4_with_replayable_counterexample() {
+    // The acceptance-criterion scenario: the deliberately broken balancer
+    // (read and write as two separate steps) must be caught by the same
+    // exhaustive exploration that passes above, and the recorded decision
+    // string must reproduce the identical violation on replay.
+    let ex = Explorer::new(Layout::bitonic(4), 2, 1, BalancerModel::Racy);
+    let report = ex.explore();
+    // 7 steps per thread (3 split RMWs + exit) → C(14, 7) schedules.
+    assert_eq!(report.schedules, 3432, "schedule-space regression");
+    assert!(report.failing > 0, "the lost update must surface");
+    for v in &report.violations {
+        let replayed = ex
+            .replay(&v.decisions)
+            .expect("recorded counterexample is a valid schedule")
+            .expect("replaying the counterexample reproduces a violation");
+        assert_eq!(replayed.detail, v.detail, "replay is faithful");
+    }
+    // The very same schedules are clean when the balancer RMW is atomic:
+    // the fault is the split, not the topology. (Racy schedules have more
+    // steps than atomic ones, so map by prefix shape instead: just assert
+    // the atomic explorer finds nothing at all.)
+    let atomic = Explorer::new(Layout::bitonic(4), 2, 1, BalancerModel::Atomic);
+    assert_eq!(atomic.explore().failing, 0);
+}
+
+#[test]
+fn sampling_reports_are_replayable_too() {
+    let ex = Explorer::new(Layout::bitonic(4), 3, 2, BalancerModel::Racy);
+    let report = ex.sample(0xC0FFEE, 300);
+    assert_eq!(report.schedules, 300);
+    assert!(report.failing > 0, "random sampling finds the lost update at this density");
+    let v = &report.violations[0];
+    assert!(ex.replay(&v.decisions).unwrap().is_some(), "sampled counterexample replays");
+}

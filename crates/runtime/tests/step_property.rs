@@ -1,0 +1,81 @@
+//! Property tests for the live counting-network runtime: for every width
+//! in {2, 4, 8} and *any* per-thread op-count sequence, the quiescent
+//! slot counts of [`CountingNetwork::traverse`] satisfy the step
+//! property, and their sorted multiset matches the single-`AtomicUsize`
+//! oracle — `N` tokens on `w` wires must land as `⌈N/w⌉` on `N mod w`
+//! wires and `⌊N/w⌋` on the rest, exactly like slices of one shared
+//! counter. Real `std::thread`s, so the schedules are whatever the OS
+//! produces; the deterministic schedules live in `interleave.rs`.
+
+use proptest::prelude::*;
+use snet_runtime::{check_step_property, CountingNetwork, Layout};
+
+/// The sorted-descending slot profile `N` increments of one shared
+/// counter would leave across `width` modular slots.
+fn single_atomic_profile(total: usize, width: usize) -> Vec<u64> {
+    (0..width).map(|i| ((total + width - 1 - i) / width) as u64).collect()
+}
+
+/// Drives `ops[t]` traversals from thread `t`, all concurrently, then
+/// returns the claimed values.
+fn hammer(net: &CountingNetwork, ops: &[usize]) -> Vec<usize> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ops
+            .iter()
+            .map(|&n| s.spawn(move || (0..n).map(|_| net.traverse()).collect::<Vec<_>>()))
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn quiescent_counts_step_and_match_single_atomic_oracle(
+        width_pow in 1usize..=3,
+        ops in proptest::collection::vec(0usize..48, 1..5),
+        periodic in any::<bool>(),
+    ) {
+        let width = 1 << width_pow;
+        let net = if periodic {
+            CountingNetwork::periodic(width)
+        } else {
+            CountingNetwork::bitonic(width)
+        };
+        let mut claimed = hammer(&net, &ops);
+        let total: usize = ops.iter().sum();
+
+        // Claimed values are exactly 0..total: no gaps, no duplicates.
+        claimed.sort_unstable();
+        prop_assert_eq!(&claimed, &(0..total).collect::<Vec<_>>());
+
+        // Quiescent step property.
+        let counts = net.slot_counts();
+        prop_assert!(check_step_property(&counts).is_ok(),
+            "step property violated: {:?}", counts);
+
+        // Sorted multiset of slot counts == single-atomic oracle.
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        prop_assert_eq!(sorted, single_atomic_profile(total, width));
+    }
+
+    #[test]
+    fn quiescent_oracle_matches_runtime_for_any_entry_pattern(
+        width_pow in 1usize..=3,
+        entries in proptest::collection::vec(0usize..64, 0..40),
+    ) {
+        // Single-threaded but arbitrary entry wires: the live runtime's
+        // slot counts must equal the pure count-propagation oracle.
+        let width = 1 << width_pow;
+        let layout = Layout::bitonic(width);
+        let net = CountingNetwork::new(layout.clone());
+        let mut inputs = vec![0u64; width];
+        for &e in &entries {
+            net.traverse_from(e % width);
+            inputs[e % width] += 1;
+        }
+        prop_assert_eq!(net.slot_counts(), layout.quiescent_counts(&inputs));
+    }
+}

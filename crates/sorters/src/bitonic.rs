@@ -1,11 +1,20 @@
 //! Batcher's bitonic sorting network — the `Θ(lg²n)` upper bound the paper
 //! cites for shuffle-based sorting.
 //!
-//! Two constructions:
+//! Three constructions:
 //!
 //! * [`bitonic_circuit`] — the classic circuit: `lg n (lg n + 1)/2` levels,
 //!   level `(p, q)` comparing pairs differing in bit `q` with direction
 //!   chosen by bit `p+1` of the index;
+//! * [`bitonic_flip`] — the *unidirectional* bitonic sorter: every element
+//!   is a plain `+` comparator (min to the lower-indexed wire) and each
+//!   merge phase opens with a **reversal layer** pairing wire `i` of a run
+//!   with wire `k−1−i` instead of flipping comparator directions. Same
+//!   depth and size as the circuit form. This is the layout of the
+//!   Aspnes–Herlihy–Shavit bitonic *counting* network, which is why
+//!   `snet-runtime` builds its balancer networks from these levels —
+//!   direction-normalizing [`bitonic_circuit`] does **not** yield a
+//!   counting network (see `snet-runtime`'s differential tests);
 //! * [`bitonic_shuffle`] — the same sorter as a **genuine shuffle-based
 //!   network** (`Π_i = σ` everywhere, Stone's embedding): each merge phase
 //!   becomes one block of `lg n` shuffle stages, with the early stages of a
@@ -42,6 +51,44 @@ pub fn bitonic_circuit(n: usize) -> ComparatorNetwork {
             }
             net.push_elements(elements).expect("bitonic levels are wire-disjoint");
             j /= 2;
+        }
+        k *= 2;
+    }
+    net
+}
+
+/// The unidirectional bitonic sorter on `n = 2^l` wires: identical
+/// depth/size profile to [`bitonic_circuit`], but every element is a plain
+/// `+` comparator. Phase `p` merges runs of length `k = 2^{p+1}` by first
+/// pairing wire `base+i` with its reflection `base+k−1−i` (the layer that
+/// replaces the circuit form's `-` comparators), then running the butterfly
+/// half-cleaners `(i, i+s/2)` for `s = k/2, k/4, …, 2` inside each run.
+///
+/// Replacing each comparator with a balancer (top output = wire `a`) turns
+/// this network into the Aspnes–Herlihy–Shavit bitonic counting network —
+/// the construction `snet_runtime::CountingNetwork::bitonic` reuses.
+pub fn bitonic_flip(n: usize) -> ComparatorNetwork {
+    assert!(n.is_power_of_two() && n >= 1);
+    let mut net = ComparatorNetwork::empty(n);
+    let mut k = 2usize;
+    while k <= n {
+        let mut reversal = Vec::with_capacity(n / 2);
+        for base in (0..n).step_by(k) {
+            for i in 0..k / 2 {
+                reversal.push(Element::cmp((base + i) as u32, (base + k - 1 - i) as u32));
+            }
+        }
+        net.push_elements(reversal).expect("reflection pairs are wire-disjoint");
+        let mut s = k / 2;
+        while s > 1 {
+            let mut cleaners = Vec::with_capacity(n / 2);
+            for base in (0..n).step_by(s) {
+                for i in 0..s / 2 {
+                    cleaners.push(Element::cmp((base + i) as u32, (base + i + s / 2) as u32));
+                }
+            }
+            net.push_elements(cleaners).expect("half-cleaner pairs are wire-disjoint");
+            s /= 2;
         }
         k *= 2;
     }
@@ -117,6 +164,33 @@ mod tests {
             let net = bitonic_circuit(n);
             assert_eq!(net.depth(), l * (l + 1) / 2, "depth at n={n}");
             assert_eq!(net.size(), n * l * (l + 1) / 4, "size at n={n}");
+        }
+    }
+
+    #[test]
+    fn flip_form_sorts_exhaustively() {
+        for l in 0..=4usize {
+            let n = 1 << l;
+            let net = bitonic_flip(n);
+            assert!(check_zero_one_exhaustive(&net).is_sorting(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn flip_form_matches_circuit_profile_and_is_unidirectional() {
+        for l in 1..=6usize {
+            let n = 1 << l;
+            let net = bitonic_flip(n);
+            let circuit = bitonic_circuit(n);
+            assert_eq!(net.depth(), circuit.depth(), "depth at n={n}");
+            assert_eq!(net.size(), circuit.size(), "size at n={n}");
+            for level in net.levels() {
+                assert!(level.route.is_none());
+                for e in &level.elements {
+                    assert_eq!(e.kind, ElementKind::Cmp, "all elements are plain + comparators");
+                    assert!(e.a < e.b, "min output on the lower-indexed wire");
+                }
+            }
         }
     }
 

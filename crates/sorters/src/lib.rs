@@ -36,7 +36,7 @@ pub mod periodic;
 pub mod pratt;
 pub mod randomized;
 
-pub use bitonic::{bitonic_circuit, bitonic_shuffle};
+pub use bitonic::{bitonic_circuit, bitonic_flip, bitonic_shuffle};
 pub use brick::{brick_wall, insertion_network};
 pub use merge::{bitonic_merger, odd_even_merger};
 pub use odd_even::odd_even_mergesort;
