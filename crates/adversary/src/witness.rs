@@ -13,6 +13,7 @@ use snet_core::ir::Executor;
 use snet_core::network::ComparatorNetwork;
 use snet_core::sortcheck::is_sorted;
 use snet_core::trace::ComparisonTrace;
+use snet_core::verdict::{Verdict, VerdictKind};
 use snet_pattern::pattern::Pattern;
 use snet_pattern::symbol::Symbol;
 
@@ -149,6 +150,25 @@ impl SortingRefutation {
         } else {
             &self.input_b
         }
+    }
+
+    /// Packages the refutation as a content-addressed [`Verdict`]
+    /// keyed by `net`'s canonical hash — the artifact the `snet-store`
+    /// cache replays instead of re-running the adversary.
+    pub fn to_verdict(&self, net: &ComparatorNetwork) -> Verdict {
+        Verdict::with_kind(
+            snet_core::ir::CanonicalHash::of_network(net),
+            net.wires() as u32,
+            VerdictKind::AdversaryWitness {
+                input_a: self.input_a.clone(),
+                input_b: self.input_b.clone(),
+                m: self.m,
+                wire_a: self.wire_pair.0,
+                wire_b: self.wire_pair.1,
+                output_a: self.output_a.clone(),
+                output_b: self.output_b.clone(),
+            },
+        )
     }
 }
 

@@ -131,7 +131,7 @@ fn run_entry(outcome: &SearchOutcome) -> Value {
         ("floor", vu(outcome.floor as u64)),
         ("max_depth", vu(outcome.max_depth as u64)),
         ("optimal_depth", outcome.optimal_depth.map(|d| vu(d as u64)).unwrap_or(Value::Null)),
-        ("verified", outcome.verified.map(vb).unwrap_or(Value::Null)),
+        ("verified", outcome.verified().map(vb).unwrap_or(Value::Null)),
         ("elapsed_ms", vu(elapsed_ms)),
         ("states_per_sec", states_per_sec),
         ("tt_hit_rate", tt_hit_rate),

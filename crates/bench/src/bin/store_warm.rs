@@ -1,0 +1,84 @@
+//! Records cold-vs-warm verdict timings through the content-addressed
+//! artifact store as a perf baseline (schema `snet-bench-baseline/1`)
+//! under `<baseline-dir>/store_warm_n{n}.json` — compared by `snetctl
+//! bench diff` in the CI `store-smoke` job.
+//!
+//! The cold leg is what `snetctl check --exhaustive` pays on a miss:
+//! compile the network, run the exhaustive 0-1 check, capture the run
+//! manifest (the first capture in a process shells out to `git` and
+//! `rustc`), and serialize the verdict. The warm leg is a store hit:
+//! canonical hash, mmap, checksum, parse. The `speedup` metric is the
+//! acceptance criterion — a warm hit must stay well ahead of recompute.
+//!
+//! Every run cross-checks the cached bytes against the cold bytes
+//! before writing anything; a baseline from a store that replays the
+//! wrong verdict is worse than no baseline.
+//!
+//! Usage: `cargo run --release -p snet-bench --bin store_warm
+//! [-- --wires N] [--baseline-dir DIR] [--store-dir DIR]`
+
+use snet_core::ir::{CanonicalHash, Executor};
+use snet_core::verdict::{verdict_zero_one, Verdict};
+use snet_obs::Baseline;
+use snet_store::ArtifactStore;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = flag(&args, "--wires").map_or(7, |v| v.parse().expect("--wires"));
+    let dir = flag(&args, "--baseline-dir").unwrap_or_else(|| "results/baselines".to_string());
+    let store_dir = flag(&args, "--store-dir").map(std::path::PathBuf::from).unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("snet-store-warm-{}", std::process::id()))
+    });
+
+    let net = snet_sorters::brick_wall(n);
+    let store = ArtifactStore::open(&store_dir).expect("open store");
+
+    // Cold leg: everything a `check --exhaustive` miss does, including
+    // the once-per-process manifest capture inside the first verdict.
+    let cold_start = std::time::Instant::now();
+    let exec = Executor::compile(&net);
+    let hash = CanonicalHash::of_program(exec.program());
+    let verdict = verdict_zero_one(&exec, 1);
+    let cold_bytes = verdict.to_json().into_bytes();
+    let cold = cold_start.elapsed();
+    assert!(verdict.is_sorting(), "brick_wall({n}) must sort");
+    store.put_verdict(&verdict).expect("cache verdict");
+
+    // Warm leg: median of repeated hits (hash + mmap + checksum + parse),
+    // so one stray page fault cannot skew the baseline.
+    let mut samples = Vec::new();
+    let mut warm_bytes = Vec::new();
+    for _ in 0..32 {
+        let warm_start = std::time::Instant::now();
+        let exec = Executor::compile(&net);
+        let hash = CanonicalHash::of_program(exec.program());
+        let (cached, bytes): (Verdict, Vec<u8>) = store.get_verdict(&hash).expect("warm hit");
+        samples.push(warm_start.elapsed());
+        assert!(cached.is_sorting());
+        warm_bytes = bytes;
+    }
+    samples.sort();
+    let warm = samples[samples.len() / 2];
+    assert_eq!(warm_bytes, cold_bytes, "cache hit must replay byte-identical verdict");
+    assert_eq!(verdict.hash, hash);
+
+    let cold_us = cold.as_secs_f64() * 1e6;
+    let warm_us = warm.as_secs_f64() * 1e6;
+    let speedup = cold_us / warm_us.max(1e-3);
+    let manifest = snet_obs::RunManifest::capture("store_warm");
+    let label = format!("store_warm_n{n}");
+    let baseline = Baseline::new(&label, &manifest)
+        .metric("cold_us", cold_us)
+        .metric("warm_us", warm_us)
+        .metric("speedup", speedup);
+    let path = std::path::Path::new(&dir).join(format!("{label}.json"));
+    baseline.save(&path).expect("write baseline");
+    eprintln!(
+        "[{label}] cold {cold_us:.0} us, warm {warm_us:.1} us ({speedup:.0}x) → {}",
+        path.display()
+    );
+}

@@ -53,7 +53,7 @@ pub fn run(cfg: &ExpConfig) {
             } else {
                 format!("{:.1}%", 100.0 * out.totals.tt_hits as f64 / probes as f64)
             },
-            out.verified.unwrap_or(false).to_string(),
+            out.verified().unwrap_or(false).to_string(),
         ]);
     }
     emit(&table, "e18_search.csv");

@@ -12,8 +12,10 @@
 //! snetctl render sorter.json
 //! ```
 
+mod exit;
 mod file;
 
+use exit::exit_flushed;
 use file::{NetworkFile, WitnessFile};
 use rand::SeedableRng;
 use snet_adversary::{refute, theorem41};
@@ -24,6 +26,7 @@ use snet_runtime::{BalancerModel, CountingNetwork, Explorer, Layout};
 use snet_sorters::{
     bitonic_shuffle, brick_wall, odd_even_mergesort, periodic_balanced, pratt_network,
 };
+use snet_store::ArtifactStore;
 use snet_topology::benes::{realizes, route_permutation};
 use snet_topology::random::{
     random_iterated, random_shuffle_network, RandomDeltaConfig, SplitStyle,
@@ -52,6 +55,7 @@ fn main() {
             Some("report") => cmd_report(&args[1..]),
             Some("bench") => cmd_bench(&args[1..]),
             Some("count") => cmd_count(&args[1..]),
+            Some("store") => cmd_store(&args[1..]),
             Some("--help") | Some("-h") | None => {
                 print_usage();
                 Ok(())
@@ -61,7 +65,7 @@ fn main() {
     snet_obs::flush();
     if let Err(e) = code {
         eprintln!("snetctl: {e}");
-        std::process::exit(1);
+        std::process::exit(exit::GENERIC);
     }
 }
 
@@ -86,7 +90,7 @@ fn setup_observability(args: &mut Vec<String>) -> Result<(), String> {
         // Reproducibility: any subcommand seed is provenance — thread it
         // into the manifest so a trace file pins down the exact run.
         if let Some(seed) = flag(args, "--seed") {
-            manifest = manifest.with_extra("seed", seed);
+            manifest.push_extra("seed", seed);
         }
         manifest.emit();
     }
@@ -113,11 +117,24 @@ fn take_flag_value(args: &mut Vec<String>, name: &str) -> Result<Option<String>,
     Ok(Some(value))
 }
 
-/// Flushes buffered trace output before a nonzero exit — `main`'s flush
-/// never runs on `process::exit` paths.
-fn exit_flushed(code: i32) -> ! {
-    snet_obs::flush();
-    std::process::exit(code);
+/// Resolves the artifact store a verdict-producing command should use:
+/// `--no-store` disables caching outright, `--store DIR` names a
+/// directory, and otherwise the `SNET_STORE` environment variable (when
+/// set and non-empty) supplies the default location.
+fn resolve_store(args: &[String]) -> Result<Option<ArtifactStore>, String> {
+    if has_flag(args, "--no-store") {
+        return Ok(None);
+    }
+    let dir = match flag(args, "--store") {
+        Some(dir) => Some(dir.to_string()),
+        None => std::env::var("SNET_STORE").ok().filter(|v| !v.is_empty()),
+    };
+    match dir {
+        Some(dir) => ArtifactStore::open(&dir)
+            .map(Some)
+            .map_err(|e| format!("cannot open artifact store {dir}: {e}")),
+        None => Ok(None),
+    }
 }
 
 fn print_usage() {
@@ -129,6 +146,8 @@ fn print_usage() {
          --n N [--depth D] [--seed S] -o FILE\n\
          \x20 info    FILE                     print wires/depth/size\n\
          \x20 check   FILE [--exhaustive [--threads W]] [--trials T] [--seed S] [--no-passes]\n\
+         \x20         [--verdict-out FILE]   with --exhaustive and a store, the verdict is\n\
+         \x20         cached by canonical hash and replayed byte-identically on later runs\n\
          \x20 refute  FILE [-o WITNESS] [--k K] [--explain]   (shuffle networks only)\n\
          \x20 verify  FILE WITNESS\n\
          \x20 route   --n N [--seed S | --perm a,b,c,…]\n\
@@ -155,11 +174,20 @@ fn print_usage() {
          \x20         (--exhaustive for all schedules, else --schedules K seeded samples);\n\
          \x20         exit code 9 on any step-property violation (replayable schedule\n\
          \x20         strings are printed and recorded in the run manifest)\n\
+         \x20 store   ls | get HASH | stat | gc --max-bytes N\n\
+         \x20         inspect the content-addressed artifact store; get accepts unique\n\
+         \x20         hex prefixes and exits 10 on a corrupt entry\n\
          \n\
          global flags (any command):\n\
          \x20 --trace-out FILE.jsonl           write structured trace events (spans, counters,\n\
          \x20                                  gauges, run manifest); read back with 'report'\n\
-         \x20 --progress                       live progress meter on stderr for long scans"
+         \x20 --progress                       live progress meter on stderr for long scans\n\
+         \n\
+         store flags (check/search/refute/certify/store):\n\
+         \x20 --store DIR                      cache verdicts and search transposition spills\n\
+         \x20                                  in a content-addressed store at DIR (default:\n\
+         \x20                                  $SNET_STORE when set)\n\
+         \x20 --no-store                       disable the cache even if SNET_STORE is set"
     );
 }
 
@@ -264,7 +292,7 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
             Executor::compile(net)
         }
     };
-    let result = if has_flag(args, "--exhaustive") {
+    if has_flag(args, "--exhaustive") {
         if net.wires() > 28 {
             return Err(format!("exhaustive 0-1 check infeasible for n = {}", net.wires()));
         }
@@ -272,8 +300,64 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
             Some(t) => parse(t, "--threads")?,
             None => default_engine_threads(),
         };
-        compile(&net).check_zero_one(threads)
-    } else {
+        let store = resolve_store(args)?;
+        let exec = compile(&net);
+        // The canonical hash is the cache key: `of_program`
+        // re-canonicalizes, so the raw (`--no-passes`) and canonical
+        // compilations of one circuit share an address — and the same
+        // exhaustive verdict.
+        let hash = snet_core::ir::CanonicalHash::of_program(exec.program());
+        let (verdict, bytes, hit) = match store.as_ref().and_then(|s| s.get_verdict(&hash)) {
+            Some((verdict, bytes)) => (verdict, bytes, true),
+            None => {
+                let verdict = snet_core::verdict::verdict_zero_one(&exec, threads);
+                let bytes = verdict.to_json().into_bytes();
+                if let Some(store) = &store {
+                    store
+                        .put_verdict(&verdict)
+                        .map_err(|e| format!("cannot write verdict to store: {e}"))?;
+                }
+                (verdict, bytes, false)
+            }
+        };
+        if store.is_some() {
+            println!("store: {} {hash}", if hit { "hit" } else { "miss" });
+            if snet_obs::enabled() {
+                let mut manifest = snet_obs::RunManifest::capture("snetctl-check");
+                manifest.push_extra("store.result", if hit { "hit" } else { "miss" });
+                manifest.push_extra("store.hash", hash.to_hex());
+                manifest.emit();
+            }
+        }
+        if let Some(out) = flag(args, "--verdict-out") {
+            // The stored bytes verbatim: a warm hit re-emits the cold
+            // run's artifact byte for byte.
+            std::fs::write(out, &bytes).map_err(|e| format!("{out}: {e}"))?;
+            println!("verdict written to {out}");
+        }
+        return match &verdict.kind {
+            snet_core::verdict::VerdictKind::SortCertificate { tested } => {
+                println!("sorted all {tested} tested inputs");
+                Ok(())
+            }
+            snet_core::verdict::VerdictKind::Counterexample { input, output, .. } => {
+                println!("NOT a sorting network");
+                println!("counterexample input : {input:?}");
+                println!("unsorted output      : {output:?}");
+                exit_flushed(exit::CHECK_COUNTEREXAMPLE);
+            }
+            snet_core::verdict::VerdictKind::AdversaryWitness { .. } => {
+                // An adversary verdict proves non-sorting but carries no
+                // 0-1 counterexample; surface it the same way.
+                println!("NOT a sorting network ({})", verdict.summary());
+                exit_flushed(exit::CHECK_COUNTEREXAMPLE);
+            }
+        };
+    }
+    if flag(args, "--verdict-out").is_some() {
+        return Err("--verdict-out requires --exhaustive (random trials are not canonical)".into());
+    }
+    let result = {
         let trials: u64 = parse(flag(args, "--trials").unwrap_or("10000"), "--trials")?;
         let seed: u64 = parse(flag(args, "--seed").unwrap_or("0"), "--seed")?;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -302,7 +386,7 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
             println!("NOT a sorting network");
             println!("counterexample input : {input:?}");
             println!("unsorted output      : {output:?}");
-            exit_flushed(3);
+            exit_flushed(exit::CHECK_COUNTEREXAMPLE);
         }
     }
 }
@@ -316,17 +400,59 @@ fn cmd_refute(args: &[String]) -> Result<(), String> {
     )?;
     let l = ird.wires().trailing_zeros() as usize;
     let k: usize = parse(flag(args, "--k").unwrap_or(&l.to_string()), "--k")?;
-    let out = theorem41(&ird, k);
-    if has_flag(args, "--explain") {
-        print!("{}", out.explain());
-    }
-    println!("adversary: |D| = {} after {} blocks", out.d_set.len(), out.blocks.len());
-    if out.d_set.len() < 2 {
-        println!("no witness available at this depth (the network may sort).");
-        exit_flushed(4);
-    }
     let net = ird.to_network();
-    let r = refute(&net, &out.input_pattern).map_err(|e| e.to_string())?;
+    let store = resolve_store(args)?;
+    let hash = snet_core::ir::CanonicalHash::of_network(&net);
+    // A cached adversary witness for this canonical form replays without
+    // re-running the adversary; it is still independently re-verified
+    // below, so a stale or forged store entry cannot vouch for itself.
+    let cached = store.as_ref().and_then(|s| s.get_verdict(&hash)).and_then(|(v, _)| {
+        use snet_core::verdict::VerdictKind;
+        match v.kind {
+            VerdictKind::AdversaryWitness {
+                input_a,
+                input_b,
+                m,
+                wire_a,
+                wire_b,
+                output_a,
+                output_b,
+            } => Some(snet_adversary::SortingRefutation {
+                input_a,
+                input_b,
+                m,
+                wire_pair: (wire_a, wire_b),
+                output_a,
+                output_b,
+            }),
+            _ => None,
+        }
+    });
+    let r = match cached {
+        Some(r) => {
+            println!("store: hit {hash} (replaying cached adversary witness)");
+            r
+        }
+        None => {
+            let out = theorem41(&ird, k);
+            if has_flag(args, "--explain") {
+                print!("{}", out.explain());
+            }
+            println!("adversary: |D| = {} after {} blocks", out.d_set.len(), out.blocks.len());
+            if out.d_set.len() < 2 {
+                println!("no witness available at this depth (the network may sort).");
+                exit_flushed(exit::ADVERSARY_EXHAUSTED);
+            }
+            let r = refute(&net, &out.input_pattern).map_err(|e| e.to_string())?;
+            if let Some(store) = &store {
+                store
+                    .put_verdict(&r.to_verdict(&net))
+                    .map_err(|e| format!("cannot write witness verdict to store: {e}"))?;
+                println!("store: miss {hash} (witness verdict cached)");
+            }
+            r
+        }
+    };
     r.verify(&net).map_err(|e| format!("internal: witness failed verification: {e}"))?;
     println!(
         "refuted: values {} and {} are never compared; witness pair differs on wires {:?}",
@@ -408,8 +534,34 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         Some(t) => parse(t, "--threads")?,
         None => default_engine_threads(),
     };
+    cfg.store = resolve_store(args)?;
+    let caching = cfg.store.is_some();
 
     let outcome = snet_search::search(&cfg);
+
+    if caching {
+        // Warm refutation facts only skip work; the outcome is the same.
+        println!(
+            "store: {} transposition facts preloaded, {} spilled ({})",
+            outcome.tt_preloaded,
+            outcome.tt_spilled,
+            cfg.tt_label()
+        );
+        if let (Some(store), Some(v)) = (&cfg.store, &outcome.verdict) {
+            // The witness's exhaustive verdict is content-addressed, so a
+            // later `check` of the found network is a cache hit.
+            store
+                .put_verdict(v)
+                .map_err(|e| format!("cannot write witness verdict to store: {e}"))?;
+            println!("store: witness verdict cached under {}", v.hash);
+        }
+        if snet_obs::enabled() {
+            let mut manifest = snet_obs::RunManifest::capture("snetctl-search");
+            manifest.push_extra("store.tt_preloaded", outcome.tt_preloaded.to_string());
+            manifest.push_extra("store.tt_spilled", outcome.tt_spilled.to_string());
+            manifest.emit();
+        }
+    }
 
     // Everything printed here is schedule-independent (the per-round
     // node/hit counters are not — they live in the frontier document).
@@ -441,11 +593,11 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
             cfg.max_depth,
             outcome.mode.name()
         );
-        exit_flushed(7);
+        exit_flushed(exit::SEARCH_REFUTED);
     };
     let net = outcome.network.as_ref().expect("witness network accompanies the depth");
     println!("optimal depth: {depth} ({} comparators over {} wires)", net.size(), net.wires());
-    match outcome.verified {
+    match outcome.verified() {
         Some(true) => println!("verified: sharded 0-1 check passed on all {} inputs", 1u64 << n),
         other => return Err(format!("internal: witness failed the sharded 0-1 check ({other:?})")),
     }
@@ -582,7 +734,7 @@ fn write_frontier(outcome: &snet_search::SearchOutcome, path: &str) -> Result<()
         ("floor", vu(outcome.floor as u64)),
         ("max_depth", vu(outcome.max_depth as u64)),
         ("optimal_depth", outcome.optimal_depth.map(|d| vu(d as u64)).unwrap_or(Value::Null)),
-        ("verified", outcome.verified.map(vb).unwrap_or(Value::Null)),
+        ("verified", outcome.verified().map(vb).unwrap_or(Value::Null)),
         ("rounds", Value::Array(rounds)),
         ("totals", stats_value(&outcome.totals)),
     ]);
@@ -757,7 +909,7 @@ fn cmd_bench_diff(args: &[String]) -> Result<(), String> {
     let d = baseline::diff(&old, &new, fail_pct);
     print!("{}", baseline::render_diff(&old, &new, &d));
     if !d.regressions().is_empty() {
-        exit_flushed(8);
+        exit_flushed(exit::BENCH_REGRESS);
     }
     Ok(())
 }
@@ -785,7 +937,7 @@ fn cmd_closure(args: &[String]) -> Result<(), String> {
         None => {
             println!("ρ = {rho_name}: closure never completes");
             println!("⇒ NO sorting network based on ρ exists at any depth");
-            exit_flushed(5);
+            exit_flushed(exit::CLOSURE_IMPOSSIBLE);
         }
     }
     Ok(())
@@ -850,10 +1002,17 @@ fn cmd_certify(args: &[String]) -> Result<(), String> {
     let run = theorem41(&ird, k);
     if run.d_set.len() < 2 {
         println!("adversary exhausted (|D| = {}): nothing to certify", run.d_set.len());
-        exit_flushed(4);
+        exit_flushed(exit::ADVERSARY_EXHAUSTED);
     }
     let net = ird.to_network();
     let cert = LowerBoundCertificate::from_run(&net, &run)?;
+    if let Some(store) = resolve_store(args)? {
+        let verdict = cert.to_verdict();
+        store
+            .put_verdict(&verdict)
+            .map_err(|e| format!("cannot write witness verdict to store: {e}"))?;
+        println!("store: witness verdict cached under {}", verdict.hash);
+    }
     std::fs::write(out_path, serde_json::to_string_pretty(&cert).map_err(|e| e.to_string())?)
         .map_err(|e| e.to_string())?;
     println!(
@@ -888,8 +1047,116 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
         }
         Err(e) => {
             eprintln!("certificate REJECTED: {e}");
-            exit_flushed(6);
+            exit_flushed(exit::CERTIFICATE_REJECTED);
         }
+    }
+}
+
+/// `snetctl store` — inspect and maintain the content-addressed artifact
+/// store: `ls` (entries), `get HASH` (print a stored verdict), `stat`
+/// (aggregate numbers), `gc --max-bytes N` (evict oldest generations).
+/// The store comes from `--store DIR` or `SNET_STORE`. `get` exits with
+/// code 10 when the requested entry exists but is corrupt.
+fn cmd_store(args: &[String]) -> Result<(), String> {
+    let store = resolve_store(args)?
+        .ok_or("store commands need --store DIR or the SNET_STORE environment variable")?;
+    match args.first().map(String::as_str) {
+        Some("ls") => {
+            let entries = store.ls().map_err(|e| e.to_string())?;
+            println!("{:<16} {:<10} {:>10} {:>10}  summary", "hash", "kind", "gen", "bytes");
+            for e in &entries {
+                let summary = match e.kind.as_str() {
+                    snet_store::KIND_VERDICT => store
+                        .get_verdict(&e.hash)
+                        .map(|(v, _)| v.summary())
+                        .unwrap_or_else(|| "(unreadable)".into()),
+                    snet_store::KIND_TT_FACTS => store
+                        .get(&e.hash)
+                        .and_then(|entry| snet_store::TtFacts::decode(&entry.payload).ok())
+                        .map(|f| format!("{} transposition facts", f.len()))
+                        .unwrap_or_else(|| "(unreadable)".into()),
+                    _ => String::new(),
+                };
+                println!(
+                    "{:<16} {:<10} {:>10} {:>10}  {summary}",
+                    &e.hash.to_hex()[..16],
+                    e.kind,
+                    e.generation,
+                    e.bytes
+                );
+            }
+            println!("{} entries", entries.len());
+            Ok(())
+        }
+        Some("get") => {
+            let hex = args.get(1).ok_or("store get requires HASH")?;
+            let hash = resolve_hash(&store, hex)?;
+            let existed = store.contains(&hash);
+            match store.get(&hash) {
+                Some(entry) => {
+                    match String::from_utf8(entry.payload) {
+                        Ok(text) => println!("{text}"),
+                        Err(e) => {
+                            // Binary payloads (TT spills) are not for stdout.
+                            println!(
+                                "(binary {} payload, {} bytes)",
+                                entry.kind,
+                                e.as_bytes().len()
+                            );
+                        }
+                    }
+                    Ok(())
+                }
+                None if existed => {
+                    eprintln!("entry {hash} is corrupt (quarantined)");
+                    exit_flushed(exit::STORE_CORRUPT);
+                }
+                None => Err(format!("no entry under {hash}")),
+            }
+        }
+        Some("stat") => {
+            let s = store.stat().map_err(|e| e.to_string())?;
+            println!("root        : {}", store.root().display());
+            println!("generation  : {}", s.generation);
+            println!("entries     : {}", s.entries);
+            println!("  verdicts  : {}", s.verdicts);
+            println!("  tt spills : {}", s.tt_spills);
+            println!("bytes       : {}", s.bytes);
+            println!("quarantined : {}", s.quarantined);
+            Ok(())
+        }
+        Some("gc") => {
+            let max: u64 = parse(
+                flag(args, "--max-bytes").ok_or("gc requires --max-bytes N")?,
+                "--max-bytes",
+            )?;
+            let r = store.gc(max).map_err(|e| e.to_string())?;
+            println!(
+                "gc: scanned {}, removed {} ({} bytes freed), {} bytes remain",
+                r.scanned, r.removed, r.freed_bytes, r.remaining_bytes
+            );
+            Ok(())
+        }
+        _ => Err("store requires a subcommand: ls | get HASH | stat | gc --max-bytes N".into()),
+    }
+}
+
+/// Resolves a (possibly abbreviated) hex hash against the store: a full
+/// 64-char hash parses directly; a unique prefix of a stored entry also
+/// works, like git's short object ids.
+fn resolve_hash(store: &ArtifactStore, hex: &str) -> Result<snet_core::ir::CanonicalHash, String> {
+    if let Some(h) = snet_core::ir::CanonicalHash::from_hex(hex) {
+        return Ok(h);
+    }
+    if hex.len() < 4 || !hex.chars().all(|c| c.is_ascii_hexdigit()) {
+        return Err(format!("'{hex}' is not a canonical hash (or a >= 4-char hex prefix)"));
+    }
+    let entries = store.ls().map_err(|e| e.to_string())?;
+    let matches: Vec<_> = entries.iter().filter(|e| e.hash.to_hex().starts_with(hex)).collect();
+    match matches.as_slice() {
+        [one] => Ok(one.hash),
+        [] => Err(format!("no entry matches prefix '{hex}'")),
+        many => Err(format!("prefix '{hex}' is ambiguous ({} entries)", many.len())),
     }
 }
 
@@ -987,10 +1254,10 @@ fn count_live(args: &[String], layout: Layout, threads: usize) -> Result<(), Str
         }
         Err(v) => {
             eprintln!("step property   : {v}");
-            snet_obs::RunManifest::capture("snetctl-count")
-                .with_extra("violation", v.to_string())
-                .emit();
-            exit_flushed(9);
+            let mut manifest = snet_obs::RunManifest::capture("snetctl-count");
+            manifest.push_extra("violation", v.to_string());
+            manifest.emit();
+            exit_flushed(exit::STEP_VIOLATION);
         }
     }
 }
@@ -1033,12 +1300,12 @@ fn count_explore(args: &[String], layout: Layout, threads: usize) -> Result<(), 
         return Ok(());
     }
     eprintln!("step property   : VIOLATED in {} schedules", report.failing);
-    let mut manifest =
-        snet_obs::RunManifest::capture("snetctl-count").with_extra("seed", seed.to_string());
+    let mut manifest = snet_obs::RunManifest::capture("snetctl-count");
+    manifest.push_extra("seed", seed.to_string());
     for (i, v) in report.violations.iter().enumerate() {
         eprintln!("  schedule '{}': {}", v.decisions, v.detail);
-        manifest = manifest.with_extra(format!("failing_schedule_{i}"), v.decisions.clone());
+        manifest.push_extra(format!("failing_schedule_{i}"), v.decisions.clone());
     }
     manifest.emit();
-    exit_flushed(9);
+    exit_flushed(exit::STEP_VIOLATION);
 }

@@ -4,7 +4,14 @@
 use std::process::{Command, Output};
 
 fn snetctl(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_snetctl")).args(args).output().expect("snetctl should launch")
+    // Hermetic: an ambient SNET_STORE would add cache traffic (extra
+    // `store:` lines, replayed verdicts) to exact-output assertions.
+    // Store behaviour is covered by tests that pass --store explicitly.
+    Command::new(env!("CARGO_BIN_EXE_snetctl"))
+        .env_remove("SNET_STORE")
+        .args(args)
+        .output()
+        .expect("snetctl should launch")
 }
 
 fn tmpfile(name: &str) -> String {
@@ -411,6 +418,7 @@ fn refute_recognizes_circuit_files_in_the_class() {
 /// Like [`snetctl`] but with `SNET_THREADS` pinned, for determinism tests.
 fn snetctl_threads(args: &[&str], threads: &str) -> Output {
     Command::new(env!("CARGO_BIN_EXE_snetctl"))
+        .env_remove("SNET_STORE")
         .args(args)
         .env("SNET_THREADS", threads)
         .output()

@@ -15,15 +15,19 @@
 //! * [`exec`] — [`Executor`]: one compiled handle over the scalar,
 //!   64-lane 0-1, sharded-verification, and batched map-reduce backends.
 //!   Every crate in the workspace evaluates through this.
+//! * [`canon`] — [`CanonicalHash`]: SHA-256 content addressing over the
+//!   canonical form, the key of the `snet-store` artifact cache.
 //!
 //! The interpreters in [`crate::network`] and [`crate::register`] remain
 //! the *reference semantics*; the differential suites assert the IR is
 //! bit-identical to them.
 
+pub mod canon;
 pub mod exec;
 pub mod passes;
 pub mod program;
 
+pub use canon::CanonicalHash;
 pub use exec::{check_zero_one_sharded, default_engine_threads, evaluate, Executor};
 pub use passes::{
     exhaustive_fired_masks, AbsorbRoutes, NormalizeCmpRev, Pass, PassManager, PassRecord,

@@ -49,7 +49,6 @@
 
 pub mod batch;
 pub mod element;
-pub mod engine;
 pub mod ir;
 pub mod network;
 pub mod optimize;
@@ -57,6 +56,7 @@ pub mod perm;
 pub mod register;
 pub mod sortcheck;
 pub mod trace;
+pub mod verdict;
 pub mod viz;
 pub mod zeroone;
 
@@ -64,8 +64,10 @@ pub mod zeroone;
 pub mod prelude {
     pub use crate::batch::{count_sorted_parallel, evaluate_batch};
     pub use crate::element::{Element, ElementKind, WireId};
-    pub use crate::engine::{check_zero_one_sharded, default_engine_threads, CompiledNetwork};
-    pub use crate::ir::{Executor, PassManager, PassRecord, Program};
+    pub use crate::ir::{
+        check_zero_one_sharded, default_engine_threads, CanonicalHash, Executor, PassManager,
+        PassRecord, Program,
+    };
     pub use crate::network::{CmpEvent, ComparatorNetwork, Level, NetworkError};
     pub use crate::perm::Permutation;
     pub use crate::register::{RegisterNetwork, RegisterStage};
@@ -74,5 +76,6 @@ pub mod prelude {
         fraction_sorted, is_sorted, SortCheck,
     };
     pub use crate::trace::{AdjacentCoverage, ComparisonTrace};
+    pub use crate::verdict::{verdict_zero_one_exhaustive, Verdict, VerdictKind};
     pub use crate::zeroone::{CompiledLayer, ZeroOneSet};
 }

@@ -82,8 +82,14 @@ impl RunManifest {
     /// shadowing a fixed field are kept as-is: both appear, the extra
     /// last, so readers keyed on the fixed schema are unaffected.
     pub fn with_extra(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
-        self.extras.push((key.into(), value.into()));
+        self.push_extra(key, value);
         self
+    }
+
+    /// In-place form of [`RunManifest::with_extra`] for call sites that
+    /// add extras conditionally or in a loop — no rebinding, no moves.
+    pub fn push_extra(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.extras.push((key.into(), value.into()));
     }
 
     /// The manifest as flat string key/value pairs (the event-attr and

@@ -51,8 +51,10 @@ use parking_lot::Mutex;
 use snet_adversary::DepthOracle;
 use snet_core::ir::Executor;
 use snet_core::network::{ComparatorNetwork, Level};
+use snet_core::verdict::{verdict_zero_one, Verdict};
 use snet_core::zeroone::{CompiledLayer, ZeroOneSet};
 use snet_obs::{HistSnapshot, Histogram};
+use snet_store::{load_tt_facts, save_tt_facts, ArtifactStore, TtFacts};
 use snet_topology::ShuffleNetwork;
 
 use crate::layers::{
@@ -95,12 +97,26 @@ pub struct SearchConfig {
     pub threads: usize,
     /// Transposition-table capacity in facts.
     pub tt_capacity: usize,
+    /// Artifact store for transposition-table spills. When set, the
+    /// search pre-loads the refutation facts a previous run with the
+    /// same `(mode, n)` persisted and spills the merged table back at
+    /// the end. Warm facts only prune subtrees that would fail anyway,
+    /// so the found network is unaffected (node counts are not).
+    pub store: Option<ArtifactStore>,
 }
 
 impl SearchConfig {
-    /// Defaults: 12-layer ceiling, single thread, 2^20-fact table.
+    /// Defaults: 12-layer ceiling, single thread, 2^20-fact table, no
+    /// spill store.
     pub fn new(n: usize, mode: SearchMode) -> Self {
-        SearchConfig { n, mode, max_depth: 12, threads: 1, tt_capacity: 1 << 20 }
+        SearchConfig { n, mode, max_depth: 12, threads: 1, tt_capacity: 1 << 20, store: None }
+    }
+
+    /// The store label transposition spills for this `(mode, n)` live
+    /// under. The label deliberately excludes `max_depth`: a refutation
+    /// is a fact about a state and a budget, valid in any deepening run.
+    pub fn tt_label(&self) -> String {
+        format!("search-tt/{}/n={}", self.mode.name(), self.n)
     }
 }
 
@@ -259,9 +275,11 @@ pub struct SearchOutcome {
     pub network: Option<ComparatorNetwork>,
     /// The same witness as stage op vectors (shuffle mode only).
     pub shuffle: Option<ShuffleNetwork>,
-    /// Whether the witness passed the sharded exhaustive 0-1 check
-    /// (`None` when there is no witness).
-    pub verified: Option<bool>,
+    /// The witness network's exhaustive 0-1 [`Verdict`] — a sort
+    /// certificate when the check passes, a counterexample otherwise
+    /// (`None` when there is no witness). Content-addressed by the
+    /// witness's canonical hash, so it is the artifact the store caches.
+    pub verdict: Option<Verdict>,
     /// Per-budget round records, in deepening order.
     pub rounds: Vec<BudgetRound>,
     /// Counters summed over all rounds.
@@ -270,6 +288,18 @@ pub struct SearchOutcome {
     pub hists: RoundHists,
     /// Transposition facts resident when the search finished.
     pub tt_facts: u64,
+    /// Facts pre-loaded from a store spill before the first round.
+    pub tt_preloaded: u64,
+    /// Facts persisted back to the store spill (0 when no store).
+    pub tt_spilled: u64,
+}
+
+impl SearchOutcome {
+    /// Whether the witness passed the exhaustive 0-1 check (`None` when
+    /// there is no witness) — a view of [`SearchOutcome::verdict`].
+    pub fn verified(&self) -> Option<bool> {
+        self.verdict.as_ref().map(Verdict::is_sorting)
+    }
 }
 
 /// A two-layer (or shorter) prefix queued as one parallel task.
@@ -312,6 +342,17 @@ pub fn search(cfg: &SearchConfig) -> SearchOutcome {
         cfg.max_depth
     );
     let tt = TransTable::new(cfg.tt_capacity);
+    let tt_preloaded = match &cfg.store {
+        Some(store) => match load_tt_facts(store, &cfg.tt_label()) {
+            Some(spill) => {
+                let absorbed = tt.absorb(spill.facts().iter().cloned()) as u64;
+                snet_obs::counter("search.tt.preloaded", absorbed);
+                absorbed
+            }
+            None => 0,
+        },
+        None => 0,
+    };
     let threads = cfg.threads.max(1);
     // Compile every move to masked-shift form once; DFS expansion then
     // costs O(words) per candidate layer instead of O(set size).
@@ -383,10 +424,20 @@ pub fn search(cfg: &SearchConfig) -> SearchOutcome {
         Some(ids) => reconstruct(cfg, &moves, ids),
         None => (None, None),
     };
-    let verified = network.as_ref().map(|net| {
-        let check = Executor::compile(net).check_zero_one(threads);
-        check.is_sorting()
-    });
+    let verdict = network.as_ref().map(|net| verdict_zero_one(&Executor::compile(net), threads));
+    let tt_spilled = match &cfg.store {
+        Some(store) => {
+            let facts = TtFacts::from_pairs(tt.export());
+            match save_tt_facts(store, &cfg.tt_label(), &facts, cfg.tt_capacity) {
+                Ok(persisted) => {
+                    snet_obs::counter("search.tt.spilled", persisted as u64);
+                    persisted as u64
+                }
+                Err(_) => 0, // spill is best-effort; losing it only costs warmth
+            }
+        }
+        None => 0,
+    };
     span.add_attr("optimal_depth", optimal_depth.map(|d| d as i64).unwrap_or(-1));
     SearchOutcome {
         n: cfg.n,
@@ -396,11 +447,13 @@ pub fn search(cfg: &SearchConfig) -> SearchOutcome {
         optimal_depth,
         network,
         shuffle,
-        verified,
+        verdict,
         rounds,
         totals,
         hists,
         tt_facts: tt.len() as u64,
+        tt_preloaded,
+        tt_spilled,
     }
 }
 

@@ -94,6 +94,28 @@ impl TransTable {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Snapshots every fact as `(key, budget)` pairs, sorted by key so
+    /// the export is deterministic for a given fact set. Used to spill
+    /// the table into the artifact store between runs.
+    pub fn export(&self) -> Vec<(Vec<u64>, u8)> {
+        let mut out: Vec<(Vec<u64>, u8)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            out.extend(shard.lock().iter().map(|(k, &b)| (k.to_vec(), b)));
+        }
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Seeds the table with previously exported facts, keeping the
+    /// deeper budget on collision and respecting the capacity cap.
+    /// Returns the number of facts that changed the table. Sound for the
+    /// same reason cross-thread sharing is: a spilled refutation is an
+    /// absolute fact about its state, so absorbing one can only prune
+    /// subtrees that would fail anyway.
+    pub fn absorb(&self, facts: impl IntoIterator<Item = (Vec<u64>, u8)>) -> usize {
+        facts.into_iter().filter(|(key, budget)| self.record_failure(key, *budget)).count()
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +152,21 @@ mod tests {
         // Existing entries still deepen after the cap is hit.
         assert!(tt.record_failure(&stored[0], 7));
         assert_eq!(tt.failed_budget(&stored[0]), Some(7));
+    }
+
+    #[test]
+    fn export_absorb_roundtrips_facts() {
+        let tt = TransTable::new(1024);
+        tt.record_failure(&[5, 1], 3);
+        tt.record_failure(&[2, 9], 6);
+        let exported = tt.export();
+        assert_eq!(exported, vec![(vec![2, 9], 6), (vec![5, 1], 3)], "sorted by key");
+
+        let warm = TransTable::new(1024);
+        warm.record_failure(&[5, 1], 7); // already knows a deeper fact
+        assert_eq!(warm.absorb(exported), 1, "only the new fact lands");
+        assert_eq!(warm.failed_budget(&[5, 1]), Some(7), "deeper budget survives");
+        assert_eq!(warm.failed_budget(&[2, 9]), Some(6));
     }
 
     #[test]

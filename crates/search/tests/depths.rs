@@ -17,7 +17,7 @@ fn config(n: usize, mode: SearchMode, threads: usize) -> SearchConfig {
 fn assert_optimal(n: usize, mode: SearchMode, expect: usize) {
     let out = search(&config(n, mode, 2));
     assert_eq!(out.optimal_depth, Some(expect), "n={n} {}", mode.name());
-    assert_eq!(out.verified, Some(true), "witness must pass the sharded 0-1 check");
+    assert_eq!(out.verified(), Some(true), "witness must pass the sharded 0-1 check");
     let net = out.network.expect("witness present");
     assert_eq!(net.wires(), n);
     assert_eq!(net.comparator_depth(), expect, "witness depth matches the reported optimum");
@@ -53,7 +53,7 @@ fn shuffle_legal_optima_bracket_the_bound() {
     // n = 2: σ is the identity, one comparator stage sorts.
     let out2 = search(&config(2, SearchMode::ShuffleLegal, 1));
     assert_eq!(out2.optimal_depth, Some(1));
-    assert_eq!(out2.verified, Some(true));
+    assert_eq!(out2.verified(), Some(true));
 
     // n = 4: the shuffle-legal optimum must be sandwiched between the
     // adversary floor and well above the unrestricted optimum 3.
@@ -61,7 +61,7 @@ fn shuffle_legal_optima_bracket_the_bound() {
     let d4 = out4.optimal_depth.expect("a shuffle-legal sorter exists within 12 stages");
     assert!(d4 >= out4.floor, "optimum below the admissible floor");
     assert!(d4 >= 3, "shuffle-legal cannot beat the unrestricted optimum");
-    assert_eq!(out4.verified, Some(true));
+    assert_eq!(out4.verified(), Some(true));
     let sn = out4.shuffle.expect("shuffle witness present");
     assert_eq!(sn.depth(), d4);
     // The stage-vector witness lowers to the very network that was checked.
@@ -96,7 +96,7 @@ fn refutation_outcome_when_ceiling_is_below_the_optimum() {
     cfg.max_depth = 2;
     let out = search(&cfg);
     assert_eq!(out.optimal_depth, None);
-    assert!(out.network.is_none() && out.verified.is_none());
+    assert!(out.network.is_none() && out.verified().is_none());
     assert_eq!(out.rounds.len(), 1, "floor 2 to ceiling 2 is one round");
     assert!(!out.rounds[0].sat);
 }

@@ -1,0 +1,52 @@
+//! Warm-starting the search from a transposition-table spill must keep
+//! the outcome identical to a cold run — spilled refutations are
+//! absolute facts, so they may only skip work, never change the result.
+
+use snet_search::{search, SearchConfig, SearchMode};
+use snet_store::ArtifactStore;
+use std::path::PathBuf;
+
+fn scratch_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("snet-search-tt-{}-{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn warm_tt_start_preserves_the_outcome() {
+    let root = scratch_root("warm");
+    let mut cfg = SearchConfig::new(5, SearchMode::Unrestricted);
+    cfg.threads = 2;
+
+    let cold = search(&cfg);
+    assert_eq!(cold.optimal_depth, Some(5));
+    assert_eq!(cold.tt_preloaded, 0, "no store, nothing to preload");
+    assert_eq!(cold.tt_spilled, 0, "no store, nothing to spill");
+
+    // First run against the store: spills its refutation facts.
+    cfg.store = Some(ArtifactStore::open(&root).unwrap());
+    let spilling = search(&cfg);
+    assert_eq!(spilling.tt_preloaded, 0, "store starts empty");
+    assert!(spilling.tt_spilled > 0, "deepening rounds must leave refutations to spill");
+    assert_eq!(spilling.optimal_depth, cold.optimal_depth);
+    assert_eq!(spilling.network, cold.network);
+
+    // Second run: preloads the spill and still finds the same network.
+    cfg.store = Some(ArtifactStore::open(&root).unwrap());
+    let warm = search(&cfg);
+    assert!(warm.tt_preloaded > 0, "the spill must seed the table");
+    assert_eq!(warm.optimal_depth, cold.optimal_depth, "warm facts must not change the result");
+    assert_eq!(warm.network, cold.network, "witness must be schedule- and warmth-independent");
+    assert_eq!(
+        warm.verdict.as_ref().map(|v| v.hash),
+        cold.verdict.as_ref().map(|v| v.hash),
+        "identical witnesses share one canonical hash"
+    );
+    assert_eq!(warm.verified(), Some(true));
+
+    // A different (mode, n) label sees none of these facts.
+    let mut other = SearchConfig::new(4, SearchMode::Unrestricted);
+    other.store = Some(ArtifactStore::open(&root).unwrap());
+    let o = search(&other);
+    assert_eq!(o.tt_preloaded, 0, "labels isolate spills per (mode, n)");
+}

@@ -1,0 +1,148 @@
+//! Read-only memory mapping with a portable fallback.
+//!
+//! Store entries are read through [`map_file`]: on Unix the file is
+//! `mmap(2)`-ed (no copy, page-cache backed — a warm hit touches only
+//! the pages it reads), elsewhere — and for empty files, which cannot be
+//! mapped — the bytes are read into an owned buffer. Both shapes deref
+//! to `&[u8]`, so callers never branch on the mechanism.
+//!
+//! The binding is hand-rolled against the libc the standard library
+//! already links; the workspace vendors no `libc`/`memmap` crate.
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+/// A file's contents, memory-mapped when possible.
+pub enum MappedFile {
+    /// A live `mmap(2)` mapping (Unix, non-empty files).
+    #[cfg(unix)]
+    Mapped(Mmap),
+    /// Owned bytes (fallback platforms and empty files).
+    Owned(Vec<u8>),
+}
+
+impl std::ops::Deref for MappedFile {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            MappedFile::Mapped(m) => m.as_slice(),
+            MappedFile::Owned(v) => v,
+        }
+    }
+}
+
+/// Maps `path` read-only. Empty files yield an empty owned buffer (an
+/// empty mapping is invalid); on non-Unix targets this reads the file.
+pub fn map_file(path: &Path) -> io::Result<MappedFile> {
+    let file = File::open(path)?;
+    let len = file.metadata()?.len();
+    if len == 0 {
+        return Ok(MappedFile::Owned(Vec::new()));
+    }
+    #[cfg(unix)]
+    {
+        Mmap::map(&file, len as usize).map(MappedFile::Mapped)
+    }
+    #[cfg(not(unix))]
+    {
+        drop(file);
+        std::fs::read(path).map(MappedFile::Owned)
+    }
+}
+
+#[cfg(unix)]
+pub use unix::Mmap;
+
+#[cfg(unix)]
+mod unix {
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    // Minimal mmap(2) binding against the platform libc std links.
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    /// An owned read-only mapping, unmapped on drop.
+    pub struct Mmap {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is read-only and exclusively owned; the
+    // underlying pages are valid for the lifetime of the struct.
+    unsafe impl Send for Mmap {}
+    unsafe impl Sync for Mmap {}
+
+    impl Mmap {
+        /// Maps `len` bytes of `file` read-only. `len` must be non-zero.
+        pub(super) fn map(file: &File, len: usize) -> io::Result<Mmap> {
+            debug_assert!(len > 0, "cannot map an empty file");
+            // SAFETY: all arguments are valid — NULL hint, a length
+            // matching the open file's size, a live fd, offset 0. A
+            // MAP_FAILED return is checked below.
+            let ptr = unsafe {
+                mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0)
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Mmap { ptr, len })
+        }
+
+        /// The mapped bytes.
+        pub fn as_slice(&self) -> &[u8] {
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes, valid until `drop` unmaps it.
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for Mmap {
+        fn drop(&mut self) {
+            // SAFETY: `ptr`/`len` describe the mapping created in `map`,
+            // unmapped exactly once.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_and_reads_back() {
+        let dir = std::env::temp_dir().join("snet-store-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mmap-roundtrip.bin");
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::write(&path, &data).unwrap();
+        let mapped = map_file(&path).expect("maps");
+        assert_eq!(&mapped[..], &data[..]);
+
+        let empty = dir.join("mmap-empty.bin");
+        std::fs::write(&empty, b"").unwrap();
+        assert_eq!(map_file(&empty).expect("empty maps").len(), 0);
+
+        assert!(map_file(&dir.join("missing.bin")).is_err());
+    }
+}

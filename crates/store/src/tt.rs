@@ -1,0 +1,231 @@
+//! Spill/load format for the search transposition table.
+//!
+//! A search run over a given `(n, depth-budget)` label can persist its
+//! UNSAT facts — "reachable set `S` fails every suffix of ≤ `r` layers" —
+//! and a later run with the same label can pre-load them. The facts are
+//! absolute refutations (see `snet_search::tt`), so absorbing a spill
+//! can only prune branches that would fail anyway: warm starts keep the
+//! engine's determinism.
+//!
+//! Spills are stored in the [`crate::ArtifactStore`] under
+//! [`crate::KIND_TT_FACTS`], keyed by `CanonicalHash::of_label` of a
+//! caller-chosen label string (e.g. `"search/n=7/depth=6"`). The payload
+//! is a deterministic binary encoding: facts sorted by key, so the same
+//! fact set always produces the same bytes.
+
+use crate::store::{ArtifactStore, KIND_TT_FACTS};
+use snet_core::ir::CanonicalHash;
+use std::io;
+
+/// Magic prefix of a TT spill payload.
+const MAGIC: &[u8; 8] = b"SNTTSPL1";
+
+/// An in-memory set of transposition-table refutation facts, ready to
+/// encode into — or decoded from — a store entry.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TtFacts {
+    /// `(canonical state words, refuted budget)` pairs, sorted by key.
+    facts: Vec<(Vec<u64>, u8)>,
+}
+
+impl TtFacts {
+    /// Builds a fact set from unordered `(key, budget)` pairs. Duplicate
+    /// keys keep the deepest budget.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Vec<u64>, u8)>) -> TtFacts {
+        let mut facts: Vec<(Vec<u64>, u8)> = pairs.into_iter().collect();
+        facts.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        facts.dedup_by(|next, kept| next.0 == kept.0); // keeps first = deepest
+        TtFacts { facts }
+    }
+
+    /// The facts, sorted by key.
+    pub fn facts(&self) -> &[(Vec<u64>, u8)] {
+        &self.facts
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Merges `other` into `self`, keeping the deepest budget per key.
+    pub fn merge(&mut self, other: &TtFacts) {
+        let merged =
+            TtFacts::from_pairs(self.facts.iter().cloned().chain(other.facts.iter().cloned()));
+        *self = merged;
+    }
+
+    /// Keeps at most `max_facts`, preferring the deepest refutations
+    /// (ties broken by key, so truncation is deterministic).
+    pub fn truncate_to(&mut self, max_facts: usize) {
+        if self.facts.len() <= max_facts {
+            return;
+        }
+        let mut by_value = std::mem::take(&mut self.facts);
+        by_value.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        by_value.truncate(max_facts);
+        by_value.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        self.facts = by_value;
+    }
+
+    /// Deterministic binary encoding (same facts ⇒ same bytes).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.facts.len() * 24);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(self.facts.len() as u64).to_le_bytes());
+        for (key, budget) in &self.facts {
+            out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            for &w in key {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+            out.push(*budget);
+        }
+        out
+    }
+
+    /// Decodes a spill payload. Any structural violation is an error —
+    /// callers treat a bad spill as a cache miss, never a crash.
+    pub fn decode(bytes: &[u8]) -> Result<TtFacts, String> {
+        let mut cur = Cursor { bytes, pos: 0 };
+        if cur.take(8)? != MAGIC {
+            return Err("bad TT spill magic".to_string());
+        }
+        let count = u64::from_le_bytes(cur.take(8)?.try_into().unwrap());
+        // A key has ≥ 1 word ⇒ each fact is ≥ 13 bytes; reject counts the
+        // payload cannot possibly hold before allocating.
+        if count > (bytes.len() as u64) / 13 {
+            return Err("fact count exceeds payload size".to_string());
+        }
+        let mut facts = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let words = u32::from_le_bytes(cur.take(4)?.try_into().unwrap()) as usize;
+            if words == 0 {
+                return Err("empty fact key".to_string());
+            }
+            let mut key = Vec::with_capacity(words);
+            for _ in 0..words {
+                key.push(u64::from_le_bytes(cur.take(8)?.try_into().unwrap()));
+            }
+            let budget = cur.take(1)?[0];
+            facts.push((key, budget));
+        }
+        if cur.pos != bytes.len() {
+            return Err("trailing bytes after facts".to_string());
+        }
+        let decoded = TtFacts::from_pairs(facts);
+        if decoded.facts.len() != count as usize {
+            return Err("duplicate or unsorted fact keys".to_string());
+        }
+        Ok(decoded)
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let slice = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err("truncated TT spill".to_string()),
+        }
+    }
+}
+
+/// Loads the TT spill stored under `label`, if any. Corrupt or
+/// undecodable spills read as `None`.
+pub fn load_tt_facts(store: &ArtifactStore, label: &str) -> Option<TtFacts> {
+    let hash = CanonicalHash::of_label(label);
+    let entry = store.get(&hash)?;
+    if entry.kind != KIND_TT_FACTS {
+        return None;
+    }
+    TtFacts::decode(&entry.payload).ok()
+}
+
+/// Merges `facts` with whatever is already stored under `label`, caps
+/// the union at `max_facts` (deepest refutations win), and writes it
+/// back. Returns the number of facts persisted.
+pub fn save_tt_facts(
+    store: &ArtifactStore,
+    label: &str,
+    facts: &TtFacts,
+    max_facts: usize,
+) -> io::Result<usize> {
+    let mut merged = load_tt_facts(store, label).unwrap_or_default();
+    merged.merge(facts);
+    merged.truncate_to(max_facts);
+    store.put(&CanonicalHash::of_label(label), KIND_TT_FACTS, &merged.encode())?;
+    Ok(merged.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TtFacts {
+        TtFacts::from_pairs(vec![
+            (vec![3, 1], 2),
+            (vec![1, 2], 5),
+            (vec![1, 2], 3), // shallower duplicate: dropped
+            (vec![9, 9, 9], 1),
+        ])
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_is_stable() {
+        let facts = sample();
+        assert_eq!(facts.len(), 3);
+        assert_eq!(facts.facts()[0], (vec![1, 2], 5), "deepest duplicate wins");
+        let bytes = facts.encode();
+        let back = TtFacts::decode(&bytes).expect("decodes");
+        assert_eq!(back, facts);
+        assert_eq!(back.encode(), bytes, "encoding is canonical");
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        assert!(TtFacts::decode(b"not a spill").is_err());
+        let mut truncated = sample().encode();
+        truncated.pop();
+        assert!(TtFacts::decode(&truncated).is_err());
+        let mut trailing = sample().encode();
+        trailing.push(0);
+        assert!(TtFacts::decode(&trailing).is_err());
+        // Absurd count with a tiny payload must not allocate or panic.
+        let mut bomb = Vec::new();
+        bomb.extend_from_slice(MAGIC);
+        bomb.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(TtFacts::decode(&bomb).is_err());
+    }
+
+    #[test]
+    fn merge_keeps_deepest_and_truncation_is_deterministic() {
+        let mut a = TtFacts::from_pairs(vec![(vec![1], 2), (vec![2], 7)]);
+        let b = TtFacts::from_pairs(vec![(vec![1], 6), (vec![3], 1)]);
+        a.merge(&b);
+        assert_eq!(
+            a.facts(),
+            &[(vec![1], 6), (vec![2], 7), (vec![3], 1)],
+            "deepest budget survives a merge"
+        );
+        a.truncate_to(2);
+        assert_eq!(
+            a.facts(),
+            &[(vec![1], 6), (vec![2], 7)],
+            "truncation keeps the deepest refutations"
+        );
+    }
+}

@@ -13,7 +13,7 @@
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use snet_core::element::{Element, ElementKind};
-use snet_core::engine::{check_zero_one_sharded, CompiledNetwork};
+use snet_core::ir::{check_zero_one_sharded, Executor};
 use snet_core::network::{ComparatorNetwork, Level};
 use snet_core::perm::Permutation;
 use snet_core::sortcheck::{
@@ -75,7 +75,7 @@ proptest! {
     fn compiled_scalar_equals_interpreter(seed in 0u64..100_000, d in 0usize..7) {
         let n = 10;
         let net = random_net(n, d, seed);
-        let compiled = CompiledNetwork::compile(&net);
+        let compiled = Executor::compile(&net);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5CA1A);
         let mut scratch_i: Vec<u32> = Vec::new();
         let mut scratch_c: Vec<u32> = Vec::new();
@@ -94,7 +94,7 @@ proptest! {
     fn compiled_lanes_equal_scalar_reference(seed in 0u64..100_000, d in 0usize..7) {
         let n = 10;
         let net = random_net(n, d, seed);
-        let compiled = CompiledNetwork::compile(&net);
+        let compiled = Executor::compile(&net);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xB17);
         let lanes: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
         let mut via_compiled = lanes.clone();
@@ -166,7 +166,7 @@ fn truncated_sorters_fail_identically_everywhere() {
             assert_eq!(&check_zero_one_sharded(&truncated, threads), &seq, "t={threads}");
         }
         // count_unsorted_01 (engine path) vs brute-force scalar recount.
-        let compiled = CompiledNetwork::compile(&truncated);
+        let compiled = Executor::compile(&truncated);
         let mut expect = 0u64;
         for mask in 0..(1u64 << n) {
             let input: Vec<u32> = (0..n).map(|w| ((mask >> w) & 1) as u32).collect();
