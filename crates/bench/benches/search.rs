@@ -67,6 +67,14 @@ fn bench_search_instrumentation(c: &mut Criterion) {
         b.iter(|| search(cfg));
         snet_obs::remove_sink(handle);
     });
+    g.bench_with_input(BenchmarkId::new("flight_recorder", 6), &cfg, |b, cfg| {
+        // Always-on path in snetctl: every event is serialized into the
+        // per-thread flight ring, no sink, no I/O. The CI perf gate holds
+        // this within 5% of no_sink.
+        snet_obs::enable_flight(None);
+        b.iter(|| search(cfg));
+        snet_obs::disable_flight();
+    });
     g.finish();
 }
 

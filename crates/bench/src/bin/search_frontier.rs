@@ -15,7 +15,11 @@
 //!
 //! Usage: `cargo run --release -p snet-bench --bin search_frontier
 //! [-- -o results/search_frontier.json] [--threads N] [--full]
-//! [--baseline-dir DIR] [--only LABEL]`
+//! [--baseline-dir DIR] [--only LABEL] [--flight]`
+//!
+//! `--flight` enables the in-memory flight recorder for the scenario
+//! runs, so CI can diff a flight-on baseline against a flight-off one
+//! and gate the recorder's overhead.
 
 use serde_json::Value;
 use snet_obs::Baseline;
@@ -167,6 +171,7 @@ fn main() {
                 threads = args[i].parse().expect("--threads takes a count");
             }
             "--full" => full = true,
+            "--flight" => snet_obs::enable_flight(None),
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);

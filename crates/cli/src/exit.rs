@@ -31,8 +31,30 @@ pub const STEP_VIOLATION: i32 = 9;
 /// and recompute instead of exiting).
 pub const STORE_CORRUPT: i32 = 10;
 
-/// Flushes buffered trace output, then exits with `code`.
+/// Where `--metrics-out FILE` asked for the final registry exposition;
+/// armed once during observability setup.
+static METRICS_OUT: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+
+/// Arms the end-of-process metrics dump (`--metrics-out FILE`).
+pub fn arm_metrics_out(path: String) {
+    let _ = METRICS_OUT.set(path);
+}
+
+/// Writes the Prometheus exposition of this process's registry to the
+/// armed path, if any. Runs on every exit path (normal return and
+/// [`exit_flushed`]) so the dump reflects the whole run.
+pub fn write_metrics_out() {
+    if let Some(path) = METRICS_OUT.get() {
+        if let Err(e) = std::fs::write(path, snet_obs::registry::render_prometheus()) {
+            eprintln!("snetctl: cannot write metrics to {path}: {e}");
+        }
+    }
+}
+
+/// Flushes buffered trace output (and the armed metrics dump), then
+/// exits with `code`.
 pub fn exit_flushed(code: i32) -> ! {
     snet_obs::flush();
+    write_metrics_out();
     std::process::exit(code);
 }

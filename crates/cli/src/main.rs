@@ -15,6 +15,13 @@
 mod exit;
 mod file;
 
+/// With `--features alloc`, every allocation in the process is counted
+/// and surfaced as `snet_mem_live_bytes` / `snet_alloc_total` in the
+/// metrics exposition (a few percent overhead; off by default).
+#[cfg(feature = "alloc")]
+#[global_allocator]
+static GLOBAL: snet_obs::alloc::CountingAlloc = snet_obs::alloc::CountingAlloc;
+
 use exit::exit_flushed;
 use file::{NetworkFile, WitnessFile};
 use rand::SeedableRng;
@@ -56,6 +63,7 @@ fn main() {
             Some("bench") => cmd_bench(&args[1..]),
             Some("count") => cmd_count(&args[1..]),
             Some("store") => cmd_store(&args[1..]),
+            Some("metrics") => cmd_metrics(&args[1..]),
             Some("--help") | Some("-h") | None => {
                 print_usage();
                 Ok(())
@@ -63,20 +71,42 @@ fn main() {
             Some(other) => Err(format!("unknown command '{other}' (try --help)")),
         });
     snet_obs::flush();
+    exit::write_metrics_out();
     if let Err(e) = code {
         eprintln!("snetctl: {e}");
         std::process::exit(exit::GENERIC);
     }
 }
 
-/// Handles `--trace-out FILE.jsonl` (structured JSONL trace) and
-/// `--progress` (live progress meter on stderr), removing them from
-/// `args`. When either is active, the run manifest leads the event
-/// stream.
+/// Handles the global observability surface, removing its flags from
+/// `args`: `--trace-out FILE.jsonl` (structured JSONL trace),
+/// `--progress` (live progress meter on stderr), and `--metrics-out
+/// FILE` (Prometheus exposition of the registry, written at exit). When
+/// a sink is active, the run manifest leads the event stream.
+///
+/// The flight recorder turns on here for every command — that is its
+/// point: a bounded in-memory record that costs nothing on a clean exit
+/// (no file is written) and is dumped to `flight-<pid>.jsonl` by the
+/// panic hook when the process dies. `SNET_FLIGHT=0` disables it;
+/// `SNET_FLIGHT_BYTES` sizes the per-thread ring. The fault-injection
+/// hook `SNET_FAULT_PANIC_AFTER=N` (panic on the N-th event) exists so
+/// CI can prove the dump path works on a real run.
 fn setup_observability(args: &mut Vec<String>) -> Result<(), String> {
     use std::sync::Arc;
     let trace_out = take_flag_value(args, "--trace-out")?;
+    let metrics_out = take_flag_value(args, "--metrics-out")?;
     let progress = take_flag(args, "--progress");
+    if std::env::var("SNET_FLIGHT").ok().as_deref() != Some("0") {
+        let ring_bytes =
+            std::env::var("SNET_FLIGHT_BYTES").ok().and_then(|v| v.parse::<usize>().ok());
+        snet_obs::enable_flight(ring_bytes);
+    }
+    if let Ok(n) = std::env::var("SNET_FAULT_PANIC_AFTER") {
+        snet_obs::arm_fault_after(parse(&n, "SNET_FAULT_PANIC_AFTER")?);
+    }
+    if let Some(path) = metrics_out {
+        exit::arm_metrics_out(path);
+    }
     if let Some(path) = &trace_out {
         let sink = snet_obs::JsonlSink::create(path)
             .map_err(|e| format!("cannot create trace file {path}: {e}"))?;
@@ -176,12 +206,24 @@ fn print_usage() {
          \x20         strings are printed and recorded in the run manifest)\n\
          \x20 store   ls | get HASH | stat | gc --max-bytes N\n\
          \x20         inspect the content-addressed artifact store; get accepts unique\n\
-         \x20         hex prefixes and exits 10 on a corrupt entry\n\
+         \x20         hex prefixes and exits 10 on a corrupt entry; stat also reports\n\
+         \x20         this process's session hit/miss counters and hit rate\n\
+         \x20 metrics [FILE | --watch SECS]\n\
+         \x20         Prometheus text exposition of the metrics registry; FILE validates\n\
+         \x20         and reprints a --metrics-out dump, --watch refreshes every SECS\n\
          \n\
          global flags (any command):\n\
          \x20 --trace-out FILE.jsonl           write structured trace events (spans, counters,\n\
          \x20                                  gauges, run manifest); read back with 'report'\n\
+         \x20 --metrics-out FILE               write the Prometheus exposition of all metrics\n\
+         \x20                                  at process exit; validate with 'metrics FILE'\n\
          \x20 --progress                       live progress meter on stderr for long scans\n\
+         \n\
+         flight recorder (always on; env-controlled):\n\
+         \x20 SNET_FLIGHT=0                    disable the in-memory flight recorder\n\
+         \x20 SNET_FLIGHT_BYTES=N              per-thread ring size in bytes (default 524288);\n\
+         \x20                                  on panic the rings dump to flight-<pid>.jsonl,\n\
+         \x20                                  renderable with 'report'\n\
          \n\
          store flags (check/search/refute/certify/store):\n\
          \x20 --store DIR                      cache verdicts and search transposition spills\n\
@@ -875,8 +917,53 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         println!("chrome trace written to {out} (load in chrome://tracing or ui.perfetto.dev)");
         return Ok(());
     }
-    let report = snet_obs::report::parse_trace(&text)?;
+    // Lossy on purpose: flight-recorder dumps legitimately end (or,
+    // after a ring wrap, begin) with a torn line. Anything else skipped
+    // is surfaced, not hidden.
+    let (report, skipped) = snet_obs::report::parse_trace_lossy(&text);
+    if skipped > 0 {
+        if report.is_empty() {
+            return Err(format!("{path}: no parseable trace events ({skipped} malformed lines)"));
+        }
+        eprintln!("report: skipped {skipped} malformed line(s) (torn flight-ring tail?)");
+    }
     print!("{}", snet_obs::report::render(&report));
+    Ok(())
+}
+
+/// `metrics [--watch SECS] [FILE]` — Prometheus text exposition
+/// (`text/plain; version=0.0.4`). With FILE, validates and re-prints a
+/// previously written `--metrics-out` dump (CI uses this as the format
+/// checker); without, snapshots this process's own registry, which
+/// carries the process-level series (uptime, RSS, allocator stats with
+/// the `alloc` feature). `--watch SECS` re-renders until interrupted.
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let watch = take_flag_value(&mut args, "--watch")?;
+    if let Some(path) = args.first() {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let parsed = snet_obs::promtext::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        print!("{text}");
+        eprintln!(
+            "metrics: {path} ok ({} series, {} typed families)",
+            parsed.series.len(),
+            parsed.types.len()
+        );
+        return Ok(());
+    }
+    match watch {
+        None => print!("{}", snet_obs::registry::render_prometheus()),
+        Some(secs) => {
+            let secs: f64 = parse(&secs, "--watch")?;
+            loop {
+                // ANSI clear-and-home, like `watch(1)`.
+                print!("\x1b[2J\x1b[H{}", snet_obs::registry::render_prometheus());
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+                std::thread::sleep(std::time::Duration::from_secs_f64(secs.max(0.1)));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -1123,6 +1210,21 @@ fn cmd_store(args: &[String]) -> Result<(), String> {
             println!("  tt spills : {}", s.tt_spills);
             println!("bytes       : {}", s.bytes);
             println!("quarantined : {}", s.quarantined);
+            // Session counters from this process's metrics registry: cache
+            // effectiveness without needing a trace file. Zero unless this
+            // invocation itself exercised the store (e.g. a future combined
+            // command); still printed so the lines are greppable in scripts.
+            let hits = snet_obs::registry::counter_value("store.hits").unwrap_or(0.0);
+            let misses = snet_obs::registry::counter_value("store.misses").unwrap_or(0.0);
+            let session_bytes = snet_obs::registry::counter_value("store.bytes").unwrap_or(0.0);
+            let lookups = hits + misses;
+            println!("session     : {hits:.0} hits / {misses:.0} misses");
+            if lookups > 0.0 {
+                println!("  hit rate  : {:.1}%", 100.0 * hits / lookups);
+            } else {
+                println!("  hit rate  : n/a (no lookups this session)");
+            }
+            println!("  bytes out : {session_bytes:.0}");
             Ok(())
         }
         Some("gc") => {

@@ -762,3 +762,101 @@ fn count_rejects_bad_configurations() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown --kind"));
 }
+
+#[test]
+fn metrics_out_dump_validates_and_carries_subsystem_series() {
+    let m = tmpfile("metrics-search.txt");
+    let out = snetctl(&["search", "--n", "6", "--metrics-out", &m]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&m).unwrap();
+    assert!(text.contains("# TYPE snet_search_nodes_total counter"), "{text}");
+    assert!(text.contains("snet_search_rounds_total"), "{text}");
+    assert!(text.contains("# TYPE snet_search_task_nodes histogram"), "{text}");
+    assert!(text.contains("snet_process_uptime_seconds"), "{text}");
+
+    // `snetctl metrics FILE` validates the dump and reprints it.
+    let out = snetctl(&["metrics", &m]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("snet_search_nodes_total"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("ok ("));
+
+    // A dump with duplicated series must fail validation.
+    let broken = format!("{text}{text}");
+    std::fs::write(&m, broken).unwrap();
+    let out = snetctl(&["metrics", &m]);
+    assert!(!out.status.success(), "duplicate series should be rejected");
+}
+
+#[test]
+fn metrics_snapshot_emits_valid_exposition() {
+    let out = snetctl(&["metrics"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("# TYPE snet_process_uptime_seconds gauge"), "{text}");
+    assert!(text.contains("snet_process_resident_memory_bytes"), "{text}");
+}
+
+#[test]
+fn store_stat_reports_session_counters() {
+    let dir = tmpfile("stat-session-store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = snetctl(&["store", "stat", "--store", &dir]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("session     : 0 hits / 0 misses"), "{text}");
+    assert!(text.contains("hit rate  : n/a"), "{text}");
+    assert!(text.contains("bytes out : 0"), "{text}");
+}
+
+#[test]
+fn injected_panic_dumps_flight_recording_that_report_renders() {
+    // The flight recorder is always on; a mid-search panic must leave a
+    // flight-<pid>.jsonl in the working directory with the recent event
+    // stream, and `report` must render it.
+    let dir = std::env::temp_dir().join("snetctl-flight-panic");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_snetctl"))
+        .env_remove("SNET_STORE")
+        .env("SNET_FAULT_PANIC_AFTER", "50")
+        .current_dir(&dir)
+        .args(["search", "--n", "6"])
+        .output()
+        .expect("snetctl should launch");
+    assert!(!out.status.success(), "injected fault must abort the run");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("injected fault"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let dump = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.file_name().and_then(|f| f.to_str()).is_some_and(|f| f.starts_with("flight-")))
+        .expect("panic hook must write flight-<pid>.jsonl");
+    let lines = std::fs::read_to_string(&dump).unwrap();
+    assert!(lines.lines().count() >= 40, "dump should carry the recent event stream");
+    let out = snetctl(&["report", dump.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("search.nodes"),
+        "the ring should hold recent search counters"
+    );
+}
+
+#[test]
+fn flight_recorder_leaves_no_files_on_clean_exit() {
+    let dir = std::env::temp_dir().join("snetctl-flight-clean");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_snetctl"))
+        .env_remove("SNET_STORE")
+        .current_dir(&dir)
+        .args(["search", "--n", "5"])
+        .output()
+        .expect("snetctl should launch");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let leftovers: Vec<_> = std::fs::read_dir(&dir).unwrap().filter_map(|e| e.ok()).collect();
+    assert!(leftovers.is_empty(), "clean runs must not write flight dumps: {leftovers:?}");
+}

@@ -119,6 +119,10 @@ impl PassManager {
                 let t0 = std::time::Instant::now();
                 pass.run(prog);
                 let nanos = t0.elapsed().as_nanos();
+                // Per-pass timing distribution in the metrics registry,
+                // labeled by pass name (the span above carries the same
+                // timing into the event stream).
+                snet_obs::observe("ir.pass.ns", &[("pass", pass.name())], nanos as u64);
                 debug_assert_eq!(prog.validate(), Ok(()), "pass {} broke the IR", pass.name());
                 let rec = PassRecord {
                     name: pass.name(),

@@ -43,9 +43,9 @@ fn bucket_of(v: u64) -> usize {
     }
 }
 
-/// Inclusive upper edge of bucket `b` (the value reported for
-/// percentiles that fall inside it).
-fn bucket_edge(b: usize) -> u64 {
+/// Inclusive upper edge of bucket `b` (also the Prometheus `le` bound
+/// [`crate::promtext`] renders for it).
+pub(crate) fn bucket_edge(b: usize) -> u64 {
     if b == 0 {
         0
     } else {
@@ -114,22 +114,48 @@ impl HistSnapshot {
         }
     }
 
-    /// The value at percentile `p` (0–100): the inclusive upper edge of
-    /// the bucket containing that rank, clamped to the observed maximum.
+    /// The value at percentile `p` (0–100), interpolated linearly
+    /// within the bucket containing that rank (assuming samples spread
+    /// uniformly across the bucket, each occupying the midpoint of its
+    /// 1/c slice). The top rank returns the exact observed maximum and
+    /// the bucket range is clamped to it, so a single-sample bucket
+    /// reports a value inside the bucket rather than its upper edge.
     /// Returns 0 when empty.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
         let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        if rank >= self.count {
+            return self.max;
+        }
         let mut seen = 0u64;
         for (b, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return bucket_edge(b).min(self.max);
+            if seen + c >= rank && c > 0 {
+                let lo = if b == 0 { 0 } else { bucket_edge(b - 1) + 1 };
+                let hi = bucket_edge(b).min(self.max);
+                if hi <= lo {
+                    return hi;
+                }
+                let pos = (rank - seen) as f64 - 0.5;
+                return lo + ((pos / c as f64) * (hi - lo) as f64).round() as u64;
             }
+            seen += c;
         }
         self.max
+    }
+
+    /// Records one sample directly into the snapshot (the plain-data
+    /// path used by the registry's labeled histograms; concurrent
+    /// recording belongs on [`Histogram`]).
+    pub fn record(&mut self, v: u64) {
+        if self.buckets.len() < HIST_BUCKETS {
+            self.buckets.resize(HIST_BUCKETS, 0);
+        }
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
     }
 
     /// Adds another snapshot into this one bucket-wise.
@@ -274,14 +300,37 @@ mod tests {
         assert_eq!(s.sum, 5050);
         assert_eq!(s.max, 100);
         assert_eq!(s.mean(), 50.5);
-        // The true p50 is 50, inside bucket [32, 64) → upper edge 63.
-        assert_eq!(s.percentile(50.0), 63);
-        // p99 = rank 99 lands in bucket [64, 128) → clamped to max 100.
-        assert_eq!(s.percentile(99.0), 100);
+        // Uniform 1..=100: interpolation inside the log2 buckets lands
+        // on the exact order statistics, not the bucket upper edges.
+        assert_eq!(s.percentile(50.0), 50);
+        assert_eq!(s.percentile(90.0), 90);
+        assert_eq!(s.percentile(99.0), 99);
+        assert_eq!(s.percentile(100.0), 100);
         assert_eq!(s.percentile(0.0), 1);
         let empty = HistSnapshot::default();
         assert_eq!(empty.percentile(50.0), 0);
         assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_buckets_interpolate_instead_of_reporting_the_edge() {
+        // One sample per bucket: the old estimator returned the bucket
+        // upper edge (127 for a sample of 100); interpolation stays
+        // inside the bucket and the top rank is the exact max.
+        let h = Histogram::new();
+        h.record(100);
+        h.record(600);
+        let s = h.snapshot();
+        // rank 1 → bucket [64, 127], single sample → midpoint-ish, not 127.
+        assert_eq!(s.percentile(50.0), 96);
+        // top rank → exact observed maximum.
+        assert_eq!(s.percentile(99.0), 600);
+        // A lone sample reports itself at every percentile.
+        let one = Histogram::new();
+        one.record(600);
+        let s = one.snapshot();
+        assert_eq!(s.percentile(50.0), 600);
+        assert_eq!(s.percentile(99.0), 600);
     }
 
     #[test]

@@ -5,10 +5,11 @@
 //!
 //! Design constraints, in order:
 //!
-//! 1. **Zero cost when disabled.** No sink installed ⇒ every entry point
-//!    is a single relaxed atomic load and an early return; no allocation,
-//!    no locking, no time syscalls. Hot loops stay uninstrumented — only
-//!    phase boundaries (compiles, passes, shards, adversary rounds) emit.
+//! 1. **Zero cost when disabled.** No sink installed and the flight
+//!    recorder off ⇒ every entry point is a pair of relaxed atomic loads
+//!    and an early return; no allocation, no locking, no time syscalls.
+//!    Hot loops stay uninstrumented — only phase boundaries (compiles,
+//!    passes, shards, adversary rounds) emit.
 //! 2. **No dependencies.** Consistent with the offline `vendor/` policy;
 //!    JSON encoding and the report-side parser are hand-rolled for the
 //!    small subset the event model needs.
@@ -16,6 +17,17 @@
 //!    lock on the emit path until a drain), spans nest via a thread-local
 //!    stack, and cross-thread nesting (worker shards under a coordinator
 //!    span) is explicit via [`span_under`].
+//!
+//! Three service-grade layers sit on the same event stream:
+//!
+//! * the [`flight`] recorder — per-thread byte rings holding the most
+//!   recent events, dumped to `flight-<pid>.jsonl` by the panic hook
+//!   ([`enable_flight`], [`dump_flight`]);
+//! * the [`registry`] — counters/gauges/histograms aggregated under
+//!   `snet_*` Prometheus names, rendered by [`promtext`]
+//!   ([`registry::render_prometheus`]);
+//! * [`alloc`] — opt-in allocation accounting behind the `alloc`
+//!   feature, surfaced as registry gauges and per-span attrs.
 //!
 //! Typical wiring (the `snetctl` entry point):
 //!
@@ -31,17 +43,22 @@
 //! snet_obs::flush();
 //! ```
 
+pub mod alloc;
 pub mod baseline;
 pub mod chrome;
 pub mod event;
+pub mod flight;
 pub mod hist;
 pub mod manifest;
+pub mod promtext;
+pub mod registry;
 pub mod report;
 pub mod sink;
 
 pub use baseline::{Baseline, BaselineDiff, BASELINE_SCHEMA};
 pub use chrome::{to_chrome_trace, trace_to_chrome};
 pub use event::{Event, EventKind};
+pub use flight::{arm_fault_after, dump_flight, flight_snapshot, DEFAULT_RING_BYTES};
 pub use hist::{HistSnapshot, Histogram, ShardedCounter};
 pub use manifest::{RunManifest, MANIFEST_SCHEMA};
 pub use sink::{JsonlSink, MemorySink, ProgressSink, Sink};
@@ -65,31 +82,79 @@ static EPOCH: LazyLock<Instant> = LazyLock::new(Instant::now);
 /// Events buffered per thread before a drain grabs the sink lock.
 const BUFFER_CAPACITY: usize = 128;
 
+/// Every live thread's event buffer. [`flush`] drains them all, so a
+/// process-exit (or panic-hook) flush cannot lose events buffered by
+/// worker threads that are still alive — only the owning thread pushes,
+/// so a `try_lock` here contends only with that thread mid-emit.
+static BUFFERS: Mutex<Vec<std::sync::Weak<Mutex<Vec<Event>>>>> = Mutex::new(Vec::new());
+
 struct ThreadState {
     ordinal: u64,
-    buf: Vec<Event>,
+    buf: Arc<Mutex<Vec<Event>>>,
     stack: Vec<u64>,
 }
 
 impl Drop for ThreadState {
     fn drop(&mut self) {
-        drain(&mut self.buf);
+        if let Ok(mut buf) = self.buf.try_lock() {
+            let mut events = std::mem::take(&mut *buf);
+            drop(buf);
+            drain(&mut events);
+        }
     }
 }
 
 thread_local! {
-    static TLS: RefCell<ThreadState> = RefCell::new(ThreadState {
-        ordinal: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
-        buf: Vec::new(),
-        stack: Vec::new(),
+    static TLS: RefCell<ThreadState> = RefCell::new({
+        let buf: Arc<Mutex<Vec<Event>>> = Arc::new(Mutex::new(Vec::new()));
+        BUFFERS.lock().unwrap_or_else(|p| p.into_inner()).push(Arc::downgrade(&buf));
+        ThreadState {
+            ordinal: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+            buf,
+            stack: Vec::new(),
+        }
     });
 }
 
-/// True iff any sink is installed. Callers may use this to skip building
+/// True iff events are being recorded: a sink is installed or the
+/// flight recorder is on. Callers may use this to skip building
 /// expensive attributes; every emit function checks it internally.
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    ENABLED.load(Ordering::Relaxed) || flight::is_on()
+}
+
+/// Turns the flight recorder on (installing the panic-dump hook), with
+/// an optional per-thread ring capacity in bytes
+/// ([`DEFAULT_RING_BYTES`] otherwise). `snetctl` calls this on startup
+/// unless `SNET_FLIGHT=0`; a clean exit leaves no files behind.
+pub fn enable_flight(ring_bytes: Option<usize>) {
+    if let Some(b) = ring_bytes {
+        flight::set_ring_bytes(b);
+    }
+    install_panic_flush_hook();
+    flight::set_on(true);
+}
+
+/// Turns the flight recorder off (rings and their contents survive for
+/// a later [`dump_flight`]).
+pub fn disable_flight() {
+    flight::set_on(false);
+}
+
+/// True iff the flight recorder is capturing.
+pub fn flight_enabled() -> bool {
+    flight::is_on()
+}
+
+/// Records one sample into a labeled registry histogram (e.g. per-pass
+/// timings under `{pass="..."}`). Registry-only: labeled series have no
+/// event-stream equivalent. No-op when observation is disabled.
+pub fn observe(name: &str, labels: &[(&str, &str)], sample: u64) {
+    if !enabled() {
+        return;
+    }
+    registry::record_hist_sample(name, labels, sample);
 }
 
 /// Microseconds since the process-wide observation epoch (first use).
@@ -116,15 +181,23 @@ pub fn install_sink(sink: Arc<dyn Sink>) -> SinkHandle {
     SinkHandle(id)
 }
 
-/// Chains the previous panic hook with a [`flush`] so buffered events
-/// reach their sinks before the process aborts. Installed once, on the
-/// first [`install_sink`]; a no-sink process never touches the hook.
+/// Chains the previous panic hook with a [`flush`] (so buffered events
+/// reach their sinks) and a flight dump (so the ring contents survive
+/// the death). Installed once, by the first [`install_sink`] or
+/// [`enable_flight`]; a fully disabled process never touches the hook.
 fn install_panic_flush_hook() {
     static HOOK: Once = Once::new();
     HOOK.call_once(|| {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
             flush();
+            // Only dump while the recorder is on: a caught panic in a
+            // process that turned it off (or never turned it on) must
+            // not litter the working directory with ring contents left
+            // from an earlier enabled window.
+            if flight::is_on() {
+                let _ = flight::dump_flight();
+            }
             previous(info);
         }));
     });
@@ -141,18 +214,27 @@ pub fn remove_sink(handle: SinkHandle) {
     }
 }
 
-/// Drains the calling thread's buffer and flushes every sink. Call once
-/// before process exit so buffered JSONL lines hit the file.
+/// Drains every registered thread buffer — not just the caller's — and
+/// flushes every sink. Call once before process exit so buffered JSONL
+/// lines hit the file even from worker threads that are still alive.
 ///
-/// Safe to call from a panic hook or thread-local destructor: TLS access
-/// uses `try_with` and a poisoned sink registry is read through anyway
+/// Safe to call from a panic hook or thread-local destructor: buffers
+/// are taken with `try_lock` (a thread wedged mid-emit is skipped, not
+/// deadlocked) and a poisoned sink registry is read through anyway
 /// (sinks are append-only, so the data is still coherent).
 pub fn flush() {
-    let _ = TLS.try_with(|tls| {
-        if let Ok(mut st) = tls.try_borrow_mut() {
-            drain(&mut st.buf);
+    let buffers: Vec<Arc<Mutex<Vec<Event>>>> = {
+        let mut registered = BUFFERS.lock().unwrap_or_else(|p| p.into_inner());
+        registered.retain(|w| w.strong_count() > 0);
+        registered.iter().filter_map(|w| w.upgrade()).collect()
+    };
+    for buf in buffers {
+        if let Ok(mut guard) = buf.try_lock() {
+            let mut events = std::mem::take(&mut *guard);
+            drop(guard);
+            drain(&mut events);
         }
-    });
+    }
     let sinks = SINKS.read().unwrap_or_else(|p| p.into_inner());
     for (_, sink) in sinks.iter() {
         sink.flush();
@@ -171,31 +253,49 @@ fn drain(buf: &mut Vec<Event>) {
     }
 }
 
-/// Queues an event on the calling thread's buffer; drains when the
-/// buffer fills or the event is latency-sensitive (gauges drive live
-/// progress displays; manifests must lead the trace file).
+/// Records an event: appends it to the flight ring (when recording),
+/// then queues it on the calling thread's sink buffer; the buffer
+/// drains when it fills or the event is latency-sensitive (gauges drive
+/// live progress displays; manifests must lead the trace file).
 pub(crate) fn emit_event(e: Event) {
-    if !enabled() {
+    let sinks_on = ENABLED.load(Ordering::Relaxed);
+    let flight_on = flight::is_on();
+    if !sinks_on && !flight_on {
         return;
     }
-    // SpanEnds drain eagerly, not just for latency: `thread::scope`
-    // returns when the spawned *closures* finish, while thread-local
-    // destructors run later during OS-thread teardown — a buffer drained
-    // only by the TLS destructor can miss the coordinator's snapshot.
-    // Spans mark phase boundaries, so their ends are natural batch edges.
-    let urgent = matches!(
-        e.kind,
-        EventKind::SpanEnd | EventKind::Gauge | EventKind::Hist | EventKind::Manifest
-    );
-    let _ = TLS.try_with(|tls| {
-        let Ok(mut st) = tls.try_borrow_mut() else {
-            return; // re-entrant emit from inside a drain: drop it
-        };
-        st.buf.push(e);
-        if urgent || st.buf.len() >= BUFFER_CAPACITY {
-            drain(&mut st.buf);
-        }
-    });
+    // The ring sees the event before anything that can fail or panic
+    // (sink I/O, the injected-fault tick below): the recorder's whole
+    // job is holding the last events leading up to a death.
+    if flight_on {
+        flight::record(&e);
+    }
+    if sinks_on {
+        // SpanEnds drain eagerly, not just for latency: `thread::scope`
+        // returns when the spawned *closures* finish, while thread-local
+        // destructors run later during OS-thread teardown — a buffer
+        // drained only by the TLS destructor can miss the coordinator's
+        // snapshot. Spans mark phase boundaries, so their ends are
+        // natural batch edges.
+        let urgent = matches!(
+            e.kind,
+            EventKind::SpanEnd | EventKind::Gauge | EventKind::Hist | EventKind::Manifest
+        );
+        let mut spill: Vec<Event> = Vec::new();
+        let _ = TLS.try_with(|tls| {
+            let Ok(st) = tls.try_borrow() else {
+                return;
+            };
+            let Ok(mut buf) = st.buf.try_lock() else {
+                return; // re-entrant emit from inside a drain: drop it
+            };
+            buf.push(e);
+            if urgent || buf.len() >= BUFFER_CAPACITY {
+                spill = std::mem::take(&mut *buf);
+            }
+        });
+        drain(&mut spill);
+    }
+    flight::fault_tick();
 }
 
 fn fill_thread_fields(e: &mut Event) {
@@ -227,6 +327,26 @@ pub struct SpanGuard {
     name: &'static str,
     start_us: u64,
     attrs: Vec<(String, String)>,
+    /// Allocator counters at span open, for per-span memory attribution
+    /// on exit (`alloc` feature only).
+    #[cfg(feature = "alloc")]
+    alloc0_bytes: u64,
+    #[cfg(feature = "alloc")]
+    peak0_bytes: u64,
+}
+
+fn new_guard(id: u64, parent: u64, name: &'static str, start_us: u64) -> SpanGuard {
+    SpanGuard {
+        id,
+        parent,
+        name,
+        start_us,
+        attrs: Vec::new(),
+        #[cfg(feature = "alloc")]
+        alloc0_bytes: alloc::stats().map_or(0, |s| s.total_bytes),
+        #[cfg(feature = "alloc")]
+        peak0_bytes: alloc::stats().map_or(0, |s| s.peak_bytes),
+    }
 }
 
 /// Opens a span nested under the calling thread's current span.
@@ -243,7 +363,7 @@ pub fn span_under(name: &'static str, parent: u64) -> SpanGuard {
 
 fn span_impl(name: &'static str, explicit_parent: Option<u64>) -> SpanGuard {
     if !enabled() {
-        return SpanGuard { id: 0, parent: 0, name, start_us: 0, attrs: Vec::new() };
+        return new_guard(0, 0, name, 0);
     }
     let id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
     let t_us = now_us();
@@ -269,7 +389,7 @@ fn span_impl(name: &'static str, explicit_parent: Option<u64>) -> SpanGuard {
         value: 0.0,
         attrs: Vec::new(),
     });
-    SpanGuard { id, parent, name, start_us: t_us, attrs: Vec::new() }
+    new_guard(id, parent, name, t_us)
 }
 
 impl SpanGuard {
@@ -306,6 +426,14 @@ impl Drop for SpanGuard {
         if self.id == 0 {
             return;
         }
+        #[cfg(feature = "alloc")]
+        if let Some(s) = alloc::stats() {
+            let allocated = s.total_bytes.saturating_sub(self.alloc0_bytes);
+            self.attrs.push(("mem_alloc_b".to_string(), allocated.to_string()));
+            if s.peak_bytes > self.peak0_bytes {
+                self.attrs.push(("mem_peak_b".to_string(), s.peak_bytes.to_string()));
+            }
+        }
         let t_us = now_us();
         let mut thread = 0;
         let _ = TLS.try_with(|tls| {
@@ -340,6 +468,7 @@ pub fn counter(name: &'static str, delta: u64) {
     if !enabled() {
         return;
     }
+    registry::record_counter(name, delta as f64);
     let mut e = Event {
         kind: EventKind::Counter,
         name: name.to_string(),
@@ -367,6 +496,7 @@ pub fn gauge_with(name: &'static str, value: f64, attrs: Vec<(String, String)>) 
     if !enabled() {
         return;
     }
+    registry::record_gauge(name, value);
     let mut e = Event {
         kind: EventKind::Gauge,
         name: name.to_string(),
@@ -390,6 +520,7 @@ pub fn hist(name: &str, snap: &HistSnapshot) {
     if !enabled() {
         return;
     }
+    registry::record_hist(name, snap);
     let mut e = snap.to_event(name);
     fill_thread_fields(&mut e);
     emit_event(e);
@@ -525,6 +656,69 @@ mod tests {
         remove_sink(handle);
         let report = report::parse_trace(&text).expect("truncated trace still parses");
         assert_eq!(report.counters["work.before_panic"].total, 3.0);
+    }
+
+    #[test]
+    fn flush_drains_buffers_of_threads_still_alive() {
+        // Regression: counters are non-urgent and sit in their thread's
+        // buffer; a process-exit flush from the main thread used to
+        // drain only its own buffer, losing everything buffered by
+        // workers that had not yet torn down. The workers here are
+        // parked on a barrier — alive, buffers undrained — when the
+        // main thread flushes.
+        let dir = std::env::temp_dir().join("snet-obs-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("live-thread-flush.jsonl");
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let handle = install_sink(Arc::new(
+            JsonlSink::create(path.to_str().unwrap()).expect("create trace file"),
+        ));
+        let emitted = Arc::new(std::sync::Barrier::new(3));
+        let release = Arc::new(std::sync::Barrier::new(3));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let emitted = emitted.clone();
+                let release = release.clone();
+                s.spawn(move || {
+                    counter("live.worker.buffered", 1);
+                    emitted.wait();
+                    release.wait();
+                });
+            }
+            emitted.wait();
+            flush();
+            let text = std::fs::read_to_string(&path).unwrap();
+            let report = report::parse_trace(&text).expect("flushed trace parses");
+            assert_eq!(
+                report.counters["live.worker.buffered"].total, 2.0,
+                "flush must drain buffers of threads that are still alive"
+            );
+            release.wait();
+        });
+        remove_sink(handle);
+    }
+
+    #[test]
+    fn flight_recorder_captures_without_any_sink() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        assert!(!enabled());
+        enable_flight(None);
+        assert!(enabled(), "flight recording counts as enabled");
+        counter("flight.lib.test", 5);
+        let span = span("flight.lib.span");
+        assert!(span.is_active());
+        drop(span);
+        disable_flight();
+        assert!(!enabled());
+        let me = thread_ordinal();
+        let snap = flight_snapshot();
+        let (_, text) = snap.iter().find(|(t, _)| *t == me).expect("ring registered");
+        let (report, skipped) = report::parse_trace_lossy(text);
+        assert_eq!(skipped, 0);
+        assert!(report.counters["flight.lib.test"].total >= 5.0);
+        assert!(report.has_span("flight.lib.span"));
+        // Mirrored into the registry under the snet_* namespace too.
+        assert!(registry::counter_value("flight.lib.test").unwrap() >= 5.0);
     }
 
     #[test]

@@ -1,0 +1,455 @@
+//! Prometheus text exposition format (`text/plain; version=0.0.4`):
+//! rendering for [`crate::registry`] families and a strict parser used
+//! by `snetctl metrics FILE` and CI to validate scrapes offline.
+//!
+//! The renderer emits `# HELP`/`# TYPE` headers, escaped label values,
+//! and cumulative `le` buckets for histograms. The parser re-checks all
+//! of that — series name and label grammar, no duplicate series, bucket
+//! monotonicity, `+Inf` termination — so a rendered exposition
+//! round-trips and a malformed one is rejected with a line number.
+
+use crate::event::fmt_f64;
+use crate::hist::bucket_edge;
+use crate::registry::{Family, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The HTTP content type this format is served under.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label_value(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn render_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// Renders families to the text exposition format. Families render in
+/// the order given; [`crate::registry::gather`] supplies them sorted.
+pub fn render(families: &[Family]) -> String {
+    let mut out = String::new();
+    for f in families {
+        if !f.help.is_empty() {
+            out.push_str("# HELP ");
+            out.push_str(&f.name);
+            out.push(' ');
+            out.push_str(&escape_help(&f.help));
+            out.push('\n');
+        }
+        out.push_str("# TYPE ");
+        out.push_str(&f.name);
+        out.push(' ');
+        out.push_str(f.kind.type_name());
+        out.push('\n');
+        for s in &f.samples {
+            match &s.value {
+                Value::Counter(v) | Value::Gauge(v) => {
+                    out.push_str(&f.name);
+                    render_labels(&mut out, &s.labels, None);
+                    out.push(' ');
+                    out.push_str(&fmt_f64(*v));
+                    out.push('\n');
+                }
+                Value::Hist(h) => {
+                    let mut cum = 0u64;
+                    for (b, &c) in h.buckets.iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        cum += c;
+                        out.push_str(&f.name);
+                        out.push_str("_bucket");
+                        let le = bucket_edge(b).to_string();
+                        render_labels(&mut out, &s.labels, Some(("le", &le)));
+                        out.push(' ');
+                        out.push_str(&cum.to_string());
+                        out.push('\n');
+                    }
+                    out.push_str(&f.name);
+                    out.push_str("_bucket");
+                    render_labels(&mut out, &s.labels, Some(("le", "+Inf")));
+                    out.push(' ');
+                    out.push_str(&h.count.to_string());
+                    out.push('\n');
+                    out.push_str(&f.name);
+                    out.push_str("_sum");
+                    render_labels(&mut out, &s.labels, None);
+                    out.push(' ');
+                    out.push_str(&h.sum.to_string());
+                    out.push('\n');
+                    out.push_str(&f.name);
+                    out.push_str("_count");
+                    render_labels(&mut out, &s.labels, None);
+                    out.push(' ');
+                    out.push_str(&h.count.to_string());
+                    out.push('\n');
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Full sample name (including `_bucket`/`_sum`/`_count` suffixes).
+    pub name: String,
+    /// Labels in file order (the duplicate check canonicalizes).
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// A validated exposition: declared types plus every sample.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedMetrics {
+    /// `# TYPE` declarations, family name → type keyword.
+    pub types: BTreeMap<String, String>,
+    /// Every sample line in file order.
+    pub series: Vec<Series>,
+}
+
+impl ParsedMetrics {
+    /// The value of the series matching `name` and exactly `labels`
+    /// (order-insensitive), if present.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let mut want: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        want.sort();
+        self.series
+            .iter()
+            .find(|s| {
+                if s.name != name {
+                    return false;
+                }
+                let mut have = s.labels.clone();
+                have.sort();
+                have == want
+            })
+            .map(|s| s.value)
+    }
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" | "Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        _ => s.parse().ok(),
+    }
+}
+
+fn parse_sample_line(line: &str) -> Result<Series, String> {
+    let (name_part, rest) = match line.find(['{', ' ']) {
+        Some(i) => line.split_at(i),
+        None => return Err("missing value".into()),
+    };
+    if !valid_metric_name(name_part) {
+        return Err(format!("invalid metric name {name_part:?}"));
+    }
+    let mut labels = Vec::new();
+    let rest = if let Some(body) = rest.strip_prefix('{') {
+        let close = body.find('}').ok_or("unterminated label set")?;
+        let (label_text, after) = body.split_at(close);
+        let mut chars = label_text.chars().peekable();
+        while chars.peek().is_some() {
+            let mut key = String::new();
+            for c in chars.by_ref() {
+                if c == '=' {
+                    break;
+                }
+                key.push(c);
+            }
+            if !valid_label_name(&key) {
+                return Err(format!("invalid label name {key:?}"));
+            }
+            if chars.next() != Some('"') {
+                return Err("label value not quoted".into());
+            }
+            let mut val = String::new();
+            loop {
+                match chars.next() {
+                    Some('\\') => match chars.next() {
+                        Some('\\') => val.push('\\'),
+                        Some('"') => val.push('"'),
+                        Some('n') => val.push('\n'),
+                        other => return Err(format!("bad escape {other:?}")),
+                    },
+                    Some('"') => break,
+                    Some(c) => val.push(c),
+                    None => return Err("unterminated label value".into()),
+                }
+            }
+            labels.push((key, val));
+            match chars.next() {
+                Some(',') | None => {}
+                Some(c) => return Err(format!("expected ',' between labels, got {c:?}")),
+            }
+        }
+        &after[1..]
+    } else {
+        rest
+    };
+    let rest = rest.trim_start();
+    let mut parts = rest.split_whitespace();
+    let value_text = parts.next().ok_or("missing value")?;
+    if parts.next().is_some() {
+        return Err("trailing tokens after value (timestamps are not emitted here)".into());
+    }
+    let value = parse_value(value_text).ok_or_else(|| format!("bad value {value_text:?}"))?;
+    Ok(Series { name: name_part.to_string(), labels, value })
+}
+
+/// Parses and validates a text exposition. Checks the sample grammar,
+/// name/label character sets, duplicate series, `# TYPE` declarations
+/// preceding their samples, and for histograms: `le` buckets strictly
+/// ascending, cumulative counts non-decreasing, a terminating `+Inf`
+/// bucket that agrees with `_count`, and a `_sum` line.
+pub fn parse(text: &str) -> Result<ParsedMetrics, String> {
+    let mut out = ParsedMetrics::default();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let (Some(name), Some(kind)) = (parts.next(), parts.next()) else {
+                    return Err(format!("line {n}: malformed TYPE line"));
+                };
+                if !valid_metric_name(name) {
+                    return Err(format!("line {n}: invalid metric name {name:?}"));
+                }
+                if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                    return Err(format!("line {n}: unknown metric type {kind:?}"));
+                }
+                if out.types.insert(name.to_string(), kind.to_string()).is_some() {
+                    return Err(format!("line {n}: duplicate TYPE for {name}"));
+                }
+            } else if let Some(decl) = rest.strip_prefix("HELP ") {
+                let name = decl.split_whitespace().next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {n}: invalid metric name in HELP"));
+                }
+            }
+            // Other comment lines are legal and ignored.
+            continue;
+        }
+        let series = parse_sample_line(line).map_err(|e| format!("line {n}: {e}"))?;
+        let mut sig_labels = series.labels.clone();
+        sig_labels.sort();
+        let sig = format!(
+            "{}\u{1}{}",
+            series.name,
+            sig_labels.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join("\u{1}")
+        );
+        if !seen.insert(sig) {
+            return Err(format!("line {n}: duplicate series {}", series.name));
+        }
+        // A sample must follow its family's TYPE declaration.
+        let family = histogram_family(&out.types, &series.name);
+        if family.is_none() && !out.types.contains_key(&series.name) {
+            return Err(format!("line {n}: sample {} precedes its TYPE line", series.name));
+        }
+        out.series.push(series);
+    }
+    validate_histograms(&out)?;
+    Ok(out)
+}
+
+/// The histogram family a suffixed sample belongs to, if any.
+fn histogram_family(types: &BTreeMap<String, String>, sample: &str) -> Option<String> {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = sample.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return Some(base.to_string());
+            }
+        }
+    }
+    None
+}
+
+fn validate_histograms(parsed: &ParsedMetrics) -> Result<(), String> {
+    for (family, kind) in &parsed.types {
+        if kind != "histogram" {
+            continue;
+        }
+        // Group buckets by the non-le label signature.
+        let mut groups: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+        let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+        let mut sums: BTreeMap<String, f64> = BTreeMap::new();
+        let sig_of = |labels: &[(String, String)]| {
+            let mut parts: Vec<String> =
+                labels.iter().filter(|(k, _)| k != "le").map(|(k, v)| format!("{k}={v}")).collect();
+            parts.sort();
+            parts.join("\u{1}")
+        };
+        for s in &parsed.series {
+            if s.name == format!("{family}_bucket") {
+                let le = s
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .ok_or_else(|| format!("{family}: bucket without le label"))?;
+                let bound = parse_value(&le.1)
+                    .ok_or_else(|| format!("{family}: bad le bound {:?}", le.1))?;
+                groups.entry(sig_of(&s.labels)).or_default().push((bound, s.value));
+            } else if s.name == format!("{family}_count") {
+                counts.insert(sig_of(&s.labels), s.value);
+            } else if s.name == format!("{family}_sum") {
+                sums.insert(sig_of(&s.labels), s.value);
+            }
+        }
+        for (sig, buckets) in &groups {
+            for pair in buckets.windows(2) {
+                if pair[1].0 <= pair[0].0 {
+                    return Err(format!("{family}: le bounds not ascending"));
+                }
+                if pair[1].1 < pair[0].1 {
+                    return Err(format!("{family}: bucket counts not cumulative"));
+                }
+            }
+            let last = buckets.last().expect("grouped buckets are non-empty");
+            if last.0 != f64::INFINITY {
+                return Err(format!("{family}: missing +Inf bucket"));
+            }
+            let count =
+                counts.get(sig).ok_or_else(|| format!("{family}: missing _count series"))?;
+            if *count != last.1 {
+                return Err(format!("{family}: _count disagrees with +Inf bucket"));
+            }
+            if !sums.contains_key(sig) {
+                return Err(format!("{family}: missing _sum series"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+    use crate::registry::{MetricKind, Sample};
+
+    fn fam(name: &str, kind: MetricKind, samples: Vec<Sample>) -> Family {
+        Family { name: name.into(), help: format!("help for {name}"), kind, samples }
+    }
+
+    #[test]
+    fn renders_and_parses_counters_gauges_histograms() {
+        let h = Histogram::new();
+        for v in [1u64, 3, 3, 900] {
+            h.record(v);
+        }
+        let fams = vec![
+            fam(
+                "snet_store_hits_total",
+                MetricKind::Counter,
+                vec![Sample { labels: vec![], value: Value::Counter(12.0) }],
+            ),
+            fam(
+                "snet_work_progress",
+                MetricKind::Gauge,
+                vec![Sample { labels: vec![], value: Value::Gauge(0.5) }],
+            ),
+            fam(
+                "snet_task_us",
+                MetricKind::Histogram,
+                vec![Sample {
+                    labels: vec![("pass".into(), "canon".into())],
+                    value: Value::Hist(h.snapshot()),
+                }],
+            ),
+        ];
+        let text = render(&fams);
+        assert!(text.contains("# TYPE snet_store_hits_total counter"));
+        assert!(text.contains("snet_task_us_bucket{pass=\"canon\",le=\"+Inf\"} 4"));
+        let parsed = parse(&text).expect("rendered exposition validates");
+        assert_eq!(parsed.value("snet_store_hits_total", &[]), Some(12.0));
+        assert_eq!(parsed.value("snet_work_progress", &[]), Some(0.5));
+        assert_eq!(parsed.value("snet_task_us_count", &[("pass", "canon")]), Some(4.0));
+        assert_eq!(parsed.value("snet_task_us_sum", &[("pass", "canon")]), Some(907.0));
+    }
+
+    #[test]
+    fn label_values_escape_and_unescape() {
+        let fams = vec![fam(
+            "snet_g",
+            MetricKind::Gauge,
+            vec![Sample {
+                labels: vec![("path".into(), "a\\b\"c\nd".into())],
+                value: Value::Gauge(1.0),
+            }],
+        )];
+        let text = render(&fams);
+        let parsed = parse(&text).expect("escaped labels validate");
+        assert_eq!(parsed.series[0].labels[0].1, "a\\b\"c\nd");
+    }
+
+    #[test]
+    fn rejects_duplicates_and_broken_histograms() {
+        assert!(parse("# TYPE x gauge\nx 1\nx 2\n").is_err());
+        assert!(parse("x 1\n").is_err(), "sample without TYPE rejected");
+        assert!(parse("# TYPE 9bad gauge\n").is_err());
+        let no_inf = "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 3\nh_count 2\n";
+        assert!(parse(no_inf).unwrap_err().contains("+Inf"));
+        let non_cum = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n\
+                       h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n";
+        assert!(parse(non_cum).unwrap_err().contains("cumulative"));
+        let bad_order = "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\n\
+                         h_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n";
+        assert!(parse(bad_order).unwrap_err().contains("ascending"));
+    }
+}

@@ -60,6 +60,11 @@ pub struct Report {
 }
 
 impl Report {
+    /// True iff the report contains no events at all.
+    pub fn is_empty(&self) -> bool {
+        self.events == 0
+    }
+
     /// True iff a span with this name exists anywhere in the forest.
     pub fn has_span(&self, name: &str) -> bool {
         fn walk(nodes: &[SpanNode], name: &str) -> bool {
@@ -102,6 +107,27 @@ pub fn parse_events(text: &str) -> Result<Vec<Event>, String> {
 /// (reporting its number); an empty file yields an empty report.
 pub fn parse_trace(text: &str) -> Result<Report, String> {
     Ok(summarize(parse_events(text)?))
+}
+
+/// Parses a JSONL trace leniently, skipping malformed lines instead of
+/// failing. Returns the report and how many lines were skipped. This is
+/// how flight-recorder dumps are read: a ring captured mid-write can
+/// hold a torn tail line (and, after a wrap, a torn head), which is
+/// damage worth tolerating, not a reason to refuse the rest.
+pub fn parse_trace_lossy(text: &str) -> (Report, usize) {
+    let mut events = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse_event_line(line) {
+            Some(ev) => events.push(ev),
+            None => skipped += 1,
+        }
+    }
+    (summarize(events), skipped)
 }
 
 /// Aggregates an event list into a [`Report`].

@@ -1,0 +1,152 @@
+//! Property tests for the Prometheus text exposition: whatever the
+//! renderer produces must validate and parse back to the same values —
+//! name mapping, label escaping, no duplicate series, cumulative
+//! ascending histogram buckets.
+//!
+//! Like `report_fuzz.rs`, proptest supplies only a seed and a local LCG
+//! generates the families, which keeps shrunk counterexamples small with
+//! the vendored proptest stand-in.
+
+use proptest::prelude::*;
+use snet_obs::hist::Histogram;
+use snet_obs::promtext;
+use snet_obs::registry::{Family, MetricKind, Sample, Value};
+
+/// Deterministic pseudo-random stream (64-bit LCG, Knuth constants).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn gen_name(rng: &mut Lcg, tag: u64) -> String {
+    let stems = ["store_hits", "search_nodes", "balancer_visits", "task_us", "x9"];
+    format!("snet_{}_{tag}", stems[rng.below(stems.len() as u64) as usize])
+}
+
+/// Label values deliberately cover the characters the escaper must
+/// handle: backslash, double quote, newline, plus plain text.
+fn gen_label_value(rng: &mut Lcg) -> String {
+    let pieces = ["plain", "a\\b", "q\"uote", "line\nbreak", "", "trailing\\", "caf\u{e9}"];
+    let mut out = String::new();
+    for _ in 0..=rng.below(2) {
+        out.push_str(pieces[rng.below(pieces.len() as u64) as usize]);
+    }
+    out
+}
+
+fn gen_labels(rng: &mut Lcg) -> Vec<(String, String)> {
+    let n = rng.below(3);
+    (0..n).map(|i| (format!("l{i}"), gen_label_value(rng))).collect()
+}
+
+fn gen_scalar_value(rng: &mut Lcg) -> f64 {
+    match rng.below(4) {
+        0 => 0.0,
+        1 => rng.below(1_000_000) as f64,
+        2 => rng.below(1_000) as f64 / 8.0,
+        _ => -(rng.below(1_000_000) as f64),
+    }
+}
+
+fn gen_family(rng: &mut Lcg, tag: u64) -> Family {
+    let labels = gen_labels(rng);
+    match rng.below(3) {
+        0 => Family {
+            name: format!("{}_total", gen_name(rng, tag)),
+            help: "counts things \\ with\nescapes".into(),
+            kind: MetricKind::Counter,
+            samples: vec![Sample { labels, value: Value::Counter(gen_scalar_value(rng).abs()) }],
+        },
+        1 => Family {
+            name: gen_name(rng, tag),
+            help: String::new(),
+            kind: MetricKind::Gauge,
+            samples: vec![Sample { labels, value: Value::Gauge(gen_scalar_value(rng)) }],
+        },
+        _ => {
+            let h = Histogram::new();
+            for _ in 0..1 + rng.below(40) {
+                h.record(rng.below(1_000_000));
+            }
+            Family {
+                name: gen_name(rng, tag),
+                help: "a histogram".into(),
+                kind: MetricKind::Histogram,
+                samples: vec![Sample { labels, value: Value::Hist(h.snapshot()) }],
+            }
+        }
+    }
+}
+
+fn scalar_value(f: &Family) -> Option<f64> {
+    match f.samples[0].value {
+        Value::Counter(v) | Value::Gauge(v) => Some(v),
+        Value::Hist(_) => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Everything the renderer emits validates and parses back to the
+    /// same series values — through name suffixing, label escaping, and
+    /// histogram bucket expansion.
+    #[test]
+    fn rendered_exposition_roundtrips(seed in 0u64..100_000) {
+        let mut rng = Lcg(seed.wrapping_mul(2) + 1);
+        // Distinct tags make family names unique, as the registry's
+        // BTreeMap keying guarantees in production.
+        let fams: Vec<Family> =
+            (0..1 + rng.below(6)).map(|tag| gen_family(&mut rng, tag)).collect();
+        let text = promtext::render(&fams);
+        let parsed = match promtext::parse(&text) {
+            Ok(p) => p,
+            Err(e) => return Err(TestCaseError::fail(format!("rendered text rejected: {e}\n{text}"))),
+        };
+        for f in &fams {
+            let labels: Vec<(&str, &str)> =
+                f.samples[0].labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+            match scalar_value(f) {
+                Some(want) => {
+                    let got = parsed.value(&f.name, &labels);
+                    prop_assert_eq!(got, Some(want), "series {} lost its value", &f.name);
+                }
+                None => {
+                    let Value::Hist(h) = &f.samples[0].value else { unreachable!() };
+                    prop_assert_eq!(
+                        parsed.value(&format!("{}_count", f.name), &labels),
+                        Some(h.count as f64)
+                    );
+                    prop_assert_eq!(
+                        parsed.value(&format!("{}_sum", f.name), &labels),
+                        Some(h.sum as f64)
+                    );
+                    let mut le = labels.clone();
+                    le.push(("le", "+Inf"));
+                    prop_assert_eq!(
+                        parsed.value(&format!("{}_bucket", f.name), &le),
+                        Some(h.count as f64)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Rendering the same family twice produces duplicate series, which
+    /// the validator must reject.
+    #[test]
+    fn duplicate_series_are_rejected(seed in 0u64..100_000) {
+        let mut rng = Lcg(seed ^ 0x9e3779b97f4a7c15);
+        let f = gen_family(&mut rng, 0);
+        let text = promtext::render(&[f.clone(), f]);
+        prop_assert!(promtext::parse(&text).is_err());
+    }
+}

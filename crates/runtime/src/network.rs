@@ -384,8 +384,10 @@ impl CountingNetwork {
     /// * counter `runtime.balancer_ops` — total balancer visits (the
     ///   contention volume the network absorbed);
     /// * histogram `runtime.balancer.visits` — visits per balancer (a
-    ///   flat histogram means the topology spread load evenly).
+    ///   flat histogram means the topology spread load evenly);
+    /// * gauge `runtime.balancers` — balancer count of the live layout.
     pub fn emit_obs(&self) {
+        snet_obs::gauge("runtime.balancers", self.balancers.len() as f64);
         snet_obs::counter("runtime.traversals", self.total());
         let hist = snet_obs::Histogram::new();
         let mut ops = 0u64;

@@ -762,8 +762,15 @@ impl TaskWorker<'_> {
 
     fn dfs(&mut self, state: &ZeroOneSet, used: usize, remaining: usize) -> Dfs {
         self.stats.nodes += 1;
-        if self.stats.nodes.is_multiple_of(1024) && self.cancelled() {
-            return Dfs::Aborted;
+        if self.stats.nodes.is_multiple_of(128) {
+            // Liveness cadence for the flight recorder: round-boundary
+            // events are minutes apart in a deep search, so the recorder
+            // would hold a near-empty window when a worker dies mid-round.
+            // Cost when observation is off: the relaxed load in counter().
+            snet_obs::counter("search.heartbeat", 128);
+            if self.cancelled() {
+                return Dfs::Aborted;
+            }
         }
         if state.is_sorted_only() {
             return Dfs::Sat(Vec::new());

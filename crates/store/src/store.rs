@@ -311,6 +311,11 @@ impl ArtifactStore {
             }
         }
         stats.quarantined = read_dir_sorted(&self.inner.root.join("quarantine"))?.len() as u64;
+        // Mirror the on-disk footprint into the metrics registry so a
+        // long-lived process that stats periodically exports
+        // snet_store_disk_bytes / snet_store_disk_entries gauges.
+        snet_obs::gauge("store.disk_bytes", stats.bytes as f64);
+        snet_obs::gauge("store.disk_entries", stats.entries as f64);
         Ok(stats)
     }
 

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Validates a Prometheus text-format (0.0.4) exposition file without any
+# external tooling — CI runs this against `snetctl --metrics-out` dumps
+# as an independent check on top of `snetctl metrics FILE` (which uses
+# the same Rust parser that rendered the file in the first place).
+#
+# Checks:
+#   - every line is a comment, blank, or `name[{labels}] value`
+#   - every sampled family has a `# TYPE` line, declared before samples
+#   - no duplicate series (same name and label set twice)
+#   - histogram `_bucket` series are cumulative in `le` order and end
+#     with an `+Inf` bucket equal to `_count`
+#   - at least one series in the snet_ namespace is present
+#
+# Usage: promcheck.sh FILE
+set -u
+
+file="${1:?usage: promcheck.sh FILE}"
+[ -r "$file" ] || { echo "promcheck: cannot read $file" >&2; exit 1; }
+
+awk '
+function fail(msg) { printf "promcheck: line %d: %s\n", NR, msg > "/dev/stderr"; bad = 1 }
+
+/^$/ { next }
+
+/^# TYPE / {
+    if (split($0, t, " ") < 4) { fail("malformed TYPE line"); next }
+    if (t[4] != "counter" && t[4] != "gauge" && t[4] != "histogram" && t[4] != "summary" && t[4] != "untyped")
+        fail("unknown metric type " t[4])
+    type[t[3]] = t[4]
+    next
+}
+/^# HELP / { next }
+/^#/ { fail("unknown comment form"); next }
+
+{
+    # name{labels} value  |  name value
+    if (match($0, /^[a-zA-Z_:][a-zA-Z0-9_:]*/) == 0) { fail("sample does not start with a metric name"); next }
+    name = substr($0, 1, RLENGTH)
+    rest = substr($0, RLENGTH + 1)
+    labels = ""
+    if (substr(rest, 1, 1) == "{") {
+        close_idx = 0
+        in_q = 0; esc = 0
+        for (i = 2; i <= length(rest); i++) {
+            c = substr(rest, i, 1)
+            if (esc) { esc = 0; continue }
+            if (c == "\\") { esc = 1; continue }
+            if (c == "\"") { in_q = !in_q; continue }
+            if (c == "}" && !in_q) { close_idx = i; break }
+        }
+        if (close_idx == 0) { fail("unterminated label set"); next }
+        labels = substr(rest, 2, close_idx - 2)
+        rest = substr(rest, close_idx + 1)
+    }
+    if (match(rest, /^ +[+-]?([0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?|Inf|NaN)$/) == 0) {
+        fail("sample has no parseable value: " rest); next
+    }
+    value = rest; sub(/^ +/, "", value)
+
+    series = name "\x01" labels
+    if (series in seen) fail("duplicate series " name "{" labels "}")
+    seen[series] = 1
+    sampled[name] = 1
+
+    # Resolve the family: histogram samples use _bucket/_sum/_count.
+    fam = name
+    if (fam ~ /_bucket$/) { base = substr(fam, 1, length(fam) - 7); if (type[base] == "histogram") fam = base }
+    else if (fam ~ /_sum$/) { base = substr(fam, 1, length(fam) - 4); if (type[base] == "histogram") fam = base }
+    else if (fam ~ /_count$/) { base = substr(fam, 1, length(fam) - 6); if (type[base] == "histogram") fam = base }
+    if (!(fam in type)) fail("sample before any # TYPE for family " fam)
+
+    if (name ~ /_bucket$/ && type[fam] == "histogram") {
+        # Strip the le label to group buckets of one histogram series.
+        le = ""
+        l = labels
+        if (match(l, /(^|,)le="[^"]*"/)) {
+            le = substr(l, RSTART, RLENGTH)
+            sub(/^,?le="/, "", le); sub(/"$/, "", le)
+        }
+        sig = fam "\x01" l; gsub(/(^|,)le="[^"]*"/, "", sig)
+        if (le == "+Inf") inf_count[sig] = value
+        else {
+            if ((sig in last_le) && (le + 0) <= (last_le[sig] + 0)) fail("le not ascending for " fam)
+            if ((sig in last_ct) && (value + 0) < (last_ct[sig] + 0)) fail("buckets not cumulative for " fam)
+            last_le[sig] = le; last_ct[sig] = value
+        }
+    }
+    if (name ~ /_count$/ && type[fam] == "histogram") count_val[fam "\x01" labels] = value
+    if (name ~ /^snet_/) snet_series++
+}
+
+END {
+    for (sig in inf_count) {
+        split(sig, parts, "\x01")
+        key = parts[1] "_count\x01" parts[2]
+        if (key in count_val && (inf_count[sig] + 0) != (count_val[key] + 0)) {
+            printf "promcheck: +Inf bucket != _count for %s\n", parts[1] > "/dev/stderr"; bad = 1
+        }
+    }
+    if (!snet_series) { print "promcheck: no snet_* series found" > "/dev/stderr"; bad = 1 }
+    if (bad) exit 1
+    printf "promcheck: ok (%d series)\n", length(seen)
+}
+' "$file"
