@@ -64,6 +64,8 @@ fn main() {
             Some("count") => cmd_count(&args[1..]),
             Some("store") => cmd_store(&args[1..]),
             Some("metrics") => cmd_metrics(&args[1..]),
+            Some("serve") => cmd_serve(&args[1..]),
+            Some("query") => cmd_query(&args[1..]),
             Some("--help") | Some("-h") | None => {
                 print_usage();
                 Ok(())
@@ -208,9 +210,20 @@ fn print_usage() {
          \x20         inspect the content-addressed artifact store; get accepts unique\n\
          \x20         hex prefixes and exits 10 on a corrupt entry; stat also reports\n\
          \x20         this process's session hit/miss counters and hit rate\n\
-         \x20 metrics [FILE | --watch SECS]\n\
+         \x20 metrics [FILE] [--watch SECS]\n\
          \x20         Prometheus text exposition of the metrics registry; FILE validates\n\
-         \x20         and reprints a --metrics-out dump, --watch refreshes every SECS\n\
+         \x20         and reprints a --metrics-out dump, --watch repaints every SECS\n\
+         \x20         (with FILE: re-reads it each tick, tolerating torn mid-write lines)\n\
+         \x20 serve   [--addr HOST:PORT] [--store DIR] [--conn-threads N] [--max-jobs N]\n\
+         \x20         [--search-threads N] [--check-threads N]\n\
+         \x20         run the snetd verification service (default 127.0.0.1:7421); identical\n\
+         \x20         in-flight requests compile once, warm store hits replay byte-identical\n\
+         \x20         verdicts, SIGTERM drains gracefully; exit code 11 if it cannot start\n\
+         \x20 query   [--addr HOST:PORT] check FILE | adversary FILE [--k K]\n\
+         \x20         | search --n N [--shuffle-legal] [--max-depth D] [--threads W]\n\
+         \x20         | job ID | cancel ID | health | metrics\n\
+         \x20         client for a running serve daemon; search streams ND-JSON progress\n\
+         \x20         frames to stdout as they arrive\n\
          \n\
          global flags (any command):\n\
          \x20 --trace-out FILE.jsonl           write structured trace events (spans, counters,\n\
@@ -931,40 +944,279 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `metrics [--watch SECS] [FILE]` — Prometheus text exposition
+/// `metrics [FILE] [--watch SECS]` — Prometheus text exposition
 /// (`text/plain; version=0.0.4`). With FILE, validates and re-prints a
 /// previously written `--metrics-out` dump (CI uses this as the format
 /// checker); without, snapshots this process's own registry, which
 /// carries the process-level series (uptime, RSS, allocator stats with
-/// the `alloc` feature). `--watch SECS` re-renders until interrupted.
+/// the `alloc` feature).
+///
+/// `--watch SECS` repaints until interrupted. With FILE it re-reads the
+/// file each tick through the lossy parser — a dump being rewritten by a
+/// live daemon can hold a torn tail line mid-refresh, which is worth one
+/// footer note, not a blank screen. The redraw is cursor-home plus
+/// per-line and end-of-screen erases (never a full clear), so a frame
+/// that shrinks leaves no stale lines and the repaint never flickers.
 fn cmd_metrics(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let watch = take_flag_value(&mut args, "--watch")?;
-    if let Some(path) = args.first() {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        let parsed = snet_obs::promtext::parse(&text).map_err(|e| format!("{path}: {e}"))?;
-        print!("{text}");
-        eprintln!(
-            "metrics: {path} ok ({} series, {} typed families)",
-            parsed.series.len(),
-            parsed.types.len()
-        );
-        return Ok(());
-    }
-    match watch {
-        None => print!("{}", snet_obs::registry::render_prometheus()),
-        Some(secs) => {
-            let secs: f64 = parse(&secs, "--watch")?;
-            loop {
-                // ANSI clear-and-home, like `watch(1)`.
-                print!("\x1b[2J\x1b[H{}", snet_obs::registry::render_prometheus());
-                use std::io::Write as _;
-                let _ = std::io::stdout().flush();
-                std::thread::sleep(std::time::Duration::from_secs_f64(secs.max(0.1)));
+    let path = args.first().cloned();
+    let Some(secs) = watch else {
+        match path {
+            Some(path) => {
+                let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+                let parsed =
+                    snet_obs::promtext::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+                print!("{text}");
+                eprintln!(
+                    "metrics: {path} ok ({} series, {} typed families)",
+                    parsed.series.len(),
+                    parsed.types.len()
+                );
             }
+            None => print!("{}", snet_obs::registry::render_prometheus()),
         }
+        return Ok(());
+    };
+    let secs: f64 = parse(&secs, "--watch")?;
+    loop {
+        let frame = match &path {
+            Some(p) => match std::fs::read_to_string(p) {
+                Ok(text) => {
+                    let (parsed, skipped) = snet_obs::promtext::parse_lossy(&text);
+                    let mut frame = text;
+                    if !frame.ends_with('\n') && !frame.is_empty() {
+                        frame.push('\n');
+                    }
+                    frame.push_str(&format!(
+                        "# metrics: {p}: {} series, {} typed families",
+                        parsed.series.len(),
+                        parsed.types.len()
+                    ));
+                    if skipped > 0 {
+                        frame.push_str(&format!(", {skipped} torn line(s) skipped"));
+                    }
+                    frame.push('\n');
+                    frame
+                }
+                // A vanished or unreadable file is a transient state
+                // while watching (daemon restarting, dump mid-rename);
+                // report it in-frame and keep polling.
+                Err(e) => format!("metrics: {p}: {e}\n"),
+            },
+            None => snet_obs::registry::render_prometheus(),
+        };
+        // Home the cursor, erase each line as it is overwritten, then
+        // erase whatever remains of the previous (possibly longer)
+        // frame. Unlike a `\x1b[2J` full clear before the paint, this
+        // never shows an intermediate blank screen.
+        print!("\x1b[H{}\x1b[J", frame.replace('\n', "\x1b[K\n"));
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(std::time::Duration::from_secs_f64(secs.max(0.1)));
+    }
+}
+
+/// `serve [--addr HOST:PORT] [--store DIR] [--conn-threads N]
+/// [--max-jobs N] [--search-threads N] [--check-threads N]` — runs the
+/// snetd verification service in-process (the same engine as the
+/// standalone `snet-snetd` binary). `--store` (or `$SNET_STORE`) makes
+/// repeat queries warm store hits; SIGTERM/SIGINT drain gracefully:
+/// running jobs are cancelled, search TT spills land in the store, and
+/// buffered telemetry flushes. Exits 11 if the daemon cannot start.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let mut cfg = snet_service::ServeConfig {
+        addr: "127.0.0.1:7421".into(),
+        ..snet_service::ServeConfig::default()
+    };
+    if let Some(addr) = take_flag_value(&mut args, "--addr")? {
+        cfg.addr = addr;
+    }
+    cfg.store = take_flag_value(&mut args, "--store")?
+        .or_else(|| std::env::var("SNET_STORE").ok().filter(|v| !v.is_empty()))
+        .map(std::path::PathBuf::from);
+    if let Some(v) = take_flag_value(&mut args, "--conn-threads")? {
+        cfg.conn_threads = parse(&v, "--conn-threads")?;
+    }
+    if let Some(v) = take_flag_value(&mut args, "--max-jobs")? {
+        cfg.max_jobs = parse(&v, "--max-jobs")?;
+    }
+    if let Some(v) = take_flag_value(&mut args, "--search-threads")? {
+        cfg.search_threads = parse(&v, "--search-threads")?;
+    }
+    if let Some(v) = take_flag_value(&mut args, "--check-threads")? {
+        cfg.check_threads = parse(&v, "--check-threads")?;
+    }
+    if let Some(extra) = args.first() {
+        return Err(format!("serve: unexpected argument '{extra}'"));
+    }
+    snet_service::install_signal_handlers();
+    if let Err(e) = snet_service::serve(cfg) {
+        eprintln!("snetctl: serve: {e}");
+        exit_flushed(exit::DAEMON_FAILED);
     }
     Ok(())
+}
+
+/// `query [--addr HOST:PORT] SUBCOMMAND` — the client for a running
+/// `serve` daemon. `check FILE` and `adversary FILE` submit a network
+/// document and print the verdict (cache provenance goes to stderr;
+/// exit codes mirror the local `check`/`refute` commands). `search`
+/// streams the job's ND-JSON progress frames to stdout as they arrive
+/// and then prints the job's result document. `job ID` / `cancel ID`
+/// inspect and stop jobs; `health` and `metrics` print the daemon's
+/// liveness document and Prometheus exposition.
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    use snet_service::client;
+    let mut args = args.to_vec();
+    let addr =
+        take_flag_value(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7421".to_string());
+    let sub = args.first().cloned().ok_or(
+        "query requires a subcommand (try check, adversary, search, job, cancel, health, metrics)",
+    )?;
+    // One failure message shape for every transport error: the daemon
+    // being down reads the same way regardless of subcommand.
+    let send = |method: &str, path: &str, body: Option<&[u8]>| {
+        client::request(&addr, method, path, body)
+            .map_err(|e| format!("query: {method} {addr}{path}: {e}"))
+    };
+    match sub.as_str() {
+        "check" => {
+            let path = args.get(1).ok_or("query check requires a network FILE")?;
+            let net = NetworkFile::load(path)?.to_network();
+            let body = serde_json::to_string(&snet_core::api::CheckRequest { network: net })
+                .map_err(|e| e.to_string())?;
+            let resp = send("POST", "/v1/check", Some(body.as_bytes()))?;
+            let text = print_query_answer(&resp)?;
+            let verdict = snet_core::verdict::Verdict::parse(&text)
+                .map_err(|e| format!("query: unparseable verdict from daemon: {e}"))?;
+            if !verdict.is_sorting() {
+                exit_flushed(exit::CHECK_COUNTEREXAMPLE);
+            }
+            Ok(())
+        }
+        "adversary" => {
+            let path = args.get(1).ok_or("query adversary requires a network FILE")?.clone();
+            let k = take_flag_value(&mut args, "--k")?
+                .map(|v| parse::<u32>(&v, "--k"))
+                .transpose()?;
+            let file = NetworkFile::load(&path)?;
+            let Some(shuffle) = file.as_shuffle() else {
+                return Err(format!(
+                    "{path}: the adversary endpoint takes a shuffle-based network document"
+                ));
+            };
+            let req = snet_core::api::AdversaryRequest {
+                n: shuffle.wires() as u32,
+                stages: shuffle.stages().to_vec(),
+                k,
+            };
+            let body = serde_json::to_string(&req).map_err(|e| e.to_string())?;
+            let resp = send("POST", "/v1/adversary", Some(body.as_bytes()))?;
+            if resp.status == 422 && resp.text().contains("exhausted") {
+                eprintln!("snetctl: query: {}", resp.text());
+                exit_flushed(exit::ADVERSARY_EXHAUSTED);
+            }
+            print_query_answer(&resp)?;
+            Ok(())
+        }
+        "search" => {
+            let n: u32 = take_flag_value(&mut args, "--n")?
+                .ok_or("query search requires --n N")?
+                .parse()
+                .map_err(|_| "cannot parse --n".to_string())?;
+            let mode = if take_flag(&mut args, "--shuffle-legal") {
+                "shuffle-legal"
+            } else {
+                "unrestricted"
+            };
+            let max_depth = take_flag_value(&mut args, "--max-depth")?
+                .map(|v| parse::<u32>(&v, "--max-depth"))
+                .transpose()?;
+            let threads = take_flag_value(&mut args, "--threads")?
+                .map(|v| parse::<u32>(&v, "--threads"))
+                .transpose()?;
+            let req =
+                snet_core::api::SearchRequest { n, mode: mode.to_string(), max_depth, threads };
+            let body = serde_json::to_string(&req).map_err(|e| e.to_string())?;
+            let resp = client::stream_lines(
+                &addr,
+                "POST",
+                "/v1/search",
+                Some(body.as_bytes()),
+                &mut |line| {
+                    println!("{line}");
+                    true
+                },
+            )
+            .map_err(|e| format!("query: POST {addr}/v1/search: {e}"))?;
+            if resp.status != 200 {
+                return Err(format!("query: daemon answered {}: {}", resp.status, resp.text()));
+            }
+            let job = resp
+                .header("x-snet-job")
+                .ok_or("query: stream response carries no x-snet-job header")?
+                .to_string();
+            let status_resp = send("GET", &format!("/v1/jobs/{job}"), None)?;
+            let status = snet_core::api::JobStatus::parse(&status_resp.text())
+                .map_err(|e| format!("query: unparseable job status: {e}"))?;
+            eprintln!("snetctl: query: job {job} {}", status.state.name());
+            if let Some(result) = &status.result {
+                println!("{}", serde_json::to_string(result).map_err(|e| e.to_string())?);
+            }
+            if status.state == snet_core::api::JobState::Failed {
+                return Err(status.error.unwrap_or_else(|| "job failed".to_string()));
+            }
+            Ok(())
+        }
+        "job" => {
+            let id = args.get(1).ok_or("query job requires a job ID")?;
+            let resp = send("GET", &format!("/v1/jobs/{id}"), None)?;
+            print_query_answer(&resp)?;
+            Ok(())
+        }
+        "cancel" => {
+            let id = args.get(1).ok_or("query cancel requires a job ID")?;
+            let resp = send("DELETE", &format!("/v1/jobs/{id}"), None)?;
+            print_query_answer(&resp)?;
+            Ok(())
+        }
+        "health" => {
+            let resp = send("GET", "/healthz", None)?;
+            print_query_answer(&resp)?;
+            Ok(())
+        }
+        "metrics" => {
+            let resp = send("GET", "/metrics", None)?;
+            print_query_answer(&resp)?;
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown query subcommand '{other}' (try check, adversary, search, job, cancel, health, metrics)"
+        )),
+    }
+}
+
+/// Prints a query response body to stdout (newline-terminated) with the
+/// cache/job provenance headers on stderr; non-2xx responses become
+/// errors carrying the daemon's message.
+fn print_query_answer(resp: &snet_service::client::Response) -> Result<String, String> {
+    if resp.status / 100 != 2 {
+        return Err(format!("query: daemon answered {}: {}", resp.status, resp.text()));
+    }
+    if let Some(cache) = resp.header("x-snet-cache") {
+        match resp.header("x-snet-job") {
+            Some(job) => eprintln!("snetctl: query: cache {cache} (job {job})"),
+            None => eprintln!("snetctl: query: cache {cache}"),
+        }
+    }
+    let text = resp.text();
+    print!("{text}");
+    if !text.ends_with('\n') && !text.is_empty() {
+        println!();
+    }
+    Ok(text)
 }
 
 /// `bench diff NEW.json [--against OLD.json] [--fail-on-regress PCT]` —

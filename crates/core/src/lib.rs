@@ -47,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod batch;
 pub mod element;
 pub mod ir;

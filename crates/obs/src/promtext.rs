@@ -308,6 +308,96 @@ pub fn parse(text: &str) -> Result<ParsedMetrics, String> {
     Ok(out)
 }
 
+/// Parses a text exposition leniently, skipping malformed lines instead
+/// of failing. Returns the metrics and how many lines were dropped.
+///
+/// This is how a live dump is read while it is being rewritten (e.g.
+/// `snetctl metrics FILE --watch` pointed at a daemon's `--metrics-out`
+/// target): a file caught mid-write can hold a torn tail line, which is
+/// damage worth tolerating for one refresh, not a reason to blank the
+/// screen. Skipped lines are: unparseable samples, malformed `# TYPE`
+/// declarations, duplicate series, samples preceding their type, and —
+/// because a truncated histogram fails its cumulative invariants — every
+/// series of a histogram family that no longer validates.
+pub fn parse_lossy(text: &str) -> (ParsedMetrics, usize) {
+    let mut out = ParsedMetrics::default();
+    let mut skipped = 0usize;
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for raw in text.lines() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                match (parts.next(), parts.next()) {
+                    (Some(name), Some(kind))
+                        if valid_metric_name(name)
+                            && matches!(
+                                kind,
+                                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                            )
+                            && !out.types.contains_key(name) =>
+                    {
+                        out.types.insert(name.to_string(), kind.to_string());
+                    }
+                    _ => skipped += 1,
+                }
+            }
+            // HELP and other comments carry no state worth counting.
+            continue;
+        }
+        let series = match parse_sample_line(line) {
+            Ok(s) => s,
+            Err(_) => {
+                skipped += 1;
+                continue;
+            }
+        };
+        let mut sig_labels = series.labels.clone();
+        sig_labels.sort();
+        let sig = format!(
+            "{}\u{1}{}",
+            series.name,
+            sig_labels.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join("\u{1}")
+        );
+        if !seen.insert(sig) {
+            skipped += 1;
+            continue;
+        }
+        if histogram_family(&out.types, &series.name).is_none()
+            && !out.types.contains_key(&series.name)
+        {
+            skipped += 1;
+            continue;
+        }
+        out.series.push(series);
+    }
+    // A histogram truncated mid-family (buckets written, `_count` or
+    // `_sum` lost in the torn tail) fails its cumulative invariants;
+    // drop the whole family rather than hand back half a histogram.
+    let torn: Vec<String> = out
+        .types
+        .iter()
+        .filter(|(_, kind)| kind.as_str() == "histogram")
+        .filter(|(family, _)| validate_histogram_family(&out, family).is_err())
+        .map(|(family, _)| family.clone())
+        .collect();
+    for family in torn {
+        let before = out.series.len();
+        out.series.retain(|s| {
+            !["_bucket", "_sum", "_count"]
+                .iter()
+                .any(|suffix| s.name == format!("{family}{suffix}"))
+        });
+        skipped += before - out.series.len();
+        out.types.remove(&family);
+    }
+    (out, skipped)
+}
+
 /// The histogram family a suffixed sample belongs to, if any.
 fn histogram_family(types: &BTreeMap<String, String>, sample: &str) -> Option<String> {
     for suffix in ["_bucket", "_sum", "_count"] {
@@ -325,53 +415,57 @@ fn validate_histograms(parsed: &ParsedMetrics) -> Result<(), String> {
         if kind != "histogram" {
             continue;
         }
-        // Group buckets by the non-le label signature.
-        let mut groups: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
-        let mut counts: BTreeMap<String, f64> = BTreeMap::new();
-        let mut sums: BTreeMap<String, f64> = BTreeMap::new();
-        let sig_of = |labels: &[(String, String)]| {
-            let mut parts: Vec<String> =
-                labels.iter().filter(|(k, _)| k != "le").map(|(k, v)| format!("{k}={v}")).collect();
-            parts.sort();
-            parts.join("\u{1}")
-        };
-        for s in &parsed.series {
-            if s.name == format!("{family}_bucket") {
-                let le = s
-                    .labels
-                    .iter()
-                    .find(|(k, _)| k == "le")
-                    .ok_or_else(|| format!("{family}: bucket without le label"))?;
-                let bound = parse_value(&le.1)
-                    .ok_or_else(|| format!("{family}: bad le bound {:?}", le.1))?;
-                groups.entry(sig_of(&s.labels)).or_default().push((bound, s.value));
-            } else if s.name == format!("{family}_count") {
-                counts.insert(sig_of(&s.labels), s.value);
-            } else if s.name == format!("{family}_sum") {
-                sums.insert(sig_of(&s.labels), s.value);
+        validate_histogram_family(parsed, family)?;
+    }
+    Ok(())
+}
+
+fn validate_histogram_family(parsed: &ParsedMetrics, family: &str) -> Result<(), String> {
+    // Group buckets by the non-le label signature.
+    let mut groups: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+    let mut sums: BTreeMap<String, f64> = BTreeMap::new();
+    let sig_of = |labels: &[(String, String)]| {
+        let mut parts: Vec<String> =
+            labels.iter().filter(|(k, _)| k != "le").map(|(k, v)| format!("{k}={v}")).collect();
+        parts.sort();
+        parts.join("\u{1}")
+    };
+    for s in &parsed.series {
+        if s.name == format!("{family}_bucket") {
+            let le = s
+                .labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .ok_or_else(|| format!("{family}: bucket without le label"))?;
+            let bound =
+                parse_value(&le.1).ok_or_else(|| format!("{family}: bad le bound {:?}", le.1))?;
+            groups.entry(sig_of(&s.labels)).or_default().push((bound, s.value));
+        } else if s.name == format!("{family}_count") {
+            counts.insert(sig_of(&s.labels), s.value);
+        } else if s.name == format!("{family}_sum") {
+            sums.insert(sig_of(&s.labels), s.value);
+        }
+    }
+    for (sig, buckets) in &groups {
+        for pair in buckets.windows(2) {
+            if pair[1].0 <= pair[0].0 {
+                return Err(format!("{family}: le bounds not ascending"));
+            }
+            if pair[1].1 < pair[0].1 {
+                return Err(format!("{family}: bucket counts not cumulative"));
             }
         }
-        for (sig, buckets) in &groups {
-            for pair in buckets.windows(2) {
-                if pair[1].0 <= pair[0].0 {
-                    return Err(format!("{family}: le bounds not ascending"));
-                }
-                if pair[1].1 < pair[0].1 {
-                    return Err(format!("{family}: bucket counts not cumulative"));
-                }
-            }
-            let last = buckets.last().expect("grouped buckets are non-empty");
-            if last.0 != f64::INFINITY {
-                return Err(format!("{family}: missing +Inf bucket"));
-            }
-            let count =
-                counts.get(sig).ok_or_else(|| format!("{family}: missing _count series"))?;
-            if *count != last.1 {
-                return Err(format!("{family}: _count disagrees with +Inf bucket"));
-            }
-            if !sums.contains_key(sig) {
-                return Err(format!("{family}: missing _sum series"));
-            }
+        let last = buckets.last().expect("grouped buckets are non-empty");
+        if last.0 != f64::INFINITY {
+            return Err(format!("{family}: missing +Inf bucket"));
+        }
+        let count = counts.get(sig).ok_or_else(|| format!("{family}: missing _count series"))?;
+        if *count != last.1 {
+            return Err(format!("{family}: _count disagrees with +Inf bucket"));
+        }
+        if !sums.contains_key(sig) {
+            return Err(format!("{family}: missing _sum series"));
         }
     }
     Ok(())
@@ -451,5 +545,66 @@ mod tests {
         let bad_order = "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\n\
                          h_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n";
         assert!(parse(bad_order).unwrap_err().contains("ascending"));
+    }
+
+    #[test]
+    fn lossy_parse_matches_strict_on_clean_input_and_tolerates_a_torn_tail() {
+        let fams = vec![
+            fam(
+                "snet_store_hits_total",
+                MetricKind::Counter,
+                vec![Sample { labels: vec![], value: Value::Counter(12.0) }],
+            ),
+            fam(
+                "snet_work_progress",
+                MetricKind::Gauge,
+                vec![Sample { labels: vec![], value: Value::Gauge(0.5) }],
+            ),
+        ];
+        let text = render(&fams);
+        let (clean, skipped) = parse_lossy(&text);
+        assert_eq!(skipped, 0, "a well-formed dump skips nothing");
+        assert_eq!(clean.series.len(), parse(&text).unwrap().series.len());
+
+        // Tear the final sample line mid-value, as a reader racing the
+        // writer sees it.
+        let torn = &text[..text.len() - 4];
+        assert!(parse(torn).is_err(), "the strict parser refuses a torn dump");
+        let (parsed, skipped) = parse_lossy(torn);
+        assert_eq!(skipped, 1, "exactly the torn line is dropped");
+        assert_eq!(parsed.value("snet_store_hits_total", &[]), Some(12.0));
+        assert_eq!(parsed.value("snet_work_progress", &[]), None);
+    }
+
+    #[test]
+    fn lossy_parse_drops_a_truncated_histogram_family_wholesale() {
+        let h = Histogram::new();
+        for v in [1u64, 5, 9] {
+            h.record(v);
+        }
+        let fams = vec![
+            fam(
+                "snet_store_hits_total",
+                MetricKind::Counter,
+                vec![Sample { labels: vec![], value: Value::Counter(3.0) }],
+            ),
+            fam(
+                "snet_task_us",
+                MetricKind::Histogram,
+                vec![Sample { labels: vec![], value: Value::Hist(h.snapshot()) }],
+            ),
+        ];
+        let text = render(&fams);
+        // Cut just before `_sum`: every bucket line is intact, but the
+        // family's cumulative invariants are unverifiable — half a
+        // histogram must not be handed back as valid.
+        let cut = text.find("snet_task_us_sum").expect("histogram renders a _sum line");
+        let torn = &text[..cut];
+        assert!(parse(torn).is_err());
+        let (parsed, skipped) = parse_lossy(torn);
+        assert!(skipped > 0, "the dropped bucket lines are counted");
+        assert_eq!(parsed.value("snet_store_hits_total", &[]), Some(3.0));
+        assert!(parsed.series.iter().all(|s| !s.name.starts_with("snet_task_us")));
+        assert!(!parsed.types.contains_key("snet_task_us"));
     }
 }

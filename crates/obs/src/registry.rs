@@ -129,6 +129,7 @@ fn help_for(dotted: &str) -> &'static str {
         "search.witness.skip" => "Placements skipped by witness filtering",
         "search.task.nodes" => "Nodes expanded per search task",
         "search.task.us" => "Wall microseconds per search task",
+        "search.cancelled" => "Search runs stopped by a cancel token",
         "runtime.traversals" => "Tokens that fully traversed the counting network",
         "runtime.balancer_ops" => "Total balancer visits absorbed by the network",
         "runtime.balancer.visits" => "Visits per balancer (flat means even load spread)",
@@ -138,6 +139,16 @@ fn help_for(dotted: &str) -> &'static str {
         "sched.failing" => "Schedules that violated the step property",
         "adversary.retained_mass" => "Input mass retained by the adversary",
         "adversary.evictions" => "Inputs evicted by the adversary argument",
+        "httpd.requests" => "HTTP requests the service accepted for routing",
+        "httpd.responses" => "HTTP responses the service sent",
+        "httpd.rejected" => "HTTP requests refused as malformed or over limits",
+        "httpd.connections" => "TCP connections the service accepted",
+        "jobs.submitted" => "Service jobs created",
+        "jobs.completed" => "Service jobs that finished with a result",
+        "jobs.cancelled" => "Service jobs stopped before completion",
+        "jobs.failed" => "Service jobs that ended in an error",
+        "jobs.coalesced" => "Requests attached to an identical in-flight job",
+        "jobs.running" => "Service jobs currently executing",
         _ => "",
     }
 }

@@ -43,7 +43,8 @@
 //! they are reported in [`SearchStats`] for the frontier artifact and
 //! must be kept out of any output that claims byte-stability.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
@@ -81,6 +82,38 @@ impl SearchMode {
     }
 }
 
+/// A cooperative cancellation handle for a running [`search`].
+///
+/// Cloning shares the flag: a service job manager keeps one clone and
+/// hands the other to the engine via [`SearchConfig::cancel`]; calling
+/// [`CancelToken::cancel`] from any thread makes workers abandon their
+/// DFS at the next heartbeat (the same cadence as the lower-index abort
+/// path). Cancellation is **safe for the transposition table**: aborted
+/// subtrees never record refutations, so every fact in the final spill
+/// is complete and the spill stays resumable — a later run warm-starts
+/// from it exactly as from an uncancelled run's.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; idempotent, callable from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
 /// Search parameters.
 #[derive(Debug, Clone)]
 pub struct SearchConfig {
@@ -103,13 +136,27 @@ pub struct SearchConfig {
     /// the end. Warm facts only prune subtrees that would fail anyway,
     /// so the found network is unaffected (node counts are not).
     pub store: Option<ArtifactStore>,
+    /// Cooperative cancellation handle. When the token fires, workers
+    /// abandon their tasks at the next heartbeat, the deepening loop
+    /// stops, and the outcome reports [`SearchOutcome::cancelled`] with
+    /// no witness — but the TT spill still runs, so the partial frontier
+    /// is preserved for a resumed run.
+    pub cancel: Option<CancelToken>,
 }
 
 impl SearchConfig {
     /// Defaults: 12-layer ceiling, single thread, 2^20-fact table, no
     /// spill store.
     pub fn new(n: usize, mode: SearchMode) -> Self {
-        SearchConfig { n, mode, max_depth: 12, threads: 1, tt_capacity: 1 << 20, store: None }
+        SearchConfig {
+            n,
+            mode,
+            max_depth: 12,
+            threads: 1,
+            tt_capacity: 1 << 20,
+            store: None,
+            cancel: None,
+        }
     }
 
     /// The store label transposition spills for this `(mode, n)` live
@@ -292,6 +339,11 @@ pub struct SearchOutcome {
     pub tt_preloaded: u64,
     /// Facts persisted back to the store spill (0 when no store).
     pub tt_spilled: u64,
+    /// Whether the run was stopped by its [`CancelToken`]. A cancelled
+    /// run claims no witness (`optimal_depth`/`network` are `None`) even
+    /// if one turned up mid-round, because the lowest-index-wins
+    /// determinism guarantee needs every lower task to complete.
+    pub cancelled: bool,
 }
 
 impl SearchOutcome {
@@ -368,7 +420,11 @@ pub fn search(cfg: &SearchConfig) -> SearchOutcome {
     let mut witness_ids: Option<Vec<u32>> = None;
     let mut evicts_seen = 0u64;
 
+    let cancel = cfg.cancel.clone().unwrap_or_default();
     for budget in floor..=cfg.max_depth {
+        if cancel.is_cancelled() {
+            break;
+        }
         let started = Instant::now();
         let mut round_span = snet_obs::span_under("search.round", span.id());
         round_span.add_attr("budget", budget);
@@ -385,6 +441,7 @@ pub fn search(cfg: &SearchConfig) -> SearchOutcome {
             tasks,
             threads,
             round_span.id(),
+            &cancel,
         );
         // Eviction counts live in the (cross-round) table; report the
         // delta so per-round stats stay additive.
@@ -419,6 +476,14 @@ pub fn search(cfg: &SearchConfig) -> SearchOutcome {
         }
     }
 
+    let cancelled = cancel.is_cancelled();
+    if cancelled {
+        // A Sat surfaced by a cancelled round is schedule-dependent (the
+        // lower-indexed tasks that could have beaten it were aborted), so
+        // a cancelled run never claims a witness.
+        witness_ids = None;
+        snet_obs::counter("search.cancelled", 1);
+    }
     let optimal_depth = witness_ids.as_ref().map(|_| rounds.last().expect("sat round").budget);
     let (network, shuffle) = match &witness_ids {
         Some(ids) => reconstruct(cfg, &moves, ids),
@@ -454,6 +519,7 @@ pub fn search(cfg: &SearchConfig) -> SearchOutcome {
         tt_facts: tt.len() as u64,
         tt_preloaded,
         tt_spilled,
+        cancelled,
     }
 }
 
@@ -565,6 +631,7 @@ fn run_round(
     tasks: Vec<PrefixTask>,
     threads: usize,
     round_span_id: u64,
+    cancel: &CancelToken,
 ) -> (Option<Vec<u32>>, SearchStats, RoundHists, Vec<WorkerBalance>) {
     let task_count = tasks.len();
     let best = AtomicUsize::new(usize::MAX);
@@ -606,6 +673,7 @@ fn run_round(
                     oracle,
                     tt,
                     best,
+                    cancel,
                     my_index: usize::MAX,
                     use_dual: cfg.mode == SearchMode::Unrestricted,
                     tmp: ZeroOneSet::empty(cfg.n),
@@ -617,7 +685,7 @@ fn run_round(
                 while let Some(task) =
                     next_task(&local, injector, stealers, &mut worker.stats.steals)
                 {
-                    if best.load(Ordering::SeqCst) < task.index {
+                    if best.load(Ordering::SeqCst) < task.index || cancel.is_cancelled() {
                         worker.stats.tasks_aborted += 1;
                         continue;
                     }
@@ -733,6 +801,7 @@ struct TaskWorker<'a> {
     oracle: &'a DepthOracle,
     tt: &'a TransTable,
     best: &'a AtomicUsize,
+    cancel: &'a CancelToken,
     my_index: usize,
     use_dual: bool,
     tmp: ZeroOneSet,
@@ -744,7 +813,7 @@ struct TaskWorker<'a> {
 
 impl TaskWorker<'_> {
     fn cancelled(&self) -> bool {
-        self.best.load(Ordering::Relaxed) < self.my_index
+        self.best.load(Ordering::Relaxed) < self.my_index || self.cancel.is_cancelled()
     }
 
     /// Fills `keybuf` with the canonical transposition key of `state`:

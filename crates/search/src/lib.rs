@@ -31,8 +31,8 @@ pub mod layers;
 pub mod tt;
 
 pub use engine::{
-    search, BudgetRound, PrefixSummary, RoundHists, SearchConfig, SearchMode, SearchOutcome,
-    SearchStats, WorkerBalance,
+    search, BudgetRound, CancelToken, PrefixSummary, RoundHists, SearchConfig, SearchMode,
+    SearchOutcome, SearchStats, WorkerBalance,
 };
 pub use layers::{Layer, MoveSet};
 pub use tt::TransTable;

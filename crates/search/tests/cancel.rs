@@ -1,0 +1,83 @@
+//! Cooperative cancellation: a cancelled run must stop promptly, claim
+//! no witness (the lowest-index-wins determinism argument needs every
+//! lower task to finish), and still leave a loadable transposition-table
+//! spill — cancellation interrupts the search, never the frontier.
+
+use snet_search::{search, CancelToken, SearchConfig, SearchMode};
+use snet_store::{load_tt_facts, ArtifactStore};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn scratch_root(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("snet-search-cancel-{}-{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn pre_cancelled_run_exits_immediately_and_claims_nothing() {
+    let token = CancelToken::new();
+    token.cancel();
+    assert!(token.is_cancelled());
+    let mut cfg = SearchConfig::new(6, SearchMode::Unrestricted);
+    cfg.cancel = Some(token);
+    let out = search(&cfg);
+    assert!(out.cancelled);
+    assert!(out.rounds.is_empty(), "no budget round may start after cancellation");
+    assert_eq!(out.optimal_depth, None);
+    assert!(out.network.is_none());
+    assert!(out.verdict.is_none());
+}
+
+#[test]
+fn cancelled_run_still_spills_a_resumable_frontier() {
+    let root = scratch_root("spill");
+
+    // n = 8 keeps the deepening busy for far longer than the cancel
+    // delay on any build profile, so the token always fires mid-round.
+    let mut cfg = SearchConfig::new(8, SearchMode::Unrestricted);
+    cfg.threads = 2;
+    cfg.store = Some(ArtifactStore::open(&root).unwrap());
+    let token = CancelToken::new();
+    cfg.cancel = Some(token.clone());
+
+    let started = Instant::now();
+    let worker = {
+        let cfg = cfg.clone();
+        std::thread::spawn(move || search(&cfg))
+    };
+    std::thread::sleep(Duration::from_millis(250));
+    token.cancel();
+    let out = worker.join().expect("search thread must not panic");
+
+    assert!(out.cancelled, "the token fired mid-run");
+    assert_eq!(out.optimal_depth, None, "a cancelled run claims no optimum");
+    assert!(out.network.is_none(), "a cancelled run claims no witness");
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "cancellation must stop the run promptly (took {:?})",
+        started.elapsed()
+    );
+    assert!(out.totals.nodes > 0, "the run did real work before the cancel");
+    assert!(out.tt_spilled > 0, "partial refutation facts must still spill");
+
+    // The spill is a well-formed, loadable frontier: aborted subtrees
+    // never record facts, so everything in it is a complete refutation.
+    let store = ArtifactStore::open(&root).unwrap();
+    let spill = load_tt_facts(&store, &cfg.tt_label()).expect("spill entry exists");
+    assert_eq!(spill.len() as u64, out.tt_spilled);
+
+    // A resumed run warm-starts from the cancelled run's frontier.
+    let mut resumed = cfg.clone();
+    resumed.store = Some(store);
+    let token2 = CancelToken::new();
+    resumed.cancel = Some(token2.clone());
+    let worker2 = std::thread::spawn(move || search(&resumed));
+    std::thread::sleep(Duration::from_millis(100));
+    token2.cancel();
+    let warm = worker2.join().expect("resumed search thread must not panic");
+    assert!(warm.tt_preloaded > 0, "the cancelled run's spill must seed the resumed table");
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -1,0 +1,158 @@
+//! A minimal blocking HTTP/1.1 client for `snetctl query` and the
+//! service tests: one request per connection (`Connection: close`),
+//! fixed-length and chunked response bodies, and a line-callback mode
+//! for ND-JSON streams.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// A fully-read response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The (de-chunked) body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First header value under `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Sends one request and reads the whole response (de-chunking if the
+/// server streamed it).
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> std::io::Result<Response> {
+    let mut collected = Vec::new();
+    let resp = exchange(addr, method, path, body, &mut |bytes| {
+        collected.extend_from_slice(bytes);
+        true
+    })?;
+    Ok(Response { status: resp.status, headers: resp.headers, body: collected })
+}
+
+/// Sends one request and invokes `on_line` for every `\n`-terminated
+/// line of the (chunked) body as it arrives. Returning `false` from the
+/// callback closes the connection early. Returns the response head and
+/// any trailing partial line.
+pub fn stream_lines(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    on_line: &mut dyn FnMut(&str) -> bool,
+) -> std::io::Result<Response> {
+    let mut tail: Vec<u8> = Vec::new();
+    let mut keep = true;
+    let resp = exchange(addr, method, path, body, &mut |bytes| {
+        if !keep {
+            return false;
+        }
+        tail.extend_from_slice(bytes);
+        while let Some(pos) = tail.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = tail.drain(..=pos).collect();
+            let text = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+            if !on_line(&text) {
+                keep = false;
+                return false;
+            }
+        }
+        true
+    })?;
+    Ok(Response { status: resp.status, headers: resp.headers, body: tail })
+}
+
+/// The common exchange: connect, send, parse the head, then feed body
+/// bytes (already de-chunked) to `on_body` until the message ends or the
+/// callback declines more.
+fn exchange(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    on_body: &mut dyn FnMut(&[u8]) -> bool,
+) -> std::io::Result<Response> {
+    let stream = TcpStream::connect(addr)?;
+    let mut w = stream.try_clone()?;
+    write!(w, "{method} {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\n")?;
+    if let Some(b) = body {
+        write!(w, "content-type: application/json\r\ncontent-length: {}\r\n\r\n", b.len())?;
+        w.write_all(b)?;
+    } else {
+        w.write_all(b"\r\n")?;
+    }
+    w.flush()?;
+
+    let mut r = BufReader::new(stream);
+    let mut status_line = String::new();
+    r.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(format!("malformed status line {status_line:?}")))?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        r.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) =
+            line.split_once(':').ok_or_else(|| bad(format!("malformed header {line:?}")))?;
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let find = |n: &str| headers.iter().find(|(k, _)| k == n).map(|(_, v)| v.clone());
+    let chunked = find("transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked"));
+    if chunked {
+        loop {
+            let mut size_line = String::new();
+            r.read_line(&mut size_line)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| bad(format!("malformed chunk size {size_line:?}")))?;
+            if size == 0 {
+                let mut crlf = String::new();
+                let _ = r.read_line(&mut crlf);
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            r.read_exact(&mut chunk)?;
+            let mut crlf = [0u8; 2];
+            r.read_exact(&mut crlf)?;
+            if !on_body(&chunk) {
+                break;
+            }
+        }
+    } else if let Some(cl) = find("content-length") {
+        let len: usize = cl.parse().map_err(|_| bad(format!("malformed content-length {cl:?}")))?;
+        let mut buf = vec![0u8; len];
+        r.read_exact(&mut buf)?;
+        on_body(&buf);
+    } else {
+        // No framing: read to EOF (we sent Connection: close).
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf)?;
+        on_body(&buf);
+    }
+    Ok(Response { status, headers, body: Vec::new() })
+}
+
+fn bad(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}

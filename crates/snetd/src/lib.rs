@@ -1,0 +1,36 @@
+//! `snetd`: the long-running network-verification service.
+//!
+//! A dependency-free HTTP/1.1 daemon over `std::net` that turns the
+//! workspace's one-shot pipelines (compile → check → persist, the §4
+//! adversary, the depth-optimal search) into queryable endpoints with a
+//! job manager in front:
+//!
+//! | endpoint              | answer |
+//! |-----------------------|--------|
+//! | `POST /v1/check`      | `snet-verdict/1` sort certificate or lowest-index counterexample |
+//! | `POST /v1/adversary`  | §4 adversary witness verdict for a `(d,l)`-network |
+//! | `POST /v1/search`     | job id + ND-JSON progress stream (chunked) |
+//! | `GET /v1/jobs/{id}`   | job status / result document |
+//! | `DELETE /v1/jobs/{id}`| cooperative cancel (search spills stay resumable) |
+//! | `GET /metrics`        | Prometheus text exposition of the live registry |
+//! | `GET /healthz`        | liveness + drain state |
+//!
+//! The interesting machinery is in [`jobs`]: content-addressed request
+//! coalescing (N identical in-flight checks compile once), read-through/
+//! write-through [`snet_store`] caching (a warm hit replays the stored
+//! verdict bytes verbatim — responses are byte-identical across
+//! cold/warm/coalesced), and per-job progress capture routed from
+//! [`snet_obs`] events. [`server`] adds the bounded worker pool and the
+//! SIGTERM graceful drain; [`http`] is the hand-rolled wire layer;
+//! [`client`] is the matching blocking client `snetctl query` uses.
+
+pub mod client;
+pub mod http;
+pub mod jobs;
+pub mod server;
+
+pub use http::Limits;
+pub use jobs::{ApiError, CheckAnswer, FramePoll, Job, JobManager, JobsConfig};
+pub use server::{
+    install_signal_handlers, request_shutdown, serve, spawn, ServeConfig, ServerHandle,
+};

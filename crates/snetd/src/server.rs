@@ -1,0 +1,436 @@
+//! The TCP front end: an accept loop feeding a bounded pool of
+//! connection workers, request routing, streaming search responses, and
+//! a SIGTERM-driven graceful drain.
+//!
+//! ## Shutdown
+//!
+//! `SIGTERM`/`SIGINT` set a process-global flag (the handler does
+//! nothing else — it is async-signal-safe). The accept loop notices
+//! within one poll interval and stops accepting; the job manager drains
+//! (cancelling live jobs, which still spill their search frontiers to
+//! the store); connection workers finish their current exchange and
+//! exit; buffered observations flush. A drained exit is *clean*: the
+//! flight recorder writes nothing.
+
+use crate::http::{
+    read_request, write_response, ChunkedWriter, HttpError, Limits, ReadOutcome, Request,
+};
+use crate::jobs::{ApiError, CheckAnswer, FramePoll, Job, JobManager, JobsConfig};
+use snet_core::api::{AdversaryRequest, CheckRequest, ErrorBody, SearchRequest, API_SCHEMA};
+use snet_store::ArtifactStore;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const JSON: &str = "application/json";
+const NDJSON: &str = "application/x-ndjson";
+
+/// How long a blocked socket read waits before the worker re-checks the
+/// shutdown flag; also bounds how stale an idle keep-alive poll can be.
+const READ_TIMEOUT: Duration = Duration::from_millis(500);
+
+// ---------------------------------------------------------------------------
+// Signals, without libc: the two handlers the daemon needs, installed
+// through the raw C `signal` entry point.
+// ---------------------------------------------------------------------------
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    // Async-signal-safe: one relaxed store, nothing else.
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Installs the SIGTERM/SIGINT handlers that request a graceful drain.
+pub fn install_signal_handlers() {
+    unsafe {
+        signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+    }
+}
+
+/// Requests a process-wide drain programmatically (what the signal
+/// handlers do). In-process servers prefer [`ServerHandle::shutdown`],
+/// which drains only that server.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// A signal or [`request_shutdown`] drains every server in the process;
+/// a [`ServerHandle`]'s own stop flag drains just it (so parallel test
+/// harnesses don't tear each other down).
+fn stopping(stop: &AtomicBool) -> bool {
+    stop.load(Ordering::Relaxed) || SHUTDOWN.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Everything `serve` needs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Connection worker threads (concurrent HTTP exchanges).
+    pub conn_threads: usize,
+    /// Concurrent search jobs.
+    pub max_jobs: usize,
+    /// Worker threads per search job.
+    pub search_threads: usize,
+    /// Worker threads per exhaustive check.
+    pub check_threads: usize,
+    /// Artifact store root (`None` disables caching).
+    pub store: Option<std::path::PathBuf>,
+    /// Request size limits.
+    pub limits: Limits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            conn_threads: 4,
+            max_jobs: 2,
+            search_threads: 1,
+            check_threads: 1,
+            store: None,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// A running daemon, for in-process harnesses: the bound address, the
+/// server's own stop flag, and the join handle of the serve loop.
+pub struct ServerHandle {
+    /// The actual bound address (resolves `:0`).
+    pub addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// Requests a graceful drain of this server only and waits for it.
+    pub fn shutdown(self) -> std::io::Result<()> {
+        self.stop.store(true, Ordering::Relaxed);
+        self.join()
+    }
+
+    /// Waits for the serve loop to drain and exit.
+    pub fn join(self) -> std::io::Result<()> {
+        self.thread.join().unwrap_or_else(|_| Err(std::io::Error::other("serve loop panicked")))
+    }
+}
+
+/// Binds and spawns the serve loop on a background thread, returning
+/// once the listener is live. The loop exits on
+/// [`ServerHandle::shutdown`], [`request_shutdown`], or a signal (when
+/// handlers are installed).
+pub fn spawn(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let loop_stop = stop.clone();
+    let thread = std::thread::Builder::new()
+        .name("snetd-accept".into())
+        .spawn(move || serve_on(listener, cfg, loop_stop))?;
+    Ok(ServerHandle { addr, stop, thread })
+}
+
+/// Binds and runs the serve loop on the calling thread (the binary's
+/// entry point); only a signal (or [`request_shutdown`]) ends it.
+pub fn serve(cfg: ServeConfig) -> std::io::Result<()> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    eprintln!("snetd: listening on {}", listener.local_addr()?);
+    serve_on(listener, cfg, Arc::new(AtomicBool::new(false)))
+}
+
+fn serve_on(listener: TcpListener, cfg: ServeConfig, stop: Arc<AtomicBool>) -> std::io::Result<()> {
+    let store = match &cfg.store {
+        // One long-lived shared handle: every worker sees the same
+        // generation, and a second daemon on the same root coordinates
+        // through the store's own meta lock.
+        Some(root) => Some(ArtifactStore::open_shared(root)?),
+        None => None,
+    };
+    let manager = JobManager::new(JobsConfig {
+        store,
+        max_jobs: cfg.max_jobs,
+        search_threads: cfg.search_threads,
+        check_threads: cfg.check_threads,
+    });
+
+    // Pre-spawned connection workers drain one shared queue. The
+    // receiver is behind a mutex (std mpsc has no multi-consumer
+    // receiver); hand-off cost is irrelevant next to a check.
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let mut workers = Vec::new();
+    for i in 0..cfg.conn_threads.max(1) {
+        let rx = rx.clone();
+        let manager = manager.clone();
+        let limits = cfg.limits;
+        let stop = stop.clone();
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("snetd-conn-{i}"))
+                .spawn(move || connection_worker(rx, manager, limits, stop))?,
+        );
+    }
+
+    listener.set_nonblocking(true)?;
+    while !stopping(&stop) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                snet_obs::counter("httpd.connections", 1);
+                let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+                let _ = stream.set_nodelay(true);
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+
+    // Drain: reject new work and finish what is running (search jobs
+    // observe their cancel tokens and spill their TT frontiers), then
+    // release the workers and flush observations. Clean exit — the
+    // flight recorder writes nothing.
+    manager.shutdown();
+    drop(tx);
+    for w in workers {
+        let _ = w.join();
+    }
+    snet_obs::flush();
+    Ok(())
+}
+
+fn connection_worker(
+    rx: Arc<Mutex<mpsc::Receiver<TcpStream>>>,
+    manager: JobManager,
+    limits: Limits,
+    stop: Arc<AtomicBool>,
+) {
+    loop {
+        let stream = {
+            let guard = rx.lock().expect("conn queue poisoned");
+            match guard.recv_timeout(Duration::from_millis(200)) {
+                Ok(s) => s,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if stopping(&stop) {
+                        return;
+                    }
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => return,
+            }
+        };
+        serve_connection(stream, &manager, &limits, &stop);
+    }
+}
+
+/// Runs one connection to completion: requests are answered in arrival
+/// order (pipelining falls out of the per-connection read loop), and an
+/// idle keep-alive socket is polled until the peer leaves or the daemon
+/// drains.
+fn serve_connection(stream: TcpStream, manager: &JobManager, limits: &Limits, stop: &AtomicBool) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader, limits) {
+            Ok(ReadOutcome::Request(req)) => {
+                snet_obs::counter("httpd.requests", 1);
+                let close = req.wants_close();
+                handle_request(&mut writer, &req, manager);
+                snet_obs::counter("httpd.responses", 1);
+                if close {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Eof) => return,
+            Ok(ReadOutcome::Idle) => {
+                if stopping(stop) {
+                    return;
+                }
+            }
+            Err(e) => {
+                snet_obs::counter("httpd.rejected", 1);
+                respond_error(&mut writer, &e);
+                return; // framing is unreliable after a parse error
+            }
+        }
+    }
+}
+
+fn respond_error(w: &mut impl Write, e: &HttpError) {
+    let body = ErrorBody::new(&e.message).to_json();
+    let _ = write_response(w, e.status, JSON, body.as_bytes(), &[]);
+}
+
+fn respond_api_error(w: &mut impl Write, e: &ApiError) {
+    let body = ErrorBody::new(&e.message).to_json();
+    let _ = write_response(w, e.status, JSON, body.as_bytes(), &[]);
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+fn handle_request(w: &mut impl Write, req: &Request, manager: &JobManager) {
+    let path = req.path.split('?').next().unwrap_or("");
+    match (req.method.as_str(), path) {
+        ("GET", "/healthz") => {
+            let body = format!(
+                "{{\"schema\":\"{API_SCHEMA}\",\"status\":\"{}\"}}",
+                if manager.draining() { "draining" } else { "ok" }
+            );
+            let _ = write_response(w, 200, JSON, body.as_bytes(), &[]);
+        }
+        ("GET", "/metrics") => {
+            let text = snet_obs::registry::render_prometheus();
+            let _ = write_response(w, 200, snet_obs::promtext::CONTENT_TYPE, text.as_bytes(), &[]);
+        }
+        ("POST", "/v1/check") => handle_check(w, req, manager),
+        ("POST", "/v1/adversary") => handle_adversary(w, req, manager),
+        ("POST", "/v1/search") => handle_search(w, req, manager),
+        (method, p) if p.starts_with("/v1/jobs/") => {
+            let id = &p["/v1/jobs/".len()..];
+            match method {
+                "GET" => handle_job_get(w, id, manager),
+                "DELETE" => handle_job_delete(w, id, manager),
+                _ => method_not_allowed(w),
+            }
+        }
+        ("GET" | "POST" | "DELETE", _) => {
+            let body = ErrorBody::new(format!("no route for {path}")).to_json();
+            let _ = write_response(w, 404, JSON, body.as_bytes(), &[]);
+        }
+        _ => method_not_allowed(w),
+    }
+}
+
+fn method_not_allowed(w: &mut impl Write) {
+    let body = ErrorBody::new("method not allowed").to_json();
+    let _ = write_response(w, 405, JSON, body.as_bytes(), &[]);
+}
+
+fn parse_body<T: serde::Deserialize>(req: &Request) -> Result<T, HttpError> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| HttpError { status: 400, message: "body is not UTF-8".into() })?;
+    serde_json::from_str(text)
+        .map_err(|e| HttpError { status: 422, message: format!("cannot parse body: {e}") })
+}
+
+/// Answers a check with the verdict bytes **verbatim** — a warm hit
+/// replays exactly what the producing run stored, so cold and warm
+/// responses to one canonical form are byte-identical. Provenance rides
+/// in headers instead of the body.
+fn answer_with_verdict(w: &mut impl Write, answer: &CheckAnswer) {
+    let cache = answer.cache.name();
+    let hash = answer.hash.to_hex();
+    let mut extra: Vec<(&str, &str)> =
+        vec![("x-snet-cache", cache), ("x-snet-hash", hash.as_str())];
+    if let Some(job) = &answer.job {
+        extra.push(("x-snet-job", job.as_str()));
+    }
+    let _ = write_response(w, 200, JSON, &answer.body, &extra);
+}
+
+fn handle_check(w: &mut impl Write, req: &Request, manager: &JobManager) {
+    let parsed: CheckRequest = match parse_body(req) {
+        Ok(p) => p,
+        Err(e) => return respond_error(w, &e),
+    };
+    match manager.check(&parsed.network) {
+        Ok(answer) => answer_with_verdict(w, &answer),
+        Err(e) => respond_api_error(w, &e),
+    }
+}
+
+fn handle_adversary(w: &mut impl Write, req: &Request, manager: &JobManager) {
+    let parsed: AdversaryRequest = match parse_body(req) {
+        Ok(p) => p,
+        Err(e) => return respond_error(w, &e),
+    };
+    match manager.adversary(&parsed) {
+        Ok(answer) => answer_with_verdict(w, &answer),
+        Err(e) => respond_api_error(w, &e),
+    }
+}
+
+/// Submits a search job and streams its ND-JSON progress frames until
+/// the job closes its stream; the final frame is the terminal lifecycle
+/// transition. The job id rides in the `x-snet-job` header so a client
+/// can fetch the result document afterwards.
+fn handle_search(w: &mut impl Write, req: &Request, manager: &JobManager) {
+    let parsed: SearchRequest = match parse_body(req) {
+        Ok(p) => p,
+        Err(e) => return respond_error(w, &e),
+    };
+    let job: Arc<Job> = match manager.submit_search(&parsed) {
+        Ok(j) => j,
+        Err(e) => return respond_api_error(w, &e),
+    };
+    let extra = [("x-snet-job", job.id.as_str())];
+    let mut chunked = match ChunkedWriter::start(w, 200, NDJSON, &extra) {
+        Ok(c) => c,
+        Err(_) => return,
+    };
+    loop {
+        match job.obs.poll(Duration::from_millis(250)) {
+            FramePoll::Frame(f) => {
+                let mut line = f.to_json_line();
+                line.push('\n');
+                if chunked.chunk(line.as_bytes()).is_err() {
+                    // Client went away: the job keeps running; its
+                    // result stays fetchable via /v1/jobs/{id}.
+                    return;
+                }
+            }
+            FramePoll::Idle => {}
+            FramePoll::Closed => break,
+        }
+    }
+    let _ = chunked.finish();
+}
+
+fn handle_job_get(w: &mut impl Write, id: &str, manager: &JobManager) {
+    match manager.job(id) {
+        Some(job) => {
+            let body = job.status().to_json();
+            let _ = write_response(w, 200, JSON, body.as_bytes(), &[]);
+        }
+        None => {
+            let body = ErrorBody::new(format!("unknown job {id:?}")).to_json();
+            let _ = write_response(w, 404, JSON, body.as_bytes(), &[]);
+        }
+    }
+}
+
+fn handle_job_delete(w: &mut impl Write, id: &str, manager: &JobManager) {
+    if manager.cancel(id) {
+        let body = format!("{{\"schema\":\"{API_SCHEMA}\",\"cancelled\":\"{id}\"}}");
+        let _ = write_response(w, 200, JSON, body.as_bytes(), &[]);
+    } else {
+        let body = ErrorBody::new(format!("unknown job {id:?}")).to_json();
+        let _ = write_response(w, 404, JSON, body.as_bytes(), &[]);
+    }
+}

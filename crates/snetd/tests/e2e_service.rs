@@ -1,0 +1,318 @@
+//! End-to-end service tests over real TCP: one in-process daemon per
+//! test on an ephemeral port, exercised through the blocking client.
+//!
+//! The load-bearing assertions: a cold check compiles, verifies, and
+//! persists; an identical warm check is a store hit whose bytes are
+//! identical to the cold response without re-checking; concurrent
+//! identical submissions compile exactly once (proved by the `ir.compile`
+//! count in the leader job's manifest); `/v1/search` streams ND-JSON
+//! progress frames to completion; `/metrics` stays valid Prometheus text
+//! while jobs are in flight; and a drain cancels live jobs while leaving
+//! a resumable search spill behind.
+
+use serde::Value;
+use snet_core::api::{
+    AdversaryRequest, CheckRequest, FrameKind, JobState, JobStatus, ProgressFrame, SearchRequest,
+};
+use snet_core::element::{Element, ElementKind};
+use snet_core::network::{ComparatorNetwork, Level};
+use snet_core::verdict::{Verdict, VerdictKind};
+use snet_service::{client, spawn, ServeConfig, ServerHandle};
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn scratch_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("snetd-e2e-{}-{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn daemon(tag: &str) -> (ServerHandle, String, PathBuf) {
+    let root = scratch_root(tag);
+    let cfg = ServeConfig { store: Some(root.clone()), ..ServeConfig::default() };
+    let handle = spawn(cfg).expect("daemon binds an ephemeral port");
+    let addr = handle.addr.to_string();
+    (handle, addr, root)
+}
+
+/// Odd-even transposition sort on `n` wires: `n` alternating brick
+/// layers — depth-wasteful but certainly sorting, and its size scales
+/// the check's work for the coalescing race below.
+fn odd_even_transposition(n: u32) -> ComparatorNetwork {
+    let levels = (0..n)
+        .map(|round| {
+            let mut elems = Vec::new();
+            let mut w = round % 2;
+            while w + 1 < n {
+                elems.push(Element::cmp(w, w + 1));
+                w += 2;
+            }
+            Level::of_elements(elems)
+        })
+        .collect();
+    ComparatorNetwork::new(n as usize, levels).expect("valid brick network")
+}
+
+fn check_body(net: &ComparatorNetwork) -> Vec<u8> {
+    serde_json::to_string(&CheckRequest { network: net.clone() })
+        .expect("request serializes")
+        .into_bytes()
+}
+
+fn obj_get<'v>(v: &'v Value, key: &str) -> Option<&'v Value> {
+    v.as_object().and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+}
+
+#[test]
+fn cold_check_computes_and_warm_check_replays_bytes_without_recompiling() {
+    let (handle, addr, root) = daemon("warm");
+    let body = check_body(&odd_even_transposition(8));
+
+    let cold = client::request(&addr, "POST", "/v1/check", Some(&body)).unwrap();
+    assert_eq!(cold.status, 200);
+    assert_eq!(cold.header("x-snet-cache"), Some("miss"));
+    let verdict = Verdict::parse(&cold.text()).expect("body is a verdict document");
+    assert!(verdict.is_sorting(), "odd-even transposition sorts");
+    let job_id = cold.header("x-snet-job").expect("a miss reports its job").to_string();
+
+    let warm = client::request(&addr, "POST", "/v1/check", Some(&body)).unwrap();
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("x-snet-cache"), Some("hit"));
+    assert_eq!(warm.body, cold.body, "warm hit replays the stored bytes verbatim");
+    assert_eq!(warm.header("x-snet-job"), None, "no job runs on a warm hit");
+
+    // The cold job's result carries the compile-once proof: exactly one
+    // `ir.compile` span was attributed to it, echoed in its manifest.
+    let status_resp = client::request(&addr, "GET", &format!("/v1/jobs/{job_id}"), None).unwrap();
+    assert_eq!(status_resp.status, 200);
+    let status = JobStatus::parse(&status_resp.text()).unwrap();
+    assert_eq!(status.state, JobState::Done);
+    let result = status.result.expect("done job carries a result");
+    let manifest = obj_get(&result, "manifest").expect("result embeds the run manifest");
+    assert_eq!(
+        obj_get(manifest, "ir.compile").and_then(Value::as_str),
+        Some("1"),
+        "the cold check compiled exactly once"
+    );
+
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn concurrent_identical_checks_compile_exactly_once() {
+    let (handle, addr, root) = daemon("coalesce");
+    // Big enough that the exhaustive check leaves a real window for the
+    // followers to land while the leader is mid-flight.
+    let body = Arc::new(check_body(&odd_even_transposition(20)));
+
+    const CLIENTS: usize = 4;
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let mut threads = Vec::new();
+    for _ in 0..CLIENTS {
+        let addr = addr.clone();
+        let body = body.clone();
+        let barrier = barrier.clone();
+        threads.push(std::thread::spawn(move || {
+            barrier.wait();
+            let resp = client::request(&addr, "POST", "/v1/check", Some(&body)).unwrap();
+            assert_eq!(resp.status, 200);
+            (
+                resp.header("x-snet-cache").unwrap().to_string(),
+                resp.header("x-snet-job").map(str::to_string),
+                resp.body,
+            )
+        }));
+    }
+    let answers: Vec<(String, Option<String>, Vec<u8>)> =
+        threads.into_iter().map(|t| t.join().unwrap()).collect();
+
+    for (_, _, bytes) in &answers {
+        assert_eq!(bytes, &answers[0].2, "every client receives identical bytes");
+    }
+    let misses = answers.iter().filter(|(c, _, _)| c == "miss").count();
+    assert_eq!(misses, 1, "one canonical form has exactly one leading miss");
+    let jobs: std::collections::BTreeSet<&String> =
+        answers.iter().filter_map(|(_, j, _)| j.as_ref()).collect();
+    assert_eq!(jobs.len(), 1, "miss and coalesced answers share one job");
+
+    // The shared job compiled exactly once, even with 4 concurrent
+    // submissions of the same canonical form.
+    let job_id = jobs.into_iter().next().unwrap();
+    let status_resp = client::request(&addr, "GET", &format!("/v1/jobs/{job_id}"), None).unwrap();
+    let status = JobStatus::parse(&status_resp.text()).unwrap();
+    let result = status.result.expect("check job result");
+    let compiles = obj_get(&result, "compile_spans").and_then(Value::as_u64);
+    assert_eq!(compiles, Some(1), "coalesced submissions share one ir.compile span");
+
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn search_streams_progress_frames_and_metrics_stay_valid_midflight() {
+    let (handle, addr, root) = daemon("stream");
+    let req =
+        SearchRequest { n: 4, mode: "unrestricted".into(), max_depth: None, threads: Some(2) };
+    let body = serde_json::to_string(&req).unwrap();
+
+    let mut frames: Vec<ProgressFrame> = Vec::new();
+    let mut metrics_checked = false;
+    let resp =
+        client::stream_lines(&addr, "POST", "/v1/search", Some(body.as_bytes()), &mut |line| {
+            frames.push(ProgressFrame::parse_line(line).expect("every line is one frame"));
+            if !metrics_checked {
+                // Scrape /metrics over a second connection while this job is
+                // in flight; the exposition must parse cleanly.
+                let m = client::request(&addr, "GET", "/metrics", None).unwrap();
+                assert_eq!(m.status, 200);
+                assert!(m.header("content-type").unwrap().starts_with("text/plain"));
+                let parsed = snet_obs::promtext::parse(&m.text()).expect("valid Prometheus text");
+                assert!(
+                    parsed.series.iter().any(|s| s.name == "snet_httpd_requests_total"),
+                    "service counters are exposed"
+                );
+                metrics_checked = true;
+            }
+            true
+        })
+        .unwrap();
+
+    assert_eq!(resp.status, 200);
+    assert!(metrics_checked, "at least one frame arrived while the job was live");
+    let job_id = resp.header("x-snet-job").expect("stream reports its job").to_string();
+    assert!(frames.len() >= 3, "lifecycle alone yields 3+ frames, got {}", frames.len());
+    for (i, f) in frames.iter().enumerate() {
+        assert_eq!(f.seq, i as u64, "sequence numbers are gapless");
+        assert_eq!(f.job, job_id);
+    }
+    assert_eq!(frames.first().unwrap().kind, FrameKind::Lifecycle { state: JobState::Queued });
+    assert_eq!(frames.last().unwrap().kind, FrameKind::Lifecycle { state: JobState::Done });
+
+    let status_resp = client::request(&addr, "GET", &format!("/v1/jobs/{job_id}"), None).unwrap();
+    let status = JobStatus::parse(&status_resp.text()).unwrap();
+    assert_eq!(status.state, JobState::Done);
+    let result = status.result.expect("search result document");
+    assert_eq!(
+        obj_get(&result, "optimal_depth").and_then(Value::as_u64),
+        Some(3),
+        "4 wires sort in depth 3"
+    );
+
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn adversary_witness_is_cached_and_replayed() {
+    let (handle, addr, root) = daemon("adversary");
+    // The canonical butterfly: lg n all-`+` shuffle stages on 8 wires —
+    // exactly the (lg n, l)-network the Section 4 adversary defeats.
+    let req = AdversaryRequest { n: 8, stages: vec![vec![ElementKind::Cmp; 4]; 3], k: None };
+    let body = serde_json::to_string(&req).unwrap();
+
+    let cold = client::request(&addr, "POST", "/v1/adversary", Some(body.as_bytes())).unwrap();
+    assert_eq!(cold.status, 200);
+    assert_eq!(cold.header("x-snet-cache"), Some("miss"));
+    let verdict = Verdict::parse(&cold.text()).unwrap();
+    assert!(
+        matches!(verdict.kind, VerdictKind::AdversaryWitness { .. }),
+        "the adversary answers with a witness verdict"
+    );
+
+    let warm = client::request(&addr, "POST", "/v1/adversary", Some(body.as_bytes())).unwrap();
+    assert_eq!(warm.header("x-snet-cache"), Some("hit"));
+    assert_eq!(warm.body, cold.body, "cached witness replays byte-identically");
+
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn rejections_map_to_http_statuses() {
+    let (handle, addr, root) = daemon("reject");
+
+    // Unknown route and unknown job.
+    let r = client::request(&addr, "GET", "/v1/nope", None).unwrap();
+    assert_eq!(r.status, 404);
+    let r = client::request(&addr, "GET", "/v1/jobs/job-999", None).unwrap();
+    assert_eq!(r.status, 404);
+
+    // Semantic rejections are 422 with an error body.
+    let bad = SearchRequest { n: 4, mode: "warp".into(), max_depth: None, threads: None };
+    let body = serde_json::to_string(&bad).unwrap();
+    let r = client::request(&addr, "POST", "/v1/search", Some(body.as_bytes())).unwrap();
+    assert_eq!(r.status, 422);
+    assert!(r.text().contains("unrestricted"), "the error names the valid modes");
+
+    let bad =
+        SearchRequest { n: 4, mode: "unrestricted".into(), max_depth: Some(1), threads: None };
+    let body = serde_json::to_string(&bad).unwrap();
+    let r = client::request(&addr, "POST", "/v1/search", Some(body.as_bytes())).unwrap();
+    assert_eq!(r.status, 422, "a depth below the floor is rejected, not a worker panic");
+
+    // Malformed JSON bodies are 422 too.
+    let r = client::request(&addr, "POST", "/v1/check", Some(b"{nope")).unwrap();
+    assert_eq!(r.status, 422);
+
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn drain_cancels_live_search_and_leaves_a_resumable_spill() {
+    let (handle, addr, root) = daemon("drain");
+    // Deep unrestricted n=8 search: runs long enough in a debug build
+    // that the drain always lands mid-flight.
+    let req =
+        SearchRequest { n: 8, mode: "unrestricted".into(), max_depth: None, threads: Some(2) };
+    let body = serde_json::to_string(&req).unwrap();
+
+    let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+    let streamer = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut frames: Vec<ProgressFrame> = Vec::new();
+            let mut signalled = false;
+            let resp = client::stream_lines(
+                &addr,
+                "POST",
+                "/v1/search",
+                Some(body.as_bytes()),
+                &mut |line| {
+                    let f = ProgressFrame::parse_line(line).unwrap();
+                    if !signalled && f.kind == (FrameKind::Lifecycle { state: JobState::Running }) {
+                        signalled = true;
+                        let _ = started_tx.send(());
+                    }
+                    frames.push(f);
+                    true
+                },
+            )
+            .unwrap();
+            (resp, frames)
+        })
+    };
+
+    started_rx.recv_timeout(Duration::from_secs(60)).expect("the search job reaches Running");
+    // Let the workers expand some nodes so the spill has facts in it.
+    std::thread::sleep(Duration::from_millis(300));
+    handle.shutdown().expect("drain completes cleanly");
+
+    let (resp, frames) = streamer.join().unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        frames.last().unwrap().kind,
+        FrameKind::Lifecycle { state: JobState::Cancelled },
+        "the drain cancels the live job and the stream reports it"
+    );
+
+    // The cancelled search still spilled its transposition frontier:
+    // a resumed run on the same store warm-starts from it.
+    let store = snet_store::ArtifactStore::open(&root).unwrap();
+    let spill = snet_store::load_tt_facts(&store, "search-tt/unrestricted/n=8");
+    assert!(spill.is_some(), "cancellation preserves the TT spill");
+
+    let _ = std::fs::remove_dir_all(&root);
+}

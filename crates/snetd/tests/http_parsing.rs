@@ -1,0 +1,250 @@
+//! Wire-layer torture tests for the hand-rolled HTTP parser: malformed
+//! request lines, byte limits enforced with `413` *before* buffering,
+//! pipelined requests parsed one per call, and a property test that the
+//! ND-JSON progress-frame encoding round-trips through the chunked
+//! writer and the client's line splitter.
+//!
+//! Like the obs property tests, proptest supplies only a seed and a
+//! local LCG generates the frame families, which keeps shrunk
+//! counterexamples small with the vendored proptest stand-in.
+
+use proptest::prelude::*;
+use snet_core::api::{FrameKind, JobState, ProgressFrame};
+use snet_service::http::{read_request, ChunkedWriter, HttpError, Limits, ReadOutcome};
+use std::io::BufReader;
+
+fn parse_one(bytes: &[u8]) -> Result<ReadOutcome, HttpError> {
+    read_request(&mut BufReader::new(bytes), &Limits::default())
+}
+
+fn reject_status(bytes: &[u8]) -> u16 {
+    match parse_one(bytes) {
+        Err(e) => e.status,
+        Ok(other) => {
+            panic!("expected a rejection for {:?}, got {other:?}", String::from_utf8_lossy(bytes))
+        }
+    }
+}
+
+#[test]
+fn malformed_request_lines_are_400() {
+    // Lower-case / mixed-case methods.
+    assert_eq!(reject_status(b"get / HTTP/1.1\r\n\r\n"), 400);
+    assert_eq!(reject_status(b"Get / HTTP/1.1\r\n\r\n"), 400);
+    // Missing pieces.
+    assert_eq!(reject_status(b"GET\r\n\r\n"), 400);
+    assert_eq!(reject_status(b"GET /healthz\r\n\r\n"), 400);
+    // Too many fields.
+    assert_eq!(reject_status(b"GET / HTTP/1.1 extra\r\n\r\n"), 400);
+    // Target must be origin-form.
+    assert_eq!(reject_status(b"GET healthz HTTP/1.1\r\n\r\n"), 400);
+    assert_eq!(reject_status(b"GET http://x/ HTTP/1.1\r\n\r\n"), 400);
+    // Header lines without a colon, or with spaced names.
+    assert_eq!(reject_status(b"GET / HTTP/1.1\r\nnot a header\r\n\r\n"), 400);
+    assert_eq!(reject_status(b"GET / HTTP/1.1\r\nbad name: x\r\n\r\n"), 400);
+    // Truncated mid-head.
+    assert_eq!(reject_status(b"GET / HTTP/1.1\r\nhost: x"), 400);
+    // Non-UTF-8 head.
+    assert_eq!(reject_status(b"GET /\xff HTTP/1.1\r\n\r\n"), 400);
+}
+
+#[test]
+fn unsupported_versions_are_505() {
+    assert_eq!(reject_status(b"GET / HTTP/2.0\r\n\r\n"), 505);
+    assert_eq!(reject_status(b"GET / HTTP/0.9\r\n\r\n"), 505);
+    // 1.0 keep-alives are accepted (curl --http1.0 works).
+    assert!(matches!(parse_one(b"GET / HTTP/1.0\r\n\r\n").unwrap(), ReadOutcome::Request(_)));
+}
+
+#[test]
+fn oversized_heads_and_bodies_are_413() {
+    let tight = Limits { max_header_bytes: 128, max_body_bytes: 64 };
+
+    // A single header that blows the head cap.
+    let mut big_head = b"GET / HTTP/1.1\r\nx-pad: ".to_vec();
+    big_head.extend(std::iter::repeat_n(b'a', 4096));
+    big_head.extend_from_slice(b"\r\n\r\n");
+    let err = read_request(&mut BufReader::new(&big_head[..]), &tight).unwrap_err();
+    assert_eq!(err.status, 413);
+
+    // An oversized Content-Length is refused from the header alone: the
+    // parser must not buffer a body it already knows is over the limit,
+    // so a *lying* Content-Length with no body at all still rejects.
+    let decl_only = b"POST /v1/check HTTP/1.1\r\ncontent-length: 999999\r\n\r\n";
+    let err = read_request(&mut BufReader::new(&decl_only[..]), &tight).unwrap_err();
+    assert_eq!(err.status, 413);
+
+    // At the limit is fine.
+    let mut ok = b"POST / HTTP/1.1\r\ncontent-length: 64\r\n\r\n".to_vec();
+    ok.extend(std::iter::repeat_n(b'b', 64));
+    match read_request(&mut BufReader::new(&ok[..]), &tight).unwrap() {
+        ReadOutcome::Request(r) => assert_eq!(r.body.len(), 64),
+        other => panic!("expected request, got {other:?}"),
+    }
+}
+
+#[test]
+fn chunked_uploads_and_bad_lengths_are_rejected() {
+    assert_eq!(
+        reject_status(b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"),
+        411,
+        "chunked uploads are refused so the memory bound follows from content-length"
+    );
+    assert_eq!(reject_status(b"POST / HTTP/1.1\r\ncontent-length: banana\r\n\r\n"), 400);
+    assert_eq!(reject_status(b"POST / HTTP/1.1\r\ncontent-length: -5\r\n\r\n"), 400);
+    // Body shorter than declared: the peer vanished mid-body.
+    assert_eq!(reject_status(b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc"), 400);
+}
+
+#[test]
+fn pipelined_requests_parse_one_per_call_in_order() {
+    let wire = b"POST /v1/check HTTP/1.1\r\ncontent-length: 3\r\n\r\nabc\
+                 GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n";
+    let mut r = BufReader::new(&wire[..]);
+    let limits = Limits::default();
+
+    let first = match read_request(&mut r, &limits).unwrap() {
+        ReadOutcome::Request(req) => req,
+        other => panic!("expected first request, got {other:?}"),
+    };
+    assert_eq!(first.method, "POST");
+    assert_eq!(first.path, "/v1/check");
+    assert_eq!(first.body, b"abc");
+    assert!(!first.wants_close());
+
+    let second = match read_request(&mut r, &limits).unwrap() {
+        ReadOutcome::Request(req) => req,
+        other => panic!("expected second request, got {other:?}"),
+    };
+    assert_eq!(second.method, "GET");
+    assert_eq!(second.path, "/healthz");
+    assert!(second.body.is_empty());
+    assert!(second.wants_close(), "the exact byte boundary between requests was kept");
+
+    assert!(matches!(read_request(&mut r, &limits).unwrap(), ReadOutcome::Eof));
+}
+
+#[test]
+fn bare_lf_requests_are_tolerated() {
+    match parse_one(b"GET /healthz HTTP/1.1\nhost: x\n\n").unwrap() {
+        ReadOutcome::Request(r) => {
+            assert_eq!(r.path, "/healthz");
+            assert_eq!(r.header("host"), Some("x"));
+        }
+        other => panic!("expected request, got {other:?}"),
+    }
+}
+
+// --- ND-JSON framing property -------------------------------------------
+
+/// Deterministic pseudo-random stream (64-bit LCG, Knuth constants).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn gen_frame(rng: &mut Lcg, job: &str, seq: u64) -> ProgressFrame {
+    let kind = match rng.below(3) {
+        0 => {
+            let states = [
+                JobState::Queued,
+                JobState::Running,
+                JobState::Done,
+                JobState::Cancelled,
+                JobState::Failed,
+            ];
+            FrameKind::Lifecycle { state: states[rng.below(5) as usize] }
+        }
+        1 => {
+            let names = ["search.rounds", "search.nodes", "search.tt.spilled", "check.inputs"];
+            FrameKind::Event { name: names[rng.below(4) as usize].to_string(), value: rng.next() }
+        }
+        _ => {
+            // Messages cover the characters JSON string escaping must
+            // survive; newlines are excluded by the frame contract.
+            let pieces = ["round 3 refuted", "a\\b", "q\"uote", "tab\there", "caf\u{e9}", ""];
+            let mut message = String::new();
+            for _ in 0..=rng.below(3) {
+                message.push_str(pieces[rng.below(6) as usize]);
+            }
+            FrameKind::Log { message }
+        }
+    };
+    ProgressFrame { job: job.to_string(), seq, kind }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// A burst of frames written through the chunked writer — with
+    /// adversarial chunk boundaries that split lines arbitrarily —
+    /// reassembles into exactly the same frames on the client's
+    /// line-splitting side.
+    #[test]
+    fn ndjson_frames_survive_chunked_transport(seed in 0u64..100_000) {
+        let mut rng = Lcg(seed.wrapping_mul(2) + 1);
+        let job = format!("job-{}", rng.below(1000));
+        let frames: Vec<ProgressFrame> =
+            (0..1 + rng.below(12)).map(|seq| gen_frame(&mut rng, &job, seq)).collect();
+
+        // Serialize the stream as the server does: one line per frame,
+        // then slice it into chunks at LCG-chosen boundaries (the wire
+        // is free to split a line across chunks).
+        let mut stream = Vec::new();
+        for f in &frames {
+            let line = f.to_json_line();
+            prop_assert!(!line.contains('\n'), "frames must fit one line");
+            stream.extend_from_slice(line.as_bytes());
+            stream.push(b'\n');
+        }
+        let mut wire = Vec::new();
+        {
+            let mut cw = ChunkedWriter::start(&mut wire, 200, "application/x-ndjson", &[])
+                .expect("writing to a Vec cannot fail");
+            let mut rest = &stream[..];
+            while !rest.is_empty() {
+                let take = (1 + rng.below(rest.len() as u64 * 2)).min(rest.len() as u64) as usize;
+                cw.chunk(&rest[..take]).expect("chunk write");
+                rest = &rest[take..];
+            }
+            cw.finish().expect("finish write");
+        }
+
+        // De-chunk and split lines exactly as `client::stream_lines`
+        // does: drain complete lines, keep the partial tail.
+        let text = String::from_utf8(wire).expect("chunked stream is valid UTF-8");
+        let body_at = text.find("\r\n\r\n").expect("head/body split") + 4;
+        let mut dechunked: Vec<u8> = Vec::new();
+        let mut rest = &text.as_bytes()[body_at..];
+        loop {
+            let nl = rest.iter().position(|&b| b == b'\n').expect("chunk size line");
+            let size_line = std::str::from_utf8(&rest[..nl]).unwrap().trim();
+            let size = usize::from_str_radix(size_line, 16).expect("hex chunk size");
+            rest = &rest[nl + 1..];
+            if size == 0 {
+                break;
+            }
+            dechunked.extend_from_slice(&rest[..size]);
+            prop_assert_eq!(&rest[size..size + 2], b"\r\n", "chunk data ends with CRLF");
+            rest = &rest[size + 2..];
+        }
+
+        let mut parsed = Vec::new();
+        let mut tail: Vec<u8> = dechunked;
+        while let Some(pos) = tail.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = tail.drain(..=pos).collect();
+            let text = std::str::from_utf8(&line[..line.len() - 1]).unwrap();
+            parsed.push(ProgressFrame::parse_line(text).expect("line parses as a frame"));
+        }
+        prop_assert!(tail.is_empty(), "no partial line may remain after the final frame");
+        prop_assert_eq!(parsed, frames);
+    }
+}

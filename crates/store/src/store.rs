@@ -35,13 +35,31 @@
 //! stamped with the generation that wrote them. [`ArtifactStore::gc`]
 //! evicts oldest-generation entries first (ties broken by hash) until
 //! the store fits the byte budget — a cheap LRU at run granularity.
+//!
+//! ## Concurrency
+//!
+//! The store never assumed a single owner for *reads* (atomic renames
+//! mean readers see old or new, never torn), and writes are safe from
+//! any number of threads and handles: temp-file names carry a
+//! process-wide sequence number, so two threads writing the same hash
+//! cannot collide, and the last rename wins with both byte-identical.
+//! The generation bump in [`ArtifactStore::open`] takes an advisory
+//! lock file (`store.meta.lock`), so concurrent opens — across threads
+//! *or* processes — each get a distinct generation instead of losing
+//! updates. [`ArtifactStore::gc`] tolerates entries vanishing under it
+//! (another handle's GC got there first). A long-lived multi-threaded
+//! process should prefer [`ArtifactStore::open_shared`], which hands
+//! every caller one shared generation per root.
 
 use crate::mmap::map_file;
 use snet_core::ir::CanonicalHash;
 use snet_core::verdict::Verdict;
+use std::collections::HashMap;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::time::{Duration, Instant};
 
 /// Schema tag of the per-entry header line.
 pub const ENTRY_SCHEMA: &str = "snet-store-entry/1";
@@ -149,11 +167,16 @@ impl ArtifactStore {
     /// Opens (creating if needed) the store at `root` and bumps its
     /// generation. A corrupt meta file is quarantined and the counter
     /// restarts — opening never fails on bad content, only on I/O.
+    ///
+    /// The generation read-modify-write runs under the `store.meta.lock`
+    /// advisory lock, so concurrent opens of one root (threads or
+    /// processes) serialize and each get a distinct generation.
     pub fn open(root: impl AsRef<Path>) -> io::Result<ArtifactStore> {
         let root = root.as_ref().to_path_buf();
         std::fs::create_dir_all(root.join("objects"))?;
         std::fs::create_dir_all(root.join("quarantine"))?;
         let meta_path = root.join("store.meta.json");
+        let _lock = MetaLock::acquire(&root)?;
         let generation = match read_meta_generation(&meta_path) {
             Ok(g) => g + 1,
             Err(MetaError::Missing) => 1,
@@ -165,6 +188,33 @@ impl ArtifactStore {
         let meta = format!("{{\"schema\":\"{META_SCHEMA}\",\"generation\":{generation}}}\n");
         write_atomically(&meta_path, meta.as_bytes())?;
         Ok(ArtifactStore { inner: Arc::new(Inner { root, generation }) })
+    }
+
+    /// Opens `root` sharing one generation per root within this process:
+    /// when a handle for the same root is still alive anywhere in the
+    /// process, the returned handle shares it (same `Arc<Inner>`, same
+    /// generation) instead of bumping again. The first open of a root —
+    /// or the first after every prior handle was dropped — behaves like
+    /// [`ArtifactStore::open`].
+    ///
+    /// This is the constructor for long-lived multi-threaded services:
+    /// `snetd` keeps one store open for its lifetime, and every worker
+    /// that resolves the store gets the daemon's handle rather than
+    /// inflating the generation counter (which would age cache entries
+    /// artificially fast under [`ArtifactStore::gc`]).
+    pub fn open_shared(root: impl AsRef<Path>) -> io::Result<ArtifactStore> {
+        let root_buf = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(root_buf.join("objects"))?;
+        let key = std::fs::canonicalize(&root_buf).unwrap_or_else(|_| root_buf.clone());
+        // Hold the registry lock across the fallback open: two threads
+        // racing the first open of a root must not both bump.
+        let mut reg = shared_registry().lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(inner) = reg.get(&key).and_then(Weak::upgrade) {
+            return Ok(ArtifactStore { inner });
+        }
+        let store = ArtifactStore::open(&root_buf)?;
+        reg.insert(key, Arc::downgrade(&store.inner));
+        Ok(store)
     }
 
     /// The store's root directory.
@@ -283,6 +333,9 @@ impl ArtifactStore {
                 }
                 match read_entry_meta(&path) {
                     Some(meta) => out.push(meta),
+                    // Vanished between the directory walk and the read:
+                    // a racing GC removed it — not corruption.
+                    None if !path.exists() => {}
                     None => {
                         snet_obs::counter("store.quarantined", 1);
                         quarantine_file(&self.inner.root, &path);
@@ -330,10 +383,17 @@ impl ArtifactStore {
             if total <= max_bytes {
                 break;
             }
-            std::fs::remove_file(&e.path)?;
-            total -= e.bytes;
-            report.removed += 1;
-            report.freed_bytes += e.bytes;
+            match std::fs::remove_file(&e.path) {
+                Ok(()) => {
+                    report.removed += 1;
+                    report.freed_bytes += e.bytes;
+                }
+                // Another handle's GC (or a quarantine) won the race;
+                // the bytes are gone either way.
+                Err(err) if err.kind() == io::ErrorKind::NotFound => {}
+                Err(err) => return Err(err),
+            }
+            total = total.saturating_sub(e.bytes);
         }
         report.remaining_bytes = total;
         snet_obs::counter("store.gc.removed", report.removed);
@@ -432,15 +492,79 @@ fn read_entry_meta(path: &Path) -> Option<EntryMeta> {
 // Filesystem plumbing.
 // ---------------------------------------------------------------------------
 
+/// Live [`Inner`]s by canonical root, for [`ArtifactStore::open_shared`].
+fn shared_registry() -> &'static Mutex<HashMap<PathBuf, Weak<Inner>>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<PathBuf, Weak<Inner>>>> = OnceLock::new();
+    REGISTRY.get_or_init(Default::default)
+}
+
+/// RAII advisory lock on `<root>/store.meta.lock`, guarding the meta
+/// file's read-modify-write. Created with `create_new` (atomic on every
+/// platform we build for); a lock older than [`MetaLock::STALE`] is
+/// presumed leaked by a crashed holder and stolen — the critical
+/// section is two tiny file ops, never legitimately that long.
+struct MetaLock {
+    path: PathBuf,
+}
+
+impl MetaLock {
+    const STALE: Duration = Duration::from_secs(10);
+    const WAIT: Duration = Duration::from_secs(5);
+
+    fn acquire(root: &Path) -> io::Result<MetaLock> {
+        let path = root.join("store.meta.lock");
+        let deadline = Instant::now() + MetaLock::WAIT;
+        loop {
+            match std::fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut f) => {
+                    let _ = write!(f, "{}", std::process::id());
+                    return Ok(MetaLock { path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let stale = std::fs::metadata(&path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|t| t.elapsed().ok())
+                        .is_some_and(|age| age > MetaLock::STALE);
+                    if stale {
+                        let _ = std::fs::remove_file(&path);
+                        continue;
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!("{}: advisory lock held too long", path.display()),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Drop for MetaLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 /// Writes `bytes` to `path` crash-safely: temp file in the same
-/// directory, fsync, atomic rename.
+/// directory, fsync, atomic rename. The temp name carries a process-wide
+/// sequence number so concurrent writers of the *same* target path never
+/// share a temp file — and ends in `.tmp`, never `.art`, so a concurrent
+/// `ls` walk cannot mistake a half-written temp for a corrupt entry and
+/// quarantine it out from under the rename.
 fn write_atomically(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
     let dir = path.parent().expect("entry paths have a parent");
     std::fs::create_dir_all(dir)?;
     let tmp = dir.join(format!(
-        ".tmp-{}-{}",
+        ".{}.{}-{}.tmp",
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("entry"),
         std::process::id(),
-        path.file_name().and_then(|n| n.to_str()).unwrap_or("entry")
+        TEMP_SEQ.fetch_add(1, Ordering::Relaxed),
     ));
     let mut f = std::fs::File::create(&tmp)?;
     f.write_all(bytes)?;
