@@ -66,6 +66,7 @@ fn main() {
             Some("metrics") => cmd_metrics(&args[1..]),
             Some("serve") => cmd_serve(&args[1..]),
             Some("query") => cmd_query(&args[1..]),
+            Some("trace") => cmd_trace(&args[1..]),
             Some("--help") | Some("-h") | None => {
                 print_usage();
                 Ok(())
@@ -215,15 +216,24 @@ fn print_usage() {
          \x20         and reprints a --metrics-out dump, --watch repaints every SECS\n\
          \x20         (with FILE: re-reads it each tick, tolerating torn mid-write lines)\n\
          \x20 serve   [--addr HOST:PORT] [--store DIR] [--conn-threads N] [--max-jobs N]\n\
-         \x20         [--search-threads N] [--check-threads N]\n\
+         \x20         [--search-threads N] [--check-threads N] [--access-log FILE.jsonl]\n\
+         \x20         [--slow-ms MS]\n\
          \x20         run the snetd verification service (default 127.0.0.1:7421); identical\n\
          \x20         in-flight requests compile once, warm store hits replay byte-identical\n\
-         \x20         verdicts, SIGTERM drains gracefully; exit code 11 if it cannot start\n\
+         \x20         verdicts, SIGTERM drains gracefully; exit code 11 if it cannot start;\n\
+         \x20         --access-log appends one JSONL line per request, --slow-ms dumps\n\
+         \x20         requests at least that slow to slow-<trace>.jsonl\n\
          \x20 query   [--addr HOST:PORT] check FILE | adversary FILE [--k K]\n\
          \x20         | search --n N [--shuffle-legal] [--max-depth D] [--threads W]\n\
-         \x20         | job ID | cancel ID | health | metrics\n\
+         \x20         | job ID | cancel ID | health | metrics | debug | trace ID\n\
          \x20         client for a running serve daemon; search streams ND-JSON progress\n\
-         \x20         frames to stdout as they arrive\n\
+         \x20         frames to stdout as they arrive; every request forwards an\n\
+         \x20         x-snet-trace context and echoes the daemon's trace id on stderr\n\
+         \x20 trace   ID [--addr HOST:PORT] [--client TRACE.jsonl] [--chrome OUT.json]\n\
+         \x20         [-o OUT.jsonl]\n\
+         \x20         fetch a stored server-side request trace; --client merges the query's\n\
+         \x20         own --trace-out file into one cross-process timeline (server spans\n\
+         \x20         nested under the client span that issued them)\n\
          \n\
          global flags (any command):\n\
          \x20 --trace-out FILE.jsonl           write structured trace events (spans, counters,\n\
@@ -1048,6 +1058,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(v) = take_flag_value(&mut args, "--check-threads")? {
         cfg.check_threads = parse(&v, "--check-threads")?;
     }
+    cfg.access_log = take_flag_value(&mut args, "--access-log")?.map(std::path::PathBuf::from);
+    if let Some(v) = take_flag_value(&mut args, "--slow-ms")? {
+        cfg.slow_ms = Some(parse(&v, "--slow-ms")?);
+    }
     if let Some(extra) = args.first() {
         return Err(format!("serve: unexpected argument '{extra}'"));
     }
@@ -1066,19 +1080,38 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 /// streams the job's ND-JSON progress frames to stdout as they arrive
 /// and then prints the job's result document. `job ID` / `cancel ID`
 /// inspect and stop jobs; `health` and `metrics` print the daemon's
-/// liveness document and Prometheus exposition.
+/// liveness document and Prometheus exposition; `debug` fetches the
+/// tracez-style request ring and `trace ID` a stored request trace.
+///
+/// Every invocation generates a trace context and forwards it as
+/// `x-snet-trace`, so the daemon's spans, counters, and progress frames
+/// for this request all carry one trace id — the id is echoed on stderr
+/// and, with `--trace-out`, the client's own `query.request` span joins
+/// the same trace, which `snetctl trace ID --client FILE` can merge
+/// into a single cross-process timeline.
 fn cmd_query(args: &[String]) -> Result<(), String> {
     use snet_service::client;
     let mut args = args.to_vec();
     let addr =
         take_flag_value(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7421".to_string());
     let sub = args.first().cloned().ok_or(
-        "query requires a subcommand (try check, adversary, search, job, cancel, health, metrics)",
+        "query requires a subcommand (try check, adversary, search, job, cancel, health, \
+         metrics, debug, trace)",
     )?;
+    let tctx = snet_obs::TraceContext::generate();
+    let qspan = snet_obs::span("query.request")
+        .attr(snet_obs::TRACE_ATTR, tctx.trace.to_hex())
+        .attr("subcommand", &sub);
+    // The forwarded context parents the server's request span under
+    // this client span (id 0 — "no recording client span" — when no
+    // trace sink is installed).
+    let trace_header =
+        snet_obs::TraceContext { trace: tctx.trace, parent_span: qspan.id() }.to_header();
+    let trace_headers: [(&str, &str); 1] = [(snet_obs::TRACE_HEADER, trace_header.as_str())];
     // One failure message shape for every transport error: the daemon
     // being down reads the same way regardless of subcommand.
     let send = |method: &str, path: &str, body: Option<&[u8]>| {
-        client::request(&addr, method, path, body)
+        client::request_with(&addr, method, path, body, &trace_headers)
             .map_err(|e| format!("query: {method} {addr}{path}: {e}"))
     };
     match sub.as_str() {
@@ -1098,9 +1131,8 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         }
         "adversary" => {
             let path = args.get(1).ok_or("query adversary requires a network FILE")?.clone();
-            let k = take_flag_value(&mut args, "--k")?
-                .map(|v| parse::<u32>(&v, "--k"))
-                .transpose()?;
+            let k =
+                take_flag_value(&mut args, "--k")?.map(|v| parse::<u32>(&v, "--k")).transpose()?;
             let file = NetworkFile::load(&path)?;
             let Some(shuffle) = file.as_shuffle() else {
                 return Err(format!(
@@ -1140,17 +1172,21 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             let req =
                 snet_core::api::SearchRequest { n, mode: mode.to_string(), max_depth, threads };
             let body = serde_json::to_string(&req).map_err(|e| e.to_string())?;
-            let resp = client::stream_lines(
+            let resp = client::stream_lines_with(
                 &addr,
                 "POST",
                 "/v1/search",
                 Some(body.as_bytes()),
+                &trace_headers,
                 &mut |line| {
                     println!("{line}");
                     true
                 },
             )
             .map_err(|e| format!("query: POST {addr}/v1/search: {e}"))?;
+            if let Some(t) = resp.header(snet_obs::TRACE_HEADER) {
+                eprintln!("snetctl: query: trace {t}");
+            }
             if resp.status != 200 {
                 return Err(format!("query: daemon answered {}: {}", resp.status, resp.text()));
             }
@@ -1192,8 +1228,20 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             print_query_answer(&resp)?;
             Ok(())
         }
+        "debug" => {
+            let resp = send("GET", "/v1/debug/requests", None)?;
+            print_query_answer(&resp)?;
+            Ok(())
+        }
+        "trace" => {
+            let id = args.get(1).ok_or("query trace requires a trace ID")?;
+            let resp = send("GET", &format!("/v1/trace/{id}"), None)?;
+            print_query_answer(&resp)?;
+            Ok(())
+        }
         other => Err(format!(
-            "unknown query subcommand '{other}' (try check, adversary, search, job, cancel, health, metrics)"
+            "unknown query subcommand '{other}' (try check, adversary, search, job, cancel, \
+             health, metrics, debug, trace)"
         )),
     }
 }
@@ -1211,12 +1259,157 @@ fn print_query_answer(resp: &snet_service::client::Response) -> Result<String, S
             None => eprintln!("snetctl: query: cache {cache}"),
         }
     }
+    if let Some(t) = resp.header(snet_obs::TRACE_HEADER) {
+        eprintln!("snetctl: query: trace {t}");
+    }
+    if let Some(link) = resp.header(snet_service::LINK_HEADER) {
+        eprintln!("snetctl: query: linked trace {link}");
+    }
     let text = resp.text();
     print!("{text}");
     if !text.ends_with('\n') && !text.is_empty() {
         println!();
     }
     Ok(text)
+}
+
+/// `trace ID [--addr HOST:PORT] [--client TRACE.jsonl] [--chrome OUT.json]
+/// [-o OUT.jsonl]` — fetches a stored request trace from a running
+/// daemon (`GET /v1/trace/{id}`; the ID is what `query` echoes on
+/// stderr — a bare 32-hex trace id or the full `trace-span` header
+/// value). With `--client`, the client-side `--trace-out` file of the
+/// same query is merged in: server span/thread ids are remapped into
+/// their own range, server timestamps are shifted onto the client's
+/// clock (anchored at the `query.request` → `http.request` span pair),
+/// and the server's request span is reparented under the client span
+/// that issued it — one cross-process timeline. `--chrome` exports
+/// Chrome trace-event JSON, `-o` the merged JSONL; the default renders
+/// the span-tree report.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    use snet_service::client;
+    let mut args = args.to_vec();
+    let addr =
+        take_flag_value(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7421".to_string());
+    let client_path = take_flag_value(&mut args, "--client")?;
+    let chrome_out = take_flag_value(&mut args, "--chrome")?;
+    let jsonl_out = take_flag_value(&mut args, "-o")?;
+    // Accept the full `trace-span` value `query` echoes, or the bare id.
+    let id = args
+        .first()
+        .and_then(|full| full.split('-').next())
+        .filter(|s| !s.is_empty())
+        .ok_or("trace requires a trace ID (32 hex digits)")?
+        .to_string();
+    let resp = client::request(&addr, "GET", &format!("/v1/trace/{id}"), None)
+        .map_err(|e| format!("trace: GET {addr}/v1/trace/{id}: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("trace: daemon answered {}: {}", resp.status, resp.text()));
+    }
+    let server = snet_obs::report::parse_events(&resp.text())
+        .map_err(|e| format!("trace: server events: {e}"))?;
+    let merged = match &client_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let client_events =
+                snet_obs::report::parse_events(&text).map_err(|e| format!("trace: {path}: {e}"))?;
+            let (merged, anchored) = merge_cross_process(&client_events, &server, &id);
+            eprintln!(
+                "snetctl: trace {id}: merged {} client + {} server events{}",
+                client_events.len(),
+                server.len(),
+                if anchored { "" } else { " (no matching client span; left side by side)" }
+            );
+            merged
+        }
+        None => server,
+    };
+    if let Some(out) = chrome_out {
+        let json = snet_obs::to_chrome_trace(&merged);
+        std::fs::write(&out, json).map_err(|e| format!("{out}: {e}"))?;
+        println!("chrome trace written to {out} (load in chrome://tracing or ui.perfetto.dev)");
+        return Ok(());
+    }
+    let mut text = String::new();
+    for e in &merged {
+        text.push_str(&e.to_json_line());
+        text.push('\n');
+    }
+    if let Some(out) = jsonl_out {
+        std::fs::write(&out, text).map_err(|e| format!("{out}: {e}"))?;
+        println!("merged trace written to {out}");
+        return Ok(());
+    }
+    let (report, skipped) = snet_obs::report::parse_trace_lossy(&text);
+    if skipped > 0 {
+        eprintln!("trace: skipped {skipped} malformed line(s)");
+    }
+    print!("{}", snet_obs::report::render(&report));
+    Ok(())
+}
+
+/// Stitches a server-side request trace onto the client trace that
+/// issued it: server span/parent ids move up by a fixed offset (the two
+/// processes' id counters both start near zero), server thread ordinals
+/// move past the client's, server timestamps shift onto the client's
+/// clock so the server's `http.request` span starts when the client's
+/// `query.request` span does, and the server request span is reparented
+/// under the client span. Returns the merged events and whether the
+/// anchor pair was found (without it, events are still merged but keep
+/// their own clocks and roots).
+fn merge_cross_process(
+    client: &[snet_obs::Event],
+    server: &[snet_obs::Event],
+    trace_hex: &str,
+) -> (Vec<snet_obs::Event>, bool) {
+    use snet_obs::EventKind;
+    const ID_OFFSET: u64 = 1 << 32;
+    let has_trace_attr =
+        |e: &snet_obs::Event| e.attrs.iter().any(|(k, v)| k == "trace" && v == trace_hex);
+    // Span attrs ride on the SpanEnd event, so identify the anchor span
+    // by whichever event carries the trace attr, then take its
+    // SpanStart time (falling back to end-minus-duration on a torn
+    // trace missing the start line).
+    let anchor_of = |events: &[snet_obs::Event], name: &str| -> Option<(u64, u64)> {
+        let id = events.iter().find(|e| e.name == name && has_trace_attr(e))?.id;
+        let start = events
+            .iter()
+            .find(|e| e.kind == EventKind::SpanStart && e.id == id)
+            .map(|e| e.t_us)
+            .or_else(|| {
+                events
+                    .iter()
+                    .find(|e| e.kind == EventKind::SpanEnd && e.id == id)
+                    .map(|e| e.t_us.saturating_sub(e.dur_us))
+            })?;
+        Some((id, start))
+    };
+    let client_anchor = anchor_of(client, "query.request");
+    let server_anchor = anchor_of(server, "http.request");
+    let anchored = client_anchor.is_some() && server_anchor.is_some();
+    let delta: i128 = match (client_anchor, server_anchor) {
+        (Some((_, ct)), Some((_, st))) => ct as i128 - st as i128,
+        _ => 0,
+    };
+    let root_id = server_anchor.map(|(id, _)| id).unwrap_or(0);
+    let client_parent = client_anchor.map(|(id, _)| id).unwrap_or(0);
+    let thread_offset = client.iter().map(|e| e.thread).max().unwrap_or(0) + 1;
+    let mut merged: Vec<snet_obs::Event> = client.to_vec();
+    for e in server {
+        let mut e = e.clone();
+        let original_id = e.id;
+        if e.id != 0 {
+            e.id += ID_OFFSET;
+        }
+        if anchored && original_id == root_id {
+            e.parent = client_parent;
+        } else if e.parent != 0 {
+            e.parent += ID_OFFSET;
+        }
+        e.thread += thread_offset;
+        e.t_us = (e.t_us as i128 + delta).max(0) as u64;
+        merged.push(e);
+    }
+    (merged, anchored)
 }
 
 /// `bench diff NEW.json [--against OLD.json] [--fail-on-regress PCT]` —

@@ -608,7 +608,11 @@ fn report_chrome_exports_valid_trace_event_json() {
         .map(meta_name)
         .collect();
     assert!(thread_names.iter().any(|n| n == "main"), "{thread_names:?}");
-    assert!(thread_names.iter().any(|n| n.starts_with("worker-")), "{thread_names:?}");
+    // Worker lanes carry stable logical names: `search-worker-<slot>`,
+    // not per-OS-thread ordinals that change round to round.
+    assert!(thread_names.iter().any(|n| n == "search-worker-0"), "{thread_names:?}");
+    assert!(thread_names.iter().any(|n| n == "search-worker-1"), "{thread_names:?}");
+    assert!(thread_names.iter().all(|n| !n.starts_with("worker-")), "{thread_names:?}");
     assert!(
         events.iter().any(|e| fstr(e, "ph") == "M"
             && fstr(e, "name") == "process_name"

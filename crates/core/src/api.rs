@@ -413,6 +413,10 @@ pub struct ProgressFrame {
     pub job: String,
     /// Monotone per-job sequence number (0-based, no gaps).
     pub seq: u64,
+    /// Hex trace id of the request that owns this job, when the daemon
+    /// traced it; stable across miss/coalesced/hit deliveries of the
+    /// same job so stream consumers can join frames to request traces.
+    pub trace: Option<String>,
     /// The payload.
     pub kind: FrameKind,
 }
@@ -435,6 +439,9 @@ impl ProgressFrame {
 impl Serialize for ProgressFrame {
     fn serialize(&self) -> Value {
         let mut fields = vec![("job", string(&self.job)), ("seq", uint(self.seq))];
+        if let Some(t) = &self.trace {
+            fields.push(("trace", string(t)));
+        }
         match &self.kind {
             FrameKind::Lifecycle { state } => {
                 fields.push(("frame", string("lifecycle")));
@@ -471,6 +478,10 @@ impl Deserialize for ProgressFrame {
         Ok(ProgressFrame {
             job: String::deserialize(field(v, "job")?)?,
             seq: u64::deserialize(field(v, "seq")?)?,
+            trace: match opt_field(v, "trace") {
+                Some(t) => Some(String::deserialize(t)?),
+                None => None,
+            },
             kind,
         })
     }
@@ -584,16 +595,19 @@ mod tests {
             ProgressFrame {
                 job: "job-0".into(),
                 seq: 0,
+                trace: None,
                 kind: FrameKind::Lifecycle { state: JobState::Running },
             },
             ProgressFrame {
                 job: "job-0".into(),
                 seq: 1,
+                trace: Some("deadbeef0000000000000000cafef00d".into()),
                 kind: FrameKind::Event { name: "search.rounds".into(), value: 3 },
             },
             ProgressFrame {
                 job: "job-0".into(),
                 seq: 2,
+                trace: None,
                 kind: FrameKind::Log { message: "round 3: depth 5 refuted".into() },
             },
         ];

@@ -66,9 +66,25 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
     meta.push('}');
     records.push(meta);
 
+    // Threads that published a lane label (via `thread_lane`) are named
+    // by role; the rest keep the generic ordinal label. Last label wins,
+    // matching the emitter's "re-label if reused" contract.
+    let mut lanes: BTreeMap<u64, &str> = BTreeMap::new();
+    for e in events {
+        if e.name == crate::THREAD_LANE_EVENT {
+            if let Some(lane) = e.attr("lane") {
+                lanes.insert(e.thread, lane);
+            }
+        }
+    }
+
     let threads: BTreeSet<u64> = events.iter().map(|e| e.thread).collect();
     for &tid in &threads {
-        let label = if tid == 0 { "main".to_string() } else { format!("worker-{tid}") };
+        let label = match lanes.get(&tid) {
+            Some(lane) => lane.to_string(),
+            None if tid == 0 => "main".to_string(),
+            None => format!("worker-{tid}"),
+        };
         let mut name = String::new();
         push_event_head(&mut name, 'M', "thread_name", tid, 0);
         push_args(&mut name, &[("name".to_string(), label)]);
@@ -113,6 +129,9 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
                 rec.push_str(&format!(",\"args\":{{\"value\":{}}}}}", fmt_f64(*total)));
             }
             EventKind::Gauge => {
+                if e.name == crate::THREAD_LANE_EVENT {
+                    continue; // consumed above as thread_name metadata
+                }
                 push_event_head(&mut rec, 'C', &e.name, 0, e.t_us);
                 rec.push_str(&format!(",\"args\":{{\"value\":{}}}}}", fmt_f64(e.value)));
             }
@@ -197,6 +216,25 @@ mod tests {
         assert!(json.contains("\"ph\":\"C\""));
         assert!(json.contains("{\"value\":5}"));
         assert!(json.contains("{\"value\":12}"), "counter track is cumulative: {json}");
+    }
+
+    #[test]
+    fn lane_events_name_their_threads_and_leave_no_counter_track() {
+        let mut lane = ev(EventKind::Gauge, crate::THREAD_LANE_EVENT, 0, 4, 5, 0);
+        lane.attrs.push(("lane".into(), "http-worker-2".into()));
+        let work = {
+            let mut e = ev(EventKind::SpanEnd, "http.request", 9, 4, 40, 30);
+            e.attrs.push(("endpoint".into(), "/healthz".into()));
+            e
+        };
+        let json =
+            to_chrome_trace(&[lane, ev(EventKind::SpanStart, "http.request", 9, 4, 10, 0), work]);
+        assert!(json.contains("\"name\":\"http-worker-2\""), "lane label wins: {json}");
+        assert!(!json.contains("\"name\":\"worker-4\""), "generic label suppressed: {json}");
+        assert!(
+            !json.contains(&format!("\"ph\":\"C\",\"name\":\"{}\"", crate::THREAD_LANE_EVENT)),
+            "lane events are metadata, not counter tracks: {json}"
+        );
     }
 
     #[test]

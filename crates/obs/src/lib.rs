@@ -54,6 +54,7 @@ pub mod promtext;
 pub mod registry;
 pub mod report;
 pub mod sink;
+pub mod tracectx;
 
 pub use baseline::{Baseline, BaselineDiff, BASELINE_SCHEMA};
 pub use chrome::{to_chrome_trace, trace_to_chrome};
@@ -62,6 +63,7 @@ pub use flight::{arm_fault_after, dump_flight, flight_snapshot, DEFAULT_RING_BYT
 pub use hist::{HistSnapshot, Histogram, ShardedCounter};
 pub use manifest::{RunManifest, MANIFEST_SCHEMA};
 pub use sink::{JsonlSink, MemorySink, ProgressSink, Sink};
+pub use tracectx::{TraceContext, TraceId, LINK_ATTR, TRACE_ATTR, TRACE_HEADER};
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -155,6 +157,25 @@ pub fn observe(name: &str, labels: &[(&str, &str)], sample: u64) {
         return;
     }
     registry::record_hist_sample(name, labels, sample);
+}
+
+/// Increments a labeled registry counter (e.g. probe hits under
+/// `{endpoint="/healthz"}`). Registry-only, like [`observe`]: labeled
+/// series have no event-stream equivalent. No-op when disabled.
+pub fn counter_labeled(name: &str, labels: &[(&str, &str)], delta: u64) {
+    if !enabled() {
+        return;
+    }
+    registry::record_counter_labeled(name, labels, delta as f64);
+}
+
+/// Sets a labeled registry gauge (e.g. the in-flight request gauge).
+/// Registry-only, like [`observe`]. No-op when disabled.
+pub fn gauge_labeled(name: &str, labels: &[(&str, &str)], value: f64) {
+    if !enabled() {
+        return;
+    }
+    registry::record_gauge_labeled(name, labels, value);
 }
 
 /// Microseconds since the process-wide observation epoch (first use).
@@ -307,6 +328,34 @@ fn fill_thread_fields(e: &mut Event) {
             }
         }
     });
+}
+
+/// Event name under which [`thread_lane`] publishes a lane label.
+/// Consumed by the Chrome exporter (thread metadata) and skipped by
+/// report tables; not mirrored into the registry.
+pub const THREAD_LANE_EVENT: &str = "obs.thread.lane";
+
+/// Publishes a stable lane label for the calling thread (e.g.
+/// `http-worker-3`, `search-worker-0`), so trace exports name pool
+/// threads by role instead of the generic `worker-N` ordinal. Emit once
+/// per thread, right after it starts; the last label emitted wins.
+pub fn thread_lane(label: impl Into<String>) {
+    if !enabled() {
+        return;
+    }
+    let mut e = Event {
+        kind: EventKind::Gauge,
+        name: THREAD_LANE_EVENT.to_string(),
+        id: 0,
+        parent: 0,
+        thread: 0,
+        t_us: now_us(),
+        dur_us: 0,
+        value: 0.0,
+        attrs: vec![("lane".to_string(), label.into())],
+    };
+    fill_thread_fields(&mut e);
+    emit_event(e);
 }
 
 /// The calling thread's small per-process ordinal (0 for the first

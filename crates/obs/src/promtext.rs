@@ -196,44 +196,62 @@ fn parse_sample_line(line: &str) -> Result<Series, String> {
     }
     let mut labels = Vec::new();
     let rest = if let Some(body) = rest.strip_prefix('{') {
-        let close = body.find('}').ok_or("unterminated label set")?;
-        let (label_text, after) = body.split_at(close);
-        let mut chars = label_text.chars().peekable();
-        while chars.peek().is_some() {
-            let mut key = String::new();
-            for c in chars.by_ref() {
-                if c == '=' {
+        // The closing brace cannot be found with a plain scan: a quoted
+        // label value may itself contain `}` (e.g. a templated endpoint
+        // like `/v1/jobs/{id}`), so walk the grammar instead.
+        let mut chars = body.char_indices().peekable();
+        let after_idx;
+        loop {
+            match chars.peek() {
+                Some(&(i, '}')) => {
+                    after_idx = i + 1;
                     break;
                 }
-                key.push(c);
+                None => return Err("unterminated label set".into()),
+                _ => {}
+            }
+            let mut key = String::new();
+            loop {
+                match chars.next() {
+                    Some((_, '=')) => break,
+                    Some((_, c)) => key.push(c),
+                    None => return Err("unterminated label set".into()),
+                }
             }
             if !valid_label_name(&key) {
                 return Err(format!("invalid label name {key:?}"));
             }
-            if chars.next() != Some('"') {
+            if !matches!(chars.next(), Some((_, '"'))) {
                 return Err("label value not quoted".into());
             }
             let mut val = String::new();
             loop {
                 match chars.next() {
-                    Some('\\') => match chars.next() {
-                        Some('\\') => val.push('\\'),
-                        Some('"') => val.push('"'),
-                        Some('n') => val.push('\n'),
-                        other => return Err(format!("bad escape {other:?}")),
+                    Some((_, '\\')) => match chars.next() {
+                        Some((_, '\\')) => val.push('\\'),
+                        Some((_, '"')) => val.push('"'),
+                        Some((_, 'n')) => val.push('\n'),
+                        other => {
+                            return Err(format!("bad escape {:?}", other.map(|(_, c)| c)));
+                        }
                     },
-                    Some('"') => break,
-                    Some(c) => val.push(c),
+                    Some((_, '"')) => break,
+                    Some((_, c)) => val.push(c),
                     None => return Err("unterminated label value".into()),
                 }
             }
             labels.push((key, val));
-            match chars.next() {
-                Some(',') | None => {}
-                Some(c) => return Err(format!("expected ',' between labels, got {c:?}")),
+            match chars.peek() {
+                Some(&(_, ',')) => {
+                    chars.next();
+                }
+                Some(&(_, '}')) | None => {}
+                Some(&(_, c)) => {
+                    return Err(format!("expected ',' between labels, got {c:?}"));
+                }
             }
         }
-        &after[1..]
+        &body[after_idx..]
     } else {
         rest
     };
@@ -530,6 +548,23 @@ mod tests {
         let text = render(&fams);
         let parsed = parse(&text).expect("escaped labels validate");
         assert_eq!(parsed.series[0].labels[0].1, "a\\b\"c\nd");
+    }
+
+    #[test]
+    fn label_values_may_contain_braces_commas_and_equals() {
+        let text = "# TYPE snet_http_request_duration histogram\n\
+                    snet_http_request_duration_bucket{endpoint=\"/v1/jobs/{id}\",le=\"+Inf\"} 2\n\
+                    snet_http_request_duration_sum{endpoint=\"/v1/jobs/{id}\"} 7\n\
+                    snet_http_request_duration_count{endpoint=\"/v1/jobs/{id}\"} 2\n\
+                    # TYPE snet_g gauge\n\
+                    snet_g{k=\"a,b=c}d\"} 1\n";
+        let parsed = parse(text).expect("braces inside quoted label values are legal");
+        assert_eq!(
+            parsed.value("snet_http_request_duration_count", &[("endpoint", "/v1/jobs/{id}")]),
+            Some(2.0)
+        );
+        assert_eq!(parsed.value("snet_g", &[("k", "a,b=c}d")]), Some(1.0));
+        assert!(parse("snet_g{k=\"open 1\n").is_err(), "a missing close brace still fails");
     }
 
     #[test]

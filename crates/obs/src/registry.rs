@@ -139,6 +139,13 @@ fn help_for(dotted: &str) -> &'static str {
         "sched.failing" => "Schedules that violated the step property",
         "adversary.retained_mass" => "Input mass retained by the adversary",
         "adversary.evictions" => "Inputs evicted by the adversary argument",
+        "http.request.duration" => {
+            "HTTP request latency in microseconds by endpoint, status, and cache disposition"
+        }
+        "http.in_flight" => "HTTP requests currently being handled",
+        "http.probe.requests" => "Health and metrics probe hits, kept out of job-path counters",
+        "http.slow.captured" => "Slow requests whose span trees were dumped via the flight path",
+        "http.traced" => "Requests that arrived with a client trace context",
         "httpd.requests" => "HTTP requests the service accepted for routing",
         "httpd.responses" => "HTTP responses the service sent",
         "httpd.rejected" => "HTTP requests refused as malformed or over limits",
@@ -187,7 +194,11 @@ fn with_cell<R>(
 }
 
 pub(crate) fn record_counter(dotted: &str, delta: f64) {
-    with_cell(dotted, MetricKind::Counter, &[], |v| {
+    record_counter_labeled(dotted, &[], delta);
+}
+
+pub(crate) fn record_counter_labeled(dotted: &str, labels: &[(&str, &str)], delta: f64) {
+    with_cell(dotted, MetricKind::Counter, labels, |v| {
         if let Value::Counter(total) = v {
             *total += delta;
         }
@@ -195,7 +206,11 @@ pub(crate) fn record_counter(dotted: &str, delta: f64) {
 }
 
 pub(crate) fn record_gauge(dotted: &str, sample: f64) {
-    with_cell(dotted, MetricKind::Gauge, &[], |v| {
+    record_gauge_labeled(dotted, &[], sample);
+}
+
+pub(crate) fn record_gauge_labeled(dotted: &str, labels: &[(&str, &str)], sample: f64) {
+    with_cell(dotted, MetricKind::Gauge, labels, |v| {
         if let Value::Gauge(g) = v {
             *g = sample;
         }
@@ -229,6 +244,19 @@ pub fn counter_value(dotted: &str) -> Option<f64> {
         Value::Counter(total) if labels.is_empty() => Some(*total),
         _ => None,
     })
+}
+
+/// The accumulated total of the labeled counter series matching exactly
+/// `labels` (order-insensitive), or `None` if never touched.
+pub fn counter_value_labeled(dotted: &str, labels: &[(&str, &str)]) -> Option<f64> {
+    let name = prom_name(dotted, MetricKind::Counter);
+    let reg = REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+    let cell = reg.get(&name)?;
+    let (_, v) = cell.samples.get(&label_sig(labels))?;
+    match v {
+        Value::Counter(total) => Some(*total),
+        _ => None,
+    }
 }
 
 /// A consistent copy of every registered family, sorted by name.

@@ -149,6 +149,9 @@ pub fn summarize(events: Vec<Event>) -> Report {
                 c.total += ev.value;
             }
             EventKind::Gauge => {
+                if ev.name == crate::THREAD_LANE_EVENT {
+                    continue; // thread metadata, not a measurement
+                }
                 let key = (ev.t_us, ev.thread);
                 if gauge_keys.get(&ev.name).is_none_or(|&existing| key >= existing) {
                     gauge_keys.insert(ev.name.clone(), key);

@@ -662,6 +662,7 @@ fn run_round(
             let task_nodes_hist = &task_nodes_hist;
             let task_us_hist = &task_us_hist;
             scope.spawn(move |_| {
+                snet_obs::thread_lane(format!("search-worker-{worker_index}"));
                 // Explicit parent: this thread has no span stack, so
                 // without `span_under` the worker span would orphan to a
                 // root in the report tree.

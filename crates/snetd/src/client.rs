@@ -37,8 +37,19 @@ pub fn request(
     path: &str,
     body: Option<&[u8]>,
 ) -> std::io::Result<Response> {
+    request_with(addr, method, path, body, &[])
+}
+
+/// [`request`] with extra request headers (e.g. `x-snet-trace`).
+pub fn request_with(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    headers: &[(&str, &str)],
+) -> std::io::Result<Response> {
     let mut collected = Vec::new();
-    let resp = exchange(addr, method, path, body, &mut |bytes| {
+    let resp = exchange(addr, method, path, body, headers, &mut |bytes| {
         collected.extend_from_slice(bytes);
         true
     })?;
@@ -56,9 +67,21 @@ pub fn stream_lines(
     body: Option<&[u8]>,
     on_line: &mut dyn FnMut(&str) -> bool,
 ) -> std::io::Result<Response> {
+    stream_lines_with(addr, method, path, body, &[], on_line)
+}
+
+/// [`stream_lines`] with extra request headers (e.g. `x-snet-trace`).
+pub fn stream_lines_with(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    headers: &[(&str, &str)],
+    on_line: &mut dyn FnMut(&str) -> bool,
+) -> std::io::Result<Response> {
     let mut tail: Vec<u8> = Vec::new();
     let mut keep = true;
-    let resp = exchange(addr, method, path, body, &mut |bytes| {
+    let resp = exchange(addr, method, path, body, headers, &mut |bytes| {
         if !keep {
             return false;
         }
@@ -84,11 +107,15 @@ fn exchange(
     method: &str,
     path: &str,
     body: Option<&[u8]>,
+    headers: &[(&str, &str)],
     on_body: &mut dyn FnMut(&[u8]) -> bool,
 ) -> std::io::Result<Response> {
     let stream = TcpStream::connect(addr)?;
     let mut w = stream.try_clone()?;
     write!(w, "{method} {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\n")?;
+    for (name, value) in headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
     if let Some(b) = body {
         write!(w, "content-type: application/json\r\ncontent-length: {}\r\n\r\n", b.len())?;
         w.write_all(b)?;

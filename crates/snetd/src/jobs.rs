@@ -26,6 +26,7 @@
 //! become ND-JSON [`ProgressFrame`]s for streaming clients. The sink
 //! never calls back into the obs API.
 
+use crate::telemetry::RequestCtx;
 use serde::{Number, Serialize, Value};
 use snet_core::api::{AdversaryRequest, ProgressFrame, SearchRequest};
 use snet_core::api::{CacheState, FrameKind, JobState, JobStatus, API_SCHEMA};
@@ -96,6 +97,11 @@ pub struct CheckAnswer {
     pub job: Option<String>,
     /// The canonical hash the answer is keyed by.
     pub hash: CanonicalHash,
+    /// Hex trace id of the request under which the bytes were computed
+    /// (`None` on a warm hit — no compute). For a coalesced follower
+    /// this is the *leader's* trace: the server turns it into an
+    /// `x-snet-link` header when it differs from the follower's own.
+    pub trace: Option<String>,
 }
 
 // ---------------------------------------------------------------------------
@@ -121,6 +127,7 @@ struct ObsQueue {
 /// drain, plus the `ir.compile` span counter the routing sink maintains.
 pub struct JobObs {
     job_id: String,
+    trace: Option<String>,
     seq: AtomicU64,
     queue: Mutex<ObsQueue>,
     cv: Condvar,
@@ -128,9 +135,10 @@ pub struct JobObs {
 }
 
 impl JobObs {
-    fn new(job_id: &str) -> Arc<JobObs> {
+    fn new(job_id: &str, trace: Option<String>) -> Arc<JobObs> {
         Arc::new(JobObs {
             job_id: job_id.to_string(),
+            trace,
             seq: AtomicU64::new(0),
             queue: Mutex::new(ObsQueue { frames: VecDeque::new(), closed: false }),
             cv: Condvar::new(),
@@ -147,7 +155,12 @@ impl JobObs {
             return;
         }
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        q.frames.push_back(ProgressFrame { job: self.job_id.clone(), seq, kind });
+        q.frames.push_back(ProgressFrame {
+            job: self.job_id.clone(),
+            seq,
+            trace: self.trace.clone(),
+            kind,
+        });
         drop(q);
         self.cv.notify_all();
     }
@@ -185,6 +198,13 @@ impl JobObs {
     /// `ir.compile` span ends attributed to this job so far.
     pub fn compile_spans(&self) -> u64 {
         self.compile_spans.load(Ordering::Relaxed)
+    }
+
+    /// Hex trace id of the request that created this job, if traced.
+    /// Every frame the job pushes carries it, so the stream's trace id
+    /// is stable no matter which client drains it.
+    pub fn trace(&self) -> Option<&str> {
+        self.trace.as_deref()
     }
 }
 
@@ -279,8 +299,8 @@ pub struct Job {
 }
 
 impl Job {
-    fn new(id: String, kind: &'static str) -> Arc<Job> {
-        let obs = JobObs::new(&id);
+    fn new(id: String, kind: &'static str, trace: Option<String>) -> Arc<Job> {
+        let obs = JobObs::new(&id, trace);
         let job = Job {
             id,
             kind,
@@ -362,10 +382,12 @@ impl Job {
 // Coalescing
 // ---------------------------------------------------------------------------
 
-/// `Ok((bytes, job))`: the leader's verdict bytes, plus its job id when
-/// a job actually ran (a leader that lost the race to a just-completed
-/// store write replays the stored bytes jobless).
-type InFlightOutcome = Result<(Vec<u8>, Option<String>), String>;
+/// `Ok((bytes, job, trace))`: the leader's verdict bytes, plus its job
+/// id and hex trace id when a job actually ran (a leader that lost the
+/// race to a just-completed store write replays the stored bytes
+/// jobless and traceless). The trace lets coalesced followers link to
+/// the leader's compile trace.
+type InFlightOutcome = Result<(Vec<u8>, Option<String>, Option<String>), String>;
 
 struct InFlight {
     slot: Mutex<Option<InFlightOutcome>>,
@@ -443,12 +465,12 @@ impl JobManager {
         self.inner.cfg.store.as_ref()
     }
 
-    fn create_job(&self, kind: &'static str) -> Result<Arc<Job>, ApiError> {
+    fn create_job(&self, kind: &'static str, ctx: &RequestCtx) -> Result<Arc<Job>, ApiError> {
         if self.inner.draining.load(Ordering::Acquire) {
             return Err(ApiError::draining());
         }
         let id = format!("job-{}", self.inner.next_job.fetch_add(1, Ordering::Relaxed));
-        let job = Job::new(id.clone(), kind);
+        let job = Job::new(id.clone(), kind, ctx.trace_hex.clone());
         self.inner.jobs.lock().expect("jobs map poisoned").insert(id, job.clone());
         snet_obs::counter("jobs.submitted", 1);
         Ok(job)
@@ -476,7 +498,11 @@ impl JobManager {
 
     /// Answers a check request: warm hit, coalesced follower, or leading
     /// miss (see the module docs). Blocks until the bytes are available.
-    pub fn check(&self, net: &ComparatorNetwork) -> Result<CheckAnswer, ApiError> {
+    pub fn check(
+        &self,
+        net: &ComparatorNetwork,
+        ctx: &RequestCtx,
+    ) -> Result<CheckAnswer, ApiError> {
         let wires = net.wires();
         if !(1..=26).contains(&wires) {
             return Err(ApiError::unprocessable(format!(
@@ -489,7 +515,13 @@ impl JobManager {
         let hash = CanonicalHash::of_network(net);
         if let Some(store) = &self.inner.cfg.store {
             if let Some((_, bytes)) = store.get_verdict(&hash) {
-                return Ok(CheckAnswer { cache: CacheState::Hit, body: bytes, job: None, hash });
+                return Ok(CheckAnswer {
+                    cache: CacheState::Hit,
+                    body: bytes,
+                    job: None,
+                    hash,
+                    trace: None,
+                });
             }
         }
 
@@ -507,8 +539,9 @@ impl JobManager {
 
         if !leading {
             snet_obs::counter("jobs.coalesced", 1);
-            let (body, job) = flight.wait().map_err(|e| ApiError { status: 500, message: e })?;
-            return Ok(CheckAnswer { cache: CacheState::Coalesced, body, job, hash });
+            let (body, job, trace) =
+                flight.wait().map_err(|e| ApiError { status: 500, message: e })?;
+            return Ok(CheckAnswer { cache: CacheState::Coalesced, body, job, hash, trace });
         }
 
         // Leadership claimed — but a previous leader may have completed
@@ -518,8 +551,14 @@ impl JobManager {
         if let Some(store) = &self.inner.cfg.store {
             if let Some((_, bytes)) = store.get_verdict(&hash) {
                 self.inner.in_flight.lock().expect("in-flight map poisoned").remove(&hash);
-                flight.fill(Ok((bytes.clone(), None)));
-                return Ok(CheckAnswer { cache: CacheState::Hit, body: bytes, job: None, hash });
+                flight.fill(Ok((bytes.clone(), None, None)));
+                return Ok(CheckAnswer {
+                    cache: CacheState::Hit,
+                    body: bytes,
+                    job: None,
+                    hash,
+                    trace: None,
+                });
             }
         }
 
@@ -527,17 +566,17 @@ impl JobManager {
         // job record, then fan the bytes out. The in-flight entry is
         // removed before filling so a racing identical request after
         // completion becomes a store hit, not a stale follower.
-        let outcome = match self.create_job("check") {
+        let outcome = match self.create_job("check", ctx) {
             Ok(job) => {
                 let out = self.run_check_leader(&job, net, &hash);
-                out.map(|body| (body, Some(job.id.clone())))
+                out.map(|body| (body, Some(job.id.clone()), ctx.trace_hex.clone()))
             }
             Err(e) => Err(e.message),
         };
         self.inner.in_flight.lock().expect("in-flight map poisoned").remove(&hash);
         flight.fill(outcome.clone());
-        let (body, job) = outcome.map_err(|e| ApiError { status: 500, message: e })?;
-        Ok(CheckAnswer { cache: CacheState::Miss, body, job, hash })
+        let (body, job, trace) = outcome.map_err(|e| ApiError { status: 500, message: e })?;
+        Ok(CheckAnswer { cache: CacheState::Miss, body, job, hash, trace })
     }
 
     fn run_check_leader(
@@ -583,6 +622,9 @@ impl JobManager {
         let mut manifest = RunManifest::capture("snetd");
         manifest.push_extra("ir.compile", job.obs.compile_spans().to_string());
         manifest.push_extra("store.hash", hash.to_hex());
+        if let Some(t) = job.obs.trace() {
+            manifest.push_extra("trace_id", t.to_string());
+        }
         let manifest_obj = Value::Object(
             manifest.fields().into_iter().map(|(k, v)| (k, Value::String(v))).collect(),
         );
@@ -599,15 +641,20 @@ impl JobManager {
     /// Validates and launches a search job; returns immediately with the
     /// queued job. The job acquires one of `max_jobs` slots before
     /// running.
-    pub fn submit_search(&self, req: &SearchRequest) -> Result<Arc<Job>, ApiError> {
+    pub fn submit_search(
+        &self,
+        req: &SearchRequest,
+        ctx: &RequestCtx,
+    ) -> Result<Arc<Job>, ApiError> {
         let cfg = self.validate_search(req)?;
-        let job = self.create_job("search")?;
+        let job = self.create_job("search", ctx)?;
         let mgr = self.clone();
         let handle = {
             let job = job.clone();
+            let ctx = ctx.clone();
             std::thread::Builder::new()
                 .name(format!("snetd-{}", job.id))
-                .spawn(move || mgr.run_search_job(&job, cfg))
+                .spawn(move || mgr.run_search_job(&job, cfg, &ctx))
                 .map_err(|e| ApiError { status: 500, message: format!("cannot spawn job: {e}") })?
         };
         job.record.lock().expect("job record poisoned").handle = Some(handle);
@@ -658,7 +705,14 @@ impl JobManager {
         Ok(cfg)
     }
 
-    fn run_search_job(&self, job: &Arc<Job>, mut cfg: SearchConfig) {
+    fn run_search_job(&self, job: &Arc<Job>, mut cfg: SearchConfig, ctx: &RequestCtx) {
+        // The job thread outlives the HTTP exchange that submitted it;
+        // route its events (and, by span descent, its engine workers')
+        // into the submitting request's trace for the job's duration,
+        // and nest everything it emits under the request span so the
+        // stored tree reads client → request → job.
+        let _trace_guard = ctx.attach();
+        let _job_span = snet_obs::span_under("job.run", ctx.span).attr("job", &job.id);
         // Queue for a slot; shutdown cancels queued jobs instead of
         // starting them.
         let running = {
@@ -705,7 +759,11 @@ impl JobManager {
     /// Answers an adversary request inline: builds the shuffle network,
     /// replays a cached witness verdict when the store has one, or runs
     /// Theorem 4.1 and caches the refutation it finds.
-    pub fn adversary(&self, req: &AdversaryRequest) -> Result<CheckAnswer, ApiError> {
+    pub fn adversary(
+        &self,
+        req: &AdversaryRequest,
+        ctx: &RequestCtx,
+    ) -> Result<CheckAnswer, ApiError> {
         let n = req.n as usize;
         if !(2..=1024).contains(&n) || !n.is_power_of_two() {
             return Err(ApiError::unprocessable(format!(
@@ -742,6 +800,7 @@ impl JobManager {
                         body: bytes,
                         job: None,
                         hash,
+                        trace: None,
                     });
                 }
             }
@@ -767,7 +826,13 @@ impl JobManager {
         if let Some(store) = &self.inner.cfg.store {
             let _ = store.put_verdict(&verdict);
         }
-        Ok(CheckAnswer { cache: CacheState::Miss, body, job: None, hash })
+        Ok(CheckAnswer {
+            cache: CacheState::Miss,
+            body,
+            job: None,
+            hash,
+            trace: ctx.trace_hex.clone(),
+        })
     }
 
     // -- lifecycle ---------------------------------------------------------

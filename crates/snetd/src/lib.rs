@@ -12,6 +12,8 @@
 //! | `POST /v1/search`     | job id + ND-JSON progress stream (chunked) |
 //! | `GET /v1/jobs/{id}`   | job status / result document |
 //! | `DELETE /v1/jobs/{id}`| cooperative cancel (search spills stay resumable) |
+//! | `GET /v1/trace/{id}`  | stored span tree of a finished request (JSONL) |
+//! | `GET /v1/debug/requests` | tracez-style ring: active + recently finished requests |
 //! | `GET /metrics`        | Prometheus text exposition of the live registry |
 //! | `GET /healthz`        | liveness + drain state |
 //!
@@ -23,14 +25,24 @@
 //! [`snet_obs`] events. [`server`] adds the bounded worker pool and the
 //! SIGTERM graceful drain; [`http`] is the hand-rolled wire layer;
 //! [`client`] is the matching blocking client `snetctl query` uses.
+//!
+//! [`telemetry`] threads a trace context through all of it: an
+//! `x-snet-trace` request header (or a fresh server-side id when
+//! absent/malformed) names every span, progress frame, access-log line,
+//! and RED histogram sample the request produces, coalesced riders link
+//! to their leader's trace via `x-snet-link`, and finished span trees
+//! are queryable back out of `/v1/trace/{id}` for `snetctl trace` to
+//! merge with the client's own spans into one cross-process timeline.
 
 pub mod client;
 pub mod http;
 pub mod jobs;
 pub mod server;
+pub mod telemetry;
 
 pub use http::Limits;
 pub use jobs::{ApiError, CheckAnswer, FramePoll, Job, JobManager, JobsConfig};
 pub use server::{
     install_signal_handlers, request_shutdown, serve, spawn, ServeConfig, ServerHandle,
 };
+pub use telemetry::{RequestCtx, TraceCapture, LINK_HEADER};

@@ -2,6 +2,21 @@
 //! connection workers, request routing, streaming search responses, and
 //! a SIGTERM-driven graceful drain.
 //!
+//! ## Request telemetry
+//!
+//! Every non-probe exchange runs under `handle_exchange`: the
+//! `x-snet-trace` context is extracted (or a fresh one generated — a
+//! malformed header degrades, never rejects), an `http.request` span is
+//! opened with the trace id attached, the connection thread is routed
+//! into a per-request [`RequestTrace`] capture, and on completion the
+//! request lands in the RED histograms (`http.request.duration` by
+//! endpoint/status/cache), the debug ring (`GET /v1/debug/requests`),
+//! the trace store (`GET /v1/trace/{id}`), the JSONL access log, and —
+//! past the slow threshold — a `slow-<trace>.jsonl` auto-capture.
+//! `/healthz` and `/metrics` probes bypass all of that and tick only
+//! their own labeled `http.probe.requests` counter, so scrape traffic
+//! never skews the job-path numbers.
+//!
 //! ## Shutdown
 //!
 //! `SIGTERM`/`SIGINT` set a process-global flag (the handler does
@@ -16,14 +31,19 @@ use crate::http::{
     read_request, write_response, ChunkedWriter, HttpError, Limits, ReadOutcome, Request,
 };
 use crate::jobs::{ApiError, CheckAnswer, FramePoll, Job, JobManager, JobsConfig};
+use crate::telemetry::{
+    self, AccessLog, RequestCtx, RequestEntry, RequestRing, RequestTrace, TraceCapture, TraceStore,
+    LINK_HEADER,
+};
 use snet_core::api::{AdversaryRequest, CheckRequest, ErrorBody, SearchRequest, API_SCHEMA};
+use snet_obs::tracectx::TraceContext;
 use snet_store::ArtifactStore;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const JSON: &str = "application/json";
 const NDJSON: &str = "application/x-ndjson";
@@ -94,6 +114,11 @@ pub struct ServeConfig {
     pub store: Option<std::path::PathBuf>,
     /// Request size limits.
     pub limits: Limits,
+    /// JSONL access-log path (`None` disables the log).
+    pub access_log: Option<std::path::PathBuf>,
+    /// Requests at least this slow auto-dump their captured trace to
+    /// `slow-<trace>.jsonl` (`None` disables slow capture).
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -106,6 +131,8 @@ impl Default for ServeConfig {
             check_threads: 1,
             store: None,
             limits: Limits::default(),
+            access_log: None,
+            slow_ms: None,
         }
     }
 }
@@ -155,6 +182,16 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<()> {
     serve_on(listener, cfg, Arc::new(AtomicBool::new(false)))
 }
 
+/// Service-wide telemetry shared by every connection worker.
+struct Telemetry {
+    capture: Arc<TraceCapture>,
+    ring: RequestRing,
+    traces: TraceStore,
+    access: Option<AccessLog>,
+    slow_us: Option<u64>,
+    in_flight: AtomicI64,
+}
+
 fn serve_on(listener: TcpListener, cfg: ServeConfig, stop: Arc<AtomicBool>) -> std::io::Result<()> {
     let store = match &cfg.store {
         // One long-lived shared handle: every worker sees the same
@@ -169,6 +206,19 @@ fn serve_on(listener: TcpListener, cfg: ServeConfig, stop: Arc<AtomicBool>) -> s
         search_threads: cfg.search_threads,
         check_threads: cfg.check_threads,
     });
+    let capture = TraceCapture::new();
+    let capture_sink = snet_obs::install_sink(capture.clone());
+    let telemetry = Arc::new(Telemetry {
+        capture,
+        ring: RequestRing::default(),
+        traces: TraceStore::default(),
+        access: match &cfg.access_log {
+            Some(path) => Some(AccessLog::open(path)?),
+            None => None,
+        },
+        slow_us: cfg.slow_ms.map(|ms| ms.saturating_mul(1000)),
+        in_flight: AtomicI64::new(0),
+    });
 
     // Pre-spawned connection workers drain one shared queue. The
     // receiver is behind a mutex (std mpsc has no multi-consumer
@@ -181,10 +231,11 @@ fn serve_on(listener: TcpListener, cfg: ServeConfig, stop: Arc<AtomicBool>) -> s
         let manager = manager.clone();
         let limits = cfg.limits;
         let stop = stop.clone();
+        let telemetry = telemetry.clone();
         workers.push(
             std::thread::Builder::new()
                 .name(format!("snetd-conn-{i}"))
-                .spawn(move || connection_worker(rx, manager, limits, stop))?,
+                .spawn(move || connection_worker(i, rx, manager, limits, stop, telemetry))?,
         );
     }
 
@@ -216,16 +267,22 @@ fn serve_on(listener: TcpListener, cfg: ServeConfig, stop: Arc<AtomicBool>) -> s
     for w in workers {
         let _ = w.join();
     }
+    snet_obs::remove_sink(capture_sink);
     snet_obs::flush();
     Ok(())
 }
 
 fn connection_worker(
+    index: usize,
     rx: Arc<Mutex<mpsc::Receiver<TcpStream>>>,
     manager: JobManager,
     limits: Limits,
     stop: Arc<AtomicBool>,
+    telemetry: Arc<Telemetry>,
 ) {
+    // Stable lane name in every exported trace, regardless of spawn
+    // order (thread ordinals are first-emission order, not pool order).
+    snet_obs::thread_lane(format!("http-worker-{index}"));
     loop {
         let stream = {
             let guard = rx.lock().expect("conn queue poisoned");
@@ -240,7 +297,7 @@ fn connection_worker(
                 Err(mpsc::RecvTimeoutError::Disconnected) => return,
             }
         };
-        serve_connection(stream, &manager, &limits, &stop);
+        serve_connection(stream, &manager, &limits, &stop, &telemetry);
     }
 }
 
@@ -248,7 +305,13 @@ fn connection_worker(
 /// order (pipelining falls out of the per-connection read loop), and an
 /// idle keep-alive socket is polled until the peer leaves or the daemon
 /// drains.
-fn serve_connection(stream: TcpStream, manager: &JobManager, limits: &Limits, stop: &AtomicBool) {
+fn serve_connection(
+    stream: TcpStream,
+    manager: &JobManager,
+    limits: &Limits,
+    stop: &AtomicBool,
+    telemetry: &Telemetry,
+) {
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
@@ -257,10 +320,8 @@ fn serve_connection(stream: TcpStream, manager: &JobManager, limits: &Limits, st
     loop {
         match read_request(&mut reader, limits) {
             Ok(ReadOutcome::Request(req)) => {
-                snet_obs::counter("httpd.requests", 1);
                 let close = req.wants_close();
-                handle_request(&mut writer, &req, manager);
-                snet_obs::counter("httpd.responses", 1);
+                handle_exchange(&mut writer, &req, manager, telemetry);
                 if close {
                     return;
                 }
@@ -273,28 +334,195 @@ fn serve_connection(stream: TcpStream, manager: &JobManager, limits: &Limits, st
             }
             Err(e) => {
                 snet_obs::counter("httpd.rejected", 1);
-                respond_error(&mut writer, &e);
+                respond_error(&mut writer, &mut ReqMeta::default(), &e);
                 return; // framing is unreliable after a parse error
             }
         }
     }
 }
 
-fn respond_error(w: &mut impl Write, e: &HttpError) {
-    let body = ErrorBody::new(&e.message).to_json();
-    let _ = write_response(w, e.status, JSON, body.as_bytes(), &[]);
+// ---------------------------------------------------------------------------
+// The traced exchange
+// ---------------------------------------------------------------------------
+
+/// What the routing layer learns about a request while answering it;
+/// consumed by the RED histograms, the debug ring, and the access log.
+#[derive(Default)]
+struct ReqMeta {
+    /// `x-snet-trace` echo value (absent on untraced probe paths).
+    trace_header: Option<String>,
+    status: u16,
+    cache: Option<String>,
+    hash: Option<String>,
+    job: Option<String>,
+    /// Linked trace (a coalesced follower's leader), echoed as
+    /// `x-snet-link`.
+    link: Option<String>,
 }
 
-fn respond_api_error(w: &mut impl Write, e: &ApiError) {
+/// Counts response bytes on their way to the socket.
+struct CountingWriter<'a, W: Write> {
+    inner: &'a mut W,
+    bytes: u64,
+}
+
+impl<W: Write> Write for CountingWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.bytes += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Answers one request under full telemetry (see the module docs).
+/// Probe endpoints short-circuit: their own labeled counter, nothing
+/// else — a 5-second scrape loop must not drown the request telemetry.
+fn handle_exchange(w: &mut impl Write, req: &Request, manager: &JobManager, tel: &Telemetry) {
+    let path = req.path.split('?').next().unwrap_or("").to_string();
+    let endpoint = telemetry::endpoint_label(&path);
+    if path == "/healthz" || path == "/metrics" {
+        snet_obs::counter_labeled("http.probe.requests", &[("endpoint", endpoint)], 1);
+        let mut meta = ReqMeta::default();
+        handle_request(w, req, manager, tel, &RequestCtx::default(), &mut meta);
+        return;
+    }
+
+    snet_obs::counter("httpd.requests", 1);
+    let (tctx, forwarded) = telemetry::extract_trace(req);
+    if forwarded {
+        snet_obs::counter("http.traced", 1);
+    }
+    let trace_hex = tctx.trace.to_hex();
+    let trace = RequestTrace::new(tctx.trace);
+    let attach = tel.capture.attach(&trace);
+    let active = tel.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+    snet_obs::gauge("http.in_flight", active as f64);
+
+    let start = Instant::now();
+    let start_us = snet_obs::now_us();
+    let token = tel.ring.begin(RequestEntry {
+        trace: trace_hex.clone(),
+        method: req.method.clone(),
+        endpoint: endpoint.to_string(),
+        start_us,
+        status: 0,
+        cache: None,
+        bytes: 0,
+        dur_us: 0,
+        link: None,
+    });
+
+    let mut span = snet_obs::span("http.request")
+        .attr("method", &req.method)
+        .attr("endpoint", endpoint)
+        .attr(snet_obs::TRACE_ATTR, &trace_hex);
+    if forwarded {
+        // The client's span id, so a cross-process merge can nest this
+        // request under the span that issued it.
+        span.add_attr("parent_span", format!("{:016x}", tctx.parent_span));
+    }
+    let ctx = RequestCtx {
+        trace_hex: Some(trace_hex.clone()),
+        capture: Some(tel.capture.clone()),
+        trace: Some(trace.clone()),
+        span: span.id(),
+    };
+    let mut meta = ReqMeta {
+        trace_header: Some(TraceContext { trace: trace.trace, parent_span: span.id() }.to_header()),
+        ..ReqMeta::default()
+    };
+    let mut counting = CountingWriter { inner: w, bytes: 0 };
+    handle_request(&mut counting, req, manager, tel, &ctx, &mut meta);
+    let bytes = counting.bytes;
+    span.add_attr("status", meta.status);
+    if let Some(link) = &meta.link {
+        span.add_attr(snet_obs::LINK_ATTR, link.clone());
+    }
+    // Ending the request span urgent-drains this thread's event buffer,
+    // so the capture holds everything the exchange emitted before the
+    // trace is stored below.
+    drop(span);
+    drop(attach);
+
+    snet_obs::counter("httpd.responses", 1);
+    let active = tel.in_flight.fetch_sub(1, Ordering::Relaxed) - 1;
+    snet_obs::gauge("http.in_flight", active as f64);
+    let dur_us = start.elapsed().as_micros() as u64;
+    let status = meta.status.to_string();
+    let cache = meta.cache.as_deref().unwrap_or("none");
+    snet_obs::observe(
+        "http.request.duration",
+        &[("endpoint", endpoint), ("status", &status), ("cache", cache)],
+        dur_us,
+    );
+    tel.ring.finish(token, meta.status, meta.cache.clone(), bytes, dur_us, meta.link.clone());
+    if let Some(log) = &tel.access {
+        log.log(
+            start_us,
+            &trace_hex,
+            &req.method,
+            endpoint,
+            meta.status,
+            meta.cache.as_deref(),
+            meta.hash.as_deref(),
+            meta.job.as_deref(),
+            bytes,
+            dur_us,
+            meta.link.as_deref(),
+        );
+    }
+    if tel.slow_us.is_some_and(|slow| dur_us >= slow) && telemetry::dump_slow(&trace).is_some() {
+        snet_obs::counter("http.slow.captured", 1);
+    }
+    tel.traces.insert(trace.clone());
+    tel.capture.release(&trace);
+}
+
+/// Writes a response, echoing the request's trace id and recording the
+/// status for the exchange telemetry. Every body-producing route funnels
+/// through here (the chunked search stream sets its headers itself).
+fn respond(
+    w: &mut impl Write,
+    meta: &mut ReqMeta,
+    status: u16,
+    ctype: &str,
+    body: &[u8],
+    extra: &[(&str, &str)],
+) {
+    meta.status = status;
+    let mut headers: Vec<(&str, &str)> = extra.to_vec();
+    if let Some(t) = &meta.trace_header {
+        headers.push((snet_obs::TRACE_HEADER, t.as_str()));
+    }
+    let _ = write_response(w, status, ctype, body, &headers);
+}
+
+fn respond_error(w: &mut impl Write, meta: &mut ReqMeta, e: &HttpError) {
     let body = ErrorBody::new(&e.message).to_json();
-    let _ = write_response(w, e.status, JSON, body.as_bytes(), &[]);
+    respond(w, meta, e.status, JSON, body.as_bytes(), &[]);
+}
+
+fn respond_api_error(w: &mut impl Write, meta: &mut ReqMeta, e: &ApiError) {
+    let body = ErrorBody::new(&e.message).to_json();
+    respond(w, meta, e.status, JSON, body.as_bytes(), &[]);
 }
 
 // ---------------------------------------------------------------------------
 // Routing
 // ---------------------------------------------------------------------------
 
-fn handle_request(w: &mut impl Write, req: &Request, manager: &JobManager) {
+fn handle_request(
+    w: &mut impl Write,
+    req: &Request,
+    manager: &JobManager,
+    tel: &Telemetry,
+    ctx: &RequestCtx,
+    meta: &mut ReqMeta,
+) {
     let path = req.path.split('?').next().unwrap_or("");
     match (req.method.as_str(), path) {
         ("GET", "/healthz") => {
@@ -302,34 +530,51 @@ fn handle_request(w: &mut impl Write, req: &Request, manager: &JobManager) {
                 "{{\"schema\":\"{API_SCHEMA}\",\"status\":\"{}\"}}",
                 if manager.draining() { "draining" } else { "ok" }
             );
-            let _ = write_response(w, 200, JSON, body.as_bytes(), &[]);
+            respond(w, meta, 200, JSON, body.as_bytes(), &[]);
         }
         ("GET", "/metrics") => {
             let text = snet_obs::registry::render_prometheus();
-            let _ = write_response(w, 200, snet_obs::promtext::CONTENT_TYPE, text.as_bytes(), &[]);
+            respond(w, meta, 200, snet_obs::promtext::CONTENT_TYPE, text.as_bytes(), &[]);
         }
-        ("POST", "/v1/check") => handle_check(w, req, manager),
-        ("POST", "/v1/adversary") => handle_adversary(w, req, manager),
-        ("POST", "/v1/search") => handle_search(w, req, manager),
+        ("GET", "/v1/debug/requests") => {
+            let body = tel.ring.to_json();
+            respond(w, meta, 200, JSON, body.as_bytes(), &[]);
+        }
+        ("GET", p) if p.starts_with("/v1/trace/") => {
+            let id = &p["/v1/trace/".len()..];
+            match tel.traces.get(id) {
+                Some(trace) => {
+                    let body = trace.to_jsonl();
+                    respond(w, meta, 200, NDJSON, body.as_bytes(), &[]);
+                }
+                None => {
+                    let body = ErrorBody::new(format!("no stored trace {id:?}")).to_json();
+                    respond(w, meta, 404, JSON, body.as_bytes(), &[]);
+                }
+            }
+        }
+        ("POST", "/v1/check") => handle_check(w, req, manager, ctx, meta),
+        ("POST", "/v1/adversary") => handle_adversary(w, req, manager, ctx, meta),
+        ("POST", "/v1/search") => handle_search(w, req, manager, ctx, meta),
         (method, p) if p.starts_with("/v1/jobs/") => {
             let id = &p["/v1/jobs/".len()..];
             match method {
-                "GET" => handle_job_get(w, id, manager),
-                "DELETE" => handle_job_delete(w, id, manager),
-                _ => method_not_allowed(w),
+                "GET" => handle_job_get(w, id, manager, meta),
+                "DELETE" => handle_job_delete(w, id, manager, meta),
+                _ => method_not_allowed(w, meta),
             }
         }
         ("GET" | "POST" | "DELETE", _) => {
             let body = ErrorBody::new(format!("no route for {path}")).to_json();
-            let _ = write_response(w, 404, JSON, body.as_bytes(), &[]);
+            respond(w, meta, 404, JSON, body.as_bytes(), &[]);
         }
-        _ => method_not_allowed(w),
+        _ => method_not_allowed(w, meta),
     }
 }
 
-fn method_not_allowed(w: &mut impl Write) {
+fn method_not_allowed(w: &mut impl Write, meta: &mut ReqMeta) {
     let body = ErrorBody::new("method not allowed").to_json();
-    let _ = write_response(w, 405, JSON, body.as_bytes(), &[]);
+    respond(w, meta, 405, JSON, body.as_bytes(), &[]);
 }
 
 fn parse_body<T: serde::Deserialize>(req: &Request) -> Result<T, HttpError> {
@@ -342,37 +587,68 @@ fn parse_body<T: serde::Deserialize>(req: &Request) -> Result<T, HttpError> {
 /// Answers a check with the verdict bytes **verbatim** — a warm hit
 /// replays exactly what the producing run stored, so cold and warm
 /// responses to one canonical form are byte-identical. Provenance rides
-/// in headers instead of the body.
-fn answer_with_verdict(w: &mut impl Write, answer: &CheckAnswer) {
+/// in headers instead of the body: cache disposition, canonical hash,
+/// job id, and — when the bytes were computed under a *different*
+/// request's trace (a coalesced follower) — an `x-snet-link` naming the
+/// leader's trace.
+fn answer_with_verdict(
+    w: &mut impl Write,
+    ctx: &RequestCtx,
+    meta: &mut ReqMeta,
+    answer: &CheckAnswer,
+) {
     let cache = answer.cache.name();
     let hash = answer.hash.to_hex();
+    let link: Option<String> = match &answer.trace {
+        Some(t) if ctx.trace_hex.as_deref() != Some(t.as_str()) => Some(t.clone()),
+        _ => None,
+    };
+    meta.cache = Some(cache.to_string());
+    meta.hash = Some(hash.clone());
+    meta.job = answer.job.clone();
+    meta.link = link.clone();
     let mut extra: Vec<(&str, &str)> =
         vec![("x-snet-cache", cache), ("x-snet-hash", hash.as_str())];
     if let Some(job) = &answer.job {
         extra.push(("x-snet-job", job.as_str()));
     }
-    let _ = write_response(w, 200, JSON, &answer.body, &extra);
+    if let Some(l) = &link {
+        extra.push((LINK_HEADER, l.as_str()));
+    }
+    respond(w, meta, 200, JSON, &answer.body, &extra);
 }
 
-fn handle_check(w: &mut impl Write, req: &Request, manager: &JobManager) {
+fn handle_check(
+    w: &mut impl Write,
+    req: &Request,
+    manager: &JobManager,
+    ctx: &RequestCtx,
+    meta: &mut ReqMeta,
+) {
     let parsed: CheckRequest = match parse_body(req) {
         Ok(p) => p,
-        Err(e) => return respond_error(w, &e),
+        Err(e) => return respond_error(w, meta, &e),
     };
-    match manager.check(&parsed.network) {
-        Ok(answer) => answer_with_verdict(w, &answer),
-        Err(e) => respond_api_error(w, &e),
+    match manager.check(&parsed.network, ctx) {
+        Ok(answer) => answer_with_verdict(w, ctx, meta, &answer),
+        Err(e) => respond_api_error(w, meta, &e),
     }
 }
 
-fn handle_adversary(w: &mut impl Write, req: &Request, manager: &JobManager) {
+fn handle_adversary(
+    w: &mut impl Write,
+    req: &Request,
+    manager: &JobManager,
+    ctx: &RequestCtx,
+    meta: &mut ReqMeta,
+) {
     let parsed: AdversaryRequest = match parse_body(req) {
         Ok(p) => p,
-        Err(e) => return respond_error(w, &e),
+        Err(e) => return respond_error(w, meta, &e),
     };
-    match manager.adversary(&parsed) {
-        Ok(answer) => answer_with_verdict(w, &answer),
-        Err(e) => respond_api_error(w, &e),
+    match manager.adversary(&parsed, ctx) {
+        Ok(answer) => answer_with_verdict(w, ctx, meta, &answer),
+        Err(e) => respond_api_error(w, meta, &e),
     }
 }
 
@@ -380,16 +656,27 @@ fn handle_adversary(w: &mut impl Write, req: &Request, manager: &JobManager) {
 /// the job closes its stream; the final frame is the terminal lifecycle
 /// transition. The job id rides in the `x-snet-job` header so a client
 /// can fetch the result document afterwards.
-fn handle_search(w: &mut impl Write, req: &Request, manager: &JobManager) {
+fn handle_search(
+    w: &mut impl Write,
+    req: &Request,
+    manager: &JobManager,
+    ctx: &RequestCtx,
+    meta: &mut ReqMeta,
+) {
     let parsed: SearchRequest = match parse_body(req) {
         Ok(p) => p,
-        Err(e) => return respond_error(w, &e),
+        Err(e) => return respond_error(w, meta, &e),
     };
-    let job: Arc<Job> = match manager.submit_search(&parsed) {
+    let job: Arc<Job> = match manager.submit_search(&parsed, ctx) {
         Ok(j) => j,
-        Err(e) => return respond_api_error(w, &e),
+        Err(e) => return respond_api_error(w, meta, &e),
     };
-    let extra = [("x-snet-job", job.id.as_str())];
+    meta.status = 200;
+    meta.job = Some(job.id.clone());
+    let mut extra: Vec<(&str, &str)> = vec![("x-snet-job", job.id.as_str())];
+    if let Some(t) = &meta.trace_header {
+        extra.push((snet_obs::TRACE_HEADER, t.as_str()));
+    }
     let mut chunked = match ChunkedWriter::start(w, 200, NDJSON, &extra) {
         Ok(c) => c,
         Err(_) => return,
@@ -412,25 +699,25 @@ fn handle_search(w: &mut impl Write, req: &Request, manager: &JobManager) {
     let _ = chunked.finish();
 }
 
-fn handle_job_get(w: &mut impl Write, id: &str, manager: &JobManager) {
+fn handle_job_get(w: &mut impl Write, id: &str, manager: &JobManager, meta: &mut ReqMeta) {
     match manager.job(id) {
         Some(job) => {
             let body = job.status().to_json();
-            let _ = write_response(w, 200, JSON, body.as_bytes(), &[]);
+            respond(w, meta, 200, JSON, body.as_bytes(), &[]);
         }
         None => {
             let body = ErrorBody::new(format!("unknown job {id:?}")).to_json();
-            let _ = write_response(w, 404, JSON, body.as_bytes(), &[]);
+            respond(w, meta, 404, JSON, body.as_bytes(), &[]);
         }
     }
 }
 
-fn handle_job_delete(w: &mut impl Write, id: &str, manager: &JobManager) {
+fn handle_job_delete(w: &mut impl Write, id: &str, manager: &JobManager, meta: &mut ReqMeta) {
     if manager.cancel(id) {
         let body = format!("{{\"schema\":\"{API_SCHEMA}\",\"cancelled\":\"{id}\"}}");
-        let _ = write_response(w, 200, JSON, body.as_bytes(), &[]);
+        respond(w, meta, 200, JSON, body.as_bytes(), &[]);
     } else {
         let body = ErrorBody::new(format!("unknown job {id:?}")).to_json();
-        let _ = write_response(w, 404, JSON, body.as_bytes(), &[]);
+        respond(w, meta, 404, JSON, body.as_bytes(), &[]);
     }
 }

@@ -1,0 +1,624 @@
+//! Request-scoped service telemetry: per-request trace capture, the
+//! tracez-style request ring behind `GET /v1/debug/requests`, the
+//! bounded trace store behind `GET /v1/trace/{trace_id}`, the JSONL
+//! access log, and slow-request auto-capture.
+//!
+//! ## Trace capture
+//!
+//! Every traced request owns a [`RequestTrace`]: a bounded buffer of the
+//! obs events the request caused. A process-global [`TraceCapture`] sink
+//! routes events to the owning trace two ways:
+//!
+//! * **by thread** — the connection thread (and a search job's worker
+//!   thread) registers itself with [`TraceCapture::attach`] for the
+//!   request's duration, so everything those threads emit is captured;
+//! * **by span descent** — a `SpanStart` whose parent span already
+//!   belongs to a trace joins that trace and enrolls its own id, so
+//!   `span_under` worker spans emitted from *unregistered* pool threads
+//!   (the search engine's crossbeam scope) still land in the right
+//!   request trace.
+//!
+//! The capture sink never calls back into the obs API (that would
+//! deadlock the drain); it only touches its own mutexes.
+
+use snet_obs::tracectx::{TraceContext, TRACE_HEADER};
+use snet_obs::{Event, EventKind, Sink, TraceId};
+use std::collections::{HashMap, VecDeque};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Response header naming a causally-linked trace (a coalesced rider
+/// points at the leader's trace, where the shared compile ran).
+pub const LINK_HEADER: &str = "x-snet-link";
+
+/// Events kept per request before the trace starts dropping; the drop
+/// count is reported in the trace document so truncation is visible.
+const MAX_TRACE_EVENTS: usize = 4096;
+
+/// Finished requests kept in the debug ring.
+const RING_CAPACITY: usize = 256;
+
+/// Finished request traces kept for `GET /v1/trace/{id}`.
+const TRACE_STORE_CAPACITY: usize = 128;
+
+// ---------------------------------------------------------------------------
+// Trace extraction
+// ---------------------------------------------------------------------------
+
+/// Pulls the trace context out of a request's headers. Returns the
+/// context and whether it was *forwarded* by the client (`false` means
+/// the server generated a fresh one). Degrades, never rejects: a
+/// missing, malformed, oversized, or duplicated `x-snet-trace` header
+/// yields a fresh server-generated context — telemetry must not be able
+/// to fail a request.
+pub fn extract_trace(req: &crate::http::Request) -> (TraceContext, bool) {
+    let mut values = req.headers.iter().filter(|(k, _)| k == TRACE_HEADER);
+    let first = values.next();
+    let duplicated = values.next().is_some();
+    if let (Some((_, v)), false) = (first, duplicated) {
+        if let Some(ctx) = TraceContext::parse_header(v) {
+            return (ctx, true);
+        }
+    }
+    (TraceContext::generate(), false)
+}
+
+/// Collapses a request path into a bounded-cardinality endpoint label
+/// for RED metrics: job and trace lookups share one label, unknown
+/// paths collapse to `"other"`.
+pub fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/metrics" => "/metrics",
+        "/v1/check" => "/v1/check",
+        "/v1/adversary" => "/v1/adversary",
+        "/v1/search" => "/v1/search",
+        "/v1/debug/requests" => "/v1/debug/requests",
+        p if p.starts_with("/v1/jobs/") => "/v1/jobs/{id}",
+        p if p.starts_with("/v1/trace/") => "/v1/trace/{id}",
+        _ => "other",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RequestTrace + TraceCapture
+// ---------------------------------------------------------------------------
+
+/// The events one traced request caused, bounded.
+pub struct RequestTrace {
+    /// The owning trace id.
+    pub trace: TraceId,
+    events: Mutex<Vec<Event>>,
+    dropped: AtomicU64,
+}
+
+impl RequestTrace {
+    /// A fresh, empty trace buffer for `trace`.
+    pub fn new(trace: TraceId) -> Arc<RequestTrace> {
+        Arc::new(RequestTrace { trace, events: Mutex::new(Vec::new()), dropped: AtomicU64::new(0) })
+    }
+
+    fn record(&self, e: &Event) {
+        let mut events = self.events.lock().expect("request trace poisoned");
+        if events.len() >= MAX_TRACE_EVENTS {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        events.push(e.clone());
+    }
+
+    /// A copy of the captured events (emission order per thread).
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("request trace poisoned").clone()
+    }
+
+    /// Events dropped after the buffer filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The captured events as ND-JSON lines (the `GET /v1/trace/{id}`
+    /// body and the slow-capture dump format — same schema as a trace
+    /// file, so `snetctl report` and the Chrome exporter read it
+    /// directly).
+    pub fn to_jsonl(&self) -> String {
+        let events = self.events.lock().expect("request trace poisoned");
+        let mut out = String::new();
+        for e in events.iter() {
+            out.push_str(&e.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The process-global capture sink: routes events to request traces by
+/// registered thread ordinal or by span descent (see module docs).
+#[derive(Default)]
+pub struct TraceCapture {
+    /// obs thread ordinal → the trace capturing that thread.
+    threads: Mutex<HashMap<u64, Arc<RequestTrace>>>,
+    /// span id → owning trace, for cross-thread descendants.
+    spans: Mutex<HashMap<u64, Arc<RequestTrace>>>,
+}
+
+impl TraceCapture {
+    /// Builds an empty capture table (install via
+    /// [`snet_obs::install_sink`]).
+    pub fn new() -> Arc<TraceCapture> {
+        Arc::new(TraceCapture::default())
+    }
+
+    /// Routes the calling thread's events to `trace` until the guard
+    /// drops.
+    pub fn attach(self: &Arc<TraceCapture>, trace: &Arc<RequestTrace>) -> AttachGuard {
+        let ordinal = snet_obs::thread_ordinal();
+        self.threads.lock().expect("capture threads poisoned").insert(ordinal, trace.clone());
+        AttachGuard { capture: self.clone(), ordinal }
+    }
+
+    /// Drops every span-descent route pointing at `trace`. Called when
+    /// a request finishes so a span whose end was never observed cannot
+    /// leak its table entry.
+    pub fn release(&self, trace: &Arc<RequestTrace>) {
+        self.spans.lock().expect("capture spans poisoned").retain(|_, t| !Arc::ptr_eq(t, trace));
+    }
+}
+
+/// RAII for [`TraceCapture::attach`].
+pub struct AttachGuard {
+    capture: Arc<TraceCapture>,
+    ordinal: u64,
+}
+
+impl Drop for AttachGuard {
+    fn drop(&mut self) {
+        self.capture.threads.lock().expect("capture threads poisoned").remove(&self.ordinal);
+    }
+}
+
+impl Sink for TraceCapture {
+    fn event(&self, e: &Event) {
+        // Fast path: the emitting thread is registered to a request.
+        let by_thread =
+            self.threads.lock().expect("capture threads poisoned").get(&e.thread).cloned();
+        let target = match by_thread {
+            Some(t) => Some(t),
+            None => {
+                // Span descent: starts join their parent's trace; later
+                // events from that span resolve through its own id.
+                let spans = self.spans.lock().expect("capture spans poisoned");
+                spans
+                    .get(&e.parent)
+                    .or_else(|| if e.id != 0 { spans.get(&e.id) } else { None })
+                    .cloned()
+            }
+        };
+        let Some(trace) = target else { return };
+        match e.kind {
+            EventKind::SpanStart => {
+                self.spans.lock().expect("capture spans poisoned").insert(e.id, trace.clone());
+                trace.record(e);
+            }
+            EventKind::SpanEnd => {
+                self.spans.lock().expect("capture spans poisoned").remove(&e.id);
+                trace.record(e);
+            }
+            _ => trace.record(e),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Debug request ring
+// ---------------------------------------------------------------------------
+
+/// One row of `GET /v1/debug/requests`.
+#[derive(Debug, Clone)]
+pub struct RequestEntry {
+    /// Hex trace id.
+    pub trace: String,
+    /// HTTP method.
+    pub method: String,
+    /// Normalized endpoint label.
+    pub endpoint: String,
+    /// Start time, µs since the obs epoch.
+    pub start_us: u64,
+    /// Response status (0 while the request is active).
+    pub status: u16,
+    /// Cache disposition (`miss`/`hit`/`coalesced`), when the endpoint
+    /// has one.
+    pub cache: Option<String>,
+    /// Response body bytes.
+    pub bytes: u64,
+    /// Wall duration (0 while active).
+    pub dur_us: u64,
+    /// Linked (leader) trace id for coalesced riders.
+    pub link: Option<String>,
+}
+
+impl RequestEntry {
+    fn to_json(&self, active: bool) -> String {
+        let mut out = String::from("{");
+        push_str_field(&mut out, "trace", &self.trace, true);
+        push_str_field(&mut out, "method", &self.method, false);
+        push_str_field(&mut out, "endpoint", &self.endpoint, false);
+        out.push_str(&format!(",\"active\":{active}"));
+        out.push_str(&format!(",\"start_us\":{}", self.start_us));
+        if !active {
+            out.push_str(&format!(",\"status\":{}", self.status));
+            out.push_str(&format!(",\"bytes\":{}", self.bytes));
+            out.push_str(&format!(",\"dur_us\":{}", self.dur_us));
+        }
+        if let Some(c) = &self.cache {
+            push_str_field(&mut out, "cache", c, false);
+        }
+        if let Some(l) = &self.link {
+            push_str_field(&mut out, "link", l, false);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// tracez-style ring: the currently-active requests plus the most
+/// recently finished `RING_CAPACITY`.
+#[derive(Default)]
+pub struct RequestRing {
+    next: AtomicU64,
+    active: Mutex<HashMap<u64, RequestEntry>>,
+    recent: Mutex<VecDeque<RequestEntry>>,
+}
+
+impl RequestRing {
+    /// Registers an active request; the token keys [`finish`](Self::finish).
+    pub fn begin(&self, entry: RequestEntry) -> u64 {
+        let token = self.next.fetch_add(1, Ordering::Relaxed);
+        self.active.lock().expect("request ring poisoned").insert(token, entry);
+        token
+    }
+
+    /// Moves a request from active to recent with its outcome filled in.
+    pub fn finish(
+        &self,
+        token: u64,
+        status: u16,
+        cache: Option<String>,
+        bytes: u64,
+        dur_us: u64,
+        link: Option<String>,
+    ) {
+        let Some(mut entry) = self.active.lock().expect("request ring poisoned").remove(&token)
+        else {
+            return;
+        };
+        entry.status = status;
+        entry.cache = cache;
+        entry.bytes = bytes;
+        entry.dur_us = dur_us;
+        entry.link = link;
+        let mut recent = self.recent.lock().expect("request ring poisoned");
+        if recent.len() >= RING_CAPACITY {
+            recent.pop_front();
+        }
+        recent.push_back(entry);
+    }
+
+    /// The `GET /v1/debug/requests` document: active requests first
+    /// (oldest first), then recent ones (newest first).
+    pub fn to_json(&self) -> String {
+        let mut active: Vec<RequestEntry> =
+            self.active.lock().expect("request ring poisoned").values().cloned().collect();
+        active.sort_by_key(|e| e.start_us);
+        let recent = self.recent.lock().expect("request ring poisoned");
+        let mut out = format!("{{\"schema\":\"{}\",\"active\":[", snet_core::api::API_SCHEMA);
+        for (i, e) in active.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&e.to_json(true));
+        }
+        out.push_str("],\"recent\":[");
+        for (i, e) in recent.iter().rev().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&e.to_json(false));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace store
+// ---------------------------------------------------------------------------
+
+/// Insertion order and the id → trace map, behind one lock so eviction
+/// and lookup agree.
+type TraceStoreInner = (VecDeque<String>, HashMap<String, Arc<RequestTrace>>);
+
+/// Bounded map of finished request traces, keyed by hex trace id;
+/// insertion-order eviction.
+#[derive(Default)]
+pub struct TraceStore {
+    inner: Mutex<TraceStoreInner>,
+}
+
+impl TraceStore {
+    /// Stores a finished trace, evicting the oldest beyond capacity.
+    /// One trace id can span several requests — a query's search stream
+    /// and its follow-up status poll share a context — so inserting an
+    /// id that is already stored appends the new request's events to
+    /// the existing tree instead of clobbering it.
+    pub fn insert(&self, trace: Arc<RequestTrace>) {
+        let key = trace.trace.to_hex();
+        let mut inner = self.inner.lock().expect("trace store poisoned");
+        let (order, map) = &mut *inner;
+        match map.get(&key) {
+            Some(existing) if !Arc::ptr_eq(existing, &trace) => {
+                for e in trace.events() {
+                    existing.record(&e);
+                }
+                existing.dropped.fetch_add(trace.dropped(), Ordering::Relaxed);
+            }
+            Some(_) => {}
+            None => {
+                map.insert(key.clone(), trace);
+                order.push_back(key);
+                while order.len() > TRACE_STORE_CAPACITY {
+                    if let Some(old) = order.pop_front() {
+                        map.remove(&old);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Looks up a trace by hex id.
+    pub fn get(&self, hex: &str) -> Option<Arc<RequestTrace>> {
+        self.inner.lock().expect("trace store poisoned").1.get(hex).cloned()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Access log
+// ---------------------------------------------------------------------------
+
+/// Schema tag stamped into every access-log line.
+pub const ACCESS_SCHEMA: &str = "snet-access/1";
+
+/// Append-only JSONL access log: one line per finished request.
+pub struct AccessLog {
+    file: Mutex<std::fs::File>,
+}
+
+impl AccessLog {
+    /// Opens (appending) or creates the log file.
+    pub fn open(path: &std::path::Path) -> std::io::Result<AccessLog> {
+        let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(AccessLog { file: Mutex::new(file) })
+    }
+
+    /// Appends one request record. Best-effort: a full disk must not
+    /// fail the request that was already answered.
+    #[allow(clippy::too_many_arguments)]
+    pub fn log(
+        &self,
+        t_us: u64,
+        trace: &str,
+        method: &str,
+        endpoint: &str,
+        status: u16,
+        cache: Option<&str>,
+        hash: Option<&str>,
+        job: Option<&str>,
+        bytes: u64,
+        dur_us: u64,
+        link: Option<&str>,
+    ) {
+        let mut line = String::from("{");
+        push_str_field(&mut line, "schema", ACCESS_SCHEMA, true);
+        line.push_str(&format!(",\"t_us\":{t_us}"));
+        push_str_field(&mut line, "trace", trace, false);
+        push_str_field(&mut line, "method", method, false);
+        push_str_field(&mut line, "endpoint", endpoint, false);
+        line.push_str(&format!(",\"status\":{status}"));
+        if let Some(c) = cache {
+            push_str_field(&mut line, "cache", c, false);
+        }
+        if let Some(h) = hash {
+            push_str_field(&mut line, "hash", h, false);
+        }
+        if let Some(j) = job {
+            push_str_field(&mut line, "job", j, false);
+        }
+        line.push_str(&format!(",\"bytes\":{bytes}"));
+        line.push_str(&format!(",\"dur_us\":{dur_us}"));
+        if let Some(l) = link {
+            push_str_field(&mut line, "link", l, false);
+        }
+        line.push_str("}\n");
+        let mut f = self.file.lock().expect("access log poisoned");
+        let _ = f.write_all(line.as_bytes());
+        let _ = f.flush();
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str, first: bool) {
+    if !first {
+        out.push(',');
+    }
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Slow-request capture
+// ---------------------------------------------------------------------------
+
+/// Dumps a slow request's captured span tree to
+/// `slow-<trace>.jsonl` next to the flight dumps (current directory),
+/// same JSONL schema as a trace file. Returns the path on success.
+pub fn dump_slow(trace: &Arc<RequestTrace>) -> Option<PathBuf> {
+    let text = trace.to_jsonl();
+    if text.is_empty() {
+        return None;
+    }
+    let path = PathBuf::from(format!("slow-{}.jsonl", trace.trace.to_hex()));
+    std::fs::write(&path, text).ok()?;
+    Some(path)
+}
+
+// ---------------------------------------------------------------------------
+// Request context threaded into the job manager
+// ---------------------------------------------------------------------------
+
+/// What a request hands the job manager so job work lands in the right
+/// trace: the hex trace id (stamped into frames, manifests, and result
+/// documents) and the capture routing for worker threads the job
+/// spawns. `Default` (all `None`) means "untraced" — in-process library
+/// callers and tests that talk to the manager directly stay unchanged.
+#[derive(Clone, Default)]
+pub struct RequestCtx {
+    /// Hex trace id of the owning request.
+    pub trace_hex: Option<String>,
+    /// The capture sink, for attaching spawned worker threads.
+    pub capture: Option<Arc<TraceCapture>>,
+    /// The owning request's trace buffer.
+    pub trace: Option<Arc<RequestTrace>>,
+    /// The request span's id, so job threads can nest their spans
+    /// under it (`0` = untraced, spans stay roots).
+    pub span: u64,
+}
+
+impl RequestCtx {
+    /// Routes the calling thread into the request's trace for the
+    /// guard's lifetime (no-op when untraced).
+    pub fn attach(&self) -> Option<AttachGuard> {
+        match (&self.capture, &self.trace) {
+            (Some(capture), Some(trace)) => Some(capture.attach(trace)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_labels_bound_cardinality() {
+        assert_eq!(endpoint_label("/v1/jobs/job-123"), "/v1/jobs/{id}");
+        assert_eq!(endpoint_label("/v1/trace/deadbeef"), "/v1/trace/{id}");
+        assert_eq!(endpoint_label("/v1/check"), "/v1/check");
+        assert_eq!(endpoint_label("/favicon.ico"), "other");
+    }
+
+    #[test]
+    fn request_ring_moves_finished_entries_to_recent() {
+        let ring = RequestRing::default();
+        let token = ring.begin(RequestEntry {
+            trace: "aa".into(),
+            method: "POST".into(),
+            endpoint: "/v1/check".into(),
+            start_us: 10,
+            status: 0,
+            cache: None,
+            bytes: 0,
+            dur_us: 0,
+            link: None,
+        });
+        let doc = ring.to_json();
+        assert!(doc.contains("\"active\":[{"), "active entry listed: {doc}");
+        ring.finish(token, 200, Some("miss".into()), 42, 1234, None);
+        let doc = ring.to_json();
+        assert!(doc.contains("\"active\":[]"), "no active entries: {doc}");
+        assert!(doc.contains("\"status\":200") && doc.contains("\"cache\":\"miss\""), "{doc}");
+        assert!(doc.contains("\"dur_us\":1234"), "{doc}");
+    }
+
+    #[test]
+    fn trace_store_evicts_oldest() {
+        let store = TraceStore::default();
+        let mut first_hex = String::new();
+        for i in 0..(TRACE_STORE_CAPACITY + 5) {
+            let rt = RequestTrace::new(TraceId((i + 1) as u128));
+            if i == 0 {
+                first_hex = rt.trace.to_hex();
+            }
+            store.insert(rt);
+        }
+        assert!(store.get(&first_hex).is_none(), "oldest evicted");
+        assert!(store.get(&TraceId((TRACE_STORE_CAPACITY + 5) as u128).to_hex()).is_some());
+    }
+
+    #[test]
+    fn trace_store_appends_a_second_request_under_the_same_id() {
+        let store = TraceStore::default();
+        let id = TraceId(7);
+        let probe = |span: u64| Event {
+            kind: snet_obs::EventKind::SpanStart,
+            name: "http.request".into(),
+            id: span,
+            parent: 0,
+            thread: 0,
+            t_us: 0,
+            dur_us: 0,
+            value: 0.0,
+            attrs: Vec::new(),
+        };
+        let first = RequestTrace::new(id);
+        first.record(&probe(1));
+        store.insert(first);
+        let second = RequestTrace::new(id);
+        second.record(&probe(2));
+        store.insert(second);
+        let stored = store.get(&id.to_hex()).expect("id stays stored");
+        assert_eq!(stored.events().len(), 2, "second request's events appended, not clobbered");
+    }
+
+    #[test]
+    fn access_log_lines_are_one_json_object_each() {
+        let dir = std::env::temp_dir().join("snetd-telemetry-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("access-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let log = AccessLog::open(&path).unwrap();
+        log.log(
+            5,
+            "abc",
+            "POST",
+            "/v1/check",
+            200,
+            Some("miss"),
+            Some("ff"),
+            Some("job-0"),
+            10,
+            20,
+            None,
+        );
+        log.log(9, "def", "GET", "/healthz", 200, None, None, None, 2, 1, Some("abc"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with(&format!("{{\"schema\":\"{ACCESS_SCHEMA}\"")));
+        assert!(lines[0].contains("\"cache\":\"miss\"") && lines[0].contains("\"job\":\"job-0\""));
+        assert!(lines[1].contains("\"link\":\"abc\""));
+    }
+}

@@ -260,6 +260,197 @@ fn rejections_map_to_http_statuses() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// A deterministic client-side trace header: distinct per `i`, valid
+/// per the `x-snet-trace` grammar.
+fn trace_header_for(i: u64) -> (String, String) {
+    let trace = format!("{:032x}", 0xace0_0000u64 + i);
+    (trace.clone(), format!("{trace}-{:016x}", i + 1))
+}
+
+#[test]
+fn coalesced_checks_link_rider_traces_to_the_leader() {
+    let (handle, addr, root) = daemon("tracelink");
+    // Same canonical form from four traced clients at once: one leader
+    // compiles under its own trace, riders link to it.
+    let body = Arc::new(check_body(&odd_even_transposition(20)));
+
+    const CLIENTS: usize = 4;
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let mut threads = Vec::new();
+    for i in 0..CLIENTS {
+        let addr = addr.clone();
+        let body = body.clone();
+        let barrier = barrier.clone();
+        threads.push(std::thread::spawn(move || {
+            let (trace, header) = trace_header_for(i as u64);
+            barrier.wait();
+            let resp = client::request_with(
+                &addr,
+                "POST",
+                "/v1/check",
+                Some(&body),
+                &[("x-snet-trace", header.as_str())],
+            )
+            .unwrap();
+            assert_eq!(resp.status, 200);
+            let echoed = resp.header("x-snet-trace").expect("every response echoes its trace");
+            assert!(
+                echoed.starts_with(&trace),
+                "the response trace is the one this client sent (got {echoed})"
+            );
+            (
+                trace,
+                resp.header("x-snet-cache").unwrap().to_string(),
+                resp.header("x-snet-link").map(str::to_string),
+            )
+        }));
+    }
+    let answers: Vec<(String, String, Option<String>)> =
+        threads.into_iter().map(|t| t.join().unwrap()).collect();
+
+    let leaders: Vec<&(String, String, Option<String>)> =
+        answers.iter().filter(|(_, c, _)| c == "miss").collect();
+    assert_eq!(leaders.len(), 1, "one leading miss");
+    let (leader_trace, _, leader_link) = leaders[0];
+    assert_eq!(leader_link.as_deref(), None, "the leader links to nothing — it IS the trace");
+    for (trace, cache, link) in &answers {
+        if cache == "coalesced" {
+            assert_eq!(
+                link.as_deref(),
+                Some(leader_trace.as_str()),
+                "rider {trace} links to the leader's compile trace"
+            );
+        }
+    }
+
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn traced_search_stamps_frames_and_lands_in_debug_ring_and_trace_store() {
+    let (handle, addr, root) = daemon("tracing");
+    let (trace, header) = trace_header_for(0x900d);
+    let req =
+        SearchRequest { n: 4, mode: "unrestricted".into(), max_depth: None, threads: Some(2) };
+    let body = serde_json::to_string(&req).unwrap();
+
+    let mut frames: Vec<ProgressFrame> = Vec::new();
+    let resp = client::stream_lines_with(
+        &addr,
+        "POST",
+        "/v1/search",
+        Some(body.as_bytes()),
+        &[("x-snet-trace", header.as_str())],
+        &mut |line| {
+            frames.push(ProgressFrame::parse_line(line).expect("every line is one frame"));
+            true
+        },
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.header("x-snet-trace").unwrap().starts_with(&trace));
+    assert!(frames.len() >= 3);
+    for f in &frames {
+        assert_eq!(
+            f.trace.as_deref(),
+            Some(trace.as_str()),
+            "every progress frame carries the submitting request's trace id"
+        );
+    }
+    // The job result's manifest names the same trace.
+    let job_id = resp.header("x-snet-job").unwrap().to_string();
+    let status_resp = client::request(&addr, "GET", &format!("/v1/jobs/{job_id}"), None).unwrap();
+    let status = JobStatus::parse(&status_resp.text()).unwrap();
+    assert_eq!(status.state, JobState::Done);
+
+    // The finished request is visible in the tracez-style ring with its
+    // trace id, endpoint, status, and latency.
+    let debug = client::request(&addr, "GET", "/v1/debug/requests", None).unwrap();
+    assert_eq!(debug.status, 200);
+    let text = debug.text();
+    assert!(text.contains(&format!("\"trace\":\"{trace}\"")), "ring lists the trace: {text}");
+    assert!(text.contains("\"endpoint\":\"/v1/search\""), "ring names the endpoint: {text}");
+    assert!(text.contains("\"dur_us\":"), "ring reports latency: {text}");
+
+    // The stored span tree is fetchable by trace id; telemetry between
+    // response completion and trace-store insert is asynchronous, so
+    // poll briefly.
+    let mut stored = None;
+    for _ in 0..50 {
+        let r = client::request(&addr, "GET", &format!("/v1/trace/{trace}"), None).unwrap();
+        if r.status == 200 {
+            stored = Some(r);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let stored = stored.expect("the request trace lands in the trace store");
+    let events = snet_obs::report::parse_events(&stored.text()).expect("stored trace parses");
+    assert!(
+        events.iter().any(|e| e.name == "http.request"),
+        "the stored trace holds the server's request span"
+    );
+
+    // An unknown id is a clean 404, not an empty document.
+    let missing =
+        client::request(&addr, "GET", "/v1/trace/ffffffffffffffffffffffffffffffff", None).unwrap();
+    assert_eq!(missing.status, 404);
+
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn frame_traces_are_stable_across_miss_and_hit_deliveries() {
+    let (handle, addr, root) = daemon("stable");
+    let body = check_body(&odd_even_transposition(8));
+    let (trace, header) = trace_header_for(0xbead);
+
+    // Miss: computed under the submitted trace.
+    let cold = client::request_with(
+        &addr,
+        "POST",
+        "/v1/check",
+        Some(&body),
+        &[("x-snet-trace", header.as_str())],
+    )
+    .unwrap();
+    assert_eq!(cold.header("x-snet-cache"), Some("miss"));
+    assert!(cold.header("x-snet-trace").unwrap().starts_with(&trace));
+    let job_id = cold.header("x-snet-job").unwrap().to_string();
+
+    // The job's manifest pins the trace the bytes were computed under.
+    let status_resp = client::request(&addr, "GET", &format!("/v1/jobs/{job_id}"), None).unwrap();
+    let status = JobStatus::parse(&status_resp.text()).unwrap();
+    let result = status.result.expect("check job result");
+    let manifest = obj_get(&result, "manifest").expect("result embeds the run manifest");
+    assert_eq!(
+        obj_get(manifest, "trace_id").and_then(Value::as_str),
+        Some(trace.as_str()),
+        "the job manifest records the computing request's trace"
+    );
+
+    // Hit: a different trace replays the same bytes; its response keeps
+    // its own trace id and claims no link (nothing was computed).
+    let (trace2, header2) = trace_header_for(0xfeed);
+    let warm = client::request_with(
+        &addr,
+        "POST",
+        "/v1/check",
+        Some(&body),
+        &[("x-snet-trace", header2.as_str())],
+    )
+    .unwrap();
+    assert_eq!(warm.header("x-snet-cache"), Some("hit"));
+    assert_eq!(warm.body, cold.body);
+    assert!(warm.header("x-snet-trace").unwrap().starts_with(&trace2));
+    assert_eq!(warm.header("x-snet-link"), None, "a warm hit computed nothing to link to");
+
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 #[test]
 fn drain_cancels_live_search_and_leaves_a_resumable_spill() {
     let (handle, addr, root) = daemon("drain");

@@ -10,7 +10,8 @@
 
 use proptest::prelude::*;
 use snet_core::api::{FrameKind, JobState, ProgressFrame};
-use snet_service::http::{read_request, ChunkedWriter, HttpError, Limits, ReadOutcome};
+use snet_service::http::{read_request, ChunkedWriter, HttpError, Limits, ReadOutcome, Request};
+use snet_service::telemetry::extract_trace;
 use std::io::BufReader;
 
 fn parse_one(bytes: &[u8]) -> Result<ReadOutcome, HttpError> {
@@ -135,6 +136,70 @@ fn bare_lf_requests_are_tolerated() {
     }
 }
 
+// --- x-snet-trace extraction ---------------------------------------------
+
+fn request_with_headers(headers: &str) -> Request {
+    let wire = format!("GET /v1/debug/requests HTTP/1.1\r\n{headers}\r\n");
+    match parse_one(wire.as_bytes()).expect("trace headers must never fail parsing") {
+        ReadOutcome::Request(r) => r,
+        other => panic!("expected a request, got {other:?}"),
+    }
+}
+
+#[test]
+fn valid_trace_header_is_adopted() {
+    let req =
+        request_with_headers("x-snet-trace: 0123456789abcdef0123456789abcdef-00000000000000aa\r\n");
+    let (ctx, forwarded) = extract_trace(&req);
+    assert!(forwarded);
+    assert_eq!(ctx.trace.to_hex(), "0123456789abcdef0123456789abcdef");
+    assert_eq!(ctx.parent_span, 0xaa);
+}
+
+/// A client that garbles its trace header still gets its request
+/// answered: telemetry degrades to a fresh server-generated trace,
+/// never a 400.
+#[test]
+fn malformed_trace_headers_degrade_to_fresh_trace() {
+    let malformed = [
+        "x-snet-trace: \r\n",                                                  // empty
+        "x-snet-trace: zz23456789abcdef0123456789abcdef-0000000000000001\r\n", // not hex
+        "x-snet-trace: 0123456789abcdef-0000000000000001\r\n",                 // short trace
+        "x-snet-trace: 00000000000000000000000000000000-0000000000000001\r\n", // zero trace
+        "x-snet-trace: 0123456789abcdef0123456789abcdef 0000000000000001\r\n", // no dash
+        "x-snet-trace: 0123456789abcdef0123456789abcdef-1\r\n",                // short span
+    ];
+    for headers in malformed {
+        let req = request_with_headers(headers);
+        let (ctx, forwarded) = extract_trace(&req);
+        assert!(!forwarded, "{headers:?} must not count as forwarded");
+        assert_ne!(ctx.trace.0, 0, "fresh trace ids are never zero");
+    }
+}
+
+#[test]
+fn oversized_trace_header_degrades_to_fresh_trace() {
+    let huge = format!("x-snet-trace: {}\r\n", "a".repeat(2048));
+    let req = request_with_headers(&huge);
+    let (ctx, forwarded) = extract_trace(&req);
+    assert!(!forwarded);
+    assert_ne!(ctx.trace.0, 0);
+}
+
+/// Duplicated trace headers are ambiguous — the server must not guess
+/// which one the client meant, so both are discarded.
+#[test]
+fn duplicate_trace_headers_degrade_to_fresh_trace() {
+    let req = request_with_headers(
+        "x-snet-trace: 0123456789abcdef0123456789abcdef-0000000000000001\r\n\
+         x-snet-trace: fedcba9876543210fedcba9876543210-0000000000000002\r\n",
+    );
+    let (ctx, forwarded) = extract_trace(&req);
+    assert!(!forwarded);
+    assert_ne!(ctx.trace.to_hex(), "0123456789abcdef0123456789abcdef");
+    assert_ne!(ctx.trace.to_hex(), "fedcba9876543210fedcba9876543210");
+}
+
 // --- ND-JSON framing property -------------------------------------------
 
 /// Deterministic pseudo-random stream (64-bit LCG, Knuth constants).
@@ -178,7 +243,14 @@ fn gen_frame(rng: &mut Lcg, job: &str, seq: u64) -> ProgressFrame {
             FrameKind::Log { message }
         }
     };
-    ProgressFrame { job: job.to_string(), seq, kind }
+    // Frames from traced requests carry the owning trace id; untraced
+    // (library-caller) frames omit the field. Both shapes must survive
+    // the wire.
+    let trace = match rng.below(2) {
+        0 => None,
+        _ => Some(format!("{:032x}", rng.next().max(1))),
+    };
+    ProgressFrame { job: job.to_string(), seq, trace, kind }
 }
 
 proptest! {
@@ -219,11 +291,16 @@ proptest! {
         }
 
         // De-chunk and split lines exactly as `client::stream_lines`
-        // does: drain complete lines, keep the partial tail.
-        let text = String::from_utf8(wire).expect("chunked stream is valid UTF-8");
-        let body_at = text.find("\r\n\r\n").expect("head/body split") + 4;
+        // does: drain complete lines, keep the partial tail. Work on
+        // bytes — a chunk boundary may split a multi-byte UTF-8
+        // character, so the framed wire is not decodable as a whole.
+        let body_at = wire
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .expect("head/body split")
+            + 4;
         let mut dechunked: Vec<u8> = Vec::new();
-        let mut rest = &text.as_bytes()[body_at..];
+        let mut rest = &wire[body_at..];
         loop {
             let nl = rest.iter().position(|&b| b == b'\n').expect("chunk size line");
             let size_line = std::str::from_utf8(&rest[..nl]).unwrap().trim();

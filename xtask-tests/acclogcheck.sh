@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Validates an snetd `--access-log` JSONL file without any external
+# tooling — CI runs this against the daemon's access log the same way
+# promcheck.sh validates a metrics scrape.
+#
+# Checks, per line:
+#   - exactly one JSON object declaring `"schema":"snet-access/1"`
+#   - required fields: t_us, trace, method, endpoint, status, bytes,
+#     dur_us (numbers where numbers are expected)
+#   - `trace` is 32 lower-case hex digits (a full 128-bit trace id)
+#   - `status` is a plausible HTTP status (100..599)
+#   - `cache`, when present, is one of miss | hit | coalesced
+#   - `link`, when present, is 32 lower-case hex digits
+#   - probe endpoints (/healthz, /metrics) never appear: the service
+#     keeps them out of the job-path access log by design
+# And for the file as a whole: at least one record.
+#
+# Usage: acclogcheck.sh FILE
+set -u
+
+file="${1:?usage: acclogcheck.sh FILE}"
+[ -r "$file" ] || { echo "acclogcheck: cannot read $file" >&2; exit 1; }
+
+awk '
+function fail(msg) { printf "acclogcheck: line %d: %s\n", NR, msg > "/dev/stderr"; bad = 1 }
+
+# Extracts the raw value of a string field, or "" when absent.
+function strfield(line, key,    re) {
+    re = "\"" key "\":\"[^\"]*\""
+    if (match(line, re) == 0) return ""
+    return substr(line, RSTART + length(key) + 4, RLENGTH - length(key) - 5)
+}
+
+# Extracts a numeric field, or "" when absent.
+function numfield(line, key,    re) {
+    re = "\"" key "\":[0-9]+"
+    if (match(line, re) == 0) return ""
+    return substr(line, RSTART + length(key) + 3, RLENGTH - length(key) - 3)
+}
+
+/^$/ { next }
+
+{
+    records++
+    if (substr($0, 1, 1) != "{" || substr($0, length($0), 1) != "}")
+        fail("record is not one JSON object")
+    if (index($0, "\"schema\":\"snet-access/1\"") == 0)
+        fail("missing or wrong schema tag")
+
+    # mawk has no {n} interval regexes, so length() carries the count.
+    trace = strfield($0, "trace")
+    if (length(trace) != 32 || trace !~ /^[0-9a-f]+$/)
+        fail("trace is not 32 hex digits: \"" trace "\"")
+
+    if (strfield($0, "method") == "") fail("missing method")
+
+    endpoint = strfield($0, "endpoint")
+    if (endpoint == "") fail("missing endpoint")
+    if (endpoint == "/healthz" || endpoint == "/metrics")
+        fail("probe endpoint " endpoint " leaked into the access log")
+
+    status = numfield($0, "status")
+    if (status == "" || status + 0 < 100 || status + 0 > 599)
+        fail("implausible status: \"" status "\"")
+
+    if (numfield($0, "t_us") == "") fail("missing t_us")
+    if (numfield($0, "bytes") == "") fail("missing bytes")
+    if (numfield($0, "dur_us") == "") fail("missing dur_us")
+
+    cache = strfield($0, "cache")
+    if (cache != "" && cache != "miss" && cache != "hit" && cache != "coalesced")
+        fail("unknown cache disposition \"" cache "\"")
+
+    link = strfield($0, "link")
+    if (link != "" && (length(link) != 32 || link !~ /^[0-9a-f]+$/))
+        fail("link is not 32 hex digits: \"" link "\"")
+}
+
+END {
+    if (!records) { print "acclogcheck: no records" > "/dev/stderr"; bad = 1 }
+    if (bad) exit 1
+    printf "acclogcheck: ok (%d records)\n", records
+}
+' "$file"
