@@ -108,7 +108,10 @@ impl TraceContext {
     /// header values arrive trimmed-or-not depending on the proxy.
     pub fn parse_header(value: &str) -> Option<TraceContext> {
         let value = value.trim();
-        if value.len() != 49 {
+        // The length check counts bytes, but `split_at` splits at a char
+        // boundary: a non-ASCII value could straddle byte 32 and panic.
+        // Valid values are hex + '-', so anything non-ASCII is garbage.
+        if value.len() != 49 || !value.is_ascii() {
             return None;
         }
         let (trace_part, rest) = value.split_at(32);
@@ -179,5 +182,21 @@ mod tests {
             TraceContext::parse_header("deadbeef0000000000000000cafef00-d0000000000001234"),
             None
         );
+    }
+
+    #[test]
+    fn multibyte_utf8_never_panics() {
+        // 49 *bytes* with a multi-byte char straddling byte 32: a byte
+        // split there is not a char boundary, so a naive `split_at`
+        // would panic. Header values are attacker-controlled UTF-8.
+        for straddle in [30, 31, 32] {
+            let bad = format!("{}é{}", "a".repeat(straddle), "b".repeat(49 - straddle - 2));
+            assert_eq!(bad.len(), 49);
+            assert_eq!(TraceContext::parse_header(&bad), None, "{bad:?} must not parse");
+        }
+        // Same with a 3-byte char spanning bytes 31..34.
+        let bad = format!("{}€{}", "a".repeat(31), "b".repeat(15));
+        assert_eq!(bad.len(), 49);
+        assert_eq!(TraceContext::parse_header(&bad), None);
     }
 }

@@ -478,7 +478,12 @@ fn handle_exchange(w: &mut impl Write, req: &Request, manager: &JobManager, tel:
     if tel.slow_us.is_some_and(|slow| dur_us >= slow) && telemetry::dump_slow(&trace).is_some() {
         snet_obs::counter("http.slow.captured", 1);
     }
-    tel.traces.insert(trace.clone());
+    // Introspection endpoints stay out of the bounded trace store:
+    // polling /v1/debug/requests or /v1/trace/{id} while inspecting a
+    // job must not evict the very traces being inspected.
+    if endpoint != "/v1/debug/requests" && endpoint != "/v1/trace/{id}" {
+        tel.traces.insert(trace.clone());
+    }
     tel.capture.release(&trace);
 }
 
@@ -671,16 +676,19 @@ fn handle_search(
         Ok(j) => j,
         Err(e) => return respond_api_error(w, meta, &e),
     };
-    meta.status = 200;
     meta.job = Some(job.id.clone());
     let mut extra: Vec<(&str, &str)> = vec![("x-snet-job", job.id.as_str())];
     if let Some(t) = &meta.trace_header {
         extra.push((snet_obs::TRACE_HEADER, t.as_str()));
     }
+    // The 200 is recorded only once the response head actually reaches
+    // the socket; a failed start leaves status 0 so the telemetry shows
+    // a broken exchange, not a success.
     let mut chunked = match ChunkedWriter::start(w, 200, NDJSON, &extra) {
         Ok(c) => c,
         Err(_) => return,
     };
+    meta.status = 200;
     loop {
         match job.obs.poll(Duration::from_millis(250)) {
             FramePoll::Frame(f) => {

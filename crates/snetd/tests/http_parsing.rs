@@ -177,6 +177,19 @@ fn malformed_trace_headers_degrade_to_fresh_trace() {
     }
 }
 
+/// A 49-byte value whose byte 32 falls inside a multi-byte UTF-8 char:
+/// naive byte-offset splitting would panic on the non-char-boundary,
+/// killing the connection worker. Must degrade like any other garbage.
+#[test]
+fn multibyte_trace_header_degrades_to_fresh_trace() {
+    let value = format!("{}é{}", "a".repeat(31), "b".repeat(16));
+    assert_eq!(value.len(), 49);
+    let req = request_with_headers(&format!("x-snet-trace: {value}\r\n"));
+    let (ctx, forwarded) = extract_trace(&req);
+    assert!(!forwarded);
+    assert_ne!(ctx.trace.0, 0);
+}
+
 #[test]
 fn oversized_trace_header_degrades_to_fresh_trace() {
     let huge = format!("x-snet-trace: {}\r\n", "a".repeat(2048));
